@@ -1,0 +1,145 @@
+package weboftrust
+
+import (
+	"fmt"
+
+	"weboftrust/internal/affinity"
+	"weboftrust/internal/core"
+	"weboftrust/internal/ratings"
+)
+
+// UserID identifies a community member; it aliases the data model's id
+// type so facade results interoperate with the internal packages.
+type UserID = ratings.UserID
+
+// Dataset is the review-community input; build one with a
+// ratings.Builder, a store reader, or the synth generator.
+type Dataset = ratings.Dataset
+
+// Ranked pairs a user with a derived trust score.
+type Ranked = core.Ranked
+
+// Option customises Derive.
+type Option func(*core.Config) error
+
+// WithRiggsIterations caps the Step 1 fixed-point iterations.
+func WithRiggsIterations(n int) Option {
+	return func(c *core.Config) error {
+		if n < 1 {
+			return fmt.Errorf("weboftrust: iterations %d < 1", n)
+		}
+		c.Riggs.MaxIter = n
+		return nil
+	}
+}
+
+// WithoutExperienceDiscount disables the (1 − 1/(n+1)) inexperience
+// discount in both reputation models (eqs. 2-3).
+func WithoutExperienceDiscount() Option {
+	return func(c *core.Config) error {
+		c.Riggs.DiscountExperience = false
+		c.Reputation.DiscountExperience = false
+		return nil
+	}
+}
+
+// WithUnratedQuality sets the quality assigned to reviews nobody rated
+// (default 0).
+func WithUnratedQuality(q float64) Option {
+	return func(c *core.Config) error {
+		if q < 0 || q > 1 {
+			return fmt.Errorf("weboftrust: unrated quality %v outside [0,1]", q)
+		}
+		c.Riggs.UnratedQuality = q
+		return nil
+	}
+}
+
+// WithAffinityRatingsOnly derives affinity from rating activity alone.
+func WithAffinityRatingsOnly() Option {
+	return func(c *core.Config) error {
+		c.AffinityMode = affinity.RatingsOnly
+		return nil
+	}
+}
+
+// WithAffinityWritesOnly derives affinity from writing activity alone.
+func WithAffinityWritesOnly() Option {
+	return func(c *core.Config) error {
+		c.AffinityMode = affinity.WritesOnly
+		return nil
+	}
+}
+
+// TrustModel is the derived web of trust for one dataset: a thin,
+// query-oriented wrapper around the pipeline's artifacts. It is immutable
+// and safe for concurrent use.
+type TrustModel struct {
+	dataset   *ratings.Dataset
+	artifacts *core.Artifacts
+}
+
+// Derive runs the full three-step pipeline over the dataset.
+func Derive(d *Dataset, opts ...Option) (*TrustModel, error) {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	art, err := cfg.Run(d)
+	if err != nil {
+		return nil, err
+	}
+	return &TrustModel{dataset: d, artifacts: art}, nil
+}
+
+// Score returns the degree of trust T̂_ij user i holds for user j, in
+// [0, 1]. Zero means no overlap between i's interests and j's expertise.
+func (m *TrustModel) Score(i, j UserID) float64 {
+	return m.artifacts.Trust.Value(i, j)
+}
+
+// TopTrusted returns the k users with the highest derived trust from user
+// u's point of view, best first, excluding u and zero scores.
+func (m *TrustModel) TopTrusted(u UserID, k int) []Ranked {
+	return m.artifacts.Trust.TopTrusted(u, k)
+}
+
+// Expertise returns user u's reputation in every category, indexed by
+// CategoryID. The returned slice is shared; do not modify it.
+func (m *TrustModel) Expertise(u UserID) []float64 {
+	return m.artifacts.Expertise.Row(int(u))
+}
+
+// Affinity returns user u's affiliation with every category, indexed by
+// CategoryID. The returned slice is shared; do not modify it.
+func (m *TrustModel) Affinity(u UserID) []float64 {
+	return m.artifacts.Affinity.Row(int(u))
+}
+
+// ReviewQuality returns the converged quality of a review (eq. 1) and
+// whether the review exists.
+func (m *TrustModel) ReviewQuality(r ratings.ReviewID) (float64, bool) {
+	if int(r) < 0 || int(r) >= m.dataset.NumReviews() {
+		return 0, false
+	}
+	rev := m.dataset.Review(r)
+	return m.artifacts.RiggsResults[rev.Category].QualityOf(r)
+}
+
+// RaterReputation returns user u's rater reputation in category c (eq. 2)
+// and whether u rated anything there.
+func (m *TrustModel) RaterReputation(u UserID, c ratings.CategoryID) (float64, bool) {
+	if int(c) < 0 || int(c) >= len(m.artifacts.RiggsResults) {
+		return 0, false
+	}
+	return m.artifacts.RiggsResults[c].ReputationOf(u)
+}
+
+// Dataset returns the dataset the model was derived from.
+func (m *TrustModel) Dataset() *Dataset { return m.dataset }
+
+// Artifacts exposes the underlying pipeline artifacts for advanced use
+// (binarisation, evaluation, propagation).
+func (m *TrustModel) Artifacts() *core.Artifacts { return m.artifacts }

@@ -1,0 +1,167 @@
+package weboftrust_test
+
+import (
+	"testing"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/synth"
+)
+
+func buildFixture(t *testing.T) *weboftrust.Dataset {
+	t.Helper()
+	b := ratings.NewBuilder()
+	movies := b.AddCategory("movies")
+	books := b.AddCategory("books")
+	expert := b.AddUser("expert")     // writes good movie reviews
+	bookworm := b.AddUser("bookworm") // writes book reviews
+	fan := b.AddUser("fan")           // rates movies a lot
+
+	for i := 0; i < 3; i++ {
+		oid, err := b.AddObject(movies, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(expert, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddRating(fan, rid, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oid, err := b.AddObject(books, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := b.AddReview(bookworm, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRating(fan, rid, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestDeriveAndQuery(t *testing.T) {
+	d := buildFixture(t)
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fan rates mostly movies; the movie expert must outrank the
+	// bookworm in fan's derived trust.
+	sExpert := model.Score(2, 0)
+	sBook := model.Score(2, 1)
+	if sExpert <= sBook {
+		t.Errorf("Score(fan, expert) = %v should exceed Score(fan, bookworm) = %v", sExpert, sBook)
+	}
+	top := model.TopTrusted(2, 5)
+	if len(top) == 0 || top[0].User != 0 {
+		t.Errorf("TopTrusted(fan) = %+v, want expert first", top)
+	}
+	if e := model.Expertise(0); e[0] <= 0 || e[1] != 0 {
+		t.Errorf("expert expertise = %v, want positive movies only", e)
+	}
+	if a := model.Affinity(2); a[0] <= a[1] {
+		t.Errorf("fan affinity = %v, want movies dominant", a)
+	}
+	if q, ok := model.ReviewQuality(0); !ok || q != 1.0 {
+		t.Errorf("ReviewQuality(0) = %v, %v; want 1.0", q, ok)
+	}
+	if _, ok := model.ReviewQuality(999); ok {
+		t.Error("ReviewQuality of absent review should be !ok")
+	}
+	if rep, ok := model.RaterReputation(2, 0); !ok || rep <= 0 {
+		t.Errorf("RaterReputation(fan, movies) = %v, %v", rep, ok)
+	}
+	if _, ok := model.RaterReputation(2, 99); ok {
+		t.Error("RaterReputation of absent category should be !ok")
+	}
+	if model.Dataset() != d {
+		t.Error("Dataset accessor wrong")
+	}
+	if model.Artifacts() == nil {
+		t.Error("Artifacts accessor nil")
+	}
+}
+
+func TestDeriveOptions(t *testing.T) {
+	d := buildFixture(t)
+	if _, err := weboftrust.Derive(d, weboftrust.WithRiggsIterations(0)); err == nil {
+		t.Error("iterations 0 should be rejected")
+	}
+	if _, err := weboftrust.Derive(d, weboftrust.WithUnratedQuality(2)); err == nil {
+		t.Error("unrated quality 2 should be rejected")
+	}
+	m1, err := weboftrust.Derive(d, weboftrust.WithoutExperienceDiscount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the discount, the expert's three perfect reviews score a
+	// full 1.0 expertise; with it, 0.75.
+	if !(m1.Expertise(0)[0] > m2.Expertise(0)[0]) {
+		t.Errorf("discount-free expertise %v should exceed discounted %v",
+			m1.Expertise(0)[0], m2.Expertise(0)[0])
+	}
+	ro, err := weboftrust.Derive(d, weboftrust.WithAffinityRatingsOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo, err := weboftrust.Derive(d, weboftrust.WithAffinityWritesOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fan only rates: writes-only affinity gives them nothing.
+	if ro.Affinity(2)[0] <= 0 {
+		t.Error("ratings-only affinity should be positive for the fan")
+	}
+	if wo.Affinity(2)[0] != 0 {
+		t.Error("writes-only affinity should be zero for the fan")
+	}
+	if _, err := weboftrust.Derive(d, weboftrust.WithRiggsIterations(5)); err != nil {
+		t.Errorf("valid option rejected: %v", err)
+	}
+}
+
+func TestDeriveOnSyntheticCommunity(t *testing.T) {
+	cfg := synth.Small()
+	d, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check: every derived score within [0,1].
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			s := model.Score(weboftrust.UserID(i), weboftrust.UserID(j))
+			if s < 0 || s > 1 {
+				t.Fatalf("Score(%d,%d) = %v out of range", i, j, s)
+			}
+		}
+	}
+	// Top Reviewers should be popular recommendation targets: at least
+	// one of a random user's top-5 should be expertise-bearing.
+	top := model.TopTrusted(0, 5)
+	for _, r := range top {
+		e := model.Expertise(r.User)
+		positive := false
+		for _, v := range e {
+			if v > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			t.Errorf("top-trusted %d has no expertise", r.User)
+		}
+	}
+	_ = gt
+}

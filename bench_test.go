@@ -1,0 +1,329 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Tables 2-4, Fig. 3, the E-X1 propagation extension and the
+// A-1..A-4 ablations), plus the pipeline components they are built from.
+// One benchmark per experiment, as indexed in DESIGN.md §4.
+//
+// The experiment benchmarks run on the Medium preset (2,000 users, the
+// paper's 12 genres) so a full -bench=. sweep stays laptop-fast; the
+// cmd/experiments binary runs the same code at paper scale.
+package weboftrust_test
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"weboftrust"
+	"weboftrust/internal/core"
+	"weboftrust/internal/experiments"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+// env lazily builds the shared Medium-scale environment (dataset +
+// pipeline artifacts) outside any benchmark timer.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := synth.Medium()
+		cfg.Seed = 1
+		benchEnv, benchErr = experiments.Suite{Synth: cfg, Pipeline: core.DefaultConfig()}.Setup()
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable2RaterReputation regenerates Table 2: the per-category
+// Riggs fixed point and the Advisor quartile analysis (E-T2).
+func BenchmarkTable2RaterReputation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable2WithModel(e, e.Suite.Pipeline.Riggs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Q1Fraction() <= 0 {
+			b.Fatal("degenerate result")
+		}
+	}
+}
+
+// BenchmarkTable3WriterReputation regenerates Table 3: writer reputation
+// and the Top Reviewer quartile analysis (E-T3).
+func BenchmarkTable3WriterReputation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Q1Fraction() <= 0 {
+			b.Fatal("degenerate result")
+		}
+	}
+}
+
+// BenchmarkFig3Density regenerates Fig. 3: the density comparison of T̂,
+// R and T (E-F3).
+func BenchmarkFig3Density(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.DerivedNNZ == 0 {
+			b.Fatal("degenerate result")
+		}
+	}
+}
+
+// BenchmarkTable4TrustValidation regenerates Table 4: generosity
+// binarisation of T̂ and B and the three validation metrics (E-T4).
+func BenchmarkTable4TrustValidation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Derived.Recall <= res.Baseline.Recall {
+			b.Fatal("paper shape lost")
+		}
+	}
+}
+
+// BenchmarkPropagationComparison regenerates the E-X1 future-work
+// comparison: TidalTrust coverage, EigenTrust agreement and Appleseed
+// overlap across the explicit and derived webs.
+func BenchmarkPropagationComparison(b *testing.B) {
+	e := env(b)
+	params := experiments.DefaultPropagationParams()
+	params.NumSources = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPropagation(e, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CoverageDerived <= res.CoverageExplicit {
+			b.Fatal("paper shape lost")
+		}
+	}
+}
+
+// BenchmarkRecommendation regenerates E-X2: the held-out helpfulness
+// prediction comparison across the three predictors (including a full
+// pipeline re-run on the training split).
+func BenchmarkRecommendation(b *testing.B) {
+	e := env(b)
+	params := experiments.DefaultRecommendationParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRecommendation(e, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Reports) != 3 {
+			b.Fatal("degenerate result")
+		}
+	}
+}
+
+// BenchmarkRobustnessSweep regenerates A-5 with three seeds at small
+// scale (each seed is a full generate + pipeline + Table 4 run).
+func BenchmarkRobustnessSweep(b *testing.B) {
+	suite := experiments.Suite{Synth: synth.Small(), Pipeline: core.DefaultConfig()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRobustness(suite, []uint64{2, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AlwaysWins() {
+			b.Fatal("paper shape lost")
+		}
+	}
+}
+
+// BenchmarkStructure regenerates F-NET: the structural comparison of the
+// explicit and derived webs.
+func BenchmarkStructure(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStructure(e, 100, 31)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Derived.Edges <= res.Explicit.Edges {
+			b.Fatal("paper shape lost")
+		}
+	}
+}
+
+// BenchmarkAblationDiscount regenerates A-1 (experience discount on/off).
+func BenchmarkAblationDiscount(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationDiscount(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIteration regenerates A-2 (fixed point vs single pass).
+func BenchmarkAblationIteration(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationIteration(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAffinity regenerates A-3 (affinity signal blend).
+func BenchmarkAblationAffinity(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationAffinity(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBinarize regenerates A-4 (per-user top-k vs global
+// threshold).
+func BenchmarkAblationBinarize(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationBinarize(e, []float64{0.3, 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component benchmarks -------------------------------------------------
+
+// BenchmarkSynthGenerate measures the synthetic community generator.
+func BenchmarkSynthGenerate(b *testing.B) {
+	cfg := synth.Medium()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDerive measures the full three-step pipeline (Steps 1-3).
+func BenchmarkDerive(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weboftrust.Derive(e.Dataset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDerivedTrustRow measures computing one user's full T̂ row
+// (eq. 5 over all users), the pipeline's innermost hot path.
+func BenchmarkDerivedTrustRow(b *testing.B) {
+	e := env(b)
+	dst := make([]float64, e.Dataset.NumUsers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Artifacts.Trust.Row(ratings.UserID(i%e.Dataset.NumUsers()), dst)
+	}
+}
+
+// BenchmarkDerivedTrustRowSparse measures the category-pruned row
+// evaluation (compare with BenchmarkDerivedTrustRow).
+func BenchmarkDerivedTrustRowSparse(b *testing.B) {
+	e := env(b)
+	dst := make([]float64, e.Dataset.NumUsers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Artifacts.Trust.RowSparse(ratings.UserID(i%e.Dataset.NumUsers()), dst)
+	}
+}
+
+// BenchmarkGenerosity measures the per-user k_i computation.
+func BenchmarkGenerosity(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Generosity(e.Dataset)
+	}
+}
+
+// BenchmarkBinarizeDerived measures the parallel top-k_i binarisation of
+// the derived matrix.
+func BenchmarkBinarizeDerived(b *testing.B) {
+	e := env(b)
+	k := core.Generosity(e.Dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BinarizeDerived(e.Artifacts.Trust, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotWrite measures dataset serialisation.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.WriteSnapshot(io.Discard, e.Dataset); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRead measures dataset deserialisation including full
+// re-validation and index building.
+func BenchmarkSnapshotRead(b *testing.B) {
+	e := env(b)
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf, e.Dataset); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.ReadSnapshot(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopTrusted measures the end-user query path: derive one user's
+// row and select their top-10 trusted users.
+func BenchmarkTopTrusted(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Artifacts.Trust.TopTrusted(ratings.UserID(i%e.Dataset.NumUsers()), 10)
+	}
+}

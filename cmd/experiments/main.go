@@ -1,0 +1,141 @@
+// Command experiments regenerates the paper's evaluation: Tables 2-4,
+// Fig. 3, the future-work propagation comparison and the A-1..A-4
+// ablations, on the synthetic Epinions-like community (see DESIGN.md §2
+// for the substitution rationale).
+//
+// Usage:
+//
+//	experiments [-preset paper] [-seed N] [-run all|table2,table4,...]
+//
+// Runs are deterministic for a given preset and seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/experiments"
+	"weboftrust/internal/synth"
+)
+
+var runners = []string{"table2", "table3", "fig3", "table4", "propagation", "recommend",
+	"structure", "ablation-discount", "ablation-iteration", "ablation-affinity",
+	"ablation-binarize", "robustness"}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	preset := fs.String("preset", "paper", "dataset preset: small, medium or paper")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	runList := fs.String("run", "all", "comma-separated experiments: "+strings.Join(runners, ", ")+", or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg synth.Config
+	switch *preset {
+	case "small":
+		cfg = synth.Small()
+	case "medium":
+		cfg = synth.Medium()
+	case "paper":
+		cfg = synth.PaperScale()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	cfg.Seed = *seed
+
+	selected := map[string]bool{}
+	if *runList == "all" {
+		for _, r := range runners {
+			selected[r] = true
+		}
+	} else {
+		for _, r := range strings.Split(*runList, ",") {
+			r = strings.TrimSpace(r)
+			known := false
+			for _, k := range runners {
+				if r == k {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("unknown experiment %q", r)
+			}
+			selected[r] = true
+		}
+	}
+
+	start := time.Now()
+	suite := experiments.Suite{Synth: cfg, Pipeline: core.DefaultConfig()}
+	env, err := suite.Setup()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dataset: %v\n", env.Dataset)
+	fmt.Fprintf(w, "%s\n", env.Dataset.Stats())
+	fmt.Fprintf(w, "setup in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	type step struct {
+		name string
+		run  func() (experiments.Result, error)
+	}
+	steps := []step{
+		{"table2", func() (experiments.Result, error) { return experiments.RunTable2(env) }},
+		{"table3", func() (experiments.Result, error) { return experiments.RunTable3(env) }},
+		{"fig3", func() (experiments.Result, error) { return experiments.RunFig3(env) }},
+		{"table4", func() (experiments.Result, error) { return experiments.RunTable4(env) }},
+		{"propagation", func() (experiments.Result, error) {
+			return experiments.RunPropagation(env, experiments.DefaultPropagationParams())
+		}},
+		{"recommend", func() (experiments.Result, error) {
+			return experiments.RunRecommendation(env, experiments.DefaultRecommendationParams())
+		}},
+		{"structure", func() (experiments.Result, error) {
+			return experiments.RunStructure(env, 300, 31)
+		}},
+		{"ablation-discount", func() (experiments.Result, error) { return experiments.RunAblationDiscount(env) }},
+		{"ablation-iteration", func() (experiments.Result, error) { return experiments.RunAblationIteration(env) }},
+		{"ablation-affinity", func() (experiments.Result, error) { return experiments.RunAblationAffinity(env) }},
+		{"ablation-binarize", func() (experiments.Result, error) {
+			return experiments.RunAblationBinarize(env, []float64{0.2, 0.3, 0.4, 0.5})
+		}},
+		{"robustness", func() (experiments.Result, error) {
+			// Robustness re-generates the dataset per seed; run it at one
+			// size below the selected preset to keep the sweep quick.
+			sweep := suite
+			if sweep.Synth.NumUsers > 2000 {
+				sweep.Synth = synth.Medium()
+			}
+			return experiments.RunRobustness(sweep, []uint64{2, 3, 5, 7, 11})
+		}},
+	}
+	for _, s := range steps {
+		if !selected[s.name] {
+			continue
+		}
+		t0 := time.Now()
+		res, err := s.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[%s in %v]\n\n", s.name, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "total %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-preset", "small", "-seed", "2", "-run", "table2,table4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "TABLE 2") {
+		t.Error("table2 output missing")
+	}
+	if !strings.Contains(out, "TABLE 4") {
+		t.Error("table4 output missing")
+	}
+	if strings.Contains(out, "TABLE 3") {
+		t.Error("unselected table3 ran")
+	}
+	if !strings.Contains(out, "dataset:") {
+		t.Error("dataset header missing")
+	}
+}
+
+func TestRunAllOnSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full small-scale suite")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "small", "-run", "all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TABLE 2", "TABLE 3", "FIG. 3", "TABLE 4",
+		"E-X1", "E-X2", "A-1", "A-2", "A-3", "A-4", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-preset", "galactic"},
+		{"-run", "table99"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-preset", "small", "-seed", "9", "-run", "table2"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-preset", "small", "-seed", "9", "-run", "table2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	// Strip timing lines before comparing.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, " in ") || strings.HasPrefix(line, "total") ||
+				strings.HasPrefix(line, "setup") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(a.String()) != strip(b.String()) {
+		t.Error("same seed produced different output")
+	}
+}

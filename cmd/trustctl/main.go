@@ -1,0 +1,269 @@
+// Command trustctl manages web-of-trust datasets and queries derived
+// trust from the command line.
+//
+// Usage:
+//
+//	trustctl generate -preset small|medium|paper [-seed N] -out data.wot
+//	trustctl stats    -in data.wot
+//	trustctl topk     -in data.wot -user ID [-k N]
+//	trustctl expertise -in data.wot -user ID
+//	trustctl export   -in data.wot -dir DIR
+//	trustctl ingest   -log events.log -out data.wot
+//
+// Datasets are stored in the snapshot format of internal/store (CRC-32
+// checked); "ingest" replays an append-only event log into a snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+	"weboftrust/internal/tables"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trustctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest> [flags]")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
+	case "topk":
+		return cmdTopK(args[1:])
+	case "expertise":
+		return cmdExpertise(args[1:])
+	case "export":
+		return cmdExport(args[1:])
+	case "ingest":
+		return cmdIngest(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func presetConfig(name string) (synth.Config, error) {
+	switch name {
+	case "small":
+		return synth.Small(), nil
+	case "medium":
+		return synth.Medium(), nil
+	case "paper":
+		return synth.PaperScale(), nil
+	default:
+		return synth.Config{}, fmt.Errorf("unknown preset %q (small, medium, paper)", name)
+	}
+}
+
+func loadDataset(path string) (*ratings.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.ReadSnapshot(f)
+}
+
+func saveDataset(path string, d *ratings.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteSnapshot(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	preset := fs.String("preset", "medium", "dataset preset: small, medium or paper")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output snapshot path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	cfg, err := presetConfig(*preset)
+	if err != nil {
+		return err
+	}
+	cfg.Seed = *seed
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := saveDataset(*out, d); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %v\n", *out, d)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	in := fs.String("in", "", "input snapshot path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	d, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Println(d.Stats())
+	return nil
+}
+
+func cmdTopK(args []string) error {
+	fs := flag.NewFlagSet("topk", flag.ContinueOnError)
+	in := fs.String("in", "", "input snapshot path (required)")
+	user := fs.Int("user", -1, "source user id (required)")
+	k := fs.Int("k", 10, "how many users to return")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *user < 0 {
+		return fmt.Errorf("topk: -in and -user are required")
+	}
+	d, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	if *user >= d.NumUsers() {
+		return fmt.Errorf("topk: user %d out of range %d", *user, d.NumUsers())
+	}
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		return err
+	}
+	top := model.TopTrusted(weboftrust.UserID(*user), *k)
+	t := tables.New("Rank", "User", "Name", "Derived trust").AlignRight(0, 1, 3).
+		Title(fmt.Sprintf("Top trusted users for %s (user %d)", d.UserName(ratings.UserID(*user)), *user))
+	for i, r := range top {
+		t.AddRow(i+1, int(r.User), d.UserName(r.User), r.Score)
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdExpertise(args []string) error {
+	fs := flag.NewFlagSet("expertise", flag.ContinueOnError)
+	in := fs.String("in", "", "input snapshot path (required)")
+	user := fs.Int("user", -1, "user id (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *user < 0 {
+		return fmt.Errorf("expertise: -in and -user are required")
+	}
+	d, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	if *user >= d.NumUsers() {
+		return fmt.Errorf("expertise: user %d out of range %d", *user, d.NumUsers())
+	}
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		return err
+	}
+	u := weboftrust.UserID(*user)
+	e := model.Expertise(u)
+	a := model.Affinity(u)
+	t := tables.New("Category", "Expertise", "Affinity").AlignRight(1, 2).
+		Title(fmt.Sprintf("Profile of %s (user %d)", d.UserName(u), *user))
+	for c := 0; c < d.NumCategories(); c++ {
+		t.AddRow(d.CategoryName(ratings.CategoryID(c)), e[c], a[c])
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	in := fs.String("in", "", "input snapshot path (required)")
+	dir := fs.String("dir", "", "output directory for CSV files (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *dir == "" {
+		return fmt.Errorf("export: -in and -dir are required")
+	}
+	d, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	files := make(map[string]*os.File)
+	for _, name := range []string{"users", "objects", "reviews", "ratings", "trust"} {
+		f, err := os.Create(filepath.Join(*dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		files[name] = f
+	}
+	err = store.ExportCSV(store.CSVWriters{
+		Users:   files["users"],
+		Objects: files["objects"],
+		Reviews: files["reviews"],
+		Ratings: files["ratings"],
+		Trust:   files["trust"],
+	}, d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exported %v to %s\n", d, *dir)
+	return nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	logPath := fs.String("log", "", "input event log path (required)")
+	out := fs.String("out", "", "output snapshot path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" || *out == "" {
+		return fmt.Errorf("ingest: -log and -out are required")
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := store.ReadLog(f)
+	if err != nil {
+		return fmt.Errorf("reading log: %w", err)
+	}
+	b := ratings.NewBuilder()
+	if err := store.Replay(events, b); err != nil {
+		return err
+	}
+	d := b.Build()
+	if err := saveDataset(*out, d); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d events into %s: %v\n", len(events), *out, d)
+	return nil
+}

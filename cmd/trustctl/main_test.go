@@ -1,0 +1,179 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+)
+
+func generateSnapshot(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.wot")
+	if err := run([]string{"generate", "-preset", "small", "-seed", "3", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGenerateAndStats(t *testing.T) {
+	path := generateSnapshot(t)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if err := run([]string{"stats", "-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot must round-trip through the store layer.
+	d, err := loadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != synth.Small().NumUsers {
+		t.Errorf("users = %d, want %d", d.NumUsers(), synth.Small().NumUsers)
+	}
+}
+
+func TestTopKAndExpertise(t *testing.T) {
+	path := generateSnapshot(t)
+	if err := run([]string{"topk", "-in", path, "-user", "5", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"expertise", "-in", path, "-user", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"topk", "-in", path, "-user", "999999"}); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+	if err := run([]string{"expertise", "-in", path, "-user", "999999"}); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	path := generateSnapshot(t)
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := run([]string{"export", "-in", path, "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"users", "objects", "reviews", "ratings", "trust"} {
+		p := filepath.Join(dir, name+".csv")
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s missing: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestIngest(t *testing.T) {
+	// Write an event log with the store layer, replay via the CLI.
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "events.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synth.Small()
+	cfg.NumUsers = 50
+	cfg.TotalObjects = 20
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := store.NewLogWriter(f)
+	if err := store.AppendDataset(lw, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "replayed.wot")
+	if err := run([]string{"ingest", "-log", logPath, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRatings() != d.NumRatings() || got.NumTrustEdges() != d.NumTrustEdges() {
+		t.Errorf("replayed dataset differs: %v vs %v", got, d)
+	}
+}
+
+func TestArgumentErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"generate"}, // missing -out
+		{"generate", "-preset", "nope", "-out", "x"},
+		{"stats"}, // missing -in
+		{"stats", "-in", "/nonexistent/file.wot"},
+		{"topk", "-in", "x"},    // missing -user
+		{"expertise"},           // missing flags
+		{"export", "-in", "x"},  // missing -dir
+		{"ingest", "-log", "x"}, // missing -out
+		{"ingest", "-log", "/nonexistent", "-out", "y"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	path := generateSnapshot(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	bad := filepath.Join(t.TempDir(), "bad.wot")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stats", "-in", bad}); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+}
+
+func TestPresetConfig(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper"} {
+		cfg, err := presetConfig(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+	if _, err := presetConfig("huge"); err == nil || !strings.Contains(err.Error(), "unknown preset") {
+		t.Errorf("bad preset error = %v", err)
+	}
+}
+
+func TestLoadDatasetHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wot")
+	b := ratings.NewBuilder()
+	b.AddUser("u")
+	if err := saveDataset(path, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 1 {
+		t.Errorf("users = %d, want 1", d.NumUsers())
+	}
+	if err := saveDataset("/nonexistent-dir/x.wot", b.Build()); err == nil {
+		t.Error("write to bad path accepted")
+	}
+}

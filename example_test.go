@@ -1,0 +1,79 @@
+package weboftrust_test
+
+import (
+	"fmt"
+	"log"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+)
+
+// ExampleDerive builds a minimal community and derives trust from rating
+// data alone.
+func ExampleDerive() {
+	b := ratings.NewBuilder()
+	movies := b.AddCategory("movies")
+	expert := b.AddUser("expert")
+	fan := b.AddUser("fan")
+
+	for i := 0; i < 3; i++ {
+		obj, err := b.AddObject(movies, fmt.Sprintf("film-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		review, err := b.AddReview(expert, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.AddRating(fan, review, 1.0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	model, err := weboftrust.Derive(b.Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T̂(fan→expert) = %.2f\n", model.Score(fan, expert))
+	fmt.Printf("T̂(expert→fan) = %.2f\n", model.Score(expert, fan))
+	// Output:
+	// T̂(fan→expert) = 0.75
+	// T̂(expert→fan) = 0.00
+}
+
+// ExampleTrustModel_TopTrusted ranks recommendation targets for a user.
+func ExampleTrustModel_TopTrusted() {
+	b := ratings.NewBuilder()
+	movies := b.AddCategory("movies")
+	good := b.AddUser("good-writer")
+	ok := b.AddUser("ok-writer")
+	fan := b.AddUser("fan")
+
+	write := func(w weboftrust.UserID, rating float64) {
+		obj, err := b.AddObject(movies, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		review, err := b.AddReview(w, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.AddRating(fan, review, rating); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write(good, 1.0)
+	write(good, 1.0)
+	write(ok, 0.6)
+
+	model, err := weboftrust.Derive(b.Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range model.TopTrusted(fan, 2) {
+		fmt.Printf("%d. user %d (%.3f)\n", i+1, r.User, r.Score)
+	}
+	// Output:
+	// 1. user 0 (0.667)
+	// 2. user 1 (0.300)
+}

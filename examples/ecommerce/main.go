@@ -1,0 +1,159 @@
+// E-commerce: the paper's deployment target — a marketplace with review
+// ratings but NO web of trust at all. The derived matrix provides
+// reviewer recommendations ("reviewers to follow") and a trust-weighted
+// helpfulness score for product reviews, for every active customer.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/synth"
+	"weboftrust/internal/tables"
+)
+
+func main() {
+	// A storefront: product departments instead of movie genres, and no
+	// explicit trust feature at all (ZeroTrustFrac ~ 1 would do it too;
+	// here we simply drop the trust edges after generation by rebuilding).
+	cfg := synth.Small()
+	cfg.Seed = 7
+	cfg.Categories = []synth.CategorySpec{
+		{Name: "laptops", Weight: 5},
+		{Name: "headphones", Weight: 4},
+		{Name: "kitchen", Weight: 3},
+		{Name: "outdoors", Weight: 2},
+	}
+	cfg.NumUsers = 500
+	cfg.TotalObjects = 200
+	generated, _, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataset := stripTrust(generated)
+	fmt.Printf("marketplace with no web of trust: %v\n", dataset)
+
+	model, err := weboftrust.Derive(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the most active customer as our running example.
+	customer := ratings.UserID(0)
+	for u := 0; u < dataset.NumUsers(); u++ {
+		if len(dataset.RatingsBy(ratings.UserID(u))) > len(dataset.RatingsBy(customer)) {
+			customer = ratings.UserID(u)
+		}
+	}
+	fmt.Printf("\ncustomer %s (%d ratings given)\n",
+		dataset.UserName(customer), len(dataset.RatingsBy(customer)))
+
+	// 1. "Reviewers to follow" — the derived top-k.
+	t := tables.New("Rank", "Reviewer", "T̂", "Reviews written").
+		Title("reviewers to follow").AlignRight(0, 2, 3)
+	for i, r := range model.TopTrusted(customer, 5) {
+		t.AddRow(i+1, dataset.UserName(r.User), r.Score, len(dataset.ReviewsByWriter(r.User)))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Trust-weighted review ranking for a product the customer is
+	// about to buy: order the product's reviews by the customer's derived
+	// trust in each writer, breaking ties with review quality (eq. 1).
+	obj := busiestObject(dataset)
+	fmt.Printf("\nreviews for %q ranked for this customer:\n", dataset.Object(obj).Name)
+	type scored struct {
+		review  ratings.ReviewID
+		writer  ratings.UserID
+		trust   float64
+		quality float64
+	}
+	var list []scored
+	for _, rid := range reviewsOfObject(dataset, obj) {
+		w := dataset.Review(rid).Writer
+		q, _ := model.ReviewQuality(rid)
+		list = append(list, scored{review: rid, writer: w, trust: model.Score(customer, w), quality: q})
+	}
+	// Simple selection sort by (trust, quality) — lists are tiny.
+	for i := 0; i < len(list); i++ {
+		best := i
+		for j := i + 1; j < len(list); j++ {
+			if list[j].trust > list[best].trust ||
+				(list[j].trust == list[best].trust && list[j].quality > list[best].quality) {
+				best = j
+			}
+		}
+		list[i], list[best] = list[best], list[i]
+	}
+	for i, s := range list {
+		fmt.Printf("  %d. review #%d by %s  (T̂=%.3f, quality=%.3f)\n",
+			i+1, s.review, dataset.UserName(s.writer), s.trust, s.quality)
+	}
+
+	// 3. Population view: how dense is the derived web compared to the
+	// (empty) explicit one?
+	support := model.Artifacts().Trust.TotalSupport()
+	pairs := dataset.NumUsers() * (dataset.NumUsers() - 1)
+	fmt.Printf("\nderived trust covers %d of %d possible pairs (%.1f%%) — from ratings alone\n",
+		support, pairs, 100*float64(support)/float64(pairs))
+}
+
+// stripTrust rebuilds the dataset without its explicit trust edges,
+// simulating a marketplace that never had a trust feature.
+func stripTrust(d *ratings.Dataset) *ratings.Dataset {
+	b := ratings.NewBuilder()
+	for c := 0; c < d.NumCategories(); c++ {
+		b.AddCategory(d.CategoryName(ratings.CategoryID(c)))
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		b.AddUser(d.UserName(ratings.UserID(u)))
+	}
+	for o := 0; o < d.NumObjects(); o++ {
+		obj := d.Object(ratings.ObjectID(o))
+		if _, err := b.AddObject(obj.Category, obj.Name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for r := 0; r < d.NumReviews(); r++ {
+		rev := d.Review(ratings.ReviewID(r))
+		if _, err := b.AddReview(rev.Writer, rev.Object); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, rt := range d.Ratings() {
+		if err := b.AddRating(rt.Rater, rt.Review, rt.Value); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func busiestObject(d *ratings.Dataset) ratings.ObjectID {
+	counts := make([]int, d.NumObjects())
+	for r := 0; r < d.NumReviews(); r++ {
+		counts[d.Review(ratings.ReviewID(r)).Object]++
+	}
+	best := 0
+	for o, n := range counts {
+		if n > counts[best] {
+			best = o
+		}
+	}
+	return ratings.ObjectID(best)
+}
+
+func reviewsOfObject(d *ratings.Dataset, obj ratings.ObjectID) []ratings.ReviewID {
+	var out []ratings.ReviewID
+	for r := 0; r < d.NumReviews(); r++ {
+		if d.Review(ratings.ReviewID(r)).Object == obj {
+			out = append(out, ratings.ReviewID(r))
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Movie reviews: the paper's motivating scenario on a realistic synthetic
+// community. Generates an Epinions-like Video & DVD population with the
+// paper's 12 genres, derives the web of trust, and shows that a user's
+// trust concentrates on experts in the genres that matter to them.
+//
+//	go run ./examples/moviereviews
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/synth"
+	"weboftrust/internal/tables"
+)
+
+func main() {
+	cfg := synth.Medium() // 2,000 users over the paper's 12 genres
+	cfg.Seed = 42
+	dataset, truth, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dataset)
+
+	model, err := weboftrust.Derive(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find a heavy horror fan: the rater with the most ratings whose top
+	// interest is Horror/Suspense.
+	horror := categoryByName(dataset, "Horror/Suspense")
+	fan := ratings.NoUser
+	bestCount := 0
+	for u := 0; u < dataset.NumUsers(); u++ {
+		if n := dataset.NumRatingsByIn(ratings.UserID(u), horror); n > bestCount {
+			fan = ratings.UserID(u)
+			bestCount = n
+		}
+	}
+	fmt.Printf("\nheaviest Horror/Suspense rater: %s (%d horror ratings)\n",
+		dataset.UserName(fan), bestCount)
+
+	// Show the fan's affinity profile next to their top trusted users'
+	// expertise: the trust should come from the horror context.
+	t := tables.New("Rank", "User", "T̂", "Top expertise genre", "E there").
+		Title("whom the horror fan should trust").AlignRight(0, 2, 4)
+	for i, r := range model.TopTrusted(fan, 8) {
+		genre, e := topExpertise(dataset, model, r.User)
+		t.AddRow(i+1, dataset.UserName(r.User), r.Score, genre, e)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sanity check against the simulator's hidden state: how many of the
+	// fan's top-8 are genuinely skilled (latent skill above the median)?
+	skills := make([]float64, 0, dataset.NumUsers())
+	for _, l := range truth.Latents {
+		skills = append(skills, l.Skill)
+	}
+	sort.Float64s(skills)
+	median := skills[len(skills)/2]
+	skilled := 0
+	top := model.TopTrusted(fan, 8)
+	for _, r := range top {
+		if truth.Latents[r.User].Skill > median {
+			skilled++
+		}
+	}
+	fmt.Printf("\n%d of the fan's top %d trusted users have above-median latent skill\n",
+		skilled, len(top))
+}
+
+func categoryByName(d *ratings.Dataset, name string) ratings.CategoryID {
+	for c := 0; c < d.NumCategories(); c++ {
+		if d.CategoryName(ratings.CategoryID(c)) == name {
+			return ratings.CategoryID(c)
+		}
+	}
+	log.Fatalf("category %q not found", name)
+	return 0
+}
+
+func topExpertise(d *ratings.Dataset, m *weboftrust.TrustModel, u weboftrust.UserID) (string, float64) {
+	e := m.Expertise(u)
+	best := 0
+	for c := range e {
+		if e[c] > e[best] {
+			best = c
+		}
+	}
+	return d.CategoryName(ratings.CategoryID(best)), e[best]
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a tiny review community by hand, derive a web of
+// trust from nothing but the rating data, and query it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+)
+
+func main() {
+	// A community with two topics and four members. Nobody has declared
+	// any explicit trust — all we have is who rated whose reviews.
+	b := ratings.NewBuilder()
+	movies := b.AddCategory("movies")
+	cameras := b.AddCategory("cameras")
+
+	ann := b.AddUser("ann")   // prolific, well-rated movie reviewer
+	raj := b.AddUser("raj")   // camera expert
+	mia := b.AddUser("mia")   // movie fan: reads and rates movie reviews
+	noel := b.AddUser("noel") // gadget fan
+
+	// Ann writes three movie reviews; Raj two camera reviews.
+	var annReviews, rajReviews []ratings.ReviewID
+	for i := 0; i < 3; i++ {
+		obj, err := b.AddObject(movies, fmt.Sprintf("film-%d", i))
+		must(err)
+		r, err := b.AddReview(ann, obj)
+		must(err)
+		annReviews = append(annReviews, r)
+	}
+	for i := 0; i < 2; i++ {
+		obj, err := b.AddObject(cameras, fmt.Sprintf("camera-%d", i))
+		must(err)
+		r, err := b.AddReview(raj, obj)
+		must(err)
+		rajReviews = append(rajReviews, r)
+	}
+
+	// Mia rates Ann's movie reviews highly; Noel rates Raj's camera
+	// reviews highly; both cross-rate the other topic once, lukewarmly.
+	for _, r := range annReviews {
+		must(b.AddRating(mia, r, 1.0))
+	}
+	must(b.AddRating(mia, rajReviews[0], 0.6))
+	for _, r := range rajReviews {
+		must(b.AddRating(noel, r, 1.0))
+	}
+	must(b.AddRating(noel, annReviews[0], 0.6))
+
+	dataset := b.Build()
+	fmt.Println(dataset)
+
+	// Derive the web of trust (Steps 1-3 of the paper).
+	model, err := weboftrust.Derive(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Whom should each fan trust? The model figures out that Mia's trust
+	// belongs with the movie expert and Noel's with the camera expert —
+	// with no explicit trust statements anywhere.
+	for _, fan := range []weboftrust.UserID{mia, noel} {
+		fmt.Printf("\ntop trusted for %s:\n", dataset.UserName(fan))
+		for i, r := range model.TopTrusted(fan, 3) {
+			fmt.Printf("  %d. %-5s T̂=%.3f\n", i+1, dataset.UserName(r.User), r.Score)
+		}
+	}
+
+	// Pairwise degrees of trust (eq. 5) are available for any pair.
+	fmt.Printf("\nT̂(mia→ann)=%.3f  T̂(mia→raj)=%.3f\n",
+		model.Score(mia, ann), model.Score(mia, raj))
+	fmt.Printf("T̂(noel→raj)=%.3f T̂(noel→ann)=%.3f\n",
+		model.Score(noel, raj), model.Score(noel, ann))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

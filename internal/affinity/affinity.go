@@ -1,0 +1,116 @@
+// Package affinity implements Step 2 of the paper's framework: the
+// Users_Category Affiliation matrix A (eq. 4), which measures how invested
+// each user is in each category from their rating and writing activity:
+//
+//	A_ij = ( aʳ_ij / max_j' aʳ_ij'  +  a𝑤_ij / max_j' a𝑤_ij' ) / 2
+//
+// where aʳ_ij counts the reviews user i rated in category j and a𝑤_ij the
+// reviews user i wrote there. Each term is normalised by the user's own
+// most-active category, so A values live in [0, 1] and a user's strongest
+// category always scores at least 0.5 (1.0 when the same category
+// maximises both activities).
+package affinity
+
+import (
+	"fmt"
+
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+)
+
+// Mode selects which activity signals feed the affinity matrix. The
+// paper's eq. 4 blends both; the single-signal modes are the A-3 ablation.
+type Mode int
+
+const (
+	// Blend averages the normalised rating and writing activity (eq. 4).
+	Blend Mode = iota
+	// RatingsOnly uses only rating activity.
+	RatingsOnly
+	// WritesOnly uses only writing activity.
+	WritesOnly
+)
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	switch m {
+	case Blend:
+		return "blend"
+	case RatingsOnly:
+		return "ratings-only"
+	case WritesOnly:
+		return "writes-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined mode.
+func (m Mode) Valid() bool { return m >= Blend && m <= WritesOnly }
+
+// Counts holds the raw per-user per-category activity counts that eq. 4
+// normalises: Ratings[u][c] = aʳ and Writes[u][c] = a𝑤.
+type Counts struct {
+	Ratings *mat.Dense
+	Writes  *mat.Dense
+}
+
+// Count tallies the raw activity counts in one pass over the dataset.
+func Count(d *ratings.Dataset) Counts {
+	numU, numC := d.NumUsers(), d.NumCategories()
+	c := Counts{Ratings: mat.NewDense(numU, numC), Writes: mat.NewDense(numU, numC)}
+	for _, r := range d.Reviews() {
+		c.Writes.Add(int(r.Writer), int(r.Category), 1)
+	}
+	for _, rt := range d.Ratings() {
+		cat := d.Review(rt.Review).Category
+		c.Ratings.Add(int(rt.Rater), int(cat), 1)
+	}
+	return c
+}
+
+// Matrix computes the U x C affiliation matrix from a dataset using the
+// given mode.
+func Matrix(d *ratings.Dataset, mode Mode) (*mat.Dense, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("affinity: invalid mode %d", int(mode))
+	}
+	return FromCounts(Count(d), mode)
+}
+
+// FromCounts computes the affiliation matrix from precomputed activity
+// counts, normalising each signal by the user's row maximum (eq. 4). Users
+// with no activity of a given kind contribute 0 for that term.
+func FromCounts(c Counts, mode Mode) (*mat.Dense, error) {
+	ru, rc := c.Ratings.Dims()
+	wu, wc := c.Writes.Dims()
+	if ru != wu || rc != wc {
+		return nil, fmt.Errorf("%w: ratings %dx%d vs writes %dx%d", mat.ErrShape, ru, rc, wu, wc)
+	}
+	a := mat.NewDense(ru, rc)
+	for u := 0; u < ru; u++ {
+		rRow := c.Ratings.Row(u)
+		wRow := c.Writes.Row(u)
+		rMax := c.Ratings.RowMax(u)
+		wMax := c.Writes.RowMax(u)
+		out := a.Row(u)
+		for j := 0; j < rc; j++ {
+			var rTerm, wTerm float64
+			if rMax > 0 {
+				rTerm = rRow[j] / rMax
+			}
+			if wMax > 0 {
+				wTerm = wRow[j] / wMax
+			}
+			switch mode {
+			case Blend:
+				out[j] = (rTerm + wTerm) / 2
+			case RatingsOnly:
+				out[j] = rTerm
+			case WritesOnly:
+				out[j] = wTerm
+			}
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,249 @@
+package affinity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+// build creates two categories; user 0 writes reviews (2 in movies, 1 in
+// books), user 1 rates (4 in movies, 2 in books), user 2 is idle.
+func build(t *testing.T) *ratings.Dataset {
+	t.Helper()
+	b := ratings.NewBuilder()
+	movies := b.AddCategory("movies")
+	books := b.AddCategory("books")
+	writer := b.AddUser("writer")
+	rater := b.AddUser("rater")
+	b.AddUser("idle")
+
+	var reviews []ratings.ReviewID
+	for _, cat := range []ratings.CategoryID{movies, movies, books} {
+		oid, err := b.AddObject(cat, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(writer, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reviews = append(reviews, rid)
+	}
+	// rater rates movie reviews twice... but duplicates are rejected, so
+	// add a second writer to create more rateable movie reviews.
+	writer2 := b.AddUser("writer2")
+	for _, cat := range []ratings.CategoryID{movies, movies, books} {
+		oid, err := b.AddObject(cat, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(writer2, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reviews = append(reviews, rid)
+	}
+	// rater: 4 movie ratings (reviews 0,1,3,4), 2 book ratings (2,5).
+	for _, rid := range reviews {
+		if err := b.AddRating(rater, rid, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestCount(t *testing.T) {
+	d := build(t)
+	c := Count(d)
+	if got := c.Writes.At(0, 0); got != 2 {
+		t.Errorf("writer writes in movies = %v, want 2", got)
+	}
+	if got := c.Writes.At(0, 1); got != 1 {
+		t.Errorf("writer writes in books = %v, want 1", got)
+	}
+	if got := c.Ratings.At(1, 0); got != 4 {
+		t.Errorf("rater ratings in movies = %v, want 4", got)
+	}
+	if got := c.Ratings.At(1, 1); got != 2 {
+		t.Errorf("rater ratings in books = %v, want 2", got)
+	}
+	if got := c.Ratings.At(2, 0); got != 0 {
+		t.Errorf("idle user ratings = %v, want 0", got)
+	}
+}
+
+func TestMatrixBlend(t *testing.T) {
+	d := build(t)
+	a, err := Matrix(d, Blend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// writer: writes (2,1) -> normalised (1, 0.5); no ratings -> 0 term.
+	// A = ((0+1)/2, (0+0.5)/2) = (0.5, 0.25)
+	if got := a.At(0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("A[writer][movies] = %v, want 0.5", got)
+	}
+	if got := a.At(0, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("A[writer][books] = %v, want 0.25", got)
+	}
+	// rater: ratings (4,2) -> (1, 0.5); no writes.
+	if got := a.At(1, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("A[rater][movies] = %v, want 0.5", got)
+	}
+	// idle user: all zeros.
+	if got := a.At(2, 0); got != 0 {
+		t.Errorf("A[idle][movies] = %v, want 0", got)
+	}
+}
+
+func TestMatrixModes(t *testing.T) {
+	d := build(t)
+	ar, err := Matrix(d, RatingsOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := Matrix(d, WritesOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ar.At(1, 0); got != 1 {
+		t.Errorf("ratings-only A[rater][movies] = %v, want 1", got)
+	}
+	if got := ar.At(0, 0); got != 0 {
+		t.Errorf("ratings-only A[writer][movies] = %v, want 0", got)
+	}
+	if got := aw.At(0, 0); got != 1 {
+		t.Errorf("writes-only A[writer][movies] = %v, want 1", got)
+	}
+	if got := aw.At(1, 0); got != 0 {
+		t.Errorf("writes-only A[rater][movies] = %v, want 0", got)
+	}
+}
+
+func TestInvalidMode(t *testing.T) {
+	d := build(t)
+	if _, err := Matrix(d, Mode(42)); err == nil {
+		t.Error("expected error for invalid mode")
+	}
+	if Mode(42).Valid() {
+		t.Error("Mode(42).Valid() = true")
+	}
+	if Mode(42).String() == "" {
+		t.Error("Mode(42).String() empty")
+	}
+	for _, m := range []Mode{Blend, RatingsOnly, WritesOnly} {
+		if !m.Valid() || m.String() == "" {
+			t.Errorf("mode %d should be valid and named", int(m))
+		}
+	}
+}
+
+func TestFromCountsShapeMismatch(t *testing.T) {
+	c := Count(build(t))
+	same := Counts{Ratings: c.Ratings, Writes: c.Ratings.Clone()}
+	if _, err := FromCounts(same, Blend); err != nil {
+		t.Fatalf("same-shape counts should work: %v", err)
+	}
+	small := Counts{Ratings: c.Ratings, Writes: mat.NewDense(1, 1)}
+	if _, err := FromCounts(small, Blend); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+}
+
+// Property: affinity values are in [0,1], and every active user's
+// strongest category has affinity >= 0.5 under Blend (the paper's
+// observation that the argmax of either activity is fully weighted).
+func TestAffinityInvariantsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDataset(seed)
+		a, err := Matrix(d, Blend)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < d.NumUsers(); u++ {
+			row := a.Row(u)
+			rowMax := 0.0
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					return false
+				}
+				if v > rowMax {
+					rowMax = v
+				}
+			}
+			active := len(d.RatingsBy(ratings.UserID(u))) > 0 ||
+				len(d.ReviewsByWriter(ratings.UserID(u))) > 0
+			if active && rowMax < 0.5-1e-12 {
+				return false
+			}
+			if !active && rowMax != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Blend is the average of RatingsOnly and WritesOnly.
+func TestBlendIsAverageQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDataset(seed)
+		blend, err1 := Matrix(d, Blend)
+		ro, err2 := Matrix(d, RatingsOnly)
+		wo, err3 := Matrix(d, WritesOnly)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for u := 0; u < d.NumUsers(); u++ {
+			for c := 0; c < d.NumCategories(); c++ {
+				want := (ro.At(u, c) + wo.At(u, c)) / 2
+				if math.Abs(blend.At(u, c)-want) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDataset(seed uint64) *ratings.Dataset {
+	rng := stats.NewRand(seed)
+	b := ratings.NewBuilder()
+	numCats := 1 + rng.IntN(4)
+	for c := 0; c < numCats; c++ {
+		b.AddCategory("")
+	}
+	numUsers := 2 + rng.IntN(12)
+	b.AddUsers(numUsers)
+	var reviews []ratings.ReviewID
+	for k := 0; k < rng.IntN(25); k++ {
+		oid, err := b.AddObject(ratings.CategoryID(rng.IntN(numCats)), "")
+		if err != nil {
+			panic(err)
+		}
+		rid, err := b.AddReview(ratings.UserID(rng.IntN(numUsers)), oid)
+		if err != nil {
+			panic(err)
+		}
+		reviews = append(reviews, rid)
+	}
+	for k := 0; k < rng.IntN(80) && len(reviews) > 0; k++ {
+		rater := ratings.UserID(rng.IntN(numUsers))
+		rev := reviews[rng.IntN(len(reviews))]
+		if b.HasRating(rater, rev) {
+			continue
+		}
+		_ = b.AddRating(rater, rev, ratings.QuantizeRating(rng.Float64()))
+	}
+	return b.Build()
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+)
+
+// Generosity computes the paper's per-user conversion ratio
+// k_i = |R_i ∩ T_i| / |R_i|: the fraction of user i's direct connections
+// that carry an explicit trust edge. Users with no direct connections get
+// k_i = 0. This captures "each user's generousness of trust decision
+// compared to total number of direct connection" (Section IV-C).
+func Generosity(d *ratings.Dataset) []float64 {
+	k := make([]float64, d.NumUsers())
+	for u := ratings.UserID(0); int(u) < d.NumUsers(); u++ {
+		total, trusted := 0, 0
+		d.ConnectionsFrom(u, func(c ratings.Connection) {
+			total++
+			if d.HasTrustEdge(u, c.To) {
+				trusted++
+			}
+		})
+		if total > 0 {
+			k[int(u)] = float64(trusted) / float64(total)
+		}
+	}
+	return k
+}
+
+// BinarizePolicy selects how the continuous matrices are converted to
+// binary trust predictions.
+type BinarizePolicy int
+
+const (
+	// PerUserTopK selects, for each user i, the top ⌈k_i·n_i⌉ of their
+	// candidate connections by score, where k_i is the user's generosity
+	// and n_i their candidate count. This is the paper's protocol.
+	PerUserTopK BinarizePolicy = iota
+	// GlobalThreshold predicts trust wherever the score is >= a fixed
+	// threshold, ignoring per-user generosity (the A-4 ablation).
+	GlobalThreshold
+)
+
+// String returns the policy's name.
+func (p BinarizePolicy) String() string {
+	switch p {
+	case PerUserTopK:
+		return "per-user-topk"
+	case GlobalThreshold:
+		return "global-threshold"
+	default:
+		return fmt.Sprintf("BinarizePolicy(%d)", int(p))
+	}
+}
+
+// topCount converts a generosity fraction and candidate count into a
+// selection size: ⌈k·n⌉ clamped to [0, n]. A tiny epsilon guards against
+// k·n landing just above an integer through floating-point noise.
+func topCount(k float64, n int) int {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	c := int(math.Ceil(k*float64(n) - 1e-9))
+	if c < 0 {
+		c = 0
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// BinarizeDerived converts the continuous derived matrix into the binary
+// prediction matrix T̂′ using PerUserTopK: for each user i the candidate
+// set is every j != i with T̂_ij > 0, and the top ⌈k_i·|candidates|⌉ by
+// score become predicted-trust edges. Rows are processed in parallel.
+func BinarizeDerived(dt *DerivedTrust, generosity []float64) (*mat.CSR, error) {
+	numU := dt.NumUsers()
+	if len(generosity) != numU {
+		return nil, fmt.Errorf("core: generosity length %d, want %d", len(generosity), numU)
+	}
+	rows := make([][]int32, numU)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	ch := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := make([]float64, numU)
+			for i := range ch {
+				rows[i] = selectDerivedRow(dt, ratings.UserID(i), generosity[i], row)
+			}
+		}()
+	}
+	for i := 0; i < numU; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return mat.NewCSRFromRows(numU, numU, rows, nil)
+}
+
+func selectDerivedRow(dt *DerivedTrust, i ratings.UserID, k float64, row []float64) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	dt.RowSparse(i, row)
+	row[i] = 0 // self is never a candidate
+	candidates := 0
+	for _, v := range row {
+		if v > 0 {
+			candidates++
+		}
+	}
+	take := topCount(k, candidates)
+	if take == 0 {
+		return nil
+	}
+	selected := mat.TopK(row, take)
+	out := make([]int32, 0, len(selected))
+	for _, j := range selected {
+		if row[j] <= 0 {
+			break // ran out of positive candidates
+		}
+		out = append(out, int32(j))
+	}
+	return out
+}
+
+// BaselineMatrix builds the paper's baseline B: B_ij is the average rating
+// user i gave to user j's reviews, stored sparsely on the direct-connection
+// support R.
+func BaselineMatrix(d *ratings.Dataset) *mat.CSR {
+	numU := d.NumUsers()
+	rows := make([][]int32, numU)
+	vals := make([][]float64, numU)
+	for u := ratings.UserID(0); int(u) < d.NumUsers(); u++ {
+		d.ConnectionsFrom(u, func(c ratings.Connection) {
+			rows[u] = append(rows[u], int32(c.To))
+			vals[u] = append(vals[u], c.AvgRating())
+		})
+	}
+	m, err := mat.NewCSRFromRows(numU, numU, rows, vals)
+	if err != nil {
+		// ConnectionsFrom yields unique, in-range targets, so this is
+		// unreachable; panic loudly if the invariant ever breaks.
+		panic(fmt.Sprintf("core: BaselineMatrix: %v", err))
+	}
+	return m
+}
+
+// BinarizeSparse converts a sparse continuous score matrix (such as the
+// baseline B) into binary predictions with PerUserTopK: for each row the
+// candidates are the stored entries and the top ⌈k_i·nnz_i⌉ by value are
+// kept.
+func BinarizeSparse(scores *mat.CSR, generosity []float64) (*mat.CSR, error) {
+	numU, cols := scores.Dims()
+	if len(generosity) != numU {
+		return nil, fmt.Errorf("core: generosity length %d, want %d", len(generosity), numU)
+	}
+	rows := make([][]int32, numU)
+	for i := 0; i < numU; i++ {
+		colIdx, vals := scores.Row(i)
+		take := topCount(generosity[i], len(vals))
+		if take == 0 {
+			continue
+		}
+		selected := mat.TopK(vals, take)
+		out := make([]int32, 0, len(selected))
+		for _, k := range selected {
+			out = append(out, colIdx[k])
+		}
+		rows[i] = out
+	}
+	return mat.NewCSRFromRows(numU, cols, rows, nil)
+}
+
+// BinarizeDerivedThreshold is the GlobalThreshold variant for the derived
+// matrix: predict trust wherever T̂_ij >= tau (j != i). Rows are processed
+// in parallel.
+func BinarizeDerivedThreshold(dt *DerivedTrust, tau float64) *mat.CSR {
+	numU := dt.NumUsers()
+	rows := make([][]int32, numU)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	ch := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := make([]float64, numU)
+			for i := range ch {
+				dt.RowSparse(ratings.UserID(i), row)
+				var out []int32
+				for j, v := range row {
+					if j != i && v >= tau && v > 0 {
+						out = append(out, int32(j))
+					}
+				}
+				rows[i] = out
+			}
+		}()
+	}
+	for i := 0; i < numU; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	m, err := mat.NewCSRFromRows(numU, numU, rows, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: BinarizeDerivedThreshold: %v", err)) // rows are unique and in-range
+	}
+	return m
+}
+
+// BinarizeSparseThreshold is the GlobalThreshold variant for sparse score
+// matrices: keep stored entries with value >= tau.
+func BinarizeSparseThreshold(scores *mat.CSR, tau float64) *mat.CSR {
+	numU, cols := scores.Dims()
+	rows := make([][]int32, numU)
+	for i := 0; i < numU; i++ {
+		colIdx, vals := scores.Row(i)
+		for k, v := range vals {
+			if v >= tau {
+				rows[i] = append(rows[i], colIdx[k])
+			}
+		}
+	}
+	m, err := mat.NewCSRFromRows(numU, cols, rows, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: BinarizeSparseThreshold: %v", err))
+	}
+	return m
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"weboftrust/internal/affinity"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/riggs"
+)
+
+// ErrNotExtension reports that the new dataset does not extend the old
+// one, so incremental update is impossible.
+var ErrNotExtension = errors.New("core: new dataset does not extend the old one")
+
+// Update recomputes the pipeline artifacts after the dataset grew,
+// re-solving the Step 1 fixed point only for the categories touched by
+// new reviews or ratings. The untouched categories' Riggs results are
+// reused verbatim (their inputs are byte-identical), so the result is
+// exactly what Run would produce on the new dataset — verified by the
+// equivalence property test.
+//
+// newD must extend oldD: all of oldD's users, categories, objects,
+// reviews and ratings must form a prefix of newD's (the shape produced by
+// replaying an append-only event log past its previous position). The
+// affinity matrix and expertise assembly are always rebuilt — they are
+// single linear passes, cheap next to the fixed points.
+func (c Config) Update(oldArt *Artifacts, oldD, newD *ratings.Dataset) (*Artifacts, error) {
+	if oldArt == nil || oldD == nil || newD == nil {
+		return nil, fmt.Errorf("core: Update requires non-nil artifacts and datasets")
+	}
+	if err := checkExtension(oldD, newD); err != nil {
+		return nil, err
+	}
+	if len(oldArt.RiggsResults) != oldD.NumCategories() {
+		return nil, fmt.Errorf("core: artifacts carry %d riggs results for %d categories",
+			len(oldArt.RiggsResults), oldD.NumCategories())
+	}
+
+	touched := make([]bool, newD.NumCategories())
+	// Categories new to the dataset are touched by definition.
+	for cat := oldD.NumCategories(); cat < newD.NumCategories(); cat++ {
+		touched[cat] = true
+	}
+	for r := oldD.NumReviews(); r < newD.NumReviews(); r++ {
+		touched[newD.Review(ratings.ReviewID(r)).Category] = true
+	}
+	newRatings := newD.Ratings()[oldD.NumRatings():]
+	for _, rt := range newRatings {
+		touched[newD.Review(rt.Review).Category] = true
+	}
+
+	results := make([]*riggs.CategoryResult, newD.NumCategories())
+	recomputed := 0
+	for cat := range results {
+		if cat < oldD.NumCategories() && !touched[cat] {
+			results[cat] = oldArt.RiggsResults[cat]
+			continue
+		}
+		cr, err := c.Riggs.Solve(newD, ratings.CategoryID(cat))
+		if err != nil {
+			return nil, fmt.Errorf("core: update category %d: %w", cat, err)
+		}
+		results[cat] = cr
+		recomputed++
+	}
+
+	e, err := c.Reputation.ExpertiseMatrix(newD, results)
+	if err != nil {
+		return nil, fmt.Errorf("core: update expertise: %w", err)
+	}
+	a, err := affinity.Matrix(newD, c.AffinityMode)
+	if err != nil {
+		return nil, fmt.Errorf("core: update affinity: %w", err)
+	}
+	dt, err := NewDerivedTrust(a, e)
+	if err != nil {
+		return nil, fmt.Errorf("core: update derive: %w", err)
+	}
+	return &Artifacts{
+		RiggsResults: results,
+		Expertise:    e,
+		Affinity:     a,
+		Trust:        dt,
+	}, nil
+}
+
+// checkExtension verifies that newD is oldD plus appended entities.
+func checkExtension(oldD, newD *ratings.Dataset) error {
+	if newD.NumUsers() < oldD.NumUsers() ||
+		newD.NumCategories() < oldD.NumCategories() ||
+		newD.NumObjects() < oldD.NumObjects() ||
+		newD.NumReviews() < oldD.NumReviews() ||
+		newD.NumRatings() < oldD.NumRatings() {
+		return fmt.Errorf("%w: shrunk entity counts", ErrNotExtension)
+	}
+	for c := 0; c < oldD.NumCategories(); c++ {
+		if oldD.CategoryName(ratings.CategoryID(c)) != newD.CategoryName(ratings.CategoryID(c)) {
+			return fmt.Errorf("%w: category %d renamed", ErrNotExtension, c)
+		}
+	}
+	for o := 0; o < oldD.NumObjects(); o++ {
+		if oldD.Object(ratings.ObjectID(o)) != newD.Object(ratings.ObjectID(o)) {
+			return fmt.Errorf("%w: object %d differs", ErrNotExtension, o)
+		}
+	}
+	for r := 0; r < oldD.NumReviews(); r++ {
+		if oldD.Review(ratings.ReviewID(r)) != newD.Review(ratings.ReviewID(r)) {
+			return fmt.Errorf("%w: review %d differs", ErrNotExtension, r)
+		}
+	}
+	oldRatings, newRatings := oldD.Ratings(), newD.Ratings()
+	for i := range oldRatings {
+		if oldRatings[i] != newRatings[i] {
+			return fmt.Errorf("%w: rating %d differs", ErrNotExtension, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+// growDataset rebuilds d and appends extra activity: new users, new
+// reviews in a subset of categories, and new ratings. It returns the
+// grown dataset and the set of touched categories.
+func growDataset(d *ratings.Dataset, seed uint64) (*ratings.Dataset, map[ratings.CategoryID]bool) {
+	rng := stats.NewRand(seed)
+	b := ratings.NewBuilder()
+	for c := 0; c < d.NumCategories(); c++ {
+		b.AddCategory(d.CategoryName(ratings.CategoryID(c)))
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		b.AddUser(d.UserName(ratings.UserID(u)))
+	}
+	for o := 0; o < d.NumObjects(); o++ {
+		obj := d.Object(ratings.ObjectID(o))
+		if _, err := b.AddObject(obj.Category, obj.Name); err != nil {
+			panic(err)
+		}
+	}
+	for r := 0; r < d.NumReviews(); r++ {
+		rev := d.Review(ratings.ReviewID(r))
+		if _, err := b.AddReview(rev.Writer, rev.Object); err != nil {
+			panic(err)
+		}
+	}
+	for _, rt := range d.Ratings() {
+		if err := b.AddRating(rt.Rater, rt.Review, rt.Value); err != nil {
+			panic(err)
+		}
+	}
+	for _, e := range d.TrustEdges() {
+		if err := b.AddTrust(e.From, e.To); err != nil {
+			panic(err)
+		}
+	}
+
+	touched := make(map[ratings.CategoryID]bool)
+	// New writer and rater.
+	writer := b.AddUser("new-writer")
+	rater := b.AddUser("new-rater")
+	// New reviews in one category; ratings on them.
+	cat := ratings.CategoryID(rng.IntN(d.NumCategories()))
+	touched[cat] = true
+	for k := 0; k < 2; k++ {
+		oid, err := b.AddObject(cat, "")
+		if err != nil {
+			panic(err)
+		}
+		rid, err := b.AddReview(writer, oid)
+		if err != nil {
+			panic(err)
+		}
+		if err := b.AddRating(rater, rid, ratings.QuantizeRating(rng.Float64())); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build(), touched
+}
+
+func TestUpdateEquivalentToFullRun(t *testing.T) {
+	oldD := buildCommunity(t)
+	cfg := DefaultConfig()
+	oldArt, err := cfg.Run(oldD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newD, _ := growDataset(oldD, 1)
+
+	incremental, err := cfg.Update(oldArt, oldD, newD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cfg.Run(newD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incremental.Expertise.Equal(full.Expertise, 0) {
+		t.Error("incremental expertise differs from full recompute")
+	}
+	if !incremental.Affinity.Equal(full.Affinity, 0) {
+		t.Error("incremental affinity differs from full recompute")
+	}
+	for i := 0; i < newD.NumUsers(); i++ {
+		for j := 0; j < newD.NumUsers(); j++ {
+			a := incremental.Trust.Value(ratings.UserID(i), ratings.UserID(j))
+			b := full.Trust.Value(ratings.UserID(i), ratings.UserID(j))
+			if a != b {
+				t.Fatalf("T̂[%d][%d]: incremental %v != full %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestUpdateReusesUntouchedCategories(t *testing.T) {
+	oldD := buildCommunity(t) // 2 categories: movies (0), books (1)
+	cfg := DefaultConfig()
+	oldArt, err := cfg.Run(oldD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow with activity only in movies (category 0): seed until the
+	// touched category is 0.
+	var newD *ratings.Dataset
+	for seed := uint64(1); ; seed++ {
+		grown, touched := growDataset(oldD, seed)
+		if touched[0] && !touched[1] {
+			newD = grown
+			break
+		}
+	}
+	art, err := cfg.Update(oldArt, oldD, newD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.RiggsResults[1] != oldArt.RiggsResults[1] {
+		t.Error("untouched category result should be reused verbatim")
+	}
+	if art.RiggsResults[0] == oldArt.RiggsResults[0] {
+		t.Error("touched category result should be recomputed")
+	}
+}
+
+func TestUpdateRejectsNonExtensions(t *testing.T) {
+	oldD := buildCommunity(t)
+	cfg := DefaultConfig()
+	oldArt, err := cfg.Run(oldD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A freshly built different dataset is not an extension.
+	b := ratings.NewBuilder()
+	b.AddCategory("different")
+	b.AddUser("someone")
+	other := b.Build()
+	if _, err := cfg.Update(oldArt, oldD, other); !errors.Is(err, ErrNotExtension) {
+		t.Errorf("error = %v, want ErrNotExtension", err)
+	}
+	// Shrunk dataset.
+	if _, err := cfg.Update(oldArt, oldD, ratings.NewBuilder().Build()); !errors.Is(err, ErrNotExtension) {
+		t.Errorf("error = %v, want ErrNotExtension", err)
+	}
+	// Nil arguments.
+	if _, err := cfg.Update(nil, oldD, oldD); err == nil {
+		t.Error("nil artifacts accepted")
+	}
+	// Artifacts not matching the old dataset.
+	if _, err := cfg.Update(&Artifacts{}, oldD, oldD); err == nil {
+		t.Error("mismatched artifacts accepted")
+	}
+}
+
+func TestUpdateNoChangeIsIdentity(t *testing.T) {
+	oldD := buildCommunity(t)
+	cfg := DefaultConfig()
+	oldArt, err := cfg.Run(oldD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := cfg.Update(oldArt, oldD, oldD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range art.RiggsResults {
+		if art.RiggsResults[c] != oldArt.RiggsResults[c] {
+			t.Errorf("category %d recomputed with no new data", c)
+		}
+	}
+	if !art.Expertise.Equal(oldArt.Expertise, 0) {
+		t.Error("expertise changed with no new data")
+	}
+}
+
+// Property: incremental update equals full recompute on random growth.
+func TestUpdateEquivalenceQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed uint64) bool {
+		oldD := randomGrowableDataset(seed)
+		oldArt, err := cfg.Run(oldD)
+		if err != nil {
+			return false
+		}
+		newD, _ := growDataset(oldD, seed^0x5a5a)
+		incremental, err := cfg.Update(oldArt, oldD, newD)
+		if err != nil {
+			return false
+		}
+		full, err := cfg.Run(newD)
+		if err != nil {
+			return false
+		}
+		return incremental.Expertise.Equal(full.Expertise, 0) &&
+			incremental.Affinity.Equal(full.Affinity, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomGrowableDataset(seed uint64) *ratings.Dataset {
+	rng := stats.NewRand(seed)
+	b := ratings.NewBuilder()
+	numCats := 1 + rng.IntN(4)
+	for c := 0; c < numCats; c++ {
+		b.AddCategory("")
+	}
+	numUsers := 3 + rng.IntN(10)
+	b.AddUsers(numUsers)
+	var reviews []ratings.ReviewID
+	for k := 0; k < 4+rng.IntN(12); k++ {
+		oid, err := b.AddObject(ratings.CategoryID(rng.IntN(numCats)), "")
+		if err != nil {
+			panic(err)
+		}
+		rid, err := b.AddReview(ratings.UserID(rng.IntN(numUsers)), oid)
+		if err != nil {
+			panic(err)
+		}
+		reviews = append(reviews, rid)
+	}
+	for k := 0; k < rng.IntN(40); k++ {
+		rater := ratings.UserID(rng.IntN(numUsers))
+		rev := reviews[rng.IntN(len(reviews))]
+		if b.HasRating(rater, rev) {
+			continue
+		}
+		_ = b.AddRating(rater, rev, ratings.QuantizeRating(rng.Float64()))
+	}
+	return b.Build()
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	oldD := randomGrowableDataset(42)
+	cfg := DefaultConfig()
+	oldArt, err := cfg.Run(oldD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newD, _ := growDataset(oldD, 43)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Update(oldArt, oldD, newD); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

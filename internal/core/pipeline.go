@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"weboftrust/internal/affinity"
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/reputation"
+	"weboftrust/internal/riggs"
+)
+
+// Config assembles the knobs of all three pipeline steps. The zero value
+// is not valid; start from DefaultConfig.
+type Config struct {
+	// Riggs configures the Step 1 fixed point (eqs. 1-2).
+	Riggs riggs.Model
+	// Reputation configures writer reputation (eq. 3).
+	Reputation reputation.Options
+	// AffinityMode selects the Step 2 activity blend (eq. 4).
+	AffinityMode affinity.Mode
+}
+
+// DefaultConfig returns the configuration the paper evaluates.
+func DefaultConfig() Config {
+	return Config{
+		Riggs:        riggs.DefaultModel(),
+		Reputation:   reputation.DefaultOptions(),
+		AffinityMode: affinity.Blend,
+	}
+}
+
+// Artifacts bundles everything the pipeline produces. All fields are
+// immutable after Run returns.
+type Artifacts struct {
+	// RiggsResults holds the Step 1 fixed point per category (review
+	// quality and rater reputation), indexed by CategoryID.
+	RiggsResults []*riggs.CategoryResult
+	// Expertise is the U x C matrix E (Step 1c).
+	Expertise *mat.Dense
+	// Affinity is the U x C matrix A (Step 2).
+	Affinity *mat.Dense
+	// Trust is the derived trust matrix T̂ (Step 3) in functional form.
+	Trust *DerivedTrust
+}
+
+// Run executes Steps 1-3 on the dataset and returns the artifacts.
+func (c Config) Run(d *ratings.Dataset) (*Artifacts, error) {
+	results, err := c.Riggs.SolveAll(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 1 (riggs): %w", err)
+	}
+	e, err := c.Reputation.ExpertiseMatrix(d, results)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 1c (expertise): %w", err)
+	}
+	a, err := affinity.Matrix(d, c.AffinityMode)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 2 (affinity): %w", err)
+	}
+	dt, err := NewDerivedTrust(a, e)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 3 (derive): %w", err)
+	}
+	return &Artifacts{
+		RiggsResults: results,
+		Expertise:    e,
+		Affinity:     a,
+		Trust:        dt,
+	}, nil
+}

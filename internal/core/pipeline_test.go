@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"weboftrust/internal/affinity"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/riggs"
+)
+
+func TestPipelineRun(t *testing.T) {
+	d := buildCommunity(t)
+	art, err := DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.RiggsResults) != d.NumCategories() {
+		t.Fatalf("riggs results = %d, want %d", len(art.RiggsResults), d.NumCategories())
+	}
+	if r, c := art.Expertise.Dims(); r != d.NumUsers() || c != d.NumCategories() {
+		t.Errorf("E dims = (%d,%d)", r, c)
+	}
+	if r, c := art.Affinity.Dims(); r != d.NumUsers() || c != d.NumCategories() {
+		t.Errorf("A dims = (%d,%d)", r, c)
+	}
+	// w0 wrote two well-rated movie reviews: positive movie expertise,
+	// zero books expertise.
+	if art.Expertise.At(0, 0) <= 0 {
+		t.Error("w0 should have positive movies expertise")
+	}
+	if art.Expertise.At(0, 1) != 0 {
+		t.Error("w0 should have zero books expertise")
+	}
+	// r2 rates more in movies than books: higher movie affinity.
+	if art.Affinity.At(2, 0) <= art.Affinity.At(2, 1) {
+		t.Error("r2 movie affinity should exceed books affinity")
+	}
+	// The derived trust of r2 toward the movie expert must be positive.
+	if art.Trust.Value(2, 0) <= 0 {
+		t.Error("T̂[r2][w0] should be positive")
+	}
+}
+
+func TestPipelineBadConfigPropagates(t *testing.T) {
+	d := buildCommunity(t)
+	cfg := DefaultConfig()
+	cfg.Riggs = riggs.Model{} // invalid
+	if _, err := cfg.Run(d); err == nil {
+		t.Error("expected error from invalid riggs config")
+	}
+	cfg = DefaultConfig()
+	cfg.AffinityMode = affinity.Mode(99)
+	if _, err := cfg.Run(d); err == nil {
+		t.Error("expected error from invalid affinity mode")
+	}
+}
+
+func TestPipelineEmptyDataset(t *testing.T) {
+	d := ratings.NewBuilder().Build()
+	art, err := DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Trust.NumUsers() != 0 {
+		t.Error("empty dataset should produce empty trust")
+	}
+	if art.Trust.TotalSupport() != 0 {
+		t.Error("empty dataset support should be 0")
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	d := buildCommunity(t)
+	a1, err := DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a1.Expertise.Equal(a2.Expertise, 0) || !a1.Affinity.Equal(a2.Affinity, 0) {
+		t.Error("pipeline is not deterministic")
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution: deriving a
+// dense, continuous web of trust from review-rating data (Step 3, eq. 5),
+// together with the evaluation constructs the paper builds around it — the
+// per-user generosity used to binarise the continuous matrix, the direct-
+// connection baseline B, and the Pipeline that orchestrates Steps 1-3.
+//
+// The degree of trust user i holds for user j is the affinity-weighted
+// average of j's per-category expertise:
+//
+//	T̂_ij = Σ_c A_ic·E_jc / Σ_c A_ic
+//
+// T̂ is dense (U x U) and is therefore never materialised: DerivedTrust
+// computes rows on demand in O(U·C), which is what every consumer
+// (binarisation, evaluation, top-k queries) needs anyway.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+)
+
+// ErrShape reports mismatched matrix dimensions between A and E.
+var ErrShape = errors.New("core: affinity/expertise shape mismatch")
+
+// DerivedTrust is the derived trust matrix T̂ in functional form: it holds
+// the affinity matrix A and expertise matrix E and evaluates eq. 5 on
+// demand. It is immutable and safe for concurrent use.
+type DerivedTrust struct {
+	affinity  *mat.Dense // U x C
+	expertise *mat.Dense // U x C
+	rowSum    []float64  // Σ_c A_ic per user
+
+	// expertsByCategory[c] marks users with E_jc > 0; used to count row
+	// support without scanning all U·C products.
+	expertsByCategory []*mat.Bitset
+	// expertLists[c] holds the same sets as id slices, for the sparse
+	// row evaluation path (RowSparse).
+	expertLists [][]int32
+}
+
+// NewDerivedTrust builds the derived trust matrix from the affinity matrix
+// A and expertise matrix E, both U x C.
+func NewDerivedTrust(affinity, expertise *mat.Dense) (*DerivedTrust, error) {
+	au, ac := affinity.Dims()
+	eu, ec := expertise.Dims()
+	if au != eu || ac != ec {
+		return nil, fmt.Errorf("%w: A is %dx%d, E is %dx%d", ErrShape, au, ac, eu, ec)
+	}
+	dt := &DerivedTrust{
+		affinity:  affinity,
+		expertise: expertise,
+		rowSum:    make([]float64, au),
+	}
+	for u := 0; u < au; u++ {
+		dt.rowSum[u] = affinity.RowSum(u)
+	}
+	dt.expertsByCategory = make([]*mat.Bitset, ac)
+	dt.expertLists = make([][]int32, ac)
+	for c := 0; c < ac; c++ {
+		bs := mat.NewBitset(au)
+		for u := 0; u < au; u++ {
+			if expertise.At(u, c) > 0 {
+				bs.Set(u)
+				dt.expertLists[c] = append(dt.expertLists[c], int32(u))
+			}
+		}
+		dt.expertsByCategory[c] = bs
+	}
+	return dt, nil
+}
+
+// NumUsers returns U.
+func (dt *DerivedTrust) NumUsers() int { return dt.affinity.Rows() }
+
+// NumCategories returns C.
+func (dt *DerivedTrust) NumCategories() int { return dt.affinity.Cols() }
+
+// Affinity returns the A matrix (shared; do not modify).
+func (dt *DerivedTrust) Affinity() *mat.Dense { return dt.affinity }
+
+// Expertise returns the E matrix (shared; do not modify).
+func (dt *DerivedTrust) Expertise() *mat.Dense { return dt.expertise }
+
+// Value returns T̂_ij, the degree of trust user i holds for user j
+// (eq. 5). It is 0 when i has no category affinity or no overlap exists
+// between i's interests and j's expertise. Self-trust T̂_ii is computed
+// like any other cell; callers that need to exclude it do so themselves.
+func (dt *DerivedTrust) Value(i, j ratings.UserID) float64 {
+	sum := dt.rowSum[i]
+	if sum == 0 {
+		return 0
+	}
+	return mat.Dot(dt.affinity.Row(int(i)), dt.expertise.Row(int(j))) / sum
+}
+
+// Row fills dst (length U) with row i of T̂ and returns it. If dst is nil
+// a new slice is allocated.
+func (dt *DerivedTrust) Row(i ratings.UserID, dst []float64) []float64 {
+	numU := dt.NumUsers()
+	if dst == nil {
+		dst = make([]float64, numU)
+	} else if len(dst) != numU {
+		panic(fmt.Sprintf("core: Row dst length %d, want %d", len(dst), numU))
+	}
+	sum := dt.rowSum[i]
+	if sum == 0 {
+		for k := range dst {
+			dst[k] = 0
+		}
+		return dst
+	}
+	w := dt.affinity.Row(int(i))
+	inv := 1 / sum
+	for j := 0; j < numU; j++ {
+		dst[j] = mat.Dot(w, dt.expertise.Row(j)) * inv
+	}
+	return dst
+}
+
+// RowSparse fills dst (length U) with row i of T̂ like Row, but iterates
+// only the experts of the categories user i has affinity for, instead of
+// all U·C products. When interests are narrow and expertise is sparse this
+// is much cheaper; the result is bitwise identical to Row up to float
+// summation order (each (j, c) product is added exactly once, in ascending
+// category order, matching Row's inner loop order for the touched cells).
+func (dt *DerivedTrust) RowSparse(i ratings.UserID, dst []float64) []float64 {
+	numU := dt.NumUsers()
+	if dst == nil {
+		dst = make([]float64, numU)
+	} else if len(dst) != numU {
+		panic(fmt.Sprintf("core: RowSparse dst length %d, want %d", len(dst), numU))
+	}
+	for k := range dst {
+		dst[k] = 0
+	}
+	sum := dt.rowSum[i]
+	if sum == 0 {
+		return dst
+	}
+	w := dt.affinity.Row(int(i))
+	for c, wc := range w {
+		if wc == 0 {
+			continue
+		}
+		for _, j := range dt.expertLists[c] {
+			dst[j] += wc * dt.expertise.At(int(j), c)
+		}
+	}
+	inv := 1 / sum
+	for k := range dst {
+		dst[k] *= inv
+	}
+	return dst
+}
+
+// RowSupport returns the number of users j != i with T̂_ij > 0: the size
+// of user i's "derived connections" set that binarisation draws from.
+func (dt *DerivedTrust) RowSupport(i ratings.UserID) int {
+	if dt.rowSum[i] == 0 {
+		return 0
+	}
+	union := mat.NewBitset(dt.NumUsers())
+	w := dt.affinity.Row(int(i))
+	for c, bs := range dt.expertsByCategory {
+		if w[c] > 0 {
+			bs.OrInto(union)
+		}
+	}
+	n := union.Count()
+	if union.Test(int(i)) {
+		n-- // exclude self
+	}
+	return n
+}
+
+// TotalSupport returns Σ_i RowSupport(i): the number of non-zero
+// off-diagonal cells of T̂ (the derived matrix's size in Fig. 3).
+func (dt *DerivedTrust) TotalSupport() int {
+	total := 0
+	for i := 0; i < dt.NumUsers(); i++ {
+		total += dt.RowSupport(ratings.UserID(i))
+	}
+	return total
+}
+
+// Ranked pairs a user with a trust score, for top-k query results.
+type Ranked struct {
+	User  ratings.UserID
+	Score float64
+}
+
+// TopTrusted returns the k users with the highest T̂_ij for source i,
+// excluding i itself and zero scores, in descending score order (ties by
+// ascending user id).
+func (dt *DerivedTrust) TopTrusted(i ratings.UserID, k int) []Ranked {
+	row := dt.Row(i, nil)
+	row[i] = 0 // exclude self
+	idx := mat.TopK(row, k)
+	out := make([]Ranked, 0, len(idx))
+	for _, j := range idx {
+		if row[j] <= 0 {
+			break // TopK is sorted descending; the rest are zeros too
+		}
+		out = append(out, Ranked{User: ratings.UserID(j), Score: row[j]})
+	}
+	return out
+}

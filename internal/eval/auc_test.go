@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{false, false, true, true}
+	if got := AUC(scores, labels); got != 1 {
+		t.Errorf("perfect separation AUC = %v, want 1", got)
+	}
+	inverted := []bool{true, true, false, false}
+	if got := AUC(scores, inverted); got != 0 {
+		t.Errorf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 regardless of labels.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if got := AUC(scores, labels); got != 0.5 {
+		t.Errorf("all-ties AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if got := AUC([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5", got)
+	}
+	if got := AUC([]float64{1, 2}, []bool{false, false}); got != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5", got)
+	}
+	if got := AUC(nil, nil); got != 0.5 {
+		t.Errorf("empty AUC = %v, want 0.5", got)
+	}
+	if got := AUC([]float64{1}, []bool{true, false}); got != 0.5 {
+		t.Errorf("mismatched lengths AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCHandComputed(t *testing.T) {
+	// scores: pos {0.9, 0.4}, neg {0.6, 0.1}.
+	// Pairs: (0.9>0.6)✓ (0.9>0.1)✓ (0.4<0.6)✗ (0.4>0.1)✓ -> 3/4.
+	scores := []float64{0.9, 0.4, 0.6, 0.1}
+	labels := []bool{true, true, false, false}
+	if got := AUC(scores, labels); got != 0.75 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCOnConnections(t *testing.T) {
+	d := buildEvalFixture(t)
+	// Scorer that gives trust edges the top score: AUC 1.
+	perfect := AUCOnConnections(d, func(from, to ratings.UserID) float64 {
+		if d.HasTrustEdge(from, to) {
+			return 1
+		}
+		return 0
+	})
+	if perfect != 1 {
+		t.Errorf("perfect scorer AUC = %v, want 1", perfect)
+	}
+	constant := AUCOnConnections(d, func(from, to ratings.UserID) float64 { return 0.5 })
+	if constant != 0.5 {
+		t.Errorf("constant scorer AUC = %v, want 0.5", constant)
+	}
+}
+
+func TestMeanPerUserAUC(t *testing.T) {
+	d := buildEvalFixture(t)
+	// Only r2 has both a trusted (w0) and an untrusted (w1) connection;
+	// r3's single connection is single-class and must be skipped.
+	perfect := MeanPerUserAUC(d, func(from, to ratings.UserID) float64 {
+		if d.HasTrustEdge(from, to) {
+			return 1
+		}
+		return 0
+	})
+	if perfect != 1 {
+		t.Errorf("perfect per-user AUC = %v, want 1", perfect)
+	}
+	inverted := MeanPerUserAUC(d, func(from, to ratings.UserID) float64 {
+		if d.HasTrustEdge(from, to) {
+			return 0
+		}
+		return 1
+	})
+	if inverted != 0 {
+		t.Errorf("inverted per-user AUC = %v, want 0", inverted)
+	}
+	// A dataset with no two-class user yields the uninformative 0.5.
+	b := ratings.NewBuilder()
+	b.AddUser("a")
+	b.AddUser("b")
+	if got := MeanPerUserAUC(b.Build(), func(from, to ratings.UserID) float64 { return 0 }); got != 0.5 {
+		t.Errorf("degenerate per-user AUC = %v, want 0.5", got)
+	}
+}
+
+// Property: AUC is invariant under strictly monotone transforms of the
+// scores and lies in [0, 1].
+func TestAUCMonotoneInvarianceQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 2 + rng.IntN(60)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = float64(rng.IntN(8)) / 8 // ties included
+			labels[i] = rng.Float64() < 0.4
+		}
+		base := AUC(scores, labels)
+		if base < 0 || base > 1 {
+			return false
+		}
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(2*s) + 1
+		}
+		return math.Abs(AUC(transformed, labels)-base) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping all labels maps AUC to 1 - AUC (when both classes
+// are non-empty).
+func TestAUCComplementQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 4 + rng.IntN(40)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		labels[0], labels[1] = true, false // both classes present
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if i > 1 {
+				labels[i] = rng.Float64() < 0.5
+			}
+		}
+		flipped := make([]bool, n)
+		for i, l := range labels {
+			flipped[i] = !l
+		}
+		return math.Abs(AUC(scores, labels)+AUC(scores, flipped)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+func TestQuartilesBasic(t *testing.T) {
+	users := []ratings.UserID{0, 1, 2, 3, 4, 5, 6, 7}
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2}
+	designated := map[ratings.UserID]bool{0: true, 3: true, 7: true}
+	q := Quartiles(users, scores, designated)
+	// Ranks: user0 -> rank0 (Q1), user3 -> rank3 (floor(12/8)=Q2),
+	// user7 -> rank7 (Q4).
+	if q[0] != 1 || q[1] != 1 || q[2] != 0 || q[3] != 1 {
+		t.Errorf("quartiles = %v, want [1 1 0 1]", q)
+	}
+	if q.Total() != 3 {
+		t.Errorf("Total = %d, want 3", q.Total())
+	}
+}
+
+func TestQuartilesTieBreakDeterministic(t *testing.T) {
+	users := []ratings.UserID{5, 1, 9, 3}
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	// All tied: order by user id ascending -> 1, 3, 5, 9.
+	q := Quartiles(users, scores, map[ratings.UserID]bool{1: true})
+	if q[0] != 1 {
+		t.Errorf("user 1 should rank first among ties: %v", q)
+	}
+	q = Quartiles(users, scores, map[ratings.UserID]bool{9: true})
+	if q[3] != 1 {
+		t.Errorf("user 9 should rank last among ties: %v", q)
+	}
+}
+
+func TestQuartilesEdgeCases(t *testing.T) {
+	if q := Quartiles(nil, nil, nil); q.Total() != 0 {
+		t.Error("empty input should count nothing")
+	}
+	// Mismatched lengths are treated as empty.
+	if q := Quartiles([]ratings.UserID{1}, []float64{0.5, 0.4}, nil); q.Total() != 0 {
+		t.Error("mismatched lengths should count nothing")
+	}
+	// Single user: rank 0 of 1 -> 0*4/1 = Q1.
+	q := Quartiles([]ratings.UserID{7}, []float64{0.3}, map[ratings.UserID]bool{7: true})
+	if q[0] != 1 {
+		t.Errorf("single user should be Q1: %v", q)
+	}
+}
+
+func TestNewQuartileReport(t *testing.T) {
+	rows := []QuartileRow{
+		{Category: "a", Ranked: 100, Designated: 10, Counts: QuartileCounts{9, 1, 0, 0}},
+		{Category: "b", Ranked: 50, Designated: 5, Counts: QuartileCounts{4, 0, 1, 0}},
+	}
+	rep := NewQuartileReport(rows)
+	if rep.TotalDesignated != 15 || rep.TotalQ1 != 13 {
+		t.Errorf("totals = %d/%d, want 15/13", rep.TotalDesignated, rep.TotalQ1)
+	}
+	want := 13.0 / 15.0
+	if got := rep.Q1Fraction(); got != want {
+		t.Errorf("Q1Fraction = %v, want %v", got, want)
+	}
+	empty := NewQuartileReport(nil)
+	if empty.Q1Fraction() != 0 {
+		t.Error("empty report Q1Fraction should be 0")
+	}
+}
+
+// Property: quartile counts total the number of designated users present,
+// and each quartile holds at most ceil(n/4) + designated ties... simply:
+// the sum across quartiles of ALL users is n, and designated counts never
+// exceed quartile capacity.
+func TestQuartilesPartitionQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 1 + rng.IntN(100)
+		users := make([]ratings.UserID, n)
+		scores := make([]float64, n)
+		all := make(map[ratings.UserID]bool, n)
+		for i := range users {
+			users[i] = ratings.UserID(i)
+			scores[i] = float64(rng.IntN(5)) // heavy ties
+			all[users[i]] = true
+		}
+		q := Quartiles(users, scores, all)
+		if q.Total() != n {
+			return false
+		}
+		// Quartile sizes must match the rank partition exactly.
+		for qi := 0; qi < 4; qi++ {
+			want := 0
+			for rank := 0; rank < n; rank++ {
+				bucket := rank * 4 / n
+				if bucket > 3 {
+					bucket = 3
+				}
+				if bucket == qi {
+					want++
+				}
+			}
+			if q[qi] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: designating higher-scored users concentrates them in earlier
+// quartiles — the top ceil(n/4) scorers all land in Q1.
+func TestQuartilesTopScorersQ1Quick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 4 + rng.IntN(60)
+		users := make([]ratings.UserID, n)
+		scores := make([]float64, n)
+		for i := range users {
+			users[i] = ratings.UserID(i)
+			scores[i] = rng.Float64()
+		}
+		// Designate the single top scorer.
+		best := 0
+		for i, s := range scores {
+			if s > scores[best] {
+				best = i
+			}
+		}
+		q := Quartiles(users, scores, map[ratings.UserID]bool{users[best]: true})
+		return q[0] == 1 && q.Total() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"math"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+)
+
+// ValidationMetrics holds the three Table 4 metrics plus the raw counts
+// they are computed from. All counting is restricted to pairs with a
+// direct connection (R_ij = 1), exactly as in Section IV-C: outside R the
+// absence of a trust edge is unknowable rather than negative.
+type ValidationMetrics struct {
+	// Recall = #(pred ∧ R ∧ T) / #(R ∧ T).
+	Recall float64
+	// PrecisionInR = #(pred ∧ R ∧ T) / #(pred ∧ R).
+	PrecisionInR float64
+	// NonTrustAsTrustRate = #(pred ∧ R ∧ ¬T) / #(R ∧ ¬T).
+	NonTrustAsTrustRate float64
+
+	// TruePositives counts pred ∧ R ∧ T; FalsePositivesInR counts
+	// pred ∧ R ∧ ¬T; PredictedInR their sum. TrustInR counts R ∧ T and
+	// NonTrustInR counts R ∧ ¬T.
+	TruePositives     int
+	FalsePositivesInR int
+	PredictedInR      int
+	TrustInR          int
+	NonTrustInR       int
+	// PredictedTotal counts every predicted edge, in or out of R (the
+	// derived model predicts far beyond R; see the density analysis).
+	PredictedTotal int
+}
+
+// ValidateTrust computes the Table 4 metrics for a binary prediction
+// matrix against the dataset's explicit web of trust.
+func ValidateTrust(d *ratings.Dataset, pred *mat.CSR) ValidationMetrics {
+	var m ValidationMetrics
+	m.PredictedTotal = pred.NNZ()
+	for u := ratings.UserID(0); int(u) < d.NumUsers(); u++ {
+		d.ConnectionsFrom(u, func(c ratings.Connection) {
+			trusted := d.HasTrustEdge(u, c.To)
+			predicted := pred.Has(int(u), int(c.To))
+			if trusted {
+				m.TrustInR++
+				if predicted {
+					m.TruePositives++
+				}
+			} else {
+				m.NonTrustInR++
+				if predicted {
+					m.FalsePositivesInR++
+				}
+			}
+		})
+	}
+	m.PredictedInR = m.TruePositives + m.FalsePositivesInR
+	if m.TrustInR > 0 {
+		m.Recall = float64(m.TruePositives) / float64(m.TrustInR)
+	}
+	if m.PredictedInR > 0 {
+		m.PrecisionInR = float64(m.TruePositives) / float64(m.PredictedInR)
+	}
+	if m.NonTrustInR > 0 {
+		m.NonTrustAsTrustRate = float64(m.FalsePositivesInR) / float64(m.NonTrustInR)
+	}
+	return m
+}
+
+// DensityReport is the content of Fig. 3: how large and dense the derived
+// matrix T̂, the direct-connection matrix R and the explicit trust matrix T
+// are, and how T splits across R.
+type DensityReport struct {
+	Users int
+	// DerivedNNZ counts pairs (i,j), i≠j, with T̂_ij > 0; ConnectionNNZ
+	// the non-zero cells of R; TrustNNZ the explicit trust edges.
+	DerivedNNZ    int
+	ConnectionNNZ int
+	TrustNNZ      int
+	// TrustInR = |T∩R|, TrustOutsideR = |T−R|.
+	TrustInR      int
+	TrustOutsideR int
+	// Densities are fractions of the U*(U-1) possible directed pairs.
+	DerivedDensity    float64
+	ConnectionDensity float64
+	TrustDensity      float64
+}
+
+// Density computes the Fig. 3 comparison for a dataset and its derived
+// trust matrix.
+func Density(d *ratings.Dataset, dt *core.DerivedTrust) DensityReport {
+	rep := DensityReport{
+		Users:         d.NumUsers(),
+		DerivedNNZ:    dt.TotalSupport(),
+		ConnectionNNZ: d.TotalConnections(),
+		TrustNNZ:      d.NumTrustEdges(),
+	}
+	for _, e := range d.TrustEdges() {
+		if d.HasConnection(e.From, e.To) {
+			rep.TrustInR++
+		} else {
+			rep.TrustOutsideR++
+		}
+	}
+	pairs := float64(rep.Users) * float64(rep.Users-1)
+	if pairs > 0 {
+		rep.DerivedDensity = float64(rep.DerivedNNZ) / pairs
+		rep.ConnectionDensity = float64(rep.ConnectionNNZ) / pairs
+		rep.TrustDensity = float64(rep.TrustNNZ) / pairs
+	}
+	return rep
+}
+
+// ValueComparison supports the paper's interpretation of the derived
+// model's false positives: among predicted-trust pairs inside R, compare
+// the T̂ values of pairs that carry an explicit trust edge (R∩T) against
+// pairs that do not (R−T). The paper observes the R−T group has *higher*
+// mean and minimum T̂ — i.e. the model flags connections likely to become
+// trust.
+type ValueComparison struct {
+	// CountInRT / MeanInRT / MinInRT describe predicted pairs in R∩T.
+	CountInRT int
+	MeanInRT  float64
+	MinInRT   float64
+	// CountInRNotT / MeanInRNotT / MinInRNotT describe predicted pairs
+	// in R−T.
+	CountInRNotT int
+	MeanInRNotT  float64
+	MinInRNotT   float64
+}
+
+// CompareValues computes the ValueComparison for a prediction matrix.
+func CompareValues(d *ratings.Dataset, dt *core.DerivedTrust, pred *mat.CSR) ValueComparison {
+	vc := ValueComparison{MinInRT: math.Inf(1), MinInRNotT: math.Inf(1)}
+	var sumRT, sumRNotT float64
+	for u := ratings.UserID(0); int(u) < d.NumUsers(); u++ {
+		d.ConnectionsFrom(u, func(c ratings.Connection) {
+			if !pred.Has(int(u), int(c.To)) {
+				return
+			}
+			v := dt.Value(u, c.To)
+			if d.HasTrustEdge(u, c.To) {
+				vc.CountInRT++
+				sumRT += v
+				if v < vc.MinInRT {
+					vc.MinInRT = v
+				}
+			} else {
+				vc.CountInRNotT++
+				sumRNotT += v
+				if v < vc.MinInRNotT {
+					vc.MinInRNotT = v
+				}
+			}
+		})
+	}
+	if vc.CountInRT > 0 {
+		vc.MeanInRT = sumRT / float64(vc.CountInRT)
+	} else {
+		vc.MinInRT = 0
+	}
+	if vc.CountInRNotT > 0 {
+		vc.MeanInRNotT = sumRNotT / float64(vc.CountInRNotT)
+	} else {
+		vc.MinInRNotT = 0
+	}
+	return vc
+}

@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/synth"
+)
+
+// buildEvalFixture creates a small community with known R and T structure:
+//
+//	w0, w1 write movie reviews; raters r2, r3 rate them.
+//	R: r2->{w0,w1}, r3->{w0}
+//	T: r2->w0 (in R), r3->w1 (outside R)
+func buildEvalFixture(t *testing.T) *ratings.Dataset {
+	t.Helper()
+	b := ratings.NewBuilder()
+	movies := b.AddCategory("movies")
+	w0 := b.AddUser("w0")
+	w1 := b.AddUser("w1")
+	r2 := b.AddUser("r2")
+	r3 := b.AddUser("r3")
+	var revs []ratings.ReviewID
+	for _, w := range []ratings.UserID{w0, w1} {
+		oid, err := b.AddObject(movies, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(w, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		revs = append(revs, rid)
+	}
+	for _, c := range []struct {
+		rater ratings.UserID
+		rev   ratings.ReviewID
+		v     float64
+	}{
+		{r2, revs[0], 1.0}, {r2, revs[1], 0.6}, {r3, revs[0], 0.8},
+	} {
+		if err := b.AddRating(c.rater, c.rev, c.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddTrust(r2, w0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTrust(r3, w1); err != nil { // T−R edge
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func predMatrix(t *testing.T, numU int, edges ...[2]int) *mat.CSR {
+	t.Helper()
+	b := mat.NewBuilder(numU, numU)
+	for _, e := range edges {
+		b.Set(e[0], e[1], 1)
+	}
+	return b.Build()
+}
+
+func TestValidateTrustPerfect(t *testing.T) {
+	d := buildEvalFixture(t)
+	// Predict exactly the in-R trust edge.
+	m := ValidateTrust(d, predMatrix(t, 4, [2]int{2, 0}))
+	if m.Recall != 1 || m.PrecisionInR != 1 || m.NonTrustAsTrustRate != 0 {
+		t.Errorf("metrics = %+v, want perfect", m)
+	}
+	if m.TrustInR != 1 || m.NonTrustInR != 2 {
+		t.Errorf("counts = %+v, want TrustInR=1 NonTrustInR=2", m)
+	}
+}
+
+func TestValidateTrustMixed(t *testing.T) {
+	d := buildEvalFixture(t)
+	// Predict r2->w1 (in R, non-trust) and r2->w0 (in R, trust) and
+	// r3->w1 (outside R — ignored by the R-restricted metrics).
+	m := ValidateTrust(d, predMatrix(t, 4, [2]int{2, 1}, [2]int{2, 0}, [2]int{3, 1}))
+	if m.Recall != 1 {
+		t.Errorf("recall = %v, want 1", m.Recall)
+	}
+	if m.PrecisionInR != 0.5 {
+		t.Errorf("precision = %v, want 0.5", m.PrecisionInR)
+	}
+	if m.NonTrustAsTrustRate != 0.5 {
+		t.Errorf("rate = %v, want 0.5 (1 of 2 non-trust pairs)", m.NonTrustAsTrustRate)
+	}
+	if m.PredictedTotal != 3 || m.PredictedInR != 2 {
+		t.Errorf("predicted counts wrong: %+v", m)
+	}
+}
+
+func TestValidateTrustEmptyPrediction(t *testing.T) {
+	d := buildEvalFixture(t)
+	m := ValidateTrust(d, predMatrix(t, 4))
+	if m.Recall != 0 || m.PrecisionInR != 0 || m.NonTrustAsTrustRate != 0 {
+		t.Errorf("empty prediction should zero all metrics: %+v", m)
+	}
+}
+
+func TestDensityReport(t *testing.T) {
+	d := buildEvalFixture(t)
+	art, err := core.DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Density(d, art.Trust)
+	if rep.Users != 4 {
+		t.Errorf("Users = %d", rep.Users)
+	}
+	if rep.ConnectionNNZ != 3 {
+		t.Errorf("ConnectionNNZ = %d, want 3", rep.ConnectionNNZ)
+	}
+	if rep.TrustNNZ != 2 || rep.TrustInR != 1 || rep.TrustOutsideR != 1 {
+		t.Errorf("trust split wrong: %+v", rep)
+	}
+	// Derived support: every user has affinity (writers through writing,
+	// raters through rating) and the experts are w0 and w1, so each user
+	// derives trust toward both writers except themselves:
+	// r2->{w0,w1}, r3->{w0,w1}, w0->{w1}, w1->{w0} = 6 pairs.
+	if rep.DerivedNNZ != 6 {
+		t.Errorf("DerivedNNZ = %d, want 6", rep.DerivedNNZ)
+	}
+	pairs := 4.0 * 3.0
+	if math.Abs(rep.DerivedDensity-float64(rep.DerivedNNZ)/pairs) > 1e-12 {
+		t.Errorf("DerivedDensity = %v", rep.DerivedDensity)
+	}
+	// The paper's headline: the derived matrix is denser than T and R.
+	if rep.DerivedNNZ <= rep.TrustNNZ || rep.DerivedNNZ <= rep.ConnectionNNZ {
+		t.Errorf("derived matrix should be densest here: %+v", rep)
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	d := buildEvalFixture(t)
+	art, err := core.DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict both of r2's connections.
+	pred := predMatrix(t, 4, [2]int{2, 0}, [2]int{2, 1})
+	vc := CompareValues(d, art.Trust, pred)
+	if vc.CountInRT != 1 || vc.CountInRNotT != 1 {
+		t.Fatalf("counts = %+v", vc)
+	}
+	wantRT := art.Trust.Value(2, 0)
+	wantRNotT := art.Trust.Value(2, 1)
+	if math.Abs(vc.MeanInRT-wantRT) > 1e-12 || math.Abs(vc.MinInRT-wantRT) > 1e-12 {
+		t.Errorf("RT stats = %v/%v, want %v", vc.MeanInRT, vc.MinInRT, wantRT)
+	}
+	if math.Abs(vc.MeanInRNotT-wantRNotT) > 1e-12 {
+		t.Errorf("RNotT mean = %v, want %v", vc.MeanInRNotT, wantRNotT)
+	}
+}
+
+func TestCompareValuesEmpty(t *testing.T) {
+	d := buildEvalFixture(t)
+	art, err := core.DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := CompareValues(d, art.Trust, predMatrix(t, 4))
+	if vc.CountInRT != 0 || vc.CountInRNotT != 0 || vc.MinInRT != 0 || vc.MinInRNotT != 0 {
+		t.Errorf("empty prediction comparison should be zeroed: %+v", vc)
+	}
+}
+
+// Integration: on a synthetic community, the full Table 4 protocol must
+// reproduce the paper's shape — derived recall well above baseline recall,
+// baseline false-trust rate below derived.
+func TestTable4ShapeIntegration(t *testing.T) {
+	cfg := synth.Small()
+	cfg.Seed = 7
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := core.DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := core.Generosity(d)
+	predT, err := core.BinarizeDerived(art.Trust, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predB, err := core.BinarizeSparse(core.BaselineMatrix(d), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mT := ValidateTrust(d, predT)
+	mB := ValidateTrust(d, predB)
+	if mT.Recall <= mB.Recall {
+		t.Errorf("derived recall %v should exceed baseline %v", mT.Recall, mB.Recall)
+	}
+	if mT.Recall < 0.5 {
+		t.Errorf("derived recall %v unexpectedly low", mT.Recall)
+	}
+	if mB.NonTrustAsTrustRate >= mT.NonTrustAsTrustRate {
+		t.Errorf("baseline false-trust rate %v should be below derived %v",
+			mB.NonTrustAsTrustRate, mT.NonTrustAsTrustRate)
+	}
+	// Baseline's per-user selection size equals its in-R prediction count,
+	// so precision ~= recall (the paper shows 0.308/0.308).
+	if math.Abs(mB.Recall-mB.PrecisionInR) > 0.15 {
+		t.Errorf("baseline recall %v and precision %v should be close", mB.Recall, mB.PrecisionInR)
+	}
+}

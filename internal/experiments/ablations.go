@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"weboftrust/internal/affinity"
+	"weboftrust/internal/core"
+	"weboftrust/internal/eval"
+	"weboftrust/internal/reputation"
+	"weboftrust/internal/tables"
+)
+
+// AblationDiscountResult is A-1: the experience discount (1 − 1/(n+1)) of
+// eqs. 2-3 toggled off, measured by the Table 2/3 Q1 fractions. Without
+// the discount a one-lucky-review writer ties a prolific expert, so the
+// editorial picks should sink out of Q1.
+type AblationDiscountResult struct {
+	WithDiscount    QuartilePair
+	WithoutDiscount QuartilePair
+}
+
+// QuartilePair carries the two headline Q1 fractions.
+type QuartilePair struct {
+	RaterQ1  float64
+	WriterQ1 float64
+}
+
+// RunAblationDiscount executes A-1.
+func RunAblationDiscount(env *Env) (*AblationDiscountResult, error) {
+	out := &AblationDiscountResult{}
+	for _, withDiscount := range []bool{true, false} {
+		model := env.Suite.Pipeline.Riggs
+		model.DiscountExperience = withDiscount
+		results, err := model.SolveAll(env.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := table2From(env.Dataset, env.Truth, results)
+		if err != nil {
+			return nil, err
+		}
+		t3, err := table3From(env.Dataset, env.Truth, results,
+			reputation.Options{DiscountExperience: withDiscount})
+		if err != nil {
+			return nil, err
+		}
+		pair := QuartilePair{RaterQ1: t2.Report.Q1Fraction(), WriterQ1: t3.Report.Q1Fraction()}
+		if withDiscount {
+			out.WithDiscount = pair
+		} else {
+			out.WithoutDiscount = pair
+		}
+	}
+	return out, nil
+}
+
+// Render prints A-1.
+func (r *AblationDiscountResult) Render(w io.Writer) error {
+	t := tables.New("Variant", "Rater Q1 fraction", "Writer Q1 fraction").
+		Title("A-1 - ABLATION: EXPERIENCE DISCOUNT (1 - 1/(n+1))").
+		AlignRight(1, 2)
+	t.AddRow("with discount (paper)", tables.Percent(r.WithDiscount.RaterQ1), tables.Percent(r.WithDiscount.WriterQ1))
+	t.AddRow("without discount", tables.Percent(r.WithoutDiscount.RaterQ1), tables.Percent(r.WithoutDiscount.WriterQ1))
+	return t.Render(w)
+}
+
+// AblationIterationResult is A-2: a single unweighted quality pass versus
+// the converged quality/reputation fixed point, measured on the Table 2
+// protocol plus the iteration counts actually needed.
+type AblationIterationResult struct {
+	SinglePassQ1 float64
+	ConvergedQ1  float64
+	// MeanIterations is the average fixed-point rounds to convergence
+	// across categories; MaxIterations the worst category.
+	MeanIterations float64
+	MaxIterations  int
+}
+
+// RunAblationIteration executes A-2.
+func RunAblationIteration(env *Env) (*AblationIterationResult, error) {
+	out := &AblationIterationResult{}
+
+	single := env.Suite.Pipeline.Riggs
+	single.MaxIter = 1
+	singleRes, err := single.SolveAll(env.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := table2From(env.Dataset, env.Truth, singleRes)
+	if err != nil {
+		return nil, err
+	}
+	out.SinglePassQ1 = t2.Report.Q1Fraction()
+
+	convRes := env.Artifacts.RiggsResults
+	t2c, err := table2From(env.Dataset, env.Truth, convRes)
+	if err != nil {
+		return nil, err
+	}
+	out.ConvergedQ1 = t2c.Report.Q1Fraction()
+	total := 0
+	for _, cr := range convRes {
+		total += cr.Iterations
+		if cr.Iterations > out.MaxIterations {
+			out.MaxIterations = cr.Iterations
+		}
+	}
+	if len(convRes) > 0 {
+		out.MeanIterations = float64(total) / float64(len(convRes))
+	}
+	return out, nil
+}
+
+// Render prints A-2.
+func (r *AblationIterationResult) Render(w io.Writer) error {
+	t := tables.New("Variant", "Rater Q1 fraction").
+		Title("A-2 - ABLATION: RIGGS FIXED POINT vs SINGLE UNWEIGHTED PASS").
+		AlignRight(1)
+	t.AddRow("single pass (plain averages)", tables.Percent(r.SinglePassQ1))
+	t.AddRow("converged fixed point (paper)", tables.Percent(r.ConvergedQ1))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "fixed point iterations: mean %.1f, max %d\n",
+		r.MeanIterations, r.MaxIterations)
+	return err
+}
+
+// AblationAffinityResult is A-3: the affinity blend of eq. 4 versus its
+// single-signal variants, measured on the Table 4 protocol.
+type AblationAffinityResult struct {
+	Rows []AffinityRow
+}
+
+// AffinityRow is one affinity mode's Table 4 metrics.
+type AffinityRow struct {
+	Mode    affinity.Mode
+	Metrics eval.ValidationMetrics
+}
+
+// RunAblationAffinity executes A-3.
+func RunAblationAffinity(env *Env) (*AblationAffinityResult, error) {
+	out := &AblationAffinityResult{}
+	k := core.Generosity(env.Dataset)
+	for _, mode := range []affinity.Mode{affinity.Blend, affinity.RatingsOnly, affinity.WritesOnly} {
+		a, err := affinity.Matrix(env.Dataset, mode)
+		if err != nil {
+			return nil, err
+		}
+		dt, err := core.NewDerivedTrust(a, env.Artifacts.Expertise)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := core.BinarizeDerived(dt, k)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AffinityRow{
+			Mode:    mode,
+			Metrics: eval.ValidateTrust(env.Dataset, pred),
+		})
+	}
+	return out, nil
+}
+
+// Render prints A-3.
+func (r *AblationAffinityResult) Render(w io.Writer) error {
+	t := tables.New("Affinity mode", "Recall", "Precision", "Non-trust-as-trust rate").
+		Title("A-3 - ABLATION: AFFINITY SIGNAL (eq. 4 blend vs single signals)").
+		AlignRight(1, 2, 3)
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode.String(), row.Metrics.Recall, row.Metrics.PrecisionInR, row.Metrics.NonTrustAsTrustRate)
+	}
+	return t.Render(w)
+}
+
+// AblationBinarizeResult is A-4: the paper's per-user generosity top-k
+// binarisation versus a global threshold sweep, measured on the Table 4
+// protocol.
+type AblationBinarizeResult struct {
+	PerUser    eval.ValidationMetrics
+	Thresholds []ThresholdRow
+}
+
+// ThresholdRow is one global threshold's metrics.
+type ThresholdRow struct {
+	Tau     float64
+	Metrics eval.ValidationMetrics
+}
+
+// RunAblationBinarize executes A-4 with the given threshold sweep.
+func RunAblationBinarize(env *Env, taus []float64) (*AblationBinarizeResult, error) {
+	out := &AblationBinarizeResult{}
+	k := core.Generosity(env.Dataset)
+	pred, err := core.BinarizeDerived(env.Artifacts.Trust, k)
+	if err != nil {
+		return nil, err
+	}
+	out.PerUser = eval.ValidateTrust(env.Dataset, pred)
+	for _, tau := range taus {
+		predTau := core.BinarizeDerivedThreshold(env.Artifacts.Trust, tau)
+		out.Thresholds = append(out.Thresholds, ThresholdRow{
+			Tau:     tau,
+			Metrics: eval.ValidateTrust(env.Dataset, predTau),
+		})
+	}
+	return out, nil
+}
+
+// Render prints A-4.
+func (r *AblationBinarizeResult) Render(w io.Writer) error {
+	t := tables.New("Policy", "Recall", "Precision", "Non-trust-as-trust rate").
+		Title("A-4 - ABLATION: PER-USER GENEROSITY TOP-K vs GLOBAL THRESHOLD").
+		AlignRight(1, 2, 3)
+	t.AddRow("per-user k_i (paper)", r.PerUser.Recall, r.PerUser.PrecisionInR, r.PerUser.NonTrustAsTrustRate)
+	t.AddSeparator()
+	for _, row := range r.Thresholds {
+		t.AddRow(fmt.Sprintf("tau = %.2f", row.Tau),
+			row.Metrics.Recall, row.Metrics.PrecisionInR, row.Metrics.NonTrustAsTrustRate)
+	}
+	return t.Render(w)
+}

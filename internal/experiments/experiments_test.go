@@ -1,0 +1,448 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/synth"
+)
+
+// testSuite is a fast suite for the experiment tests.
+func testSuite() Suite {
+	cfg := synth.Small()
+	cfg.Seed = 11
+	return Suite{Synth: cfg, Pipeline: core.DefaultConfig()}
+}
+
+func setupEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := testSuite().Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestTable2ShapeAndRender(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunTable2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Rows) != env.Dataset.NumCategories() {
+		t.Fatalf("rows = %d, want one per category", len(res.Report.Rows))
+	}
+	// The paper's headline: the vast majority of Advisors in Q1. The
+	// Small test dataset is noisy; the paper-scale suite reaches ~0.97
+	// (see EXPERIMENTS.md).
+	if frac := res.Report.Q1Fraction(); frac < 0.7 {
+		t.Errorf("rater Q1 fraction = %v, want >= 0.7 (paper: 0.984)", frac)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TABLE 2") || !strings.Contains(sb.String(), "Overall") {
+		t.Errorf("render missing sections:\n%s", sb.String())
+	}
+}
+
+func TestTable3ShapeAndRender(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunTable3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res.Report.Q1Fraction(); frac < 0.7 {
+		t.Errorf("writer Q1 fraction = %v, want >= 0.7 (paper: 0.894)", frac)
+	}
+	// At paper scale the raters' model outperforms the writers' as in the
+	// paper (98.4% vs 89.4%); at this small test scale both just need to
+	// be strong — the cross-check lives in TestMediumScaleShape.
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TABLE 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig3ShapeAndRender(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunFig3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	// The paper's Fig. 3 structure: derived ≫ connections > trust; both
+	// T∩R and T−R non-empty.
+	if rep.DerivedNNZ <= rep.ConnectionNNZ || rep.ConnectionNNZ <= rep.TrustNNZ {
+		t.Errorf("density ordering wrong: %+v", rep)
+	}
+	if rep.TrustInR == 0 || rep.TrustOutsideR == 0 {
+		t.Errorf("trust split degenerate: %+v", rep)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FIG. 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4ShapeAndRender(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunTable4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: derived recall well above baseline; baseline precision
+	// >= its own recall-ish level; derived false-trust rate above
+	// baseline's.
+	if res.Derived.Recall <= res.Baseline.Recall {
+		t.Errorf("derived recall %v should exceed baseline %v",
+			res.Derived.Recall, res.Baseline.Recall)
+	}
+	if res.Derived.Recall < 1.5*res.Baseline.Recall {
+		t.Errorf("derived recall %v should be >= 1.5x baseline %v (paper: 2.8x)",
+			res.Derived.Recall, res.Baseline.Recall)
+	}
+	if res.Derived.NonTrustAsTrustRate <= res.Baseline.NonTrustAsTrustRate {
+		t.Errorf("derived rate %v should exceed baseline %v",
+			res.Derived.NonTrustAsTrustRate, res.Baseline.NonTrustAsTrustRate)
+	}
+	if res.MeanGenerosity <= 0 {
+		t.Error("mean generosity should be positive")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "TABLE 4") || !strings.Contains(out, "future trust") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}
+
+func TestPropagationShapeAndRender(t *testing.T) {
+	env := setupEnv(t)
+	params := DefaultPropagationParams()
+	params.NumSources = 20
+	res, err := RunPropagation(env, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derived web is denser, so propagation over it must reach more
+	// pairs — the point of the paper's future-work proposal.
+	if res.CoverageDerived <= res.CoverageExplicit {
+		t.Errorf("derived coverage %v should exceed explicit %v",
+			res.CoverageDerived, res.CoverageExplicit)
+	}
+	if res.DerivedEdges <= res.ExplicitEdges {
+		t.Errorf("derived edges %d should exceed explicit %d",
+			res.DerivedEdges, res.ExplicitEdges)
+	}
+	// The two webs should broadly agree on who is globally trusted.
+	if res.EigenSpearman <= 0.1 {
+		t.Errorf("EigenTrust Spearman = %v, want positive agreement", res.EigenSpearman)
+	}
+	if res.SampledSources == 0 {
+		t.Error("no sources sampled")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E-X1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRecommendationShapeAndRender(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunRecommendation(env, DefaultRecommendationParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports = %d, want 3 predictors", len(res.Reports))
+	}
+	for _, rep := range res.Reports {
+		if rep.MAE <= 0 || rep.Coverage <= 0 {
+			t.Errorf("%s: degenerate report %+v", rep.Name, rep)
+		}
+		if rep.RMSE < rep.MAE {
+			t.Errorf("%s: RMSE %v < MAE %v", rep.Name, rep.RMSE, rep.MAE)
+		}
+	}
+	// The reputation-weighted quality should not lose clearly to the
+	// plain mean.
+	gm, rq := res.Reports[0], res.Reports[1]
+	if rq.MAE > gm.MAE*1.05 {
+		t.Errorf("riggs-quality MAE %v clearly worse than global-mean %v", rq.MAE, gm.MAE)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E-X2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4AUC(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunTable4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both continuous models must beat chance, and the derived model
+	// should be competitive with the baseline ordering.
+	if res.DerivedAUC <= 0.5 {
+		t.Errorf("derived AUC = %v, want > 0.5", res.DerivedAUC)
+	}
+	if res.BaselineAUC <= 0.5 {
+		t.Errorf("baseline AUC = %v, want > 0.5", res.BaselineAUC)
+	}
+}
+
+func TestPropagationGuhaColumn(t *testing.T) {
+	env := setupEnv(t)
+	params := DefaultPropagationParams()
+	params.NumSources = 15
+	res, err := RunPropagation(env, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guha propagation densifies the explicit web and buys coverage —
+	// the related-work fix works when explicit trust exists.
+	if res.GuhaEdges <= res.ExplicitEdges {
+		t.Errorf("Guha edges %d should exceed explicit %d", res.GuhaEdges, res.ExplicitEdges)
+	}
+	if res.CoverageGuha < res.CoverageExplicit {
+		t.Errorf("Guha coverage %v below explicit %v", res.CoverageGuha, res.CoverageExplicit)
+	}
+	// For cold-start sources (no explicit out-trust), the derived web
+	// must clearly beat both explicit-web variants — the paper's core
+	// sparsity argument.
+	if res.ColdSources > 0 {
+		if res.CoverageDerivedCold <= res.CoverageExplicitCold {
+			t.Errorf("cold derived coverage %v should exceed explicit %v",
+				res.CoverageDerivedCold, res.CoverageExplicitCold)
+		}
+		if res.CoverageDerivedCold <= res.CoverageGuhaCold {
+			t.Errorf("cold derived coverage %v should exceed Guha %v",
+				res.CoverageDerivedCold, res.CoverageGuhaCold)
+		}
+	}
+}
+
+func TestAblationDiscount(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunAblationDiscount(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The discount is what keeps prolific editorial picks on top;
+	// removing it should not improve the rater Q1 fraction.
+	if res.WithoutDiscount.RaterQ1 > res.WithDiscount.RaterQ1+1e-9 {
+		t.Errorf("discount off (%v) should not beat discount on (%v)",
+			res.WithoutDiscount.RaterQ1, res.WithDiscount.RaterQ1)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "A-1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationIteration(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunAblationIteration(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanIterations < 1 {
+		t.Errorf("mean iterations = %v, want >= 1", res.MeanIterations)
+	}
+	if res.ConvergedQ1 <= 0 || res.SinglePassQ1 <= 0 {
+		t.Error("Q1 fractions should be positive")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "A-2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationAffinity(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunAblationAffinity(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 modes", len(res.Rows))
+	}
+	// The blend should be competitive with the best single signal on
+	// recall (within a small margin on this small dataset).
+	blend := res.Rows[0].Metrics.Recall
+	for _, row := range res.Rows[1:] {
+		if blend < row.Metrics.Recall-0.15 {
+			t.Errorf("blend recall %v far below %s recall %v",
+				blend, row.Mode, row.Metrics.Recall)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "A-3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationBinarize(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunAblationBinarize(env, []float64{0.2, 0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Thresholds) != 3 {
+		t.Fatalf("thresholds = %d, want 3", len(res.Thresholds))
+	}
+	// Higher threshold -> fewer predictions -> recall non-increasing.
+	for i := 1; i < len(res.Thresholds); i++ {
+		if res.Thresholds[i].Metrics.Recall > res.Thresholds[i-1].Metrics.Recall+1e-9 {
+			t.Errorf("recall should fall as tau rises: %v", res.Thresholds)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "A-4") {
+		t.Error("render missing title")
+	}
+}
+
+// TestMediumScaleShape runs the headline assertions at the Medium scale,
+// where the synthetic community is large enough for the paper's ordering
+// (raters' model above writers', both high) to be stable.
+func TestMediumScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale integration test")
+	}
+	env, err := (Suite{Synth: synth.Medium(), Pipeline: core.DefaultConfig()}).Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RunTable2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := RunTable3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Report.Q1Fraction() < 0.85 {
+		t.Errorf("rater Q1 = %v, want >= 0.85 (paper: 0.984)", t2.Report.Q1Fraction())
+	}
+	if t3.Report.Q1Fraction() < 0.8 {
+		t.Errorf("writer Q1 = %v, want >= 0.8 (paper: 0.894)", t3.Report.Q1Fraction())
+	}
+	t4, err := RunTable4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.Derived.Recall < 1.7*t4.Baseline.Recall {
+		t.Errorf("derived recall %v should be >= 1.7x baseline %v (paper: 2.8x)",
+			t4.Derived.Recall, t4.Baseline.Recall)
+	}
+	// The paper's false-positive analysis: mean T̂ of predicted pairs in
+	// R−T at or above R∩T.
+	if t4.Values.MeanInRNotT < t4.Values.MeanInRT-0.01 {
+		t.Errorf("R−T mean T̂ (%v) should not be below R∩T mean (%v)",
+			t4.Values.MeanInRNotT, t4.Values.MeanInRT)
+	}
+}
+
+func TestStructureShapeAndRender(t *testing.T) {
+	env := setupEnv(t)
+	res, err := RunStructure(env, 100, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derived web is denser and, being synthesised from shared
+	// expertise targets, should cluster at least as strongly.
+	if res.Derived.Edges <= res.Explicit.Edges {
+		t.Errorf("derived edges %d should exceed explicit %d",
+			res.Derived.Edges, res.Explicit.Edges)
+	}
+	if res.Derived.MeanOutDegree <= res.Explicit.MeanOutDegree {
+		t.Errorf("derived mean out-degree %v should exceed explicit %v",
+			res.Derived.MeanOutDegree, res.Explicit.MeanOutDegree)
+	}
+	for _, s := range []WebStructure{res.Explicit, res.Derived} {
+		if s.Reciprocity < 0 || s.Reciprocity > 1 ||
+			s.MeanClustering < 0 || s.MeanClustering > 1 {
+			t.Errorf("%s: statistics out of range: %+v", s.Name, s)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "F-NET") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRobustnessSweep(t *testing.T) {
+	suite := testSuite()
+	res, err := RunRobustness(suite, []uint64{2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DerivedRecall) != 3 || len(res.WriterQ1) != 3 {
+		t.Fatalf("series lengths wrong: %+v", res)
+	}
+	if !res.AlwaysWins() {
+		t.Error("derived model should beat baseline recall on every seed")
+	}
+	for i := range res.Seeds {
+		if res.DerivedRecall[i] <= 0 || res.DerivedRecall[i] > 1 {
+			t.Errorf("seed %d: recall %v out of range", res.Seeds[i], res.DerivedRecall[i])
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "A-5") {
+		t.Error("render missing title")
+	}
+	if _, err := RunRobustness(suite, nil); err == nil {
+		t.Error("empty seed list should error")
+	}
+}
+
+func TestSuiteSetupErrors(t *testing.T) {
+	bad := testSuite()
+	bad.Synth.NumUsers = 0
+	if _, err := bad.Setup(); err == nil {
+		t.Error("invalid synth config should fail setup")
+	}
+	bad2 := testSuite()
+	bad2.Pipeline.Riggs.MaxIter = 0
+	if _, err := bad2.Setup(); err == nil {
+		t.Error("invalid pipeline config should fail setup")
+	}
+}

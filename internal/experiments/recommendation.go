@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"weboftrust/internal/recommend"
+	"weboftrust/internal/tables"
+)
+
+// RecommendationResult is E-X2: the paper's motivating application
+// ("help users collect reliable information") evaluated as a prediction
+// task. A fraction of ratings is held out; each predictor estimates the
+// held-out helpfulness scores from the training data alone.
+type RecommendationResult struct {
+	HoldoutFrac float64
+	TestSize    int
+	Reports     []recommend.Report
+}
+
+// RecommendationParams tunes E-X2.
+type RecommendationParams struct {
+	// HoldoutFrac is the fraction of ratings held out for testing.
+	HoldoutFrac float64
+	// Seed drives the split.
+	Seed uint64
+}
+
+// DefaultRecommendationParams returns the standard 80/20 split.
+func DefaultRecommendationParams() RecommendationParams {
+	return RecommendationParams{HoldoutFrac: 0.2, Seed: 29}
+}
+
+// RunRecommendation executes E-X2. It re-runs the pipeline on the
+// training split (the env's artifacts saw the held-out ratings and must
+// not be reused).
+func RunRecommendation(env *Env, params RecommendationParams) (*RecommendationResult, error) {
+	train, test, err := recommend.Holdout(env.Dataset, params.HoldoutFrac, params.Seed)
+	if err != nil {
+		return nil, err
+	}
+	art, err := env.Suite.Pipeline.Run(train)
+	if err != nil {
+		return nil, err
+	}
+	rq, err := recommend.NewRiggsQuality(train, art.RiggsResults)
+	if err != nil {
+		return nil, err
+	}
+	predictors := []recommend.Predictor{
+		recommend.NewGlobalMean(train),
+		rq,
+		recommend.NewTrustWeighted(train, art.Trust),
+	}
+	res := &RecommendationResult{HoldoutFrac: params.HoldoutFrac, TestSize: len(test)}
+	for _, p := range predictors {
+		res.Reports = append(res.Reports, recommend.Evaluate(p, test))
+	}
+	return res, nil
+}
+
+// Render prints the accuracy table.
+func (r *RecommendationResult) Render(w io.Writer) error {
+	t := tables.New("Predictor", "MAE", "RMSE", "Coverage").
+		Title(fmt.Sprintf("E-X2 - TRUST-AWARE HELPFULNESS PREDICTION (%d held-out ratings, %.0f%%)",
+			r.TestSize, r.HoldoutFrac*100)).
+		AlignRight(1, 2, 3)
+	for _, rep := range r.Reports {
+		t.AddRow(rep.Name, rep.MAE, rep.RMSE, tables.Percent(rep.Coverage))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/eval"
+	"weboftrust/internal/stats"
+	"weboftrust/internal/synth"
+	"weboftrust/internal/tables"
+)
+
+// RobustnessResult is A-5: the Table 4 protocol repeated over independent
+// seeds of the synthetic community, reporting the mean and standard
+// deviation of every headline metric. The paper evaluates one crawl; this
+// sweep establishes that the reproduction's shape claims are not an
+// artifact of a particular random draw.
+type RobustnessResult struct {
+	Seeds []uint64
+	// Per-seed series, parallel to Seeds.
+	DerivedRecall  []float64
+	BaselineRecall []float64
+	DerivedRate    []float64
+	BaselineRate   []float64
+	RaterQ1        []float64
+	WriterQ1       []float64
+}
+
+// RunRobustness executes the sweep. Each seed regenerates the community
+// and re-runs the full pipeline; the env's suite supplies everything but
+// the seed.
+func RunRobustness(suite Suite, seeds []uint64) (*RobustnessResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: robustness needs at least one seed")
+	}
+	res := &RobustnessResult{Seeds: seeds}
+	for _, seed := range seeds {
+		cfg := suite.Synth
+		cfg.Seed = seed
+		d, gt, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		art, err := suite.Pipeline.Run(d)
+		if err != nil {
+			return nil, err
+		}
+		k := core.Generosity(d)
+		predT, err := core.BinarizeDerived(art.Trust, k)
+		if err != nil {
+			return nil, err
+		}
+		predB, err := core.BinarizeSparse(core.BaselineMatrix(d), k)
+		if err != nil {
+			return nil, err
+		}
+		mT := eval.ValidateTrust(d, predT)
+		mB := eval.ValidateTrust(d, predB)
+		res.DerivedRecall = append(res.DerivedRecall, mT.Recall)
+		res.BaselineRecall = append(res.BaselineRecall, mB.Recall)
+		res.DerivedRate = append(res.DerivedRate, mT.NonTrustAsTrustRate)
+		res.BaselineRate = append(res.BaselineRate, mB.NonTrustAsTrustRate)
+
+		t2, err := table2From(d, gt, art.RiggsResults)
+		if err != nil {
+			return nil, err
+		}
+		t3, err := table3From(d, gt, art.RiggsResults, suite.Pipeline.Reputation)
+		if err != nil {
+			return nil, err
+		}
+		res.RaterQ1 = append(res.RaterQ1, t2.Report.Q1Fraction())
+		res.WriterQ1 = append(res.WriterQ1, t3.Report.Q1Fraction())
+	}
+	return res, nil
+}
+
+// AlwaysWins reports whether the derived model beat the baseline's recall
+// on every seed — the headline ordering's stability.
+func (r *RobustnessResult) AlwaysWins() bool {
+	for i := range r.Seeds {
+		if r.DerivedRecall[i] <= r.BaselineRecall[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the sweep summary.
+func (r *RobustnessResult) Render(w io.Writer) error {
+	t := tables.New("Metric", "Mean", "StdDev", "Min", "Max").
+		Title(fmt.Sprintf("A-5 - ROBUSTNESS OVER %d SEEDS", len(r.Seeds))).
+		AlignRight(1, 2, 3, 4)
+	row := func(name string, xs []float64) {
+		t.AddRow(name, stats.Mean(xs), stats.StdDev(xs), stats.Min(xs), stats.Max(xs))
+	}
+	row("T̂ recall", r.DerivedRecall)
+	row("B recall", r.BaselineRecall)
+	row("T̂ non-trust rate", r.DerivedRate)
+	row("B non-trust rate", r.BaselineRate)
+	row("rater Q1 fraction", r.RaterQ1)
+	row("writer Q1 fraction", r.WriterQ1)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	verdict := "on every seed"
+	if !r.AlwaysWins() {
+		verdict = "NOT on every seed"
+	}
+	_, err := fmt.Fprintf(w, "Derived model beats baseline recall %s.\n", verdict)
+	return err
+}

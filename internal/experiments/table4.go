@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/eval"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/tables"
+)
+
+// Table4Result reproduces Table 4: the validation of the derived trust
+// matrix T̂ against the explicit web of trust, compared with the baseline
+// matrix B (average rating i gave to j's reviews), after per-user
+// generosity binarisation. It also carries the paper's follow-up analysis:
+// the T̂ values of predicted pairs in (R−T) versus (R∩T).
+type Table4Result struct {
+	Derived  eval.ValidationMetrics
+	Baseline eval.ValidationMetrics
+	Values   eval.ValueComparison
+	// MeanGenerosity is the average k_i used for the binarisation.
+	MeanGenerosity float64
+	// DerivedAUC and BaselineAUC compare the *continuous* scores over the
+	// R support without any binarisation — the threshold-free companion
+	// to the paper's protocol. The pooled variants mix all users' scores
+	// (penalising per-user scale differences); the per-user variants
+	// average each user's own AUC, matching how the binarisation consumes
+	// the scores.
+	DerivedAUC         float64
+	BaselineAUC        float64
+	DerivedPerUserAUC  float64
+	BaselinePerUserAUC float64
+}
+
+// RunTable4 executes the full Table 4 protocol on the environment.
+func RunTable4(env *Env) (*Table4Result, error) {
+	d := env.Dataset
+	k := core.Generosity(d)
+	predT, err := core.BinarizeDerived(env.Artifacts.Trust, k)
+	if err != nil {
+		return nil, err
+	}
+	baseline := core.BaselineMatrix(d)
+	predB, err := core.BinarizeSparse(baseline, k)
+	if err != nil {
+		return nil, err
+	}
+	var meanK float64
+	for _, v := range k {
+		meanK += v
+	}
+	if len(k) > 0 {
+		meanK /= float64(len(k))
+	}
+	return &Table4Result{
+		Derived:        eval.ValidateTrust(d, predT),
+		Baseline:       eval.ValidateTrust(d, predB),
+		Values:         eval.CompareValues(d, env.Artifacts.Trust, predT),
+		MeanGenerosity: meanK,
+		DerivedAUC: eval.AUCOnConnections(d, func(from, to ratings.UserID) float64 {
+			return env.Artifacts.Trust.Value(from, to)
+		}),
+		BaselineAUC: eval.AUCOnConnections(d, func(from, to ratings.UserID) float64 {
+			return baseline.At(int(from), int(to))
+		}),
+		DerivedPerUserAUC: eval.MeanPerUserAUC(d, func(from, to ratings.UserID) float64 {
+			return env.Artifacts.Trust.Value(from, to)
+		}),
+		BaselinePerUserAUC: eval.MeanPerUserAUC(d, func(from, to ratings.UserID) float64 {
+			return baseline.At(int(from), int(to))
+		}),
+	}, nil
+}
+
+// Render prints the validation table plus the value analysis.
+func (r *Table4Result) Render(w io.Writer) error {
+	t := tables.New("Model", "Recall", "Precision", "Non-trust-as-trust rate").
+		Title("TABLE 4 - THE VALIDATION RESULTS FOR TRUST MATRIX").
+		AlignRight(1, 2, 3)
+	t.AddRow("T̂ (our model)", r.Derived.Recall, r.Derived.PrecisionInR, r.Derived.NonTrustAsTrustRate)
+	t.AddRow("B (a baseline)", r.Baseline.Recall, r.Baseline.PrecisionInR, r.Baseline.NonTrustAsTrustRate)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"(paper: T̂ = 0.857 / 0.245 / 0.513; B = 0.308 / 0.308 / 0.134; mean k_i here = %.3f)\n"+
+			"Threshold-free AUC over R pairs: pooled T̂ = %.3f, B = %.3f; per-user T̂ = %.3f, B = %.3f.\n",
+		r.MeanGenerosity, r.DerivedAUC, r.BaselineAUC,
+		r.DerivedPerUserAUC, r.BaselinePerUserAUC); err != nil {
+		return err
+	}
+	v := r.Values
+	t2 := tables.New("Predicted group", "Pairs", "Mean T̂", "Min T̂").
+		Title("T̂ values of predicted pairs (the paper's false-positive analysis)").
+		AlignRight(1, 2, 3)
+	t2.AddRow("in T ∩ R", v.CountInRT, v.MeanInRT, fmt.Sprintf("%.4f", v.MinInRT))
+	t2.AddRow("in R − T", v.CountInRNotT, v.MeanInRNotT, fmt.Sprintf("%.4f", v.MinInRNotT))
+	if err := t2.Render(w); err != nil {
+		return err
+	}
+	verdict := "NOT reproduced"
+	if v.MeanInRNotT >= v.MeanInRT {
+		verdict = "reproduced"
+	}
+	_, err := fmt.Fprintf(w,
+		"Paper's observation (R−T values >= R∩T values, i.e. future trust): mean %s.\n", verdict)
+	return err
+}

@@ -1,0 +1,274 @@
+// Package graph provides the directed weighted graph substrate used by the
+// trust-propagation algorithms (package propagation) and by network
+// analyses of explicit and derived webs of trust. Nodes are dense ints
+// (user ids); adjacency is CSR-packed for cache-friendly traversal.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed weighted edge.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Graph is an immutable directed weighted graph. Build one with New.
+type Graph struct {
+	n      int
+	outOff []int32
+	outTo  []int32
+	outW   []float64
+	inOff  []int32
+	inFrom []int32
+	inW    []float64
+}
+
+// New builds a graph with n nodes from the given edges. Duplicate edges
+// accumulate their weights. Self-loops are allowed but the trust
+// algorithms ignore them. It returns an error for out-of-range endpoints.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	merged := make(map[uint64]float64, len(edges))
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("graph: edge (%d, %d) out of range %d", e.From, e.To, n)
+		}
+		merged[uint64(uint32(e.From))<<32|uint64(uint32(e.To))] += e.Weight
+	}
+	type flat struct {
+		from, to int32
+		w        float64
+	}
+	flats := make([]flat, 0, len(merged))
+	for k, w := range merged {
+		flats = append(flats, flat{from: int32(k >> 32), to: int32(uint32(k)), w: w})
+	}
+	sort.Slice(flats, func(a, b int) bool {
+		if flats[a].from != flats[b].from {
+			return flats[a].from < flats[b].from
+		}
+		return flats[a].to < flats[b].to
+	})
+	g := &Graph{
+		n:      n,
+		outOff: make([]int32, n+1),
+		outTo:  make([]int32, len(flats)),
+		outW:   make([]float64, len(flats)),
+		inOff:  make([]int32, n+1),
+		inFrom: make([]int32, len(flats)),
+		inW:    make([]float64, len(flats)),
+	}
+	for i, f := range flats {
+		g.outOff[f.from+1]++
+		g.outTo[i] = f.to
+		g.outW[i] = f.w
+		g.inOff[f.to+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+		g.inOff[v+1] += g.inOff[v]
+	}
+	next := make([]int32, n)
+	copy(next, g.inOff[:n])
+	for _, f := range flats {
+		pos := next[f.to]
+		g.inFrom[pos] = f.from
+		g.inW[pos] = f.w
+		next[f.to]++
+	}
+	return g, nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of distinct directed edges.
+func (g *Graph) NumEdges() int { return len(g.outTo) }
+
+// Out returns node v's outgoing targets and weights as shared slices that
+// must not be modified. Targets are in ascending order.
+func (g *Graph) Out(v int) (to []int32, w []float64) {
+	lo, hi := g.outOff[v], g.outOff[v+1]
+	return g.outTo[lo:hi], g.outW[lo:hi]
+}
+
+// In returns node v's incoming sources and weights as shared slices that
+// must not be modified. Sources are in ascending order.
+func (g *Graph) In(v int) (from []int32, w []float64) {
+	lo, hi := g.inOff[v], g.inOff[v+1]
+	return g.inFrom[lo:hi], g.inW[lo:hi]
+}
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v int) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v int) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Weight returns the weight of edge (u, v) and whether it exists.
+func (g *Graph) Weight(u, v int) (float64, bool) {
+	to, w := g.Out(u)
+	k := sort.Search(len(to), func(i int) bool { return to[i] >= int32(v) })
+	if k < len(to) && to[k] == int32(v) {
+		return w[k], true
+	}
+	return 0, false
+}
+
+// OutWeightSum returns the total outgoing weight of v.
+func (g *Graph) OutWeightSum(v int) float64 {
+	_, w := g.Out(v)
+	var s float64
+	for _, x := range w {
+		s += x
+	}
+	return s
+}
+
+// BFSDepths returns the BFS depth of every node from source (-1 if
+// unreachable), stopping at maxDepth (no limit if maxDepth < 0).
+func (g *Graph) BFSDepths(source, maxDepth int) []int {
+	depth := make([]int, g.n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	if source < 0 || source >= g.n {
+		return depth
+	}
+	depth[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if maxDepth >= 0 && depth[v] >= maxDepth {
+			continue
+		}
+		to, _ := g.Out(v)
+		for _, t := range to {
+			if depth[t] == -1 {
+				depth[t] = depth[v] + 1
+				queue = append(queue, int(t))
+			}
+		}
+	}
+	return depth
+}
+
+// Reachable counts nodes reachable from source within maxDepth hops
+// (excluding the source itself); maxDepth < 0 means unlimited.
+func (g *Graph) Reachable(source, maxDepth int) int {
+	depths := g.BFSDepths(source, maxDepth)
+	count := 0
+	for v, d := range depths {
+		if v != source && d >= 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// SCC computes strongly connected components with Tarjan's algorithm
+// (iterative, so deep graphs cannot overflow the stack). It returns the
+// component id of every node; ids are dense starting at 0 in reverse
+// topological order of the condensation.
+func (g *Graph) SCC() (comp []int, numComps int) {
+	const unvisited = -1
+	comp = make([]int, g.n)
+	index := make([]int32, g.n)
+	low := make([]int32, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var next int32
+	type frame struct {
+		v    int32
+		edge int32 // next out-edge offset to explore
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: int32(root), edge: g.outOff[root]}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.edge < g.outOff[v+1] {
+				w := g.outTo[f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w, edge: g.outOff[w]})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComps
+					if w == v {
+						break
+					}
+				}
+				numComps++
+			}
+		}
+	}
+	return comp, numComps
+}
+
+// DegreeStats summarises the degree distribution.
+type DegreeStats struct {
+	Nodes, Edges              int
+	MaxOutDegree, MaxInDegree int
+	MeanOutDegree             float64
+	Isolated                  int // nodes with no in or out edges
+}
+
+// Degrees computes degree statistics.
+func (g *Graph) Degrees() DegreeStats {
+	s := DegreeStats{Nodes: g.n, Edges: g.NumEdges()}
+	for v := 0; v < g.n; v++ {
+		out, in := g.OutDegree(v), g.InDegree(v)
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out == 0 && in == 0 {
+			s.Isolated++
+		}
+	}
+	if g.n > 0 {
+		s.MeanOutDegree = float64(s.Edges) / float64(g.n)
+	}
+	return s
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/stats"
+)
+
+func mustNew(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBasic(t *testing.T) {
+	g := mustNew(t, 4, []Edge{
+		{0, 1, 0.5}, {0, 2, 0.8}, {1, 2, 1}, {3, 0, 0.2},
+	})
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	to, w := g.Out(0)
+	if len(to) != 2 || to[0] != 1 || to[1] != 2 || w[0] != 0.5 || w[1] != 0.8 {
+		t.Errorf("Out(0) = %v %v", to, w)
+	}
+	from, _ := g.In(2)
+	if len(from) != 2 || from[0] != 0 || from[1] != 1 {
+		t.Errorf("In(2) = %v", from)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 || g.OutDegree(2) != 0 {
+		t.Error("degrees wrong")
+	}
+	if wt, ok := g.Weight(0, 2); !ok || wt != 0.8 {
+		t.Errorf("Weight(0,2) = %v, %v", wt, ok)
+	}
+	if _, ok := g.Weight(2, 0); ok {
+		t.Error("Weight(2,0) should not exist")
+	}
+	if s := g.OutWeightSum(0); s != 1.3 {
+		t.Errorf("OutWeightSum(0) = %v, want 1.3", s)
+	}
+}
+
+func TestNewDuplicateEdgesAccumulate(t *testing.T) {
+	g := mustNew(t, 2, []Edge{{0, 1, 0.3}, {0, 1, 0.4}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+	if w, _ := g.Weight(0, 1); w != 0.7 {
+		t.Errorf("weight = %v, want 0.7", w)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := New(2, []Edge{{0, 5, 1}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := New(2, []Edge{{-1, 0, 1}}); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, plus 0 -> 2 shortcut.
+	g := mustNew(t, 5, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 2, 1}})
+	d := g.BFSDepths(0, -1)
+	want := []int{0, 1, 1, 2, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("depth[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	limited := g.BFSDepths(0, 1)
+	if limited[3] != -1 {
+		t.Error("maxDepth=1 should not reach node 3")
+	}
+	if limited[1] != 1 || limited[2] != 1 {
+		t.Error("maxDepth=1 should reach depth-1 nodes")
+	}
+	if g.Reachable(0, -1) != 3 {
+		t.Errorf("Reachable = %d, want 3", g.Reachable(0, -1))
+	}
+	bad := g.BFSDepths(-1, -1)
+	for _, v := range bad {
+		if v != -1 {
+			t.Error("invalid source should reach nothing")
+		}
+	}
+}
+
+func TestSCC(t *testing.T) {
+	// Cycle 0->1->2->0, plus 3->0 and isolated 4.
+	g := mustNew(t, 5, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {3, 0, 1}})
+	comp, n := g.SCC()
+	if n != 3 {
+		t.Fatalf("numComps = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("cycle not one component: %v", comp)
+	}
+	if comp[3] == comp[0] || comp[4] == comp[0] || comp[3] == comp[4] {
+		t.Errorf("separate components wrong: %v", comp)
+	}
+	// Reverse topological order: the cycle (a sink component) gets the
+	// smallest id.
+	if comp[0] != 0 {
+		t.Errorf("sink SCC should be component 0, got %d", comp[0])
+	}
+}
+
+func TestSCCLongChainNoOverflow(t *testing.T) {
+	// A long path exercises the iterative Tarjan implementation.
+	const n = 200000
+	edges := make([]Edge, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = Edge{From: i, To: i + 1, Weight: 1}
+	}
+	g := mustNew(t, n, edges)
+	_, comps := g.SCC()
+	if comps != n {
+		t.Errorf("comps = %d, want %d (all singletons)", comps, n)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := mustNew(t, 4, []Edge{{0, 1, 1}, {0, 2, 1}, {1, 2, 1}})
+	s := g.Degrees()
+	if s.Nodes != 4 || s.Edges != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxOutDegree != 2 || s.MaxInDegree != 2 {
+		t.Errorf("max degrees = %d/%d, want 2/2", s.MaxOutDegree, s.MaxInDegree)
+	}
+	if s.Isolated != 1 {
+		t.Errorf("isolated = %d, want 1 (node 3)", s.Isolated)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustNew(t, 0, nil)
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Error("empty graph not empty")
+	}
+	comp, n := g.SCC()
+	if len(comp) != 0 || n != 0 {
+		t.Error("empty SCC wrong")
+	}
+	_ = g.Degrees()
+}
+
+// Property: SCC returns a valid partition — every node gets a component in
+// [0, numComps), and mutually reachable nodes share components.
+func TestSCCPartitionQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 2 + rng.IntN(20)
+		var edges []Edge
+		for k := 0; k < rng.IntN(40); k++ {
+			edges = append(edges, Edge{From: rng.IntN(n), To: rng.IntN(n), Weight: 1})
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			return false
+		}
+		comp, numComps := g.SCC()
+		for _, c := range comp {
+			if c < 0 || c >= numComps {
+				return false
+			}
+		}
+		// Mutual reachability implies same component.
+		for u := 0; u < n; u++ {
+			du := g.BFSDepths(u, -1)
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				dv := g.BFSDepths(v, -1)
+				mutual := du[v] >= 0 && dv[u] >= 0
+				if mutual != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: In is the exact mirror of Out.
+func TestInOutMirrorQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 1 + rng.IntN(15)
+		var edges []Edge
+		for k := 0; k < rng.IntN(40); k++ {
+			edges = append(edges, Edge{From: rng.IntN(n), To: rng.IntN(n), Weight: rng.Float64()})
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			return false
+		}
+		outCount, inCount := 0, 0
+		for v := 0; v < n; v++ {
+			to, w := g.Out(v)
+			outCount += len(to)
+			for i, t2 := range to {
+				wt, ok := g.Weight(v, int(t2))
+				if !ok || wt != w[i] {
+					return false
+				}
+				// The reverse index must contain this edge.
+				from, fw := g.In(int(t2))
+				found := false
+				for j, f2 := range from {
+					if int(f2) == v && fw[j] == w[i] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			in, _ := g.In(v)
+			inCount += len(in)
+		}
+		return outCount == inCount && outCount == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

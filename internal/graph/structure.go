@@ -1,0 +1,113 @@
+package graph
+
+import "sort"
+
+// Reciprocity returns the fraction of directed edges whose reverse edge
+// also exists — a standard social-network statistic (explicit trust webs
+// are notoriously reciprocal; derived webs need not be). An empty graph
+// returns 0.
+func (g *Graph) Reciprocity() float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	recip := 0
+	for v := 0; v < g.n; v++ {
+		to, _ := g.Out(v)
+		for _, u := range to {
+			if _, ok := g.Weight(int(u), v); ok {
+				recip++
+			}
+		}
+	}
+	return float64(recip) / float64(g.NumEdges())
+}
+
+// LocalClustering returns node v's local clustering coefficient treating
+// the graph as undirected: of all pairs of v's neighbours (union of in-
+// and out-neighbours, excluding v), the fraction connected by an edge in
+// either direction. Nodes with fewer than two neighbours return 0.
+func (g *Graph) LocalClustering(v int) float64 {
+	neighbours := g.undirectedNeighbours(v)
+	k := len(neighbours)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			a, b := neighbours[i], neighbours[j]
+			if _, ok := g.Weight(a, b); ok {
+				links++
+				continue
+			}
+			if _, ok := g.Weight(b, a); ok {
+				links++
+			}
+		}
+	}
+	return float64(links) / float64(k*(k-1)/2)
+}
+
+// MeanClustering averages LocalClustering over the given nodes (all nodes
+// when sample is nil). Sampling keeps the quadratic per-node cost
+// tractable on hub-heavy graphs.
+func (g *Graph) MeanClustering(sample []int) float64 {
+	if sample == nil {
+		sample = make([]int, g.n)
+		for i := range sample {
+			sample[i] = i
+		}
+	}
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += g.LocalClustering(v)
+	}
+	return sum / float64(len(sample))
+}
+
+// undirectedNeighbours returns the sorted union of v's in- and
+// out-neighbours, excluding v itself.
+func (g *Graph) undirectedNeighbours(v int) []int {
+	to, _ := g.Out(v)
+	from, _ := g.In(v)
+	set := make(map[int]struct{}, len(to)+len(from))
+	for _, u := range to {
+		if int(u) != v {
+			set[int(u)] = struct{}{}
+		}
+	}
+	for _, u := range from {
+		if int(u) != v {
+			set[int(u)] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LargestSCCSize returns the size of the largest strongly connected
+// component (0 for an empty graph).
+func (g *Graph) LargestSCCSize() int {
+	comp, numComps := g.SCC()
+	if numComps == 0 {
+		return 0
+	}
+	sizes := make([]int, numComps)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

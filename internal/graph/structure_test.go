@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/stats"
+)
+
+func TestReciprocity(t *testing.T) {
+	// 0<->1 reciprocal, 0->2 one-way: 2 of 3 edges reciprocated.
+	g := mustNew(t, 3, []Edge{{0, 1, 1}, {1, 0, 1}, {0, 2, 1}})
+	if got := g.Reciprocity(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Reciprocity = %v, want 2/3", got)
+	}
+	empty := mustNew(t, 2, nil)
+	if empty.Reciprocity() != 0 {
+		t.Error("empty graph reciprocity should be 0")
+	}
+	full := mustNew(t, 2, []Edge{{0, 1, 1}, {1, 0, 1}})
+	if full.Reciprocity() != 1 {
+		t.Error("fully reciprocal graph should be 1")
+	}
+}
+
+func TestLocalClusteringTriangle(t *testing.T) {
+	// Triangle 0-1-2 (directed arbitrarily): every node clusters at 1.
+	g := mustNew(t, 3, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}})
+	for v := 0; v < 3; v++ {
+		if got := g.LocalClustering(v); got != 1 {
+			t.Errorf("LocalClustering(%d) = %v, want 1", v, got)
+		}
+	}
+}
+
+func TestLocalClusteringStar(t *testing.T) {
+	// Star: hub 0 with leaves 1..3, no leaf-leaf edges: hub clusters 0.
+	g := mustNew(t, 4, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}})
+	if got := g.LocalClustering(0); got != 0 {
+		t.Errorf("hub clustering = %v, want 0", got)
+	}
+	// Leaves have a single neighbour: 0 by convention.
+	if got := g.LocalClustering(1); got != 0 {
+		t.Errorf("leaf clustering = %v, want 0", got)
+	}
+}
+
+func TestLocalClusteringPartial(t *testing.T) {
+	// Hub 0 with neighbours 1,2,3; only 1-2 connected: 1 of 3 pairs.
+	g := mustNew(t, 4, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {1, 2, 1}})
+	if got := g.LocalClustering(0); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("clustering = %v, want 1/3", got)
+	}
+}
+
+func TestMeanClustering(t *testing.T) {
+	g := mustNew(t, 3, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}})
+	if got := g.MeanClustering(nil); got != 1 {
+		t.Errorf("MeanClustering(all) = %v, want 1", got)
+	}
+	if got := g.MeanClustering([]int{0}); got != 1 {
+		t.Errorf("MeanClustering(sample) = %v, want 1", got)
+	}
+	if got := g.MeanClustering([]int{}); got != 0 {
+		t.Errorf("MeanClustering(empty) = %v, want 0", got)
+	}
+}
+
+func TestLargestSCCSize(t *testing.T) {
+	g := mustNew(t, 5, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {3, 0, 1}})
+	if got := g.LargestSCCSize(); got != 3 {
+		t.Errorf("LargestSCCSize = %d, want 3", got)
+	}
+	if got := mustNew(t, 0, nil).LargestSCCSize(); got != 0 {
+		t.Errorf("empty graph = %d, want 0", got)
+	}
+}
+
+// Property: clustering coefficients live in [0,1]; reciprocity too.
+func TestStructureRangesQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 2 + rng.IntN(12)
+		var edges []Edge
+		for k := 0; k < rng.IntN(4*n); k++ {
+			edges = append(edges, Edge{From: rng.IntN(n), To: rng.IntN(n), Weight: 1})
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			return false
+		}
+		r := g.Reciprocity()
+		if r < 0 || r > 1 {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			c := g.LocalClustering(v)
+			if c < 0 || c > 1 {
+				return false
+			}
+		}
+		m := g.MeanClustering(nil)
+		return m >= 0 && m <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package mat
+
+import "sort"
+
+// TopK returns the indices of the k largest values, in descending value
+// order. Ties break toward the smaller index, making the selection fully
+// deterministic. If k >= len(values) all indices are returned (sorted the
+// same way); if k <= 0 the result is empty.
+//
+// Selection uses an iterative quickselect with a median-of-three pivot, so
+// the expected cost is O(n + k log k) rather than O(n log n); the pipeline
+// calls this once per user row when binarising the derived trust matrix.
+func TopK(values []float64, k int) []int {
+	n := len(values)
+	if k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	greater := makeGreater(values)
+	quickselect(idx, k, greater)
+	top := idx[:k]
+	sort.Slice(top, func(a, b int) bool { return greater(top[a], top[b]) })
+	return top
+}
+
+// TopKSet is TopK but returns the selection as a membership slice: out[i]
+// is true iff index i is among the k largest. It avoids the final sort when
+// only membership matters.
+func TopKSet(values []float64, k int) []bool {
+	n := len(values)
+	out := make([]bool, n)
+	if k <= 0 {
+		return out
+	}
+	if k >= n {
+		for i := range out {
+			out[i] = true
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	quickselect(idx, k, makeGreater(values))
+	for _, i := range idx[:k] {
+		out[i] = true
+	}
+	return out
+}
+
+// makeGreater returns a strict total order over indices: by value
+// descending, then index ascending. A total order makes the selected set
+// unique even in the presence of equal values.
+func makeGreater(values []float64) func(a, b int) bool {
+	return func(a, b int) bool {
+		va, vb := values[a], values[b]
+		if va != vb {
+			return va > vb
+		}
+		return a < b
+	}
+}
+
+// quickselect partitions idx so that the k elements greatest under the
+// strict total order occupy idx[:k] (in unspecified order). It requires
+// 0 < k < len(idx) or k == len(idx), both of which it handles.
+func quickselect(idx []int, k int, greater func(a, b int) bool) {
+	lo, hi := 0, len(idx)
+	for k > lo && k < hi {
+		if hi-lo == 2 {
+			if greater(idx[lo+1], idx[lo]) {
+				idx[lo], idx[lo+1] = idx[lo+1], idx[lo]
+			}
+			return
+		}
+		p := partition(idx, lo, hi, greater)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p
+		default:
+			hi = p
+		}
+	}
+}
+
+// partition performs a Hoare partition of idx[lo:hi] (which must have at
+// least 3 elements) around a median-of-three pivot and returns a split
+// point p with lo < p < hi such that every element of idx[lo:p] is >= the
+// pivot and every element of idx[p:hi] is <= the pivot under the order.
+//
+// The three samples are arranged so idx[lo] >= pivot >= idx[hi-1], which
+// guarantees both scans stop inside the range and the split is strictly
+// interior, so the quickselect loop always makes progress.
+func partition(idx []int, lo, hi int, greater func(a, b int) bool) int {
+	mid := lo + (hi-lo)/2
+	last := hi - 1
+	if greater(idx[mid], idx[lo]) {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if greater(idx[last], idx[lo]) {
+		idx[last], idx[lo] = idx[lo], idx[last]
+	}
+	if greater(idx[last], idx[mid]) {
+		idx[last], idx[mid] = idx[mid], idx[last]
+	}
+	pivot := idx[mid]
+	i, j := lo, hi-1
+	for {
+		for {
+			i++
+			if !greater(idx[i], pivot) {
+				break
+			}
+		}
+		for {
+			j--
+			if !greater(pivot, idx[j]) {
+				break
+			}
+		}
+		if i >= j {
+			return j + 1
+		}
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}
+
+// KthLargest returns the k-th largest value of values (1-based: k=1 is the
+// maximum). It panics if k is out of range.
+func KthLargest(values []float64, k int) float64 {
+	if k < 1 || k > len(values) {
+		panic("mat: KthLargest: k out of range")
+	}
+	top := TopK(values, k)
+	return values[top[k-1]]
+}

@@ -1,0 +1,226 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refTopK is the O(n log n) reference implementation.
+func refTopK(values []float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(values) {
+		k = len(values)
+	}
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := values[idx[a]], values[idx[b]]
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+func TestTopKBasic(t *testing.T) {
+	values := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	got := TopK(values, 3)
+	want := []int{5, 7, 4} // 9, 6, 5
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopK[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKTiesDeterministic(t *testing.T) {
+	values := []float64{2, 2, 2, 2, 2}
+	got := TopK(values, 3)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopK[%d] = %d, want %d (smaller index wins ties)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if got := TopK([]float64{1, 2}, 0); got != nil {
+		t.Errorf("k=0: got %v, want nil", got)
+	}
+	if got := TopK([]float64{1, 2}, -3); got != nil {
+		t.Errorf("k<0: got %v, want nil", got)
+	}
+	if got := TopK(nil, 5); got != nil {
+		t.Errorf("empty values: got %v, want nil", got)
+	}
+	got := TopK([]float64{1, 3, 2}, 10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("k>n: got %v, want [1 2 0]", got)
+	}
+	one := TopK([]float64{7}, 1)
+	if len(one) != 1 || one[0] != 0 {
+		t.Errorf("single element: got %v, want [0]", one)
+	}
+}
+
+func TestTopKTwoElements(t *testing.T) {
+	// Regression guard for the 2-element partition edge case.
+	for _, c := range []struct {
+		values []float64
+		want   []int
+	}{
+		{[]float64{1, 2}, []int{1}},
+		{[]float64{2, 1}, []int{0}},
+		{[]float64{2, 2}, []int{0}},
+	} {
+		got := TopK(c.values, 1)
+		if len(got) != 1 || got[0] != c.want[0] {
+			t.Errorf("TopK(%v, 1) = %v, want %v", c.values, got, c.want)
+		}
+	}
+}
+
+func TestTopKSetMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	for _, k := range []int{0, 1, 5, 50, 99, 100, 150} {
+		set := TopKSet(values, k)
+		top := TopK(values, k)
+		count := 0
+		for _, in := range set {
+			if in {
+				count++
+			}
+		}
+		wantCount := k
+		if wantCount > len(values) {
+			wantCount = len(values)
+		}
+		if wantCount < 0 {
+			wantCount = 0
+		}
+		if count != wantCount {
+			t.Errorf("k=%d: TopKSet selected %d, want %d", k, count, wantCount)
+		}
+		for _, i := range top {
+			if !set[i] {
+				t.Errorf("k=%d: index %d in TopK but not TopKSet", k, i)
+			}
+		}
+	}
+}
+
+func TestKthLargest(t *testing.T) {
+	values := []float64{3, 1, 4, 1, 5}
+	for k, want := range map[int]float64{1: 5, 2: 4, 3: 3, 4: 1, 5: 1} {
+		if got := KthLargest(values, k); got != want {
+			t.Errorf("KthLargest(k=%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestKthLargestPanics(t *testing.T) {
+	for _, k := range []int{0, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			KthLargest([]float64{1, 2, 3, 4, 5}, k)
+		}()
+	}
+}
+
+// Property: TopK matches the sort-based reference on random inputs with
+// many duplicate values (stress for tie handling and the partition).
+func TestTopKQuick(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 1 + rng.IntN(200)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.IntN(8)) // heavy ties
+		}
+		k := int(kRaw) % (n + 2)
+		got := TopK(values, k)
+		want := refTopK(values, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every selected value is >= every unselected value.
+func TestTopKSetBoundaryQuick(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 123))
+		n := 1 + rng.IntN(100)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64()
+		}
+		k := int(kRaw) % n
+		set := TopKSet(values, k)
+		minIn, maxOut := 2.0, -1.0
+		for i, in := range set {
+			if in && values[i] < minIn {
+				minIn = values[i]
+			}
+			if !in && values[i] > maxOut {
+				maxOut = values[i]
+			}
+		}
+		return k == 0 || minIn >= maxOut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	values := make([]float64, 10000)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(values, 100)
+	}
+}
+
+func BenchmarkTopKSet(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	values := make([]float64, 10000)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKSet(values, 100)
+	}
+}

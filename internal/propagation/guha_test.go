@@ -1,0 +1,209 @@
+package propagation
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/mat"
+	"weboftrust/internal/stats"
+)
+
+func trustCSR(n int, edges [][3]float64) *mat.CSR {
+	b := mat.NewBuilder(n, n)
+	for _, e := range edges {
+		b.Set(int(e[0]), int(e[1]), e[2])
+	}
+	return b.Build()
+}
+
+func TestGuhaDirectPropagation(t *testing.T) {
+	// 0 trusts 1, 1 trusts 2: direct propagation must create belief
+	// 0 -> 2 even though no base edge exists.
+	base := trustCSR(3, [][3]float64{{0, 1, 1}, {1, 2, 1}})
+	g := Guha{Alpha: [4]float64{1, 0, 0, 0}, Steps: 1, Gamma: 0.5}
+	out, err := g.Propagate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 2) <= 0 {
+		t.Errorf("0->2 belief = %v, want positive (direct propagation)", out.At(0, 2))
+	}
+	// Base edges survive with weight 1.
+	if out.At(0, 1) < 1 {
+		t.Errorf("base edge lost: %v", out.At(0, 1))
+	}
+}
+
+func TestGuhaCoCitation(t *testing.T) {
+	// i=0 and l=1 both trust j=2; l also trusts k=3. Co-citation should
+	// give 0 some belief in 3.
+	base := trustCSR(4, [][3]float64{{0, 2, 1}, {1, 2, 1}, {1, 3, 1}})
+	g := Guha{Alpha: [4]float64{0, 1, 0, 0}, Steps: 1, Gamma: 1}
+	out, err := g.Propagate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 3) <= 0 {
+		t.Errorf("0->3 belief = %v, want positive (co-citation)", out.At(0, 3))
+	}
+}
+
+func TestGuhaTranspose(t *testing.T) {
+	base := trustCSR(2, [][3]float64{{0, 1, 1}})
+	g := Guha{Alpha: [4]float64{0, 0, 1, 0}, Steps: 1, Gamma: 1}
+	out, err := g.Propagate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(1, 0) <= 0 {
+		t.Errorf("1->0 belief = %v, want positive (transpose trust)", out.At(1, 0))
+	}
+}
+
+func TestGuhaCoupling(t *testing.T) {
+	// 0 and 1 trust the same person 2; 1 trusts 3. Coupling: 0 adopts
+	// 1's trust of 3 via B·Bᵀ·T.
+	base := trustCSR(4, [][3]float64{{0, 2, 1}, {1, 2, 1}, {1, 3, 1}})
+	g := Guha{Alpha: [4]float64{0, 0, 0, 1}, Steps: 1, Gamma: 1}
+	out, err := g.Propagate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 3) <= 0 {
+		t.Errorf("0->3 belief = %v, want positive (coupling)", out.At(0, 3))
+	}
+}
+
+func TestGuhaDensifies(t *testing.T) {
+	// A sparse chain should gain many edges after propagation — the
+	// sparsity-reduction claim the paper cites Guha et al. for.
+	edges := make([][3]float64, 0, 9)
+	for i := 0; i < 9; i++ {
+		edges = append(edges, [3]float64{float64(i), float64(i + 1), 1})
+	}
+	base := trustCSR(10, edges)
+	out, err := DefaultGuha().Propagate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NNZ() <= base.NNZ() {
+		t.Errorf("propagation did not densify: %d -> %d", base.NNZ(), out.NNZ())
+	}
+}
+
+func TestGuhaPruning(t *testing.T) {
+	// Dense-ish base with aggressive pruning: every row of the result
+	// respects the cap.
+	rng := stats.NewRand(9)
+	b := mat.NewBuilder(12, 12)
+	for k := 0; k < 60; k++ {
+		i, j := rng.IntN(12), rng.IntN(12)
+		if i != j {
+			b.Set(i, j, rng.Float64())
+		}
+	}
+	base := b.Build()
+	g := DefaultGuha()
+	g.PruneTopK = 4
+	out, err := g.Propagate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if out.RowNNZ(i) > 4 {
+			t.Errorf("row %d has %d entries, cap 4", i, out.RowNNZ(i))
+		}
+	}
+}
+
+func TestGuhaBadConfig(t *testing.T) {
+	base := trustCSR(2, [][3]float64{{0, 1, 1}})
+	for i, g := range []Guha{
+		{Alpha: [4]float64{0, 0, 0, 0}, Steps: 1, Gamma: 0.5},
+		{Alpha: [4]float64{-1, 1, 0, 0}, Steps: 1, Gamma: 0.5},
+		{Alpha: [4]float64{1, 0, 0, 0}, Steps: 0, Gamma: 0.5},
+		{Alpha: [4]float64{1, 0, 0, 0}, Steps: 1, Gamma: 0},
+		{Alpha: [4]float64{1, 0, 0, 0}, Steps: 1, Gamma: 1.5},
+	} {
+		if _, err := g.Propagate(base); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+	rect := mat.NewBuilder(2, 3).Build()
+	if _, err := DefaultGuha().Propagate(rect); !errors.Is(err, ErrBadConfig) {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestGuhaEmptyBase(t *testing.T) {
+	base := mat.NewBuilder(5, 5).Build()
+	out, err := DefaultGuha().Propagate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NNZ() != 0 {
+		t.Errorf("empty base produced %d edges", out.NNZ())
+	}
+}
+
+// Property: propagated beliefs are non-negative and include the base
+// support (every base edge keeps positive belief).
+func TestGuhaInvariantsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 2 + rng.IntN(10)
+		b := mat.NewBuilder(n, n)
+		for k := 0; k < rng.IntN(3*n); k++ {
+			i, j := rng.IntN(n), rng.IntN(n)
+			if i != j {
+				b.Set(i, j, 0.2+0.8*rng.Float64())
+			}
+		}
+		base := b.Build()
+		g := DefaultGuha()
+		g.Steps = 2
+		g.PruneTopK = 0 // unpruned so base support is provably retained
+		out, err := g.Propagate(base)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			cols, vals := out.Row(i)
+			for k := range cols {
+				if vals[k] < 0 {
+					return false
+				}
+			}
+			bCols, _ := base.Row(i)
+			for _, c := range bCols {
+				if out.At(i, int(c)) <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGuhaPropagate(b *testing.B) {
+	rng := stats.NewRand(4)
+	bb := mat.NewBuilder(300, 300)
+	for k := 0; k < 1500; k++ {
+		i, j := rng.IntN(300), rng.IntN(300)
+		if i != j {
+			bb.Set(i, j, rng.Float64())
+		}
+	}
+	base := bb.Build()
+	g := DefaultGuha()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Propagate(base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

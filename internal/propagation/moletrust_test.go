@@ -1,0 +1,175 @@
+package propagation
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/graph"
+	"weboftrust/internal/stats"
+)
+
+func TestMoleTrustChain(t *testing.T) {
+	// 0 --1.0--> 1 --0.8--> 2: trust(1) = 1.0... trust(1) = (1*1)/1 = 1;
+	// trust(2) = (1*0.8)/1 = 0.8.
+	g := mustGraph(t, 3, []graph.Edge{
+		{From: 0, To: 1, Weight: 1.0},
+		{From: 1, To: 2, Weight: 0.8},
+	})
+	ranks, err := DefaultMoleTrust().Rank(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[0] != 1 {
+		t.Errorf("source trust = %v, want 1", ranks[0])
+	}
+	if math.Abs(ranks[1]-1.0) > 1e-12 {
+		t.Errorf("trust(1) = %v, want 1.0", ranks[1])
+	}
+	if math.Abs(ranks[2]-0.8) > 1e-12 {
+		t.Errorf("trust(2) = %v, want 0.8", ranks[2])
+	}
+}
+
+func TestMoleTrustThresholdCutsPropagators(t *testing.T) {
+	// Node 1 ends with trust 0.3 < threshold 0.6, so it must not
+	// propagate to node 2; node 2 stays unrated.
+	g := mustGraph(t, 3, []graph.Edge{
+		{From: 0, To: 1, Weight: 0.3},
+		{From: 1, To: 2, Weight: 1.0},
+	})
+	ranks, err := DefaultMoleTrust().Rank(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[2] != 0 {
+		t.Errorf("trust(2) = %v, want 0 (propagator below threshold)", ranks[2])
+	}
+}
+
+func TestMoleTrustWeightedAverage(t *testing.T) {
+	// Two depth-1 nodes with trust 1.0 rate node 3 differently: 0.8 and
+	// 0.4 -> average (1*0.8 + 1*0.4)/(1+1) = 0.6.
+	g := mustGraph(t, 4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1.0}, {From: 0, To: 2, Weight: 1.0},
+		{From: 1, To: 3, Weight: 0.8}, {From: 2, To: 3, Weight: 0.4},
+	})
+	ranks, err := DefaultMoleTrust().Rank(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ranks[3]-0.6) > 1e-12 {
+		t.Errorf("trust(3) = %v, want 0.6", ranks[3])
+	}
+}
+
+func TestMoleTrustHorizon(t *testing.T) {
+	g := mustGraph(t, 5, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1},
+		{From: 2, To: 3, Weight: 1}, {From: 3, To: 4, Weight: 1},
+	})
+	mt := MoleTrust{MaxDepth: 2, Threshold: 0.6}
+	ranks, err := mt.Rank(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[2] <= 0 {
+		t.Error("depth-2 node should be rated")
+	}
+	if ranks[3] != 0 || ranks[4] != 0 {
+		t.Errorf("beyond-horizon nodes rated: %v, %v", ranks[3], ranks[4])
+	}
+}
+
+func TestMoleTrustIgnoresCycleBackEdges(t *testing.T) {
+	// 0 -> 1 -> 0 cycle: the back edge must not feed node 0's trust (it
+	// is pinned to 1) or double-count into depth-1 nodes.
+	g := mustGraph(t, 3, []graph.Edge{
+		{From: 0, To: 1, Weight: 0.9}, {From: 1, To: 0, Weight: 0.1},
+		{From: 1, To: 2, Weight: 0.7},
+	})
+	ranks, err := DefaultMoleTrust().Rank(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[0] != 1 {
+		t.Errorf("source trust mutated to %v", ranks[0])
+	}
+	if math.Abs(ranks[2]-0.7) > 1e-12 {
+		t.Errorf("trust(2) = %v, want 0.7", ranks[2])
+	}
+}
+
+func TestMoleTrustBadConfig(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{{From: 0, To: 1, Weight: 1}})
+	for i, mt := range []MoleTrust{
+		{MaxDepth: 0, Threshold: 0.5},
+		{MaxDepth: 2, Threshold: -0.1},
+		{MaxDepth: 2, Threshold: 1.1},
+	} {
+		if _, err := mt.Rank(g, 0); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+	if _, err := DefaultMoleTrust().Rank(g, 7); !errors.Is(err, ErrBadConfig) {
+		t.Error("out-of-range source accepted")
+	}
+	_ = DefaultMoleTrust().String()
+}
+
+func TestMoleTrustCoverage(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1},
+	})
+	cov, err := DefaultMoleTrust().Coverage(g, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cov-2.0/3.0) > 1e-12 {
+		t.Errorf("coverage = %v, want 2/3", cov)
+	}
+	empty, err := DefaultMoleTrust().Coverage(g, nil)
+	if err != nil || empty != 0 {
+		t.Errorf("empty sources: %v, %v", empty, err)
+	}
+}
+
+// Property: MoleTrust outputs stay in [0,1] for weights in [0,1], and the
+// source is always 1.
+func TestMoleTrustRangeQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		n := 2 + rng.IntN(12)
+		seen := make(map[[2]int]bool)
+		var edges []graph.Edge
+		for k := 0; k < rng.IntN(4*n); k++ {
+			from, to := rng.IntN(n), rng.IntN(n)
+			if from != to && !seen[[2]int{from, to}] {
+				seen[[2]int{from, to}] = true
+				edges = append(edges, graph.Edge{From: from, To: to, Weight: rng.Float64()})
+			}
+		}
+		g, err := graph.New(n, edges)
+		if err != nil {
+			return false
+		}
+		source := rng.IntN(n)
+		ranks, err := DefaultMoleTrust().Rank(g, source)
+		if err != nil {
+			return false
+		}
+		if ranks[source] != 1 {
+			return false
+		}
+		for _, r := range ranks {
+			if r < 0 || r > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

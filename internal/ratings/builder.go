@@ -1,0 +1,189 @@
+package ratings
+
+import "fmt"
+
+// Builder accumulates a dataset's entities, validates referential
+// integrity, and freezes the result into an immutable Dataset. The zero
+// value is ready to use. Builders are not safe for concurrent use.
+type Builder struct {
+	userNames  []string
+	categories []string
+	objects    []Object
+	reviews    []Review
+	ratingList []Rating
+	trust      []TrustEdge
+
+	reviewByWriterObject map[uint64]struct{} // one review per (writer, object)
+	ratingByRaterReview  map[uint64]struct{} // one rating per (rater, review)
+	trustByPair          map[uint64]struct{} // one edge per (from, to)
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		reviewByWriterObject: make(map[uint64]struct{}),
+		ratingByRaterReview:  make(map[uint64]struct{}),
+		trustByPair:          make(map[uint64]struct{}),
+	}
+}
+
+func pairKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// AddUser registers a user and returns its id. Names need not be unique;
+// an empty name is replaced with "user<N>".
+func (b *Builder) AddUser(name string) UserID {
+	id := UserID(len(b.userNames))
+	if name == "" {
+		name = fmt.Sprintf("user%d", id)
+	}
+	b.userNames = append(b.userNames, name)
+	return id
+}
+
+// AddUsers registers n anonymous users and returns the id of the first.
+func (b *Builder) AddUsers(n int) UserID {
+	first := UserID(len(b.userNames))
+	for i := 0; i < n; i++ {
+		b.AddUser("")
+	}
+	return first
+}
+
+// AddCategory registers a category and returns its id.
+func (b *Builder) AddCategory(name string) CategoryID {
+	id := CategoryID(len(b.categories))
+	if name == "" {
+		name = fmt.Sprintf("category%d", id)
+	}
+	b.categories = append(b.categories, name)
+	return id
+}
+
+// AddObject registers an object in a category and returns its id, or an
+// error if the category does not exist.
+func (b *Builder) AddObject(category CategoryID, name string) (ObjectID, error) {
+	if int(category) < 0 || int(category) >= len(b.categories) {
+		return 0, fmt.Errorf("%w: category %d", ErrUnknownCategory, category)
+	}
+	id := ObjectID(len(b.objects))
+	if name == "" {
+		name = fmt.Sprintf("object%d", id)
+	}
+	b.objects = append(b.objects, Object{ID: id, Category: category, Name: name})
+	return id, nil
+}
+
+// AddReview records that writer reviewed object and returns the review id.
+// A user may write at most one review per object (as on Epinions).
+func (b *Builder) AddReview(writer UserID, object ObjectID) (ReviewID, error) {
+	if int(writer) < 0 || int(writer) >= len(b.userNames) {
+		return 0, fmt.Errorf("%w: writer %d", ErrUnknownUser, writer)
+	}
+	if int(object) < 0 || int(object) >= len(b.objects) {
+		return 0, fmt.Errorf("%w: object %d", ErrUnknownObject, object)
+	}
+	key := pairKey(int32(writer), int32(object))
+	if _, dup := b.reviewByWriterObject[key]; dup {
+		return 0, fmt.Errorf("%w review: writer %d already reviewed object %d", ErrDuplicate, writer, object)
+	}
+	b.reviewByWriterObject[key] = struct{}{}
+	id := ReviewID(len(b.reviews))
+	b.reviews = append(b.reviews, Review{
+		ID:       id,
+		Writer:   writer,
+		Object:   object,
+		Category: b.objects[object].Category,
+	})
+	return id, nil
+}
+
+// AddRating records that rater rated review with value, which must be one
+// of the five levels. Users cannot rate their own reviews, and may rate a
+// given review at most once.
+func (b *Builder) AddRating(rater UserID, review ReviewID, value float64) error {
+	if int(rater) < 0 || int(rater) >= len(b.userNames) {
+		return fmt.Errorf("%w: rater %d", ErrUnknownUser, rater)
+	}
+	if int(review) < 0 || int(review) >= len(b.reviews) {
+		return fmt.Errorf("%w: review %d", ErrUnknownReview, review)
+	}
+	if !ValidRating(value) {
+		return fmt.Errorf("%w: %v", ErrInvalidRating, value)
+	}
+	if b.reviews[review].Writer == rater {
+		return fmt.Errorf("%w: user %d rating own review %d", ErrSelf, rater, review)
+	}
+	key := pairKey(int32(rater), int32(review))
+	if _, dup := b.ratingByRaterReview[key]; dup {
+		return fmt.Errorf("%w rating: rater %d already rated review %d", ErrDuplicate, rater, review)
+	}
+	b.ratingByRaterReview[key] = struct{}{}
+	b.ratingList = append(b.ratingList, Rating{Rater: rater, Review: review, Value: value})
+	return nil
+}
+
+// AddTrust records a directed explicit-trust edge from -> to. Self-trust
+// and duplicate edges are rejected.
+func (b *Builder) AddTrust(from, to UserID) error {
+	if int(from) < 0 || int(from) >= len(b.userNames) {
+		return fmt.Errorf("%w: truster %d", ErrUnknownUser, from)
+	}
+	if int(to) < 0 || int(to) >= len(b.userNames) {
+		return fmt.Errorf("%w: trustee %d", ErrUnknownUser, to)
+	}
+	if from == to {
+		return fmt.Errorf("%w: user %d trusting themselves", ErrSelf, from)
+	}
+	key := pairKey(int32(from), int32(to))
+	if _, dup := b.trustByPair[key]; dup {
+		return fmt.Errorf("%w trust edge: %d -> %d", ErrDuplicate, from, to)
+	}
+	b.trustByPair[key] = struct{}{}
+	b.trust = append(b.trust, TrustEdge{From: from, To: to})
+	return nil
+}
+
+// HasReview reports whether writer already reviewed object.
+func (b *Builder) HasReview(writer UserID, object ObjectID) bool {
+	_, ok := b.reviewByWriterObject[pairKey(int32(writer), int32(object))]
+	return ok
+}
+
+// HasRating reports whether rater already rated review.
+func (b *Builder) HasRating(rater UserID, review ReviewID) bool {
+	_, ok := b.ratingByRaterReview[pairKey(int32(rater), int32(review))]
+	return ok
+}
+
+// HasTrust reports whether the edge from -> to was already added.
+func (b *Builder) HasTrust(from, to UserID) bool {
+	_, ok := b.trustByPair[pairKey(int32(from), int32(to))]
+	return ok
+}
+
+// NumUsers returns the number of users added so far.
+func (b *Builder) NumUsers() int { return len(b.userNames) }
+
+// NumCategories returns the number of categories added so far.
+func (b *Builder) NumCategories() int { return len(b.categories) }
+
+// NumObjects returns the number of objects added so far.
+func (b *Builder) NumObjects() int { return len(b.objects) }
+
+// NumReviews returns the number of reviews added so far.
+func (b *Builder) NumReviews() int { return len(b.reviews) }
+
+// Build freezes the accumulated entities into an immutable, fully indexed
+// Dataset. The builder must not be used afterwards.
+func (b *Builder) Build() *Dataset {
+	d := &Dataset{
+		userNames:  b.userNames,
+		categories: b.categories,
+		objects:    b.objects,
+		reviews:    b.reviews,
+		ratingList: b.ratingList,
+		trust:      b.trust,
+	}
+	d.idx = buildIndexes(d)
+	return d
+}

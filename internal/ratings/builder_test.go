@@ -1,0 +1,200 @@
+package ratings
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildTiny constructs the canonical fixture used across packages:
+//
+//	categories: movies (0), books (1)
+//	users: alice (0) writes in movies; bob (1) writes in books;
+//	       carol (2) rates both; dave (3) rates movies only; eve (4) idle
+//	trust: carol -> alice, dave -> alice
+func buildTiny(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder()
+	movies := b.AddCategory("movies")
+	books := b.AddCategory("books")
+	alice := b.AddUser("alice")
+	bob := b.AddUser("bob")
+	carol := b.AddUser("carol")
+	dave := b.AddUser("dave")
+	b.AddUser("eve")
+
+	m1, err := b.AddObject(movies, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.AddObject(movies, "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk1, err := b.AddObject(books, "bk1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := b.AddReview(alice, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.AddReview(alice, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := b.AddReview(bob, bk1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		rater  UserID
+		review ReviewID
+		v      float64
+	}{
+		{carol, r1, 1.0},
+		{carol, r2, 0.8},
+		{carol, r3, 0.6},
+		{dave, r1, 0.8},
+	} {
+		if err := b.AddRating(c.rater, c.review, c.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddTrust(carol, alice); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTrust(dave, alice); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestBuilderHappyPath(t *testing.T) {
+	d := buildTiny(t)
+	if d.NumUsers() != 5 || d.NumCategories() != 2 || d.NumObjects() != 3 {
+		t.Fatalf("unexpected sizes: %v", d)
+	}
+	if d.NumReviews() != 3 || d.NumRatings() != 4 || d.NumTrustEdges() != 2 {
+		t.Fatalf("unexpected content sizes: %v", d)
+	}
+	if d.UserName(0) != "alice" || d.CategoryName(1) != "books" {
+		t.Error("names not preserved")
+	}
+	if d.Review(0).Category != 0 {
+		t.Error("review category not denormalised from object")
+	}
+	if !d.HasExplicitTrust() {
+		t.Error("HasExplicitTrust = false")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	cat := b.AddCategory("c")
+	u := b.AddUser("u")
+	v := b.AddUser("v")
+	obj, err := b.AddObject(cat, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := b.AddReview(u, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := b.AddObject(99, "bad"); !errors.Is(err, ErrUnknownCategory) {
+		t.Errorf("bad category: %v", err)
+	}
+	if _, err := b.AddReview(99, obj); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("bad writer: %v", err)
+	}
+	if _, err := b.AddReview(u, 99); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("bad object: %v", err)
+	}
+	if _, err := b.AddReview(u, obj); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate review: %v", err)
+	}
+	if err := b.AddRating(99, rev, 0.8); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("bad rater: %v", err)
+	}
+	if err := b.AddRating(v, 99, 0.8); !errors.Is(err, ErrUnknownReview) {
+		t.Errorf("bad review ref: %v", err)
+	}
+	if err := b.AddRating(v, rev, 0.35); !errors.Is(err, ErrInvalidRating) {
+		t.Errorf("bad value: %v", err)
+	}
+	if err := b.AddRating(u, rev, 0.8); !errors.Is(err, ErrSelf) {
+		t.Errorf("self rating: %v", err)
+	}
+	if err := b.AddRating(v, rev, 0.8); err != nil {
+		t.Fatalf("valid rating rejected: %v", err)
+	}
+	if err := b.AddRating(v, rev, 0.6); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate rating: %v", err)
+	}
+	if err := b.AddTrust(u, u); !errors.Is(err, ErrSelf) {
+		t.Errorf("self trust: %v", err)
+	}
+	if err := b.AddTrust(99, u); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("bad truster: %v", err)
+	}
+	if err := b.AddTrust(u, 99); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("bad trustee: %v", err)
+	}
+	if err := b.AddTrust(v, u); err != nil {
+		t.Fatalf("valid trust rejected: %v", err)
+	}
+	if err := b.AddTrust(v, u); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate trust: %v", err)
+	}
+}
+
+func TestBuilderHasHelpers(t *testing.T) {
+	b := NewBuilder()
+	cat := b.AddCategory("c")
+	u := b.AddUser("u")
+	v := b.AddUser("v")
+	obj, _ := b.AddObject(cat, "o")
+	rev, _ := b.AddReview(u, obj)
+	_ = b.AddRating(v, rev, 0.8)
+	_ = b.AddTrust(v, u)
+
+	if !b.HasReview(u, obj) || b.HasReview(v, obj) {
+		t.Error("HasReview wrong")
+	}
+	if !b.HasRating(v, rev) || b.HasRating(u, rev) {
+		t.Error("HasRating wrong")
+	}
+	if !b.HasTrust(v, u) || b.HasTrust(u, v) {
+		t.Error("HasTrust wrong")
+	}
+	if b.NumUsers() != 2 || b.NumCategories() != 1 || b.NumObjects() != 1 || b.NumReviews() != 1 {
+		t.Error("builder counters wrong")
+	}
+}
+
+func TestAddUsersBulk(t *testing.T) {
+	b := NewBuilder()
+	first := b.AddUsers(10)
+	if first != 0 || b.NumUsers() != 10 {
+		t.Errorf("AddUsers: first=%d n=%d", first, b.NumUsers())
+	}
+	second := b.AddUsers(5)
+	if second != 10 || b.NumUsers() != 15 {
+		t.Errorf("AddUsers second batch: first=%d n=%d", second, b.NumUsers())
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := NewBuilder().Build()
+	if d.NumUsers() != 0 || d.NumRatings() != 0 {
+		t.Error("empty dataset not empty")
+	}
+	s := d.Stats()
+	if s.TrustDensity != 0 || s.ConnectionDensity != 0 {
+		t.Error("empty dataset densities should be 0")
+	}
+	_ = d.String()
+}

@@ -1,0 +1,275 @@
+package ratings
+
+import "sort"
+
+// indexes holds the CSR-style groupings frozen at Build time. Every
+// grouping is two slices: offsets (one per group, plus one) and a payload
+// array sorted by group; group g owns payload[offsets[g]:offsets[g+1]].
+type indexes struct {
+	// Reviews grouped by category and by writer (payloads are ReviewIDs).
+	reviewsByCategoryOff []int32
+	reviewsByCategory    []ReviewID
+	reviewsByWriterOff   []int32
+	reviewsByWriter      []ReviewID
+
+	// Ratings regrouped by review and by rater (payloads are copies of
+	// the Rating records, so callers get cache-friendly scans).
+	ratingsByReviewOff []int32
+	ratingsByReview    []Rating
+	ratingsByRaterOff  []int32
+	ratingsByRater     []Rating
+
+	// Direct connections: rater -> writer pairs with rating count and sum
+	// (the paper's R matrix; sums yield the baseline B).
+	connOff   []int32
+	connTo    []UserID
+	connCount []int32
+	connSum   []float64
+
+	// Explicit trust adjacency, sorted per source for binary search.
+	trustOff []int32
+	trustTo  []UserID
+}
+
+func buildIndexes(d *Dataset) *indexes {
+	idx := &indexes{}
+	numU := int32(d.NumUsers())
+	numC := int32(d.NumCategories())
+	numR := int32(d.NumReviews())
+
+	// Reviews by category and writer via counting sort.
+	idx.reviewsByCategoryOff, idx.reviewsByCategory = groupReviews(d.reviews, int(numC),
+		func(r Review) int32 { return int32(r.Category) })
+	idx.reviewsByWriterOff, idx.reviewsByWriter = groupReviews(d.reviews, int(numU),
+		func(r Review) int32 { return int32(r.Writer) })
+
+	// Ratings by review and rater.
+	idx.ratingsByReviewOff, idx.ratingsByReview = groupRatings(d.ratingList, int(numR),
+		func(r Rating) int32 { return int32(r.Review) })
+	idx.ratingsByRaterOff, idx.ratingsByRater = groupRatings(d.ratingList, int(numU),
+		func(r Rating) int32 { return int32(r.Rater) })
+
+	// Direct connections: aggregate (rater, writer) pairs.
+	type agg struct {
+		count int32
+		sum   float64
+	}
+	conn := make(map[uint64]*agg)
+	for _, r := range d.ratingList {
+		writer := d.reviews[r.Review].Writer
+		key := pairKey(int32(r.Rater), int32(writer))
+		a := conn[key]
+		if a == nil {
+			a = &agg{}
+			conn[key] = a
+		}
+		a.count++
+		a.sum += r.Value
+	}
+	idx.connOff = make([]int32, numU+1)
+	for key := range conn {
+		idx.connOff[int32(key>>32)+1]++
+	}
+	for u := int32(0); u < numU; u++ {
+		idx.connOff[u+1] += idx.connOff[u]
+	}
+	total := idx.connOff[numU]
+	idx.connTo = make([]UserID, total)
+	idx.connCount = make([]int32, total)
+	idx.connSum = make([]float64, total)
+	next := make([]int32, numU)
+	copy(next, idx.connOff[:numU])
+	for key, a := range conn {
+		from := int32(key >> 32)
+		pos := next[from]
+		idx.connTo[pos] = UserID(uint32(key))
+		idx.connCount[pos] = a.count
+		idx.connSum[pos] = a.sum
+		next[from]++
+	}
+	for u := int32(0); u < numU; u++ {
+		lo, hi := idx.connOff[u], idx.connOff[u+1]
+		sortConnRow(idx.connTo[lo:hi], idx.connCount[lo:hi], idx.connSum[lo:hi])
+	}
+
+	// Trust adjacency.
+	idx.trustOff = make([]int32, numU+1)
+	for _, e := range d.trust {
+		idx.trustOff[e.From+1]++
+	}
+	for u := int32(0); u < numU; u++ {
+		idx.trustOff[u+1] += idx.trustOff[u]
+	}
+	idx.trustTo = make([]UserID, len(d.trust))
+	nextT := make([]int32, numU)
+	copy(nextT, idx.trustOff[:numU])
+	for _, e := range d.trust {
+		idx.trustTo[nextT[e.From]] = e.To
+		nextT[e.From]++
+	}
+	for u := int32(0); u < numU; u++ {
+		lo, hi := idx.trustOff[u], idx.trustOff[u+1]
+		row := idx.trustTo[lo:hi]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	}
+	return idx
+}
+
+func groupReviews(reviews []Review, groups int, key func(Review) int32) ([]int32, []ReviewID) {
+	off := make([]int32, groups+1)
+	for _, r := range reviews {
+		off[key(r)+1]++
+	}
+	for g := 0; g < groups; g++ {
+		off[g+1] += off[g]
+	}
+	payload := make([]ReviewID, len(reviews))
+	next := make([]int32, groups)
+	copy(next, off[:groups])
+	for _, r := range reviews { // insertion order keeps ReviewIDs ascending per group
+		g := key(r)
+		payload[next[g]] = r.ID
+		next[g]++
+	}
+	return off, payload
+}
+
+func groupRatings(list []Rating, groups int, key func(Rating) int32) ([]int32, []Rating) {
+	off := make([]int32, groups+1)
+	for _, r := range list {
+		off[key(r)+1]++
+	}
+	for g := 0; g < groups; g++ {
+		off[g+1] += off[g]
+	}
+	payload := make([]Rating, len(list))
+	next := make([]int32, groups)
+	copy(next, off[:groups])
+	for _, r := range list {
+		g := key(r)
+		payload[next[g]] = r
+		next[g]++
+	}
+	return off, payload
+}
+
+func sortConnRow(to []UserID, count []int32, sum []float64) {
+	order := make([]int, len(to))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return to[order[a]] < to[order[b]] })
+	t2 := make([]UserID, len(to))
+	c2 := make([]int32, len(to))
+	s2 := make([]float64, len(to))
+	for i, o := range order {
+		t2[i], c2[i], s2[i] = to[o], count[o], sum[o]
+	}
+	copy(to, t2)
+	copy(count, c2)
+	copy(sum, s2)
+}
+
+// ReviewsInCategory returns the ids of all reviews in category c, in
+// ascending order. The returned slice is shared and must not be modified.
+func (d *Dataset) ReviewsInCategory(c CategoryID) []ReviewID {
+	lo, hi := d.idx.reviewsByCategoryOff[c], d.idx.reviewsByCategoryOff[c+1]
+	return d.idx.reviewsByCategory[lo:hi]
+}
+
+// ReviewsByWriter returns the ids of all reviews written by u, in
+// ascending order. The returned slice is shared and must not be modified.
+func (d *Dataset) ReviewsByWriter(u UserID) []ReviewID {
+	lo, hi := d.idx.reviewsByWriterOff[u], d.idx.reviewsByWriterOff[u+1]
+	return d.idx.reviewsByWriter[lo:hi]
+}
+
+// RatingsOn returns all ratings received by review r. The returned slice
+// is shared and must not be modified.
+func (d *Dataset) RatingsOn(r ReviewID) []Rating {
+	lo, hi := d.idx.ratingsByReviewOff[r], d.idx.ratingsByReviewOff[r+1]
+	return d.idx.ratingsByReview[lo:hi]
+}
+
+// RatingsBy returns all ratings given by user u. The returned slice is
+// shared and must not be modified.
+func (d *Dataset) RatingsBy(u UserID) []Rating {
+	lo, hi := d.idx.ratingsByRaterOff[u], d.idx.ratingsByRaterOff[u+1]
+	return d.idx.ratingsByRater[lo:hi]
+}
+
+// Connection is one entry of the direct-connection matrix R: rater From
+// has rated Count reviews written by To, with rating sum Sum.
+type Connection struct {
+	To    UserID
+	Count int32
+	Sum   float64
+}
+
+// AvgRating returns Sum / Count, the baseline B value for this pair.
+func (c Connection) AvgRating() float64 { return c.Sum / float64(c.Count) }
+
+// ConnectionsFrom invokes fn for every direct connection of user u (every
+// distinct writer whose reviews u has rated), in ascending writer order.
+func (d *Dataset) ConnectionsFrom(u UserID, fn func(Connection)) {
+	lo, hi := d.idx.connOff[u], d.idx.connOff[u+1]
+	for i := lo; i < hi; i++ {
+		fn(Connection{To: d.idx.connTo[i], Count: d.idx.connCount[i], Sum: d.idx.connSum[i]})
+	}
+}
+
+// NumConnections returns the number of distinct writers user u has rated
+// (the size of row u of the R matrix).
+func (d *Dataset) NumConnections(u UserID) int {
+	return int(d.idx.connOff[u+1] - d.idx.connOff[u])
+}
+
+// TotalConnections returns the number of stored entries of the R matrix.
+func (d *Dataset) TotalConnections() int { return len(d.idx.connTo) }
+
+// HasConnection reports whether user from has rated any review written by
+// user to (R_{from,to} = 1).
+func (d *Dataset) HasConnection(from, to UserID) bool {
+	lo, hi := d.idx.connOff[from], d.idx.connOff[from+1]
+	row := d.idx.connTo[lo:hi]
+	k := sort.Search(len(row), func(i int) bool { return row[i] >= to })
+	return k < len(row) && row[k] == to
+}
+
+// TrustedBy returns the users that u explicitly trusts, in ascending
+// order. The returned slice is shared and must not be modified.
+func (d *Dataset) TrustedBy(u UserID) []UserID {
+	lo, hi := d.idx.trustOff[u], d.idx.trustOff[u+1]
+	return d.idx.trustTo[lo:hi]
+}
+
+// HasTrustEdge reports whether from explicitly trusts to.
+func (d *Dataset) HasTrustEdge(from, to UserID) bool {
+	row := d.TrustedBy(from)
+	k := sort.Search(len(row), func(i int) bool { return row[i] >= to })
+	return k < len(row) && row[k] == to
+}
+
+// NumReviewsByIn returns how many reviews user u wrote in category c (the
+// affinity count a^w).
+func (d *Dataset) NumReviewsByIn(u UserID, c CategoryID) int {
+	n := 0
+	for _, rid := range d.ReviewsByWriter(u) {
+		if d.reviews[rid].Category == c {
+			n++
+		}
+	}
+	return n
+}
+
+// NumRatingsByIn returns how many ratings user u gave in category c (the
+// affinity count a^r).
+func (d *Dataset) NumRatingsByIn(u UserID, c CategoryID) int {
+	n := 0
+	for _, r := range d.RatingsBy(u) {
+		if d.reviews[r.Review].Category == c {
+			n++
+		}
+	}
+	return n
+}

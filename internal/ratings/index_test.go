@@ -1,0 +1,262 @@
+package ratings
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/stats"
+)
+
+func TestReviewsIndexes(t *testing.T) {
+	d := buildTiny(t)
+	movies := d.ReviewsInCategory(0)
+	if len(movies) != 2 || movies[0] != 0 || movies[1] != 1 {
+		t.Errorf("ReviewsInCategory(movies) = %v, want [0 1]", movies)
+	}
+	books := d.ReviewsInCategory(1)
+	if len(books) != 1 || books[0] != 2 {
+		t.Errorf("ReviewsInCategory(books) = %v, want [2]", books)
+	}
+	alice := d.ReviewsByWriter(0)
+	if len(alice) != 2 {
+		t.Errorf("alice reviews = %v, want 2 reviews", alice)
+	}
+	if len(d.ReviewsByWriter(4)) != 0 {
+		t.Error("idle user should have no reviews")
+	}
+}
+
+func TestRatingsIndexes(t *testing.T) {
+	d := buildTiny(t)
+	onR1 := d.RatingsOn(0)
+	if len(onR1) != 2 {
+		t.Fatalf("RatingsOn(r1) has %d entries, want 2", len(onR1))
+	}
+	var sum float64
+	for _, r := range onR1 {
+		if r.Review != 0 {
+			t.Errorf("rating grouped into wrong review: %+v", r)
+		}
+		sum += r.Value
+	}
+	if math.Abs(sum-1.8) > 1e-12 {
+		t.Errorf("sum of ratings on r1 = %v, want 1.8", sum)
+	}
+	byCarol := d.RatingsBy(2)
+	if len(byCarol) != 3 {
+		t.Errorf("carol gave %d ratings, want 3", len(byCarol))
+	}
+	if len(d.RatingsBy(4)) != 0 {
+		t.Error("idle user should have no ratings")
+	}
+}
+
+func TestConnections(t *testing.T) {
+	d := buildTiny(t)
+	// carol rated alice twice (1.0, 0.8) and bob once (0.6).
+	if got := d.NumConnections(2); got != 2 {
+		t.Fatalf("carol connections = %d, want 2", got)
+	}
+	var conns []Connection
+	d.ConnectionsFrom(2, func(c Connection) { conns = append(conns, c) })
+	if conns[0].To != 0 || conns[1].To != 1 {
+		t.Fatalf("connections not sorted by target: %+v", conns)
+	}
+	if conns[0].Count != 2 || math.Abs(conns[0].AvgRating()-0.9) > 1e-12 {
+		t.Errorf("carol->alice = %+v, want count 2 avg 0.9", conns[0])
+	}
+	if conns[1].Count != 1 || math.Abs(conns[1].AvgRating()-0.6) > 1e-12 {
+		t.Errorf("carol->bob = %+v, want count 1 avg 0.6", conns[1])
+	}
+	if !d.HasConnection(2, 0) || !d.HasConnection(3, 0) {
+		t.Error("expected connections missing")
+	}
+	if d.HasConnection(0, 2) || d.HasConnection(4, 0) {
+		t.Error("unexpected connections present")
+	}
+	if d.TotalConnections() != 3 {
+		t.Errorf("TotalConnections = %d, want 3", d.TotalConnections())
+	}
+}
+
+func TestTrustIndex(t *testing.T) {
+	d := buildTiny(t)
+	if !d.HasTrustEdge(2, 0) || !d.HasTrustEdge(3, 0) {
+		t.Error("expected trust edges missing")
+	}
+	if d.HasTrustEdge(0, 2) {
+		t.Error("reverse trust edge should not exist")
+	}
+	got := d.TrustedBy(2)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("TrustedBy(carol) = %v, want [0]", got)
+	}
+	if len(d.TrustedBy(4)) != 0 {
+		t.Error("idle user trusts no one")
+	}
+}
+
+func TestAffinityCounts(t *testing.T) {
+	d := buildTiny(t)
+	if got := d.NumReviewsByIn(0, 0); got != 2 {
+		t.Errorf("alice reviews in movies = %d, want 2", got)
+	}
+	if got := d.NumReviewsByIn(0, 1); got != 0 {
+		t.Errorf("alice reviews in books = %d, want 0", got)
+	}
+	if got := d.NumRatingsByIn(2, 0); got != 2 {
+		t.Errorf("carol ratings in movies = %d, want 2", got)
+	}
+	if got := d.NumRatingsByIn(2, 1); got != 1 {
+		t.Errorf("carol ratings in books = %d, want 1", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := buildTiny(t)
+	s := d.Stats()
+	if s.ActiveUsers != 4 { // eve is idle
+		t.Errorf("ActiveUsers = %d, want 4", s.ActiveUsers)
+	}
+	if s.Writers != 2 || s.Raters != 2 {
+		t.Errorf("Writers=%d Raters=%d, want 2, 2", s.Writers, s.Raters)
+	}
+	if s.DirectConnections != 3 {
+		t.Errorf("DirectConnections = %d, want 3", s.DirectConnections)
+	}
+	if s.TrustInR != 2 || s.TrustOutsideR != 0 {
+		t.Errorf("TrustInR=%d TrustOutsideR=%d, want 2, 0", s.TrustInR, s.TrustOutsideR)
+	}
+	wantDensity := 2.0 / (5 * 4)
+	if math.Abs(s.TrustDensity-wantDensity) > 1e-12 {
+		t.Errorf("TrustDensity = %v, want %v", s.TrustDensity, wantDensity)
+	}
+	if s.MeanRatingsPerRater != 2 {
+		t.Errorf("MeanRatingsPerRater = %v, want 2", s.MeanRatingsPerRater)
+	}
+	_ = s.String()
+}
+
+// randomDataset builds a random but valid dataset for property tests.
+func randomDataset(seed uint64) *Dataset {
+	rng := stats.NewRand(seed)
+	b := NewBuilder()
+	numCats := 1 + rng.IntN(4)
+	for c := 0; c < numCats; c++ {
+		b.AddCategory("")
+	}
+	numUsers := 2 + rng.IntN(20)
+	b.AddUsers(numUsers)
+	numObjects := 1 + rng.IntN(15)
+	for o := 0; o < numObjects; o++ {
+		if _, err := b.AddObject(CategoryID(rng.IntN(numCats)), ""); err != nil {
+			panic(err)
+		}
+	}
+	var reviews []ReviewID
+	for k := 0; k < rng.IntN(40); k++ {
+		w := UserID(rng.IntN(numUsers))
+		o := ObjectID(rng.IntN(numObjects))
+		if b.HasReview(w, o) {
+			continue
+		}
+		id, err := b.AddReview(w, o)
+		if err != nil {
+			panic(err)
+		}
+		reviews = append(reviews, id)
+	}
+	for k := 0; k < rng.IntN(120) && len(reviews) > 0; k++ {
+		rater := UserID(rng.IntN(numUsers))
+		rev := reviews[rng.IntN(len(reviews))]
+		v := QuantizeRating(rng.Float64())
+		if b.HasRating(rater, rev) {
+			continue
+		}
+		if err := b.AddRating(rater, rev, v); err != nil {
+			continue // self-rating attempts are fine to skip
+		}
+	}
+	for k := 0; k < rng.IntN(30); k++ {
+		from := UserID(rng.IntN(numUsers))
+		to := UserID(rng.IntN(numUsers))
+		if from == to || b.HasTrust(from, to) {
+			continue
+		}
+		if err := b.AddTrust(from, to); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// Property: indexes are consistent with the flat lists — every rating
+// appears exactly once in each grouping, and connection counts equal the
+// number of distinct (rater, writer) pairs.
+func TestIndexConsistencyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDataset(seed)
+		// Sum of grouped ratings equals total.
+		byReview, byRater := 0, 0
+		for r := ReviewID(0); int(r) < d.NumReviews(); r++ {
+			byReview += len(d.RatingsOn(r))
+		}
+		for u := UserID(0); int(u) < d.NumUsers(); u++ {
+			byRater += len(d.RatingsBy(u))
+		}
+		if byReview != d.NumRatings() || byRater != d.NumRatings() {
+			return false
+		}
+		// Connections match a reference recomputation.
+		ref := make(map[uint64]int)
+		for _, r := range d.Ratings() {
+			ref[pairKey(int32(r.Rater), int32(d.Review(r.Review).Writer))]++
+		}
+		total := 0
+		for u := UserID(0); int(u) < d.NumUsers(); u++ {
+			d.ConnectionsFrom(u, func(c Connection) {
+				total++
+				if ref[pairKey(int32(u), int32(c.To))] != int(c.Count) {
+					t.Errorf("seed %d: connection %d->%d count %d, ref %d",
+						seed, u, c.To, c.Count, ref[pairKey(int32(u), int32(c.To))])
+				}
+			})
+		}
+		if total != len(ref) || total != d.TotalConnections() {
+			return false
+		}
+		// Trust adjacency matches the edge list.
+		for _, e := range d.TrustEdges() {
+			if !d.HasTrustEdge(e.From, e.To) {
+				return false
+			}
+		}
+		nTrust := 0
+		for u := UserID(0); int(u) < d.NumUsers(); u++ {
+			nTrust += len(d.TrustedBy(u))
+		}
+		return nTrust == d.NumTrustEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-category review and rating counts sum to the totals.
+func TestCategoryCountsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDataset(seed)
+		revSum, ratSum := 0, 0
+		for c := CategoryID(0); int(c) < d.NumCategories(); c++ {
+			revSum += len(d.ReviewsInCategory(c))
+			for u := UserID(0); int(u) < d.NumUsers(); u++ {
+				ratSum += d.NumRatingsByIn(u, c)
+			}
+		}
+		return revSum == d.NumReviews() && ratSum == d.NumRatings()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package ratings defines the review-community data model the whole
+// framework operates on: users who write reviews on objects in categories,
+// users who rate those reviews on Epinions' five-level helpfulness scale,
+// and an optional explicit web of trust used as evaluation ground truth.
+//
+// A Dataset is immutable once built. Construct one through a Builder, which
+// validates referential integrity and freezes CSR-style indexes for the
+// access patterns the pipeline needs (reviews by writer, reviews by
+// category, ratings by review, ratings by rater, rater-to-writer direct
+// connections).
+package ratings
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed identifiers. IDs are dense: users are 0..NumUsers-1, categories
+// 0..NumCategories-1, and so on, which lets every index be a slice.
+type (
+	// UserID identifies a community member (writer and/or rater).
+	UserID int32
+	// CategoryID identifies a review category (the paper's "context").
+	CategoryID int32
+	// ObjectID identifies a reviewable object (e.g. a movie).
+	ObjectID int32
+	// ReviewID identifies a single review.
+	ReviewID int32
+)
+
+// NoUser is the sentinel for an absent user reference.
+const NoUser UserID = -1
+
+// Rating scale: Epinions' five helpfulness levels, scored 0.2 (not
+// helpful) through 1.0 (most helpful) as in the paper's Section IV-A.
+const (
+	// RatingLevels is the number of discrete rating values.
+	RatingLevels = 5
+	// MinRating is the lowest expressible rating (0.2, "not helpful").
+	MinRating = 1.0 / RatingLevels
+	// MaxRating is the highest expressible rating (1.0, "most helpful").
+	MaxRating = 1.0
+)
+
+// QuantizeRating snaps x to the nearest of the five rating levels,
+// clamping to [MinRating, MaxRating]. It is how the synthetic generator
+// (and any ingestion of continuous scores) discretises ratings.
+func QuantizeRating(x float64) float64 {
+	level := math.Round(x * RatingLevels)
+	if level < 1 {
+		level = 1
+	}
+	if level > RatingLevels {
+		level = RatingLevels
+	}
+	return level / RatingLevels
+}
+
+// ValidRating reports whether v is exactly one of the five levels.
+func ValidRating(v float64) bool {
+	scaled := v * RatingLevels
+	rounded := math.Round(scaled)
+	return rounded >= 1 && rounded <= RatingLevels && math.Abs(scaled-rounded) < 1e-9
+}
+
+// RatingLevel returns the 1-based level of a valid rating value (0.2 -> 1,
+// 1.0 -> 5). The result is unspecified for invalid values.
+func RatingLevel(v float64) int {
+	return int(math.Round(v * RatingLevels))
+}
+
+// Object is something users review, e.g. a movie in one of the Video & DVD
+// sub-categories.
+type Object struct {
+	ID       ObjectID
+	Category CategoryID
+	Name     string
+}
+
+// Review is a text review written by a user about an object. The review's
+// category is the category of its object, denormalised here because every
+// pipeline step groups by category.
+type Review struct {
+	ID       ReviewID
+	Writer   UserID
+	Object   ObjectID
+	Category CategoryID
+}
+
+// Rating is one user's helpfulness rating of one review.
+type Rating struct {
+	Rater  UserID
+	Review ReviewID
+	Value  float64
+}
+
+// TrustEdge is a directed explicit-trust statement: From trusts To. The
+// paper treats explicit trust as binary, so an edge is presence-only.
+type TrustEdge struct {
+	From, To UserID
+}
+
+// Validation errors returned by the Builder.
+var (
+	// ErrUnknownUser marks a reference to a user that was never added.
+	ErrUnknownUser = errors.New("ratings: unknown user")
+	// ErrUnknownCategory marks a reference to an absent category.
+	ErrUnknownCategory = errors.New("ratings: unknown category")
+	// ErrUnknownObject marks a reference to an absent object.
+	ErrUnknownObject = errors.New("ratings: unknown object")
+	// ErrUnknownReview marks a reference to an absent review.
+	ErrUnknownReview = errors.New("ratings: unknown review")
+	// ErrInvalidRating marks a rating value off the five-level scale.
+	ErrInvalidRating = errors.New("ratings: invalid rating value")
+	// ErrDuplicate marks a duplicate review (same writer and object),
+	// rating (same rater and review) or trust edge (same pair).
+	ErrDuplicate = errors.New("ratings: duplicate")
+	// ErrSelf marks a self-interaction: rating one's own review or
+	// trusting oneself.
+	ErrSelf = errors.New("ratings: self-interaction")
+)
+
+// Dataset is an immutable review community. All exported slice fields are
+// owned by the dataset and must not be modified; concurrent reads are safe.
+type Dataset struct {
+	userNames  []string
+	categories []string
+	objects    []Object
+	reviews    []Review
+	ratingList []Rating
+	trust      []TrustEdge
+
+	idx *indexes
+}
+
+// NumUsers returns the number of users.
+func (d *Dataset) NumUsers() int { return len(d.userNames) }
+
+// NumCategories returns the number of categories.
+func (d *Dataset) NumCategories() int { return len(d.categories) }
+
+// NumObjects returns the number of objects.
+func (d *Dataset) NumObjects() int { return len(d.objects) }
+
+// NumReviews returns the number of reviews.
+func (d *Dataset) NumReviews() int { return len(d.reviews) }
+
+// NumRatings returns the number of ratings.
+func (d *Dataset) NumRatings() int { return len(d.ratingList) }
+
+// NumTrustEdges returns the number of explicit trust edges.
+func (d *Dataset) NumTrustEdges() int { return len(d.trust) }
+
+// UserName returns the display name of u.
+func (d *Dataset) UserName(u UserID) string { return d.userNames[u] }
+
+// CategoryName returns the display name of c.
+func (d *Dataset) CategoryName(c CategoryID) string { return d.categories[c] }
+
+// Categories returns all category names indexed by CategoryID. The caller
+// must not modify the returned slice.
+func (d *Dataset) Categories() []string { return d.categories }
+
+// Object returns the object with the given id.
+func (d *Dataset) Object(o ObjectID) Object { return d.objects[o] }
+
+// Review returns the review with the given id.
+func (d *Dataset) Review(r ReviewID) Review { return d.reviews[r] }
+
+// Reviews returns all reviews indexed by ReviewID. The caller must not
+// modify the returned slice.
+func (d *Dataset) Reviews() []Review { return d.reviews }
+
+// Ratings returns all ratings in insertion order. The caller must not
+// modify the returned slice.
+func (d *Dataset) Ratings() []Rating { return d.ratingList }
+
+// TrustEdges returns all explicit trust edges. The caller must not modify
+// the returned slice.
+func (d *Dataset) TrustEdges() []TrustEdge { return d.trust }
+
+// HasExplicitTrust reports whether the dataset carries an explicit web of
+// trust (needed only for evaluation; the framework itself never reads it).
+func (d *Dataset) HasExplicitTrust() bool { return len(d.trust) > 0 }
+
+// String summarises the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("Dataset{users: %d, categories: %d, objects: %d, reviews: %d, ratings: %d, trust: %d}",
+		d.NumUsers(), d.NumCategories(), d.NumObjects(), d.NumReviews(), d.NumRatings(), d.NumTrustEdges())
+}

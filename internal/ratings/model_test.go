@@ -1,0 +1,85 @@
+package ratings
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRating(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0.2},
+		{-1, 0.2},
+		{0.1, 0.2},
+		{0.29, 0.2},
+		{0.31, 0.4},
+		{0.5, 0.4}, // 0.5*5 = 2.5 rounds to 2 via round-half-away? math.Round(2.5)=3 -> 0.6
+		{0.55, 0.6},
+		{0.75, 0.8},
+		{0.95, 1.0},
+		{1.0, 1.0},
+		{2.0, 1.0},
+	}
+	for _, c := range cases {
+		got := QuantizeRating(c.in)
+		if c.in == 0.5 {
+			// math.Round rounds half away from zero: 2.5 -> 3 -> 0.6.
+			if got != 0.6 {
+				t.Errorf("QuantizeRating(0.5) = %v, want 0.6", got)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("QuantizeRating(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValidRating(t *testing.T) {
+	for _, v := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		if !ValidRating(v) {
+			t.Errorf("ValidRating(%v) = false, want true", v)
+		}
+	}
+	for _, v := range []float64{0, 0.1, 0.3, 1.2, -0.2, 0.20001} {
+		if ValidRating(v) {
+			t.Errorf("ValidRating(%v) = true, want false", v)
+		}
+	}
+}
+
+func TestRatingLevel(t *testing.T) {
+	for level := 1; level <= RatingLevels; level++ {
+		v := float64(level) / RatingLevels
+		if got := RatingLevel(v); got != level {
+			t.Errorf("RatingLevel(%v) = %d, want %d", v, got, level)
+		}
+	}
+}
+
+// Property: QuantizeRating always yields a valid rating and is idempotent.
+func TestQuantizeRatingQuick(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		q := QuantizeRating(x)
+		return ValidRating(q) && QuantizeRating(q) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantization never moves a value by more than half a level
+// (plus clamping at the ends).
+func TestQuantizeRatingDistanceQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		x := MinRating + (MaxRating-MinRating)*float64(raw)/65535
+		q := QuantizeRating(x)
+		return math.Abs(q-x) <= 0.1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package ratings
+
+import "fmt"
+
+// DatasetStats summarises a dataset's size and sparsity, mirroring the
+// quantities the paper reports for its Epinions crawl (Section IV-A) and
+// the density comparison of Fig. 3.
+type DatasetStats struct {
+	Users      int
+	Categories int
+	Objects    int
+	Reviews    int
+	Ratings    int
+	TrustEdges int
+
+	// ActiveUsers is the number of users who wrote or rated at least one
+	// review (the paper keeps only such users: 44,197 in Video & DVD).
+	ActiveUsers int
+	// Writers and Raters count users with at least one review / rating.
+	Writers int
+	Raters  int
+
+	// DirectConnections is the number of non-zero cells of R.
+	DirectConnections int
+	// TrustDensity, ConnectionDensity are nnz / (U*(U-1)) — fractions of
+	// possible directed pairs.
+	TrustDensity      float64
+	ConnectionDensity float64
+
+	// TrustInR / TrustOutsideR split the explicit trust edges into those
+	// whose pair also has a direct connection (T∩R) and the rest (T−R).
+	TrustInR      int
+	TrustOutsideR int
+
+	// MeanRatingsPerRater and MeanReviewsPerWriter describe activity.
+	MeanRatingsPerRater  float64
+	MeanReviewsPerWriter float64
+}
+
+// Stats computes summary statistics for the dataset.
+func (d *Dataset) Stats() DatasetStats {
+	s := DatasetStats{
+		Users:      d.NumUsers(),
+		Categories: d.NumCategories(),
+		Objects:    d.NumObjects(),
+		Reviews:    d.NumReviews(),
+		Ratings:    d.NumRatings(),
+		TrustEdges: d.NumTrustEdges(),
+	}
+	for u := UserID(0); int(u) < d.NumUsers(); u++ {
+		wrote := len(d.ReviewsByWriter(u)) > 0
+		rated := len(d.RatingsBy(u)) > 0
+		if wrote {
+			s.Writers++
+		}
+		if rated {
+			s.Raters++
+		}
+		if wrote || rated {
+			s.ActiveUsers++
+		}
+	}
+	s.DirectConnections = d.TotalConnections()
+	pairs := float64(d.NumUsers()) * float64(d.NumUsers()-1)
+	if pairs > 0 {
+		s.TrustDensity = float64(s.TrustEdges) / pairs
+		s.ConnectionDensity = float64(s.DirectConnections) / pairs
+	}
+	for _, e := range d.trust {
+		if d.HasConnection(e.From, e.To) {
+			s.TrustInR++
+		} else {
+			s.TrustOutsideR++
+		}
+	}
+	if s.Raters > 0 {
+		s.MeanRatingsPerRater = float64(s.Ratings) / float64(s.Raters)
+	}
+	if s.Writers > 0 {
+		s.MeanReviewsPerWriter = float64(s.Reviews) / float64(s.Writers)
+	}
+	return s
+}
+
+// String renders the stats in a compact human-readable block.
+func (s DatasetStats) String() string {
+	return fmt.Sprintf(
+		"users=%d (active=%d, writers=%d, raters=%d) categories=%d objects=%d\n"+
+			"reviews=%d ratings=%d trust=%d (inR=%d outsideR=%d)\n"+
+			"connections=%d trustDensity=%.6f connDensity=%.6f\n"+
+			"ratings/rater=%.2f reviews/writer=%.2f",
+		s.Users, s.ActiveUsers, s.Writers, s.Raters, s.Categories, s.Objects,
+		s.Reviews, s.Ratings, s.TrustEdges, s.TrustInR, s.TrustOutsideR,
+		s.DirectConnections, s.TrustDensity, s.ConnectionDensity,
+		s.MeanRatingsPerRater, s.MeanReviewsPerWriter)
+}

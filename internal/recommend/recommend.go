@@ -1,0 +1,223 @@
+// Package recommend applies the derived web of trust to the paper's
+// motivating application: helping users "collect reliable information" by
+// predicting how helpful a review will be *to a particular user*. It
+// implements three predictors of increasing sophistication —
+//
+//   - GlobalMean: the plain average of a review's observed ratings (what a
+//     site shows everyone);
+//   - RiggsQuality: the paper's eq. 1 quality — the rater-reputation-
+//     weighted average, discounting unreliable raters;
+//   - TrustWeighted: a personalised score that weights each rater's
+//     opinion by the asking user's derived trust T̂ in them (the
+//     FilmTrust-style application of a web of trust);
+//
+// — and a deterministic holdout harness measuring MAE/RMSE/coverage.
+package recommend
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/riggs"
+	"weboftrust/internal/stats"
+)
+
+// ErrBadSplit reports an invalid holdout fraction.
+var ErrBadSplit = errors.New("recommend: invalid holdout fraction")
+
+// Predictor estimates the rating a user would give a review.
+type Predictor interface {
+	// Predict returns the estimated rating value and whether an estimate
+	// is possible for this (user, review) pair.
+	Predict(u ratings.UserID, r ratings.ReviewID) (float64, bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// GlobalMean predicts the unweighted average of the review's observed
+// ratings.
+type GlobalMean struct {
+	d *ratings.Dataset
+}
+
+// NewGlobalMean builds the baseline predictor over the training dataset.
+func NewGlobalMean(d *ratings.Dataset) *GlobalMean { return &GlobalMean{d: d} }
+
+// Name implements Predictor.
+func (g *GlobalMean) Name() string { return "global-mean" }
+
+// Predict implements Predictor.
+func (g *GlobalMean) Predict(u ratings.UserID, r ratings.ReviewID) (float64, bool) {
+	rs := g.d.RatingsOn(r)
+	var sum float64
+	n := 0
+	for _, rt := range rs {
+		if rt.Rater == u {
+			continue // never peek at the asking user's own rating
+		}
+		sum += rt.Value
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// RiggsQuality predicts the eq. 1 review quality: the rater-reputation-
+// weighted average from the category's converged fixed point.
+type RiggsQuality struct {
+	d       *ratings.Dataset
+	results []*riggs.CategoryResult
+}
+
+// NewRiggsQuality builds the quality predictor from per-category Riggs
+// results (as produced by the pipeline).
+func NewRiggsQuality(d *ratings.Dataset, results []*riggs.CategoryResult) (*RiggsQuality, error) {
+	if len(results) != d.NumCategories() {
+		return nil, fmt.Errorf("recommend: %d riggs results for %d categories", len(results), d.NumCategories())
+	}
+	return &RiggsQuality{d: d, results: results}, nil
+}
+
+// Name implements Predictor.
+func (q *RiggsQuality) Name() string { return "riggs-quality" }
+
+// Predict implements Predictor.
+func (q *RiggsQuality) Predict(u ratings.UserID, r ratings.ReviewID) (float64, bool) {
+	if int(r) < 0 || int(r) >= q.d.NumReviews() {
+		return 0, false
+	}
+	if len(q.d.RatingsOn(r)) == 0 {
+		return 0, false // unrated reviews carry no signal, only the prior
+	}
+	rev := q.d.Review(r)
+	v, ok := q.results[rev.Category].QualityOf(r)
+	return v, ok
+}
+
+// TrustWeighted personalises the estimate: each rater's opinion is
+// weighted by the asking user's derived trust in that rater, falling back
+// to unweighted when the user trusts none of them.
+type TrustWeighted struct {
+	d     *ratings.Dataset
+	trust *core.DerivedTrust
+}
+
+// NewTrustWeighted builds the personalised predictor.
+func NewTrustWeighted(d *ratings.Dataset, trust *core.DerivedTrust) *TrustWeighted {
+	return &TrustWeighted{d: d, trust: trust}
+}
+
+// Name implements Predictor.
+func (t *TrustWeighted) Name() string { return "trust-weighted" }
+
+// Predict implements Predictor.
+func (t *TrustWeighted) Predict(u ratings.UserID, r ratings.ReviewID) (float64, bool) {
+	rs := t.d.RatingsOn(r)
+	var num, den float64
+	var plainSum float64
+	n := 0
+	for _, rt := range rs {
+		if rt.Rater == u {
+			continue
+		}
+		w := t.trust.Value(u, rt.Rater)
+		num += w * rt.Value
+		den += w
+		plainSum += rt.Value
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	if den == 0 {
+		return plainSum / float64(n), true // no trusted raters: plain mean
+	}
+	return num / den, true
+}
+
+// Holdout deterministically splits a dataset's ratings into a training
+// dataset (with the held-out ratings removed) and the held-out test set.
+// frac is the held-out fraction in (0, 1).
+func Holdout(d *ratings.Dataset, frac float64, seed uint64) (*ratings.Dataset, []ratings.Rating, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSplit, frac)
+	}
+	rng := stats.NewRand(seed)
+	var test []ratings.Rating
+	b := ratings.NewBuilder()
+	for c := 0; c < d.NumCategories(); c++ {
+		b.AddCategory(d.CategoryName(ratings.CategoryID(c)))
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		b.AddUser(d.UserName(ratings.UserID(u)))
+	}
+	for o := 0; o < d.NumObjects(); o++ {
+		obj := d.Object(ratings.ObjectID(o))
+		if _, err := b.AddObject(obj.Category, obj.Name); err != nil {
+			return nil, nil, err
+		}
+	}
+	for r := 0; r < d.NumReviews(); r++ {
+		rev := d.Review(ratings.ReviewID(r))
+		if _, err := b.AddReview(rev.Writer, rev.Object); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, rt := range d.Ratings() {
+		if rng.Float64() < frac {
+			test = append(test, rt)
+			continue
+		}
+		if err := b.AddRating(rt.Rater, rt.Review, rt.Value); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, e := range d.TrustEdges() {
+		if err := b.AddTrust(e.From, e.To); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.Build(), test, nil
+}
+
+// Report holds a predictor's held-out accuracy.
+type Report struct {
+	Name string
+	// MAE and RMSE are over the covered test ratings; Coverage is the
+	// fraction of test ratings the predictor could estimate at all.
+	MAE      float64
+	RMSE     float64
+	Coverage float64
+	N        int
+}
+
+// Evaluate measures a predictor against held-out ratings.
+func Evaluate(p Predictor, test []ratings.Rating) Report {
+	rep := Report{Name: p.Name()}
+	var absSum, sqSum float64
+	covered := 0
+	for _, rt := range test {
+		pred, ok := p.Predict(rt.Rater, rt.Review)
+		if !ok {
+			continue
+		}
+		covered++
+		diff := pred - rt.Value
+		absSum += math.Abs(diff)
+		sqSum += diff * diff
+	}
+	rep.N = covered
+	if len(test) > 0 {
+		rep.Coverage = float64(covered) / float64(len(test))
+	}
+	if covered > 0 {
+		rep.MAE = absSum / float64(covered)
+		rep.RMSE = math.Sqrt(sqSum / float64(covered))
+	}
+	return rep
+}

@@ -1,0 +1,267 @@
+package recommend
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"weboftrust/internal/core"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/synth"
+)
+
+// fixture: one category, writer w, raters a (reliable, rates 0.8) and b
+// (noisy, rates 0.2), asker u with heavy rating activity toward w.
+func fixture(t *testing.T) (*ratings.Dataset, *core.Artifacts) {
+	t.Helper()
+	b := ratings.NewBuilder()
+	cat := b.AddCategory("movies")
+	w := b.AddUser("w")
+	ra := b.AddUser("ra")
+	rb := b.AddUser("rb")
+	u := b.AddUser("u")
+	var reviews []ratings.ReviewID
+	for i := 0; i < 4; i++ {
+		oid, err := b.AddObject(cat, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(w, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reviews = append(reviews, rid)
+	}
+	for _, rid := range reviews {
+		if err := b.AddRating(ra, rid, 0.8); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddRating(rb, rid, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The asker rates three of the four reviews highly (so their derived
+	// affinity lives in movies); the fourth is the prediction target.
+	for _, rid := range reviews[:3] {
+		if err := b.AddRating(u, rid, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := b.Build()
+	art, err := core.DefaultConfig().Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, art
+}
+
+func TestGlobalMean(t *testing.T) {
+	d, _ := fixture(t)
+	g := NewGlobalMean(d)
+	// Review 3 has ratings 0.8 (ra) and 0.2 (rb): mean 0.5.
+	v, ok := g.Predict(3, 3)
+	if !ok || math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("Predict = %v, %v; want 0.5", v, ok)
+	}
+	if g.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestGlobalMeanExcludesAsker(t *testing.T) {
+	d, _ := fixture(t)
+	g := NewGlobalMean(d)
+	// Review 0 has ratings by ra (0.8), rb (0.2) and u (0.8). Asking for
+	// u must exclude u's own rating: (0.8+0.2)/2 = 0.5.
+	v, ok := g.Predict(3, 0)
+	if !ok || math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("Predict = %v, %v; want 0.5 (own rating excluded)", v, ok)
+	}
+}
+
+func TestGlobalMeanNoRatings(t *testing.T) {
+	b := ratings.NewBuilder()
+	cat := b.AddCategory("c")
+	w := b.AddUser("w")
+	b.AddUser("u")
+	oid, _ := b.AddObject(cat, "")
+	if _, err := b.AddReview(w, oid); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	if _, ok := NewGlobalMean(d).Predict(1, 0); ok {
+		t.Error("unrated review should be unpredictable")
+	}
+}
+
+func TestRiggsQuality(t *testing.T) {
+	d, art := fixture(t)
+	q, err := NewRiggsQuality(d, art.RiggsResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := q.Predict(3, 3)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	// The reliable rater should pull the estimate above the plain mean
+	// eventually; at minimum it must stay within the rating span.
+	if v < 0.2 || v > 0.8 {
+		t.Errorf("quality prediction %v outside rating span", v)
+	}
+	if _, ok := q.Predict(3, 999); ok {
+		t.Error("absent review should be unpredictable")
+	}
+	if _, err := NewRiggsQuality(d, nil); err == nil {
+		t.Error("mismatched results should error")
+	}
+}
+
+func TestTrustWeighted(t *testing.T) {
+	d, art := fixture(t)
+	tw := NewTrustWeighted(d, art.Trust)
+	v, ok := tw.Predict(3, 3)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if v < 0.2 || v > 0.8 {
+		t.Errorf("prediction %v outside rating span", v)
+	}
+	if _, ok := tw.Predict(3, 3); !ok {
+		t.Error("prediction should be deterministic")
+	}
+}
+
+func TestTrustWeightedFallsBackToPlainMean(t *testing.T) {
+	// An asker with zero affinity trusts nobody: the predictor must fall
+	// back to the unweighted mean rather than fail.
+	d, art := fixture(t)
+	tw := NewTrustWeighted(d, art.Trust)
+	// User w (the writer) has writes-affinity, but raters ra/rb have no
+	// expertise, so T̂(w, ra) = T̂(w, rb) = 0.
+	v, ok := tw.Predict(0, 3)
+	if !ok || math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("fallback = %v, %v; want plain mean 0.5", v, ok)
+	}
+}
+
+func TestHoldoutSplit(t *testing.T) {
+	cfg := synth.Small()
+	cfg.NumUsers = 100
+	cfg.TotalObjects = 40
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Holdout(d, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumRatings()+len(test) != d.NumRatings() {
+		t.Errorf("split loses ratings: %d + %d != %d",
+			train.NumRatings(), len(test), d.NumRatings())
+	}
+	frac := float64(len(test)) / float64(d.NumRatings())
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("held-out fraction = %v, want ~0.2", frac)
+	}
+	// Everything else is preserved.
+	if train.NumUsers() != d.NumUsers() || train.NumReviews() != d.NumReviews() ||
+		train.NumTrustEdges() != d.NumTrustEdges() {
+		t.Error("non-rating entities changed")
+	}
+	// Deterministic.
+	train2, test2, err := Holdout(d, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train2.NumRatings() != train.NumRatings() || len(test2) != len(test) {
+		t.Error("holdout not deterministic")
+	}
+}
+
+func TestHoldoutBadFrac(t *testing.T) {
+	d, _ := fixture(t)
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		if _, _, err := Holdout(d, f, 1); !errors.Is(err, ErrBadSplit) {
+			t.Errorf("frac %v: error = %v, want ErrBadSplit", f, err)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	d, art := fixture(t)
+	test := []ratings.Rating{
+		{Rater: 3, Review: 3, Value: 0.8},
+		{Rater: 3, Review: 999, Value: 0.8}, // unpredictable
+	}
+	// Guard the fake test entry against panics in predictors that index
+	// reviews: only RiggsQuality and review-existence checks handle 999,
+	// so evaluate GlobalMean with a valid subset.
+	rep := Evaluate(NewGlobalMean(d), test[:1])
+	if rep.N != 1 || rep.Coverage != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if math.Abs(rep.MAE-0.3) > 1e-12 { // |0.5 - 0.8|
+		t.Errorf("MAE = %v, want 0.3", rep.MAE)
+	}
+	if math.Abs(rep.RMSE-0.3) > 1e-12 {
+		t.Errorf("RMSE = %v, want 0.3", rep.RMSE)
+	}
+	q, err := NewRiggsQuality(d, art.RiggsResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := Evaluate(q, test)
+	if rep2.Coverage != 0.5 {
+		t.Errorf("coverage = %v, want 0.5 (one of two predictable)", rep2.Coverage)
+	}
+	empty := Evaluate(q, nil)
+	if empty.N != 0 || empty.Coverage != 0 || empty.MAE != 0 {
+		t.Errorf("empty evaluation = %+v", empty)
+	}
+}
+
+// Integration: on synthetic data the reputation-weighted quality should
+// not lose to the plain mean (it down-weights careless raters), and the
+// personalised predictor must keep full coverage via its fallback.
+func TestPredictorsIntegration(t *testing.T) {
+	cfg := synth.Small()
+	cfg.Seed = 23
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := Holdout(d, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := core.DefaultConfig().Run(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := Evaluate(NewGlobalMean(train), test)
+	rq, err := NewRiggsQuality(train, art.RiggsResults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riggsRep := Evaluate(rq, test)
+	tw := Evaluate(NewTrustWeighted(train, art.Trust), test)
+
+	if gm.Coverage < 0.5 {
+		t.Errorf("global mean coverage %v unexpectedly low", gm.Coverage)
+	}
+	if tw.Coverage < gm.Coverage {
+		t.Errorf("trust-weighted coverage %v below global mean %v (fallback broken?)",
+			tw.Coverage, gm.Coverage)
+	}
+	// Reputation weighting should help, or at least not hurt much.
+	if riggsRep.MAE > gm.MAE*1.05 {
+		t.Errorf("riggs MAE %v clearly worse than global mean %v", riggsRep.MAE, gm.MAE)
+	}
+	for _, r := range []Report{gm, riggsRep, tw} {
+		if r.MAE < 0 || r.RMSE < r.MAE {
+			t.Errorf("%s: inconsistent errors MAE=%v RMSE=%v", r.Name, r.MAE, r.RMSE)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package reputation implements Step 1c of the paper's framework: the
+// reputation (expertise) of review writers per category (eq. 3), and the
+// assembly of the Users_Category Expertise matrix E.
+//
+// A writer's reputation in a category is the average quality of the
+// reviews they wrote there, discounted by inexperience:
+//
+//	rep(u𝑤ᵢ) = (Σ_j q_j / n_i) · (1 − 1/(n_i+1))
+//
+// where q_j are the Riggs review qualities (package riggs) and n_i is the
+// number of reviews the writer wrote in the category.
+package reputation
+
+import (
+	"fmt"
+
+	"weboftrust/internal/mat"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/riggs"
+)
+
+// Options configures writer-reputation computation.
+type Options struct {
+	// DiscountExperience applies the (1 − 1/(n+1)) factor of eq. 3.
+	// Disabling it is part of the A-1 ablation.
+	DiscountExperience bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{DiscountExperience: true} }
+
+// CategoryWriters holds the writer reputations for one category.
+type CategoryWriters struct {
+	// Category is the category described.
+	Category ratings.CategoryID
+	// Writers lists users with at least one review in the category,
+	// parallel to Reputation and ReviewCount.
+	Writers     []ratings.UserID
+	Reputation  []float64
+	ReviewCount []int
+
+	byWriter map[ratings.UserID]float64
+}
+
+// ReputationOf returns writer u's reputation and whether u wrote anything
+// in this category.
+func (cw *CategoryWriters) ReputationOf(u ratings.UserID) (float64, bool) {
+	rep, ok := cw.byWriter[u]
+	return rep, ok
+}
+
+// Writers computes writer reputations for one category from the category's
+// Riggs result. The result's category must match cat.
+func (o Options) Writers(d *ratings.Dataset, rq *riggs.CategoryResult, cat ratings.CategoryID) (*CategoryWriters, error) {
+	if rq.Category != cat {
+		return nil, fmt.Errorf("reputation: riggs result is for category %d, want %d", rq.Category, cat)
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	sums := make(map[ratings.UserID]*acc)
+	var order []ratings.UserID
+	for _, rid := range d.ReviewsInCategory(cat) {
+		w := d.Review(rid).Writer
+		q, ok := rq.QualityOf(rid)
+		if !ok {
+			return nil, fmt.Errorf("reputation: riggs result missing quality for review %d", rid)
+		}
+		a := sums[w]
+		if a == nil {
+			a = &acc{}
+			sums[w] = a
+			order = append(order, w)
+		}
+		a.sum += q
+		a.n++
+	}
+	cw := &CategoryWriters{
+		Category:    cat,
+		Writers:     order,
+		Reputation:  make([]float64, len(order)),
+		ReviewCount: make([]int, len(order)),
+		byWriter:    make(map[ratings.UserID]float64, len(order)),
+	}
+	for i, w := range order {
+		a := sums[w]
+		n := float64(a.n)
+		rep := a.sum / n
+		if o.DiscountExperience {
+			rep *= 1 - 1/(n+1)
+		}
+		cw.Reputation[i] = rep
+		cw.ReviewCount[i] = a.n
+		cw.byWriter[w] = rep
+	}
+	return cw, nil
+}
+
+// ExpertiseMatrix assembles the U x C expertise matrix E from per-category
+// Riggs results (one per category, indexed by CategoryID). E[u][c] is
+// writer u's reputation in category c, 0 if u wrote nothing there.
+func (o Options) ExpertiseMatrix(d *ratings.Dataset, results []*riggs.CategoryResult) (*mat.Dense, error) {
+	if len(results) != d.NumCategories() {
+		return nil, fmt.Errorf("reputation: %d riggs results for %d categories", len(results), d.NumCategories())
+	}
+	e := mat.NewDense(d.NumUsers(), d.NumCategories())
+	for c := 0; c < d.NumCategories(); c++ {
+		cw, err := o.Writers(d, results[c], ratings.CategoryID(c))
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range cw.Writers {
+			e.Set(int(w), c, cw.Reputation[i])
+		}
+	}
+	return e, nil
+}

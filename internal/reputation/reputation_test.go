@@ -1,0 +1,198 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/riggs"
+	"weboftrust/internal/stats"
+)
+
+// build creates one category where writerA writes two reviews rated 1.0
+// and 0.8, and writerB writes one review rated 0.4.
+func build(t *testing.T) (*ratings.Dataset, *riggs.CategoryResult) {
+	t.Helper()
+	b := ratings.NewBuilder()
+	cat := b.AddCategory("movies")
+	wa := b.AddUser("writerA")
+	wb := b.AddUser("writerB")
+	rater := b.AddUser("rater")
+	for i, spec := range []struct {
+		writer ratings.UserID
+		value  float64
+	}{
+		{wa, 1.0}, {wa, 0.8}, {wb, 0.4},
+	} {
+		oid, err := b.AddObject(cat, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(spec.writer, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddRating(rater, rid, spec.value); err != nil {
+			t.Fatalf("rating %d: %v", i, err)
+		}
+	}
+	d := b.Build()
+	cr, err := riggs.DefaultModel().Solve(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cr
+}
+
+func TestWritersBasic(t *testing.T) {
+	d, cr := build(t)
+	cw, err := DefaultOptions().Writers(d, cr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single rater per review: qualities equal the raw ratings.
+	// writerA: (1.0+0.8)/2 * (1 - 1/3) = 0.9 * 2/3 = 0.6
+	// writerB: 0.4 * (1 - 1/2) = 0.2
+	repA, okA := cw.ReputationOf(0)
+	repB, okB := cw.ReputationOf(1)
+	if !okA || !okB {
+		t.Fatal("writers missing from result")
+	}
+	if math.Abs(repA-0.6) > 1e-9 {
+		t.Errorf("writerA rep = %v, want 0.6", repA)
+	}
+	if math.Abs(repB-0.2) > 1e-9 {
+		t.Errorf("writerB rep = %v, want 0.2", repB)
+	}
+	if _, ok := cw.ReputationOf(2); ok {
+		t.Error("non-writer should be absent")
+	}
+	if cw.ReviewCount[0] != 2 || cw.ReviewCount[1] != 1 {
+		t.Errorf("review counts = %v, want [2 1]", cw.ReviewCount)
+	}
+}
+
+func TestWritersNoDiscount(t *testing.T) {
+	d, cr := build(t)
+	o := Options{DiscountExperience: false}
+	cw, err := o.Writers(d, cr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, _ := cw.ReputationOf(0)
+	if math.Abs(repA-0.9) > 1e-9 {
+		t.Errorf("writerA rep without discount = %v, want 0.9", repA)
+	}
+}
+
+func TestWritersCategoryMismatch(t *testing.T) {
+	d, cr := build(t)
+	if _, err := DefaultOptions().Writers(d, cr, 1); err == nil {
+		t.Error("expected error for category mismatch")
+	}
+}
+
+func TestExpertiseMatrix(t *testing.T) {
+	d, _ := build(t)
+	results, err := riggs.DefaultModel().SolveAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := DefaultOptions().ExpertiseMatrix(d, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := e.Dims(); r != 3 || c != 1 {
+		t.Fatalf("E dims = (%d, %d), want (3, 1)", r, c)
+	}
+	if math.Abs(e.At(0, 0)-0.6) > 1e-9 {
+		t.Errorf("E[writerA] = %v, want 0.6", e.At(0, 0))
+	}
+	if e.At(2, 0) != 0 {
+		t.Errorf("E[rater] = %v, want 0 (never wrote)", e.At(2, 0))
+	}
+}
+
+func TestExpertiseMatrixResultCountMismatch(t *testing.T) {
+	d, _ := build(t)
+	if _, err := DefaultOptions().ExpertiseMatrix(d, nil); err == nil {
+		t.Error("expected error for missing results")
+	}
+}
+
+// Property: expertise values are in [0,1]; writers of more high-quality
+// reviews never rank below writers of fewer equal-quality reviews.
+func TestExpertiseInvariantsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		b := ratings.NewBuilder()
+		cat := b.AddCategory("c")
+		numWriters := 1 + rng.IntN(6)
+		rater := ratings.UserID(numWriters)
+		for i := 0; i <= numWriters; i++ {
+			b.AddUser("")
+		}
+		for w := 0; w < numWriters; w++ {
+			for k := 0; k < 1+rng.IntN(3); k++ {
+				oid, _ := b.AddObject(cat, "")
+				rid, _ := b.AddReview(ratings.UserID(w), oid)
+				_ = b.AddRating(rater, rid, ratings.QuantizeRating(rng.Float64()))
+			}
+		}
+		d := b.Build()
+		results, err := riggs.DefaultModel().SolveAll(d)
+		if err != nil {
+			return false
+		}
+		e, err := DefaultOptions().ExpertiseMatrix(d, results)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < d.NumUsers(); u++ {
+			v := e.At(u, 0)
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with identical per-review quality q, a writer's reputation is
+// exactly q * (1 - 1/(n+1)), strictly increasing in n.
+func TestMoreGoodReviewsMoreExpertiseQuick(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 1 + int(nRaw)%10
+		b := ratings.NewBuilder()
+		cat := b.AddCategory("c")
+		many := b.AddUser("many") // writes n+1 reviews
+		few := b.AddUser("few")   // writes n
+		rater := b.AddUser("rater")
+		write := func(w ratings.UserID, count int) {
+			for i := 0; i < count; i++ {
+				oid, _ := b.AddObject(cat, "")
+				rid, _ := b.AddReview(w, oid)
+				_ = b.AddRating(rater, rid, 0.8)
+			}
+		}
+		write(many, n+1)
+		write(few, n)
+		d := b.Build()
+		results, err := riggs.DefaultModel().SolveAll(d)
+		if err != nil {
+			return false
+		}
+		e, err := DefaultOptions().ExpertiseMatrix(d, results)
+		if err != nil {
+			return false
+		}
+		return e.At(int(many), 0) > e.At(int(few), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package riggs implements Step 1a/1b of the paper's framework: the
+// mutually recursive computation of review quality and review-rater
+// reputation within one category, following Riggs' model for automated
+// rating of reviewers (the paper's reference [7], adopted in its eqs. 1-2).
+//
+// Review quality is the rater-reputation-weighted average of the ratings a
+// review received (eq. 1):
+//
+//	q_j = Σ_i rep(uᵣᵢ)·ρ_ij / Σ_i rep(uᵣᵢ)
+//
+// Rater reputation rewards raters who consistently rate near the final
+// quality, discounted by inexperience (eq. 2):
+//
+//	rep(uᵣᵢ) = (1 − Σ_j |ρ_ij − q_j| / n_i) · (1 − 1/(n_i+1))
+//
+// where n_i is the number of reviews user i rated in the category. Both
+// quantities live in [0, 1] and are solved by fixed-point iteration with
+// rater reputations initialised to 1 (so the first quality pass is the
+// plain average, Riggs' starting point).
+package riggs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"weboftrust/internal/ratings"
+)
+
+// Numerical and iteration defaults.
+const (
+	// DefaultTol is the convergence tolerance on the maximum change of
+	// any reputation or quality value between iterations.
+	DefaultTol = 1e-9
+	// DefaultMaxIter caps the number of fixed-point iterations.
+	DefaultMaxIter = 100
+)
+
+// ErrBadConfig reports an invalid Model configuration.
+var ErrBadConfig = errors.New("riggs: invalid configuration")
+
+// Model configures the fixed-point computation. The zero value is not
+// valid; use DefaultModel or fill the fields explicitly.
+type Model struct {
+	// MaxIter caps fixed-point iterations; must be >= 1.
+	MaxIter int
+	// Tol is the convergence tolerance; must be > 0.
+	Tol float64
+	// DiscountExperience applies the (1 − 1/(n+1)) inexperience discount
+	// of eq. 2. Disabling it is the A-1 ablation.
+	DiscountExperience bool
+	// UnratedQuality is the quality assigned to reviews that received no
+	// ratings. The paper never defines it; 0 penalises ignored reviews
+	// (see DESIGN.md).
+	UnratedQuality float64
+}
+
+// DefaultModel returns the configuration used throughout the paper's
+// experiments.
+func DefaultModel() Model {
+	return Model{
+		MaxIter:            DefaultMaxIter,
+		Tol:                DefaultTol,
+		DiscountExperience: true,
+		UnratedQuality:     0,
+	}
+}
+
+func (m Model) validate() error {
+	if m.MaxIter < 1 {
+		return fmt.Errorf("%w: MaxIter %d < 1", ErrBadConfig, m.MaxIter)
+	}
+	if !(m.Tol > 0) {
+		return fmt.Errorf("%w: Tol %v <= 0", ErrBadConfig, m.Tol)
+	}
+	if m.UnratedQuality < 0 || m.UnratedQuality > 1 {
+		return fmt.Errorf("%w: UnratedQuality %v outside [0,1]", ErrBadConfig, m.UnratedQuality)
+	}
+	return nil
+}
+
+// CategoryResult holds the converged quantities for one category.
+type CategoryResult struct {
+	// Category is the category this result describes.
+	Category ratings.CategoryID
+	// Reviews lists the reviews of the category, parallel to Quality.
+	Reviews []ratings.ReviewID
+	// Quality[k] is the quality of Reviews[k] (eq. 1), in [0, 1].
+	Quality []float64
+	// Raters lists the users who rated at least one review in the
+	// category, parallel to RaterRep.
+	Raters []ratings.UserID
+	// RaterRep[k] is the reputation of Raters[k] (eq. 2), in [0, 1].
+	RaterRep []float64
+	// RaterCount[k] is n for Raters[k]: how many of the category's
+	// reviews they rated.
+	RaterCount []int
+	// Iterations is how many fixed-point rounds ran; Converged reports
+	// whether the tolerance was met within MaxIter.
+	Iterations int
+	Converged  bool
+
+	qualityByReview map[ratings.ReviewID]float64
+	repByRater      map[ratings.UserID]float64
+}
+
+// QualityOf returns the quality of review r and whether r belongs to this
+// category's result.
+func (cr *CategoryResult) QualityOf(r ratings.ReviewID) (float64, bool) {
+	q, ok := cr.qualityByReview[r]
+	return q, ok
+}
+
+// ReputationOf returns the rater reputation of u and whether u rated
+// anything in this category.
+func (cr *CategoryResult) ReputationOf(u ratings.UserID) (float64, bool) {
+	rep, ok := cr.repByRater[u]
+	return rep, ok
+}
+
+// Solve computes the fixed point for one category of the dataset.
+func (m Model) Solve(d *ratings.Dataset, cat ratings.CategoryID) (*CategoryResult, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if int(cat) < 0 || int(cat) >= d.NumCategories() {
+		return nil, fmt.Errorf("riggs: category %d out of range %d", cat, d.NumCategories())
+	}
+
+	reviews := d.ReviewsInCategory(cat)
+	cr := &CategoryResult{
+		Category: cat,
+		Reviews:  reviews,
+		Quality:  make([]float64, len(reviews)),
+	}
+
+	// Local, dense renumbering of the category's reviews and raters so
+	// the iteration runs over flat slices.
+	reviewLocal := make(map[ratings.ReviewID]int, len(reviews))
+	for k, r := range reviews {
+		reviewLocal[r] = k
+	}
+	raterLocal := make(map[ratings.UserID]int)
+	type obs struct {
+		review int // local review index
+		rater  int // local rater index
+		value  float64
+	}
+	var observations []obs
+	for k, rid := range reviews {
+		for _, rt := range d.RatingsOn(rid) {
+			li, seen := raterLocal[rt.Rater]
+			if !seen {
+				li = len(cr.Raters)
+				raterLocal[rt.Rater] = li
+				cr.Raters = append(cr.Raters, rt.Rater)
+			}
+			observations = append(observations, obs{review: k, rater: li, value: rt.Value})
+		}
+	}
+	numRaters := len(cr.Raters)
+	cr.RaterRep = make([]float64, numRaters)
+	cr.RaterCount = make([]int, numRaters)
+	for _, o := range observations {
+		cr.RaterCount[o.rater]++
+	}
+
+	// Initialise reputations to 1: first pass is the unweighted mean.
+	for i := range cr.RaterRep {
+		cr.RaterRep[i] = 1
+	}
+	for k := range cr.Quality {
+		cr.Quality[k] = m.UnratedQuality
+	}
+
+	qNum := make([]float64, len(reviews))
+	qDen := make([]float64, len(reviews))
+	dev := make([]float64, numRaters)
+	newRep := make([]float64, numRaters)
+	newQ := make([]float64, len(reviews))
+
+	for iter := 1; iter <= m.MaxIter; iter++ {
+		cr.Iterations = iter
+		// Quality pass (eq. 1): reputation-weighted average. Reviews
+		// whose raters all have zero reputation fall back to the plain
+		// average so the quality stays defined; with the experience
+		// discount active a rater's reputation can reach zero only via
+		// maximal disagreement, so this is a rare numerical guard.
+		for k := range qNum {
+			qNum[k], qDen[k] = 0, 0
+		}
+		for _, o := range observations {
+			w := cr.RaterRep[o.rater]
+			qNum[o.review] += w * o.value
+			qDen[o.review] += w
+		}
+		for k := range newQ {
+			switch {
+			case qDen[k] > 0:
+				newQ[k] = qNum[k] / qDen[k]
+			case kHasRatings(d, reviews[k]):
+				newQ[k] = plainAverage(d.RatingsOn(reviews[k]))
+			default:
+				newQ[k] = m.UnratedQuality
+			}
+		}
+
+		// Reputation pass (eq. 2): one minus the mean absolute deviation
+		// from the current quality, optionally experience-discounted.
+		for i := range dev {
+			dev[i] = 0
+		}
+		for _, o := range observations {
+			dev[o.rater] += math.Abs(o.value - newQ[o.review])
+		}
+		for i := range newRep {
+			n := float64(cr.RaterCount[i])
+			rep := 1 - dev[i]/n
+			if m.DiscountExperience {
+				rep *= 1 - 1/(n+1)
+			}
+			if rep < 0 {
+				rep = 0
+			}
+			newRep[i] = rep
+		}
+
+		delta := 0.0
+		for k := range newQ {
+			if d := math.Abs(newQ[k] - cr.Quality[k]); d > delta {
+				delta = d
+			}
+		}
+		for i := range newRep {
+			if d := math.Abs(newRep[i] - cr.RaterRep[i]); d > delta {
+				delta = d
+			}
+		}
+		copy(cr.Quality, newQ)
+		copy(cr.RaterRep, newRep)
+		if delta < m.Tol {
+			cr.Converged = true
+			break
+		}
+	}
+
+	cr.qualityByReview = make(map[ratings.ReviewID]float64, len(reviews))
+	for k, r := range reviews {
+		cr.qualityByReview[r] = cr.Quality[k]
+	}
+	cr.repByRater = make(map[ratings.UserID]float64, numRaters)
+	for i, u := range cr.Raters {
+		cr.repByRater[u] = cr.RaterRep[i]
+	}
+	return cr, nil
+}
+
+func kHasRatings(d *ratings.Dataset, r ratings.ReviewID) bool {
+	return len(d.RatingsOn(r)) > 0
+}
+
+func plainAverage(rs []ratings.Rating) float64 {
+	var s float64
+	for _, r := range rs {
+		s += r.Value
+	}
+	return s / float64(len(rs))
+}
+
+// SolveAll runs Solve for every category and returns the results indexed
+// by CategoryID.
+func (m Model) SolveAll(d *ratings.Dataset) ([]*CategoryResult, error) {
+	out := make([]*CategoryResult, d.NumCategories())
+	for c := 0; c < d.NumCategories(); c++ {
+		cr, err := m.Solve(d, ratings.CategoryID(c))
+		if err != nil {
+			return nil, fmt.Errorf("riggs: category %d: %w", c, err)
+		}
+		out[c] = cr
+	}
+	return out, nil
+}

@@ -1,0 +1,375 @@
+package riggs
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+// fixture builds one category with three reviews and a configurable set of
+// (rater, review, value) observations over extra raters.
+func fixture(t *testing.T, obs []struct {
+	rater  int
+	review int
+	value  float64
+}) (*ratings.Dataset, []ratings.ReviewID) {
+	t.Helper()
+	b := ratings.NewBuilder()
+	cat := b.AddCategory("movies")
+	writer := b.AddUser("writer")
+	maxRater := 0
+	for _, o := range obs {
+		if o.rater > maxRater {
+			maxRater = o.rater
+		}
+	}
+	for i := 0; i <= maxRater; i++ {
+		b.AddUser("")
+	}
+	var reviews []ratings.ReviewID
+	for i := 0; i < 3; i++ {
+		oid, err := b.AddObject(cat, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(writer, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reviews = append(reviews, rid)
+	}
+	for _, o := range obs {
+		// rater ids start at 1 because user 0 is the writer.
+		if err := b.AddRating(ratings.UserID(o.rater+1), reviews[o.review], o.value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build(), reviews
+}
+
+func TestSingleRaterSingleReview(t *testing.T) {
+	d, reviews := fixture(t, []struct {
+		rater  int
+		review int
+		value  float64
+	}{
+		{0, 0, 0.8},
+	})
+	cr, err := DefaultModel().Solve(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Converged {
+		t.Error("expected convergence")
+	}
+	q, ok := cr.QualityOf(reviews[0])
+	if !ok || math.Abs(q-0.8) > 1e-9 {
+		t.Errorf("quality = %v, want 0.8", q)
+	}
+	// Sole rater has zero deviation; discount for n=1 is 1 - 1/2 = 0.5.
+	rep, ok := cr.ReputationOf(1)
+	if !ok || math.Abs(rep-0.5) > 1e-9 {
+		t.Errorf("reputation = %v, want 0.5", rep)
+	}
+}
+
+func TestUnratedReviewGetsConfiguredQuality(t *testing.T) {
+	d, reviews := fixture(t, []struct {
+		rater  int
+		review int
+		value  float64
+	}{
+		{0, 0, 0.8},
+	})
+	m := DefaultModel()
+	m.UnratedQuality = 0.35
+	cr, err := m.Solve(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := cr.QualityOf(reviews[1])
+	if !ok || q != 0.35 {
+		t.Errorf("unrated quality = %v, want 0.35", q)
+	}
+}
+
+func TestConsistentRaterBeatsInconsistent(t *testing.T) {
+	// Two raters rate the same three reviews; rater A always agrees with
+	// the consensus, rater B always deviates. A third rater anchors the
+	// consensus.
+	d, _ := fixture(t, []struct {
+		rater  int
+		review int
+		value  float64
+	}{
+		{0, 0, 0.8}, {0, 1, 0.8}, {0, 2, 0.8}, // A: consistent
+		{1, 0, 0.2}, {1, 1, 0.2}, {1, 2, 0.2}, // B: contrarian
+		{2, 0, 0.8}, {2, 1, 0.8}, {2, 2, 0.8}, // anchor sides with A
+	})
+	cr, err := DefaultModel().Solve(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, _ := cr.ReputationOf(1)
+	repB, _ := cr.ReputationOf(2)
+	if repA <= repB {
+		t.Errorf("consistent rater rep %v should exceed contrarian %v", repA, repB)
+	}
+	// Quality should be pulled above the unweighted mean (0.6) toward the
+	// consistent raters' value of 0.8.
+	q := cr.Quality[0]
+	if q <= 0.6 {
+		t.Errorf("quality = %v, want > 0.6 (weighted toward consistent raters)", q)
+	}
+}
+
+func TestExperienceDiscount(t *testing.T) {
+	// Same perfect consistency, different volume: the rater with more
+	// ratings must end up with strictly higher reputation.
+	d, _ := fixture(t, []struct {
+		rater  int
+		review int
+		value  float64
+	}{
+		{0, 0, 0.6}, {0, 1, 0.6}, {0, 2, 0.6},
+		{1, 0, 0.6},
+	})
+	cr, err := DefaultModel().Solve(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repMany, _ := cr.ReputationOf(1)
+	repOne, _ := cr.ReputationOf(2)
+	if repMany <= repOne {
+		t.Errorf("experienced rater %v should beat newcomer %v", repMany, repOne)
+	}
+	// Exact values: zero deviation, so rep = 1 - 1/(n+1).
+	if math.Abs(repMany-0.75) > 1e-9 {
+		t.Errorf("repMany = %v, want 0.75", repMany)
+	}
+	if math.Abs(repOne-0.5) > 1e-9 {
+		t.Errorf("repOne = %v, want 0.5", repOne)
+	}
+}
+
+func TestDiscountDisabledAblation(t *testing.T) {
+	d, _ := fixture(t, []struct {
+		rater  int
+		review int
+		value  float64
+	}{
+		{0, 0, 0.6}, {0, 1, 0.6}, {0, 2, 0.6},
+		{1, 0, 0.6},
+	})
+	m := DefaultModel()
+	m.DiscountExperience = false
+	cr, err := m.Solve(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repMany, _ := cr.ReputationOf(1)
+	repOne, _ := cr.ReputationOf(2)
+	if math.Abs(repMany-1) > 1e-9 || math.Abs(repOne-1) > 1e-9 {
+		t.Errorf("without discount both perfect raters should have rep 1; got %v, %v", repMany, repOne)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	d, _ := fixture(t, nil)
+	for _, m := range []Model{
+		{MaxIter: 0, Tol: 1e-9},
+		{MaxIter: 10, Tol: 0},
+		{MaxIter: 10, Tol: 1e-9, UnratedQuality: 2},
+		{MaxIter: 10, Tol: 1e-9, UnratedQuality: -0.1},
+	} {
+		if _, err := m.Solve(d, 0); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v: error = %v, want ErrBadConfig", m, err)
+		}
+	}
+	if _, err := DefaultModel().Solve(d, 5); err == nil {
+		t.Error("out-of-range category should error")
+	}
+}
+
+func TestEmptyCategory(t *testing.T) {
+	b := ratings.NewBuilder()
+	b.AddCategory("empty")
+	b.AddUser("u")
+	d := b.Build()
+	cr, err := DefaultModel().Solve(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Reviews) != 0 || len(cr.Raters) != 0 {
+		t.Error("empty category should have empty result")
+	}
+	if !cr.Converged {
+		t.Error("empty category should converge trivially")
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	b := ratings.NewBuilder()
+	c0 := b.AddCategory("a")
+	c1 := b.AddCategory("b")
+	w := b.AddUser("w")
+	r := b.AddUser("r")
+	o0, _ := b.AddObject(c0, "")
+	o1, _ := b.AddObject(c1, "")
+	rev0, _ := b.AddReview(w, o0)
+	rev1, _ := b.AddReview(w, o1)
+	_ = b.AddRating(r, rev0, 1.0)
+	_ = b.AddRating(r, rev1, 0.2)
+	d := b.Build()
+
+	res, err := DefaultModel().SolveAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	q0, _ := res[0].QualityOf(rev0)
+	q1, _ := res[1].QualityOf(rev1)
+	if q0 != 1.0 || q1 != 0.2 {
+		t.Errorf("qualities = %v, %v; want 1.0, 0.2 (categories independent)", q0, q1)
+	}
+	// Reputation of the same rater differs by category: both have n=1 and
+	// zero deviation, so both are 0.5 — but the results must be distinct
+	// objects keyed by category.
+	if res[0].Category != 0 || res[1].Category != 1 {
+		t.Error("category labels wrong")
+	}
+}
+
+// randomCategory builds a single-category dataset with random ratings.
+func randomCategory(seed uint64) *ratings.Dataset {
+	rng := stats.NewRand(seed)
+	b := ratings.NewBuilder()
+	cat := b.AddCategory("c")
+	numWriters := 1 + rng.IntN(5)
+	numRaters := 1 + rng.IntN(10)
+	for i := 0; i < numWriters+numRaters; i++ {
+		b.AddUser("")
+	}
+	var reviews []ratings.ReviewID
+	for w := 0; w < numWriters; w++ {
+		for k := 0; k < 1+rng.IntN(4); k++ {
+			oid, err := b.AddObject(cat, "")
+			if err != nil {
+				panic(err)
+			}
+			rid, err := b.AddReview(ratings.UserID(w), oid)
+			if err != nil {
+				panic(err)
+			}
+			reviews = append(reviews, rid)
+		}
+	}
+	for r := 0; r < numRaters; r++ {
+		rater := ratings.UserID(numWriters + r)
+		for k := 0; k < rng.IntN(6); k++ {
+			rev := reviews[rng.IntN(len(reviews))]
+			if b.HasRating(rater, rev) {
+				continue
+			}
+			_ = b.AddRating(rater, rev, ratings.QuantizeRating(rng.Float64()))
+		}
+	}
+	return b.Build()
+}
+
+// Property: all qualities and reputations are in [0,1]; rated reviews have
+// quality within the span of their received ratings; the solver converges.
+func TestInvariantsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomCategory(seed)
+		cr, err := DefaultModel().Solve(d, 0)
+		if err != nil {
+			return false
+		}
+		if !cr.Converged {
+			return false
+		}
+		for k, q := range cr.Quality {
+			if q < 0 || q > 1 {
+				return false
+			}
+			rs := d.RatingsOn(cr.Reviews[k])
+			if len(rs) == 0 {
+				continue
+			}
+			lo, hi := 1.0, 0.0
+			for _, r := range rs {
+				if r.Value < lo {
+					lo = r.Value
+				}
+				if r.Value > hi {
+					hi = r.Value
+				}
+			}
+			if q < lo-1e-9 || q > hi+1e-9 {
+				return false // weighted average must stay inside the span
+			}
+		}
+		for _, rep := range cr.RaterRep {
+			if rep < 0 || rep > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reputation is monotone in experience for perfectly consistent
+// raters — rep = 1 - 1/(n+1) increases with n.
+func TestMonotoneExperienceQuick(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 1 + int(nRaw)%20
+		b := ratings.NewBuilder()
+		cat := b.AddCategory("c")
+		w := b.AddUser("w")
+		r1 := b.AddUser("r1") // rates n+1 reviews
+		r2 := b.AddUser("r2") // rates n reviews
+		var reviews []ratings.ReviewID
+		for i := 0; i < n+1; i++ {
+			oid, _ := b.AddObject(cat, "")
+			rid, _ := b.AddReview(w, oid)
+			reviews = append(reviews, rid)
+		}
+		for i, rev := range reviews {
+			_ = b.AddRating(r1, rev, 0.8)
+			if i < n {
+				_ = b.AddRating(r2, rev, 0.8)
+			}
+		}
+		cr, err := DefaultModel().Solve(b.Build(), 0)
+		if err != nil {
+			return false
+		}
+		rep1, _ := cr.ReputationOf(r1)
+		rep2, _ := cr.ReputationOf(r2)
+		return rep1 > rep2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveCategory(b *testing.B) {
+	d := randomCategory(12345)
+	m := DefaultModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(d, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

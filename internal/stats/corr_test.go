@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1, 2}, []float64{1}) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+	if Pearson([]float64{1}, []float64{1}) != 0 {
+		t.Error("n<2 should give 0")
+	}
+	if Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero variance should give 0")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ranks[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(Ranks(nil)) != 0 {
+		t.Error("Ranks(nil) should be empty")
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	got := Ranks([]float64{5, 5, 5})
+	for i, r := range got {
+		if r != 2 {
+			t.Errorf("Ranks[%d] = %v, want 2", i, r)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 4, 9, 16, 25} // monotone but nonlinear
+	if got := Spearman(x, y); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Spearman = %v, want 1 for monotone data", got)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2, 3, 4}
+	if got := KendallTau(x, y); !almostEq(got, 1, 1e-12) {
+		t.Errorf("KendallTau identical = %v, want 1", got)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if got := KendallTau(x, rev); !almostEq(got, -1, 1e-12) {
+		t.Errorf("KendallTau reversed = %v, want -1", got)
+	}
+	if KendallTau([]float64{1, 1}, []float64{1, 2}) != 0 {
+		t.Error("all-tied x should give 0")
+	}
+	if KendallTau([]float64{1}, []float64{1}) != 0 {
+		t.Error("n<2 should give 0")
+	}
+}
+
+func TestKendallTauPartial(t *testing.T) {
+	// One discordant pair among six: tau = (5-1)/6.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2, 4, 3}
+	if got := KendallTau(x, y); !almostEq(got, 4.0/6.0, 1e-12) {
+		t.Errorf("KendallTau = %v, want %v", got, 4.0/6.0)
+	}
+}
+
+// Property: correlations live in [-1, 1] and are symmetric.
+func TestCorrelationRangeQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRand(seed)
+		n := 2 + rng.IntN(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.IntN(10))
+			y[i] = float64(rng.IntN(10))
+		}
+		p, s, k := Pearson(x, y), Spearman(x, y), KendallTau(x, y)
+		const tol = 1e-9
+		inRange := func(v float64) bool { return v >= -1-tol && v <= 1+tol }
+		if !inRange(p) || !inRange(s) || !inRange(k) {
+			return false
+		}
+		return almostEq(p, Pearson(y, x), 1e-12) &&
+			almostEq(s, Spearman(y, x), 1e-12) &&
+			almostEq(k, KendallTau(y, x), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+func TestSpearmanMonotoneInvarianceQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRand(seed)
+		n := 3 + rng.IntN(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+			y[i] = rng.Float64()
+		}
+		base := Spearman(x, y)
+		tx := make([]float64, n)
+		for i, v := range x {
+			tx[i] = math.Exp(3 * v) // strictly increasing
+		}
+		return almostEq(base, Spearman(tx, y), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// NewRand returns a deterministic PCG-based generator for the given seed.
+// All randomness in this repository flows through generators created here,
+// so a dataset or experiment is fully reproducible from its seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Normal samples a normal distribution with the given mean and standard
+// deviation.
+func Normal(rng *rand.Rand, mean, stddev float64) float64 {
+	return mean + stddev*rng.NormFloat64()
+}
+
+// NormalClamped01 samples Normal(mean, stddev) clamped into [0, 1]; handy
+// for latent qualities and skills.
+func NormalClamped01(rng *rand.Rand, mean, stddev float64) float64 {
+	return Clamp01(Normal(rng, mean, stddev))
+}
+
+// Gamma samples a Gamma(shape, 1) variate using the Marsaglia–Tsang
+// squeeze method, with the standard alpha<1 boost. shape must be positive;
+// it panics otherwise.
+func Gamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic("stats: Gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta samples a Beta(alpha, beta) variate via the ratio of Gamma
+// variates. Both parameters must be positive; it panics otherwise.
+func Beta(rng *rand.Rand, alpha, beta float64) float64 {
+	x := Gamma(rng, alpha)
+	y := Gamma(rng, beta)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Pareto samples a bounded Pareto distribution on [lo, hi] with tail index
+// alpha > 0 by inverse-CDF. Useful for power-law activity levels. It panics
+// if lo <= 0, hi <= lo, or alpha <= 0.
+func Pareto(rng *rand.Rand, lo, hi, alpha float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic("stats: Pareto requires 0 < lo < hi and alpha > 0")
+	}
+	u := rng.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Dirichlet fills out with a Dirichlet(alpha, ..., alpha) sample of
+// dimension len(out): a random point on the simplex (sums to 1). Smaller
+// alpha concentrates mass on fewer coordinates. It panics if alpha <= 0;
+// a zero-length out is returned unchanged.
+func Dirichlet(rng *rand.Rand, alpha float64, out []float64) {
+	if len(out) == 0 {
+		return
+	}
+	var sum float64
+	for i := range out {
+		out[i] = Gamma(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// WeightedChoice returns an index sampled proportionally to the
+// non-negative weights, or -1 if the weights sum to zero or the slice is
+// empty.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return -1
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // floating-point slack lands on the last index
+}
+
+// Sampler draws indices from a fixed non-negative weight vector in O(log n)
+// per draw using a cumulative-sum table. Build once, draw many times.
+type Sampler struct {
+	cum []float64
+}
+
+// NewSampler builds a Sampler over weights. It returns nil if the weights
+// sum to zero or the slice is empty.
+func NewSampler(weights []float64) *Sampler {
+	if len(weights) == 0 {
+		return nil
+	}
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil
+	}
+	return &Sampler{cum: cum}
+}
+
+// Draw samples an index proportionally to the weights.
+func (s *Sampler) Draw(rng *rand.Rand) int {
+	r := rng.Float64() * s.cum[len(s.cum)-1]
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] <= r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

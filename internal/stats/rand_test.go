@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42).Float64() == c.Float64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRand(1)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = Normal(rng, 2, 0.5)
+	}
+	if m := Mean(xs); !almostEq(m, 2, 0.02) {
+		t.Errorf("sample mean = %v, want ~2", m)
+	}
+	if s := StdDev(xs); !almostEq(s, 0.5, 0.02) {
+		t.Errorf("sample stddev = %v, want ~0.5", s)
+	}
+}
+
+func TestNormalClamped01(t *testing.T) {
+	rng := NewRand(2)
+	for i := 0; i < 1000; i++ {
+		v := NormalClamped01(rng, 0.5, 2)
+		if v < 0 || v > 1 {
+			t.Fatalf("value %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	rng := NewRand(3)
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		n := 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := Gamma(rng, shape)
+			if v < 0 {
+				t.Fatalf("Gamma(%v) produced negative %v", shape, v)
+			}
+			sum += v
+		}
+		mean := sum / float64(n)
+		if !almostEq(mean, shape, 0.15*shape+0.05) {
+			t.Errorf("Gamma(%v) sample mean = %v, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gamma(NewRand(1), 0)
+}
+
+func TestBetaMomentsAndRange(t *testing.T) {
+	rng := NewRand(4)
+	alpha, beta := 2.0, 5.0
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := Beta(rng, alpha, beta)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta out of range: %v", v)
+		}
+		sum += v
+	}
+	want := alpha / (alpha + beta)
+	if mean := sum / float64(n); !almostEq(mean, want, 0.01) {
+		t.Errorf("Beta mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestParetoRange(t *testing.T) {
+	rng := NewRand(5)
+	lo, hi := 1.0, 100.0
+	for i := 0; i < 2000; i++ {
+		v := Pareto(rng, lo, hi, 1.3)
+		if v < lo || v > hi {
+			t.Fatalf("Pareto out of [%v, %v]: %v", lo, hi, v)
+		}
+	}
+}
+
+func TestParetoSkew(t *testing.T) {
+	// A power law should put most mass near lo.
+	rng := NewRand(6)
+	below := 0
+	n := 5000
+	for i := 0; i < n; i++ {
+		if Pareto(rng, 1, 1000, 1.5) < 10 {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(n); frac < 0.8 {
+		t.Errorf("only %v of mass below 10; expected heavy head", frac)
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Pareto(NewRand(1), 0, 1, 1) },
+		func() { Pareto(NewRand(1), 2, 1, 1) },
+		func() { Pareto(NewRand(1), 1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	rng := NewRand(7)
+	out := make([]float64, 6)
+	Dirichlet(rng, 0.5, out)
+	var sum float64
+	for _, v := range out {
+		if v < 0 {
+			t.Fatalf("negative component %v", v)
+		}
+		sum += v
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Errorf("sum = %v, want 1", sum)
+	}
+	Dirichlet(rng, 1, nil) // must not panic
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := NewRand(8)
+	if WeightedChoice(rng, nil) != -1 {
+		t.Error("empty weights should return -1")
+	}
+	if WeightedChoice(rng, []float64{0, 0}) != -1 {
+		t.Error("zero weights should return -1")
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[WeightedChoice(rng, []float64{1, 2, 7})]++
+	}
+	if frac := float64(counts[2]) / 30000; !almostEq(frac, 0.7, 0.02) {
+		t.Errorf("weight-7 index frequency = %v, want ~0.7", frac)
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Error("low-weight indices never drawn")
+	}
+}
+
+func TestSamplerMatchesWeights(t *testing.T) {
+	rng := NewRand(9)
+	s := NewSampler([]float64{1, 0, 3})
+	if s == nil {
+		t.Fatal("NewSampler returned nil for valid weights")
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.Draw(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	if frac := float64(counts[2]) / 40000; !almostEq(frac, 0.75, 0.02) {
+		t.Errorf("weight-3 frequency = %v, want ~0.75", frac)
+	}
+}
+
+func TestSamplerNilCases(t *testing.T) {
+	if NewSampler(nil) != nil {
+		t.Error("NewSampler(nil) should be nil")
+	}
+	if NewSampler([]float64{0, 0}) != nil {
+		t.Error("NewSampler(zero weights) should be nil")
+	}
+	if NewSampler([]float64{-1, 2}) == nil {
+		t.Error("negative weights are clamped; sampler should build")
+	}
+}
+
+// Property: Sampler.Draw only returns indices with positive weight.
+func TestSamplerSupportQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRand(seed)
+		n := 1 + rng.IntN(20)
+		weights := make([]float64, n)
+		any := false
+		for i := range weights {
+			if rng.Float64() < 0.5 {
+				weights[i] = rng.Float64() + 0.01
+				any = true
+			}
+		}
+		s := NewSampler(weights)
+		if !any {
+			return s == nil
+		}
+		for k := 0; k < 50; k++ {
+			if i := s.Draw(rng); weights[i] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Beta stays in [0,1] for a range of parameters.
+func TestBetaRangeQuick(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw uint8) bool {
+		rng := NewRand(seed)
+		alpha := 0.1 + float64(aRaw)/16
+		beta := 0.1 + float64(bRaw)/16
+		for i := 0; i < 20; i++ {
+			v := Beta(rng, alpha, beta)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

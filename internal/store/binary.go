@@ -1,0 +1,293 @@
+// Package store persists datasets: a compact binary snapshot format with
+// CRC-32 integrity checking, an append-only event log that replays into a
+// dataset builder (the shape a crawler or online ingest pipeline would
+// write), and CSV import/export for interoperability.
+//
+// Snapshot layout (all integers varint-encoded unless noted):
+//
+//	magic "WOTDS001" (8 bytes)
+//	section: categories   count, then each name (len-prefixed string)
+//	section: users        count, then each name
+//	section: objects      count, then each (category, name)
+//	section: reviews      count, then each (writer, object)
+//	section: ratings      count, then each (rater, review, level byte)
+//	section: trust        count, then each (from, to)
+//	crc32c of everything after the magic (4 bytes little-endian)
+//
+// Reads validate the magic, the checksum and every record through a
+// ratings.Builder, so a corrupted or inconsistent snapshot never yields a
+// dataset.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"weboftrust/internal/ratings"
+)
+
+var (
+	// ErrBadMagic reports a stream that is not a snapshot.
+	ErrBadMagic = errors.New("store: bad magic")
+	// ErrChecksum reports snapshot corruption.
+	ErrChecksum = errors.New("store: checksum mismatch")
+	// ErrCorrupt reports a structurally invalid snapshot or log record.
+	ErrCorrupt = errors.New("store: corrupt data")
+)
+
+var magic = [8]byte{'W', 'O', 'T', 'D', 'S', '0', '0', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteSnapshot serialises the dataset to w.
+func WriteSnapshot(w io.Writer, d *ratings.Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, crc)
+
+	enc := encoder{w: out}
+	enc.uvarint(uint64(d.NumCategories()))
+	for c := 0; c < d.NumCategories(); c++ {
+		enc.str(d.CategoryName(ratings.CategoryID(c)))
+	}
+	enc.uvarint(uint64(d.NumUsers()))
+	for u := 0; u < d.NumUsers(); u++ {
+		enc.str(d.UserName(ratings.UserID(u)))
+	}
+	enc.uvarint(uint64(d.NumObjects()))
+	for o := 0; o < d.NumObjects(); o++ {
+		obj := d.Object(ratings.ObjectID(o))
+		enc.uvarint(uint64(obj.Category))
+		enc.str(obj.Name)
+	}
+	enc.uvarint(uint64(d.NumReviews()))
+	for r := 0; r < d.NumReviews(); r++ {
+		rev := d.Review(ratings.ReviewID(r))
+		enc.uvarint(uint64(rev.Writer))
+		enc.uvarint(uint64(rev.Object))
+	}
+	enc.uvarint(uint64(d.NumRatings()))
+	for _, rt := range d.Ratings() {
+		enc.uvarint(uint64(rt.Rater))
+		enc.uvarint(uint64(rt.Review))
+		enc.byte(byte(ratings.RatingLevel(rt.Value)))
+	}
+	enc.uvarint(uint64(d.NumTrustEdges()))
+	for _, e := range d.TrustEdges() {
+		enc.uvarint(uint64(e.From))
+		enc.uvarint(uint64(e.To))
+	}
+	if enc.err != nil {
+		return enc.err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserialises a dataset from r, verifying the checksum and
+// re-validating every record.
+func ReadSnapshot(r io.Reader) (*ratings.Dataset, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	crc := crc32.New(castagnoli)
+	dec := decoder{r: br, crc: crc}
+	b := ratings.NewBuilder()
+
+	numCats := dec.count("categories")
+	for i := uint64(0); i < numCats; i++ {
+		b.AddCategory(dec.str())
+	}
+	numUsers := dec.count("users")
+	for i := uint64(0); i < numUsers; i++ {
+		b.AddUser(dec.str())
+	}
+	numObjects := dec.count("objects")
+	for i := uint64(0); i < numObjects; i++ {
+		cat := dec.id("object category")
+		name := dec.str()
+		if dec.err != nil {
+			break
+		}
+		if _, err := b.AddObject(ratings.CategoryID(cat), name); err != nil {
+			return nil, fmt.Errorf("%w: object %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	numReviews := dec.count("reviews")
+	for i := uint64(0); i < numReviews; i++ {
+		writer := dec.id("review writer")
+		object := dec.id("review object")
+		if dec.err != nil {
+			break
+		}
+		if _, err := b.AddReview(ratings.UserID(writer), ratings.ObjectID(object)); err != nil {
+			return nil, fmt.Errorf("%w: review %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	numRatings := dec.count("ratings")
+	for i := uint64(0); i < numRatings; i++ {
+		rater := dec.id("rater")
+		review := dec.id("rated review")
+		level := dec.byte()
+		if dec.err != nil {
+			break
+		}
+		if level < 1 || level > ratings.RatingLevels {
+			return nil, fmt.Errorf("%w: rating %d: level %d", ErrCorrupt, i, level)
+		}
+		if err := b.AddRating(ratings.UserID(rater), ratings.ReviewID(review), float64(level)/ratings.RatingLevels); err != nil {
+			return nil, fmt.Errorf("%w: rating %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	numTrust := dec.count("trust edges")
+	for i := uint64(0); i < numTrust; i++ {
+		from := dec.id("trust from")
+		to := dec.id("trust to")
+		if dec.err != nil {
+			break
+		}
+		if err := b.AddTrust(ratings.UserID(from), ratings.UserID(to)); err != nil {
+			return nil, fmt.Errorf("%w: trust %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	if dec.err != nil {
+		return nil, dec.err
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc.Sum32() {
+		return nil, ErrChecksum
+	}
+	return b.Build(), nil
+}
+
+type encoder struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write([]byte{b})
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	crc io.Writer
+	err error
+}
+
+// maxCount bounds any section size to defend against corrupted counts
+// causing huge allocations.
+const maxCount = 1 << 31
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(crcByteReader{d})
+	if err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) count(what string) uint64 {
+	v := d.uvarint()
+	if d.err == nil && v > maxCount {
+		d.err = fmt.Errorf("%w: %s count %d too large", ErrCorrupt, what, v)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) id(what string) uint64 {
+	v := d.uvarint()
+	if d.err == nil && v > math.MaxInt32 {
+		d.err = fmt.Errorf("%w: %s id %d too large", ErrCorrupt, what, v)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return 0
+	}
+	d.crc.Write([]byte{b})
+	return b
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("%w: string length %d too large", ErrCorrupt, n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return ""
+	}
+	d.crc.Write(buf)
+	return string(buf)
+}
+
+// crcByteReader feeds single bytes to the varint reader while keeping the
+// checksum in sync.
+type crcByteReader struct{ d *decoder }
+
+func (c crcByteReader) ReadByte() (byte, error) {
+	b, err := c.d.r.ReadByte()
+	if err == nil {
+		c.d.crc.Write([]byte{b})
+	}
+	return b, err
+}

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"weboftrust/internal/ratings"
+)
+
+// EventKind tags a log record. The event log is the ingestion shape: a
+// crawler or online community appends events as it discovers entities, and
+// Replay folds them into a validated dataset.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvAddCategory EventKind = iota + 1
+	EvAddUser
+	EvAddObject
+	EvAddReview
+	EvAddRating
+	EvAddTrust
+)
+
+// ErrUnknownEvent reports an unrecognised event kind during replay.
+var ErrUnknownEvent = errors.New("store: unknown event kind")
+
+// Event is one log record. Which fields are meaningful depends on Kind:
+//
+//	EvAddCategory: Name
+//	EvAddUser:     Name
+//	EvAddObject:   Category, Name
+//	EvAddReview:   User (writer), Object
+//	EvAddRating:   User (rater), Review, Level (1..5)
+//	EvAddTrust:    User (from), To
+type Event struct {
+	Kind     EventKind
+	Name     string
+	Category ratings.CategoryID
+	Object   ratings.ObjectID
+	Review   ratings.ReviewID
+	User     ratings.UserID
+	To       ratings.UserID
+	Level    uint8
+}
+
+// LogWriter appends events to an underlying writer. Each record is framed
+// as: payload length (uvarint), payload, crc32c of payload (4 bytes LE).
+// Call Flush before closing the underlying writer.
+type LogWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewLogWriter wraps w for appending.
+func NewLogWriter(w io.Writer) *LogWriter {
+	return &LogWriter{w: bufio.NewWriter(w)}
+}
+
+// Append writes one event record.
+func (lw *LogWriter) Append(ev Event) error {
+	lw.buf = lw.buf[:0]
+	lw.buf = append(lw.buf, byte(ev.Kind))
+	switch ev.Kind {
+	case EvAddCategory, EvAddUser:
+		lw.buf = appendString(lw.buf, ev.Name)
+	case EvAddObject:
+		lw.buf = binary.AppendUvarint(lw.buf, uint64(ev.Category))
+		lw.buf = appendString(lw.buf, ev.Name)
+	case EvAddReview:
+		lw.buf = binary.AppendUvarint(lw.buf, uint64(ev.User))
+		lw.buf = binary.AppendUvarint(lw.buf, uint64(ev.Object))
+	case EvAddRating:
+		lw.buf = binary.AppendUvarint(lw.buf, uint64(ev.User))
+		lw.buf = binary.AppendUvarint(lw.buf, uint64(ev.Review))
+		lw.buf = append(lw.buf, ev.Level)
+	case EvAddTrust:
+		lw.buf = binary.AppendUvarint(lw.buf, uint64(ev.User))
+		lw.buf = binary.AppendUvarint(lw.buf, uint64(ev.To))
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownEvent, ev.Kind)
+	}
+	var frame [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(frame[:], uint64(len(lw.buf)))
+	if _, err := lw.w.Write(frame[:n]); err != nil {
+		return err
+	}
+	if _, err := lw.w.Write(lw.buf); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(lw.buf, castagnoli))
+	_, err := lw.w.Write(sum[:])
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (lw *LogWriter) Flush() error { return lw.w.Flush() }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ReadLog decodes all event records from r. It fails on framing or
+// checksum errors; a truncated final record is reported as ErrCorrupt.
+func ReadLog(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var events []Event
+	for {
+		length, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, fmt.Errorf("%w: frame length: %v", ErrCorrupt, err)
+		}
+		if length == 0 || length > 1<<20 {
+			return events, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return events, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+		}
+		var sum [4]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			return events, fmt.Errorf("%w: record checksum: %v", ErrCorrupt, err)
+		}
+		if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, castagnoli) {
+			return events, ErrChecksum
+		}
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+}
+
+func decodeEvent(payload []byte) (Event, error) {
+	var ev Event
+	ev.Kind = EventKind(payload[0])
+	rest := payload[1:]
+	u := func() uint64 {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			rest = nil
+			return 0
+		}
+		rest = rest[n:]
+		return v
+	}
+	str := func() string {
+		n := u()
+		if uint64(len(rest)) < n {
+			rest = nil
+			return ""
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s
+	}
+	switch ev.Kind {
+	case EvAddCategory, EvAddUser:
+		ev.Name = str()
+	case EvAddObject:
+		ev.Category = ratings.CategoryID(u())
+		ev.Name = str()
+	case EvAddReview:
+		ev.User = ratings.UserID(u())
+		ev.Object = ratings.ObjectID(u())
+	case EvAddRating:
+		ev.User = ratings.UserID(u())
+		ev.Review = ratings.ReviewID(u())
+		if len(rest) < 1 {
+			return ev, fmt.Errorf("%w: rating event too short", ErrCorrupt)
+		}
+		ev.Level = rest[0]
+		rest = rest[1:]
+	case EvAddTrust:
+		ev.User = ratings.UserID(u())
+		ev.To = ratings.UserID(u())
+	default:
+		return ev, fmt.Errorf("%w: %d", ErrUnknownEvent, ev.Kind)
+	}
+	if rest == nil {
+		return ev, fmt.Errorf("%w: short event payload", ErrCorrupt)
+	}
+	return ev, nil
+}
+
+// Replay folds events into a builder, validating each. It returns the
+// first validation error with the offending record index.
+func Replay(events []Event, b *ratings.Builder) error {
+	for i, ev := range events {
+		var err error
+		switch ev.Kind {
+		case EvAddCategory:
+			b.AddCategory(ev.Name)
+		case EvAddUser:
+			b.AddUser(ev.Name)
+		case EvAddObject:
+			_, err = b.AddObject(ev.Category, ev.Name)
+		case EvAddReview:
+			_, err = b.AddReview(ev.User, ev.Object)
+		case EvAddRating:
+			if ev.Level < 1 || ev.Level > ratings.RatingLevels {
+				err = fmt.Errorf("%w: level %d", ratings.ErrInvalidRating, ev.Level)
+			} else {
+				err = b.AddRating(ev.User, ev.Review, float64(ev.Level)/ratings.RatingLevels)
+			}
+		case EvAddTrust:
+			err = b.AddTrust(ev.User, ev.To)
+		default:
+			err = fmt.Errorf("%w: %d", ErrUnknownEvent, ev.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("store: replay event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AppendDataset writes the whole dataset to the log as events, in
+// dependency order, so a fresh replay reconstructs it exactly.
+func AppendDataset(lw *LogWriter, d *ratings.Dataset) error {
+	for c := 0; c < d.NumCategories(); c++ {
+		if err := lw.Append(Event{Kind: EvAddCategory, Name: d.CategoryName(ratings.CategoryID(c))}); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		if err := lw.Append(Event{Kind: EvAddUser, Name: d.UserName(ratings.UserID(u))}); err != nil {
+			return err
+		}
+	}
+	for o := 0; o < d.NumObjects(); o++ {
+		obj := d.Object(ratings.ObjectID(o))
+		if err := lw.Append(Event{Kind: EvAddObject, Category: obj.Category, Name: obj.Name}); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < d.NumReviews(); r++ {
+		rev := d.Review(ratings.ReviewID(r))
+		if err := lw.Append(Event{Kind: EvAddReview, User: rev.Writer, Object: rev.Object}); err != nil {
+			return err
+		}
+	}
+	for _, rt := range d.Ratings() {
+		ev := Event{Kind: EvAddRating, User: rt.Rater, Review: rt.Review, Level: uint8(ratings.RatingLevel(rt.Value))}
+		if err := lw.Append(ev); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.TrustEdges() {
+		if err := lw.Append(Event{Kind: EvAddTrust, User: e.From, To: e.To}); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}

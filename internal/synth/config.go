@@ -1,0 +1,219 @@
+// Package synth generates synthetic Epinions-like review communities with
+// known latent structure. It stands in for the paper's Epinions Video & DVD
+// crawl (see DESIGN.md §2): users have latent interest profiles over the
+// paper's 12 sub-category genres, latent writing skill, latent rating
+// conscientiousness and power-law activity; reviews inherit quality from
+// their writer's skill; ratings observe that quality through
+// conscientiousness-dependent noise on the five-level scale; and a ground-
+// truth web of trust is generated from interest-weighted expertise exposure
+// plus word-of-mouth edges outside the direct-connection matrix, with
+// per-user generosity.
+//
+// Because the generator's causal story matches the assumptions the paper's
+// framework exploits, the qualitative results of the paper's evaluation
+// (Tables 2-4, Fig. 3) are reproducible on its output while every quantity
+// remains laptop-scale and seed-deterministic.
+package synth
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig reports an invalid generator configuration.
+var ErrBadConfig = errors.New("synth: invalid configuration")
+
+// CategorySpec names a category and weights its share of objects, reviews
+// and user interest.
+type CategorySpec struct {
+	Name   string
+	Weight float64
+}
+
+// PaperGenres returns the 12 Video & DVD sub-categories of the paper's
+// Table 2, weighted by the rater counts reported there, so the synthetic
+// category size distribution mirrors the crawl's.
+func PaperGenres() []CategorySpec {
+	return []CategorySpec{
+		{Name: "Action/Adventure", Weight: 11940},
+		{Name: "Adult/Audience", Weight: 946},
+		{Name: "Comedies", Weight: 14406},
+		{Name: "Dramas", Weight: 18879},
+		{Name: "Educations", Weight: 3211},
+		{Name: "Foreign films", Weight: 4473},
+		{Name: "Horror/Suspense", Weight: 341},
+		{Name: "Musical", Weight: 4420},
+		{Name: "Religious", Weight: 1189},
+		{Name: "Science/Fiction", Weight: 9041},
+		{Name: "Sports/Recreation", Weight: 3365},
+		{Name: "Westerns", Weight: 2041},
+	}
+}
+
+// Config parameterises the generator. Use a preset (Small, Medium,
+// PaperScale) and override fields as needed.
+type Config struct {
+	// Seed drives every random choice; identical configs produce
+	// identical datasets.
+	Seed uint64
+	// NumUsers is the community size.
+	NumUsers int
+	// Categories defines the category taxonomy and relative sizes.
+	Categories []CategorySpec
+	// TotalObjects is the number of reviewable objects, split across
+	// categories proportionally to their weights (at least 1 each).
+	TotalObjects int
+
+	// MeanReviewsPerUser and MeanRatingsPerUser set the expected volume
+	// of reviews and ratings; actual per-user counts follow the activity
+	// distribution. Ratings should be much larger, as the paper notes.
+	MeanReviewsPerUser float64
+	MeanRatingsPerUser float64
+
+	// MaxInterests caps how many categories a user cares about.
+	MaxInterests int
+
+	// SkillAlpha/Beta shape the Beta distribution of latent writing
+	// skill; ConscAlpha/Beta likewise for rating conscientiousness;
+	// GenerosityAlpha/Beta for trust generosity.
+	SkillAlpha, SkillBeta           float64
+	ConscAlpha, ConscBeta           float64
+	GenerosityAlpha, GenerosityBeta float64
+	// ZeroTrustFrac is the fraction of users who never use the explicit
+	// trust feature at all (generosity 0). Real webs of trust are sparse
+	// mostly because of such users — the paper's core motivation.
+	ZeroTrustFrac float64
+
+	// ActivityTail is the bounded-Pareto tail index of user activity
+	// (smaller = heavier tail); ActivityMax bounds it.
+	ActivityTail, ActivityMax float64
+
+	// QualityNoise is the stddev of a review's true quality around the
+	// writer's skill.
+	QualityNoise float64
+	// RatingNoiseBase + RatingNoiseSlope*(1-conscientiousness) is the
+	// stddev of a rater's observation noise; RaterBiasStdDev is the
+	// stddev of a rater's systematic bias.
+	RatingNoiseBase, RatingNoiseSlope, RaterBiasStdDev float64
+
+	// Trust model: an edge i->j over a direct connection appears with
+	// probability generosity_i * clamp01(TrustBase +
+	// TrustAffinityWeight*s_ij + TrustRatingWeight*(avgRating-0.6)/0.4)
+	// where s_ij is the latent interest-expertise exposure.
+	TrustBase, TrustAffinityWeight, TrustRatingWeight float64
+	// OutOfBandTrustFrac adds roughly this fraction of extra trust edges
+	// per user outside their direct connections (the paper's T−R set),
+	// sampled by interest-weighted latent expertise (word of mouth).
+	OutOfBandTrustFrac float64
+	// RecentConnectionFrac is the fraction of the rating stream at the
+	// end of which newly formed direct connections are "too recent" to
+	// have earned explicit trust yet. This models the temporal lag the
+	// paper invokes when it finds its high-T̂ false positives in R−T:
+	// connections its framework expects "would become trust connectivity
+	// in the future". Must be in [0, 1).
+	RecentConnectionFrac float64
+
+	// NumAdvisors / NumTopReviewers are the editorial pick counts (22 and
+	// 40 in the paper); SelectionNoise blurs the picks to mimic human
+	// judgement.
+	NumAdvisors, NumTopReviewers int
+	SelectionNoise               float64
+}
+
+// Small returns a fast configuration for unit and integration tests:
+// 4 categories, 300 users.
+func Small() Config {
+	c := base()
+	c.NumUsers = 300
+	c.Categories = []CategorySpec{
+		{Name: "movies", Weight: 6},
+		{Name: "books", Weight: 3},
+		{Name: "music", Weight: 2},
+		{Name: "games", Weight: 1},
+	}
+	c.TotalObjects = 120
+	c.NumAdvisors = 8
+	c.NumTopReviewers = 12
+	return c
+}
+
+// Medium returns the default configuration for examples and component
+// benchmarks: the 12 paper genres over 2,000 users.
+func Medium() Config {
+	c := base()
+	c.NumUsers = 2000
+	c.TotalObjects = 600
+	return c
+}
+
+// PaperScale returns the configuration the experiment suite runs: the 12
+// paper genres, 22 Advisors and 40 Top Reviewers as in the crawl, with the
+// user count scaled to keep the full suite laptop-fast (the paper itself
+// subsampled one top-level category for computational cost).
+func PaperScale() Config {
+	c := base()
+	c.NumUsers = 6000
+	c.TotalObjects = 1500
+	c.MeanRatingsPerUser = 45
+	return c
+}
+
+func base() Config {
+	return Config{
+		Seed:               1,
+		Categories:         PaperGenres(),
+		MeanReviewsPerUser: 2.5,
+		MeanRatingsPerUser: 30,
+		MaxInterests:       4,
+		SkillAlpha:         2, SkillBeta: 3.5,
+		ConscAlpha: 4, ConscBeta: 2,
+		GenerosityAlpha: 1.6, GenerosityBeta: 3,
+		ZeroTrustFrac: 0.45,
+		ActivityTail:  1.35, ActivityMax: 400,
+		QualityNoise:    0.08,
+		RatingNoiseBase: 0.05, RatingNoiseSlope: 0.35, RaterBiasStdDev: 0.04,
+		TrustBase: 0.06, TrustAffinityWeight: 0.82, TrustRatingWeight: 0.12,
+		OutOfBandTrustFrac:   0.2,
+		RecentConnectionFrac: 0.35,
+		NumAdvisors:          22,
+		NumTopReviewers:      40,
+		SelectionNoise:       0.05,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.NumUsers < 2:
+		return fmt.Errorf("%w: NumUsers %d < 2", ErrBadConfig, c.NumUsers)
+	case len(c.Categories) == 0:
+		return fmt.Errorf("%w: no categories", ErrBadConfig)
+	case c.TotalObjects < len(c.Categories):
+		return fmt.Errorf("%w: TotalObjects %d < categories %d", ErrBadConfig, c.TotalObjects, len(c.Categories))
+	case c.MeanReviewsPerUser <= 0 || c.MeanRatingsPerUser <= 0:
+		return fmt.Errorf("%w: non-positive volume means", ErrBadConfig)
+	case c.MaxInterests < 1 || c.MaxInterests > len(c.Categories):
+		return fmt.Errorf("%w: MaxInterests %d outside [1, %d]", ErrBadConfig, c.MaxInterests, len(c.Categories))
+	case c.SkillAlpha <= 0 || c.SkillBeta <= 0 || c.ConscAlpha <= 0 || c.ConscBeta <= 0 ||
+		c.GenerosityAlpha <= 0 || c.GenerosityBeta <= 0:
+		return fmt.Errorf("%w: Beta parameters must be positive", ErrBadConfig)
+	case c.ActivityTail <= 0 || c.ActivityMax <= 1:
+		return fmt.Errorf("%w: activity distribution parameters", ErrBadConfig)
+	case c.QualityNoise < 0 || c.RatingNoiseBase < 0 || c.RatingNoiseSlope < 0 || c.RaterBiasStdDev < 0:
+		return fmt.Errorf("%w: negative noise", ErrBadConfig)
+	case c.OutOfBandTrustFrac < 0:
+		return fmt.Errorf("%w: negative OutOfBandTrustFrac", ErrBadConfig)
+	case c.RecentConnectionFrac < 0 || c.RecentConnectionFrac >= 1:
+		return fmt.Errorf("%w: RecentConnectionFrac %v outside [0, 1)", ErrBadConfig, c.RecentConnectionFrac)
+	case c.ZeroTrustFrac < 0 || c.ZeroTrustFrac >= 1:
+		return fmt.Errorf("%w: ZeroTrustFrac %v outside [0, 1)", ErrBadConfig, c.ZeroTrustFrac)
+	case c.NumAdvisors < 0 || c.NumTopReviewers < 0:
+		return fmt.Errorf("%w: negative editorial pick counts", ErrBadConfig)
+	}
+	for i, cat := range c.Categories {
+		if cat.Weight <= 0 {
+			return fmt.Errorf("%w: category %d (%q) weight %v <= 0", ErrBadConfig, i, cat.Name, cat.Weight)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,515 @@
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+// UserLatent is the hidden state of one synthetic user — the quantities
+// the framework tries to recover from observable rating behaviour.
+type UserLatent struct {
+	// Interests is the user's affinity distribution over categories
+	// (sums to 1).
+	Interests []float64
+	// Skill drives the true quality of the user's reviews.
+	Skill float64
+	// Conscientiousness drives how accurately the user rates reviews.
+	Conscientiousness float64
+	// Generosity scales the user's propensity to declare trust.
+	Generosity float64
+	// Activity is the user's overall volume multiplier (power-law).
+	Activity float64
+	// Bias is the user's systematic rating offset.
+	Bias float64
+}
+
+// GroundTruth carries the latent state alongside a generated dataset, for
+// evaluation only — the pipeline never sees it.
+type GroundTruth struct {
+	// Latents is indexed by UserID.
+	Latents []UserLatent
+	// ReviewQuality is the true quality of each review, by ReviewID.
+	ReviewQuality []float64
+	// Advisors are the simulated editorial picks of top raters
+	// (Epinions' "Advisors"), and TopReviewers the top writers.
+	Advisors     []ratings.UserID
+	TopReviewers []ratings.UserID
+	// CategoryExpertise[u][c] is the latent expertise exposure of user u
+	// in category c: skill times the user's share of reviews written
+	// there. This is what trust formation responds to.
+	CategoryExpertise [][]float64
+}
+
+// IsAdvisor reports whether u is one of the simulated Advisors.
+func (g *GroundTruth) IsAdvisor(u ratings.UserID) bool {
+	for _, a := range g.Advisors {
+		if a == u {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTopReviewer reports whether u is one of the simulated Top Reviewers.
+func (g *GroundTruth) IsTopReviewer(u ratings.UserID) bool {
+	for _, a := range g.TopReviewers {
+		if a == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate builds a synthetic community from the configuration. The same
+// configuration always yields the same dataset and ground truth.
+func Generate(cfg Config) (*ratings.Dataset, *GroundTruth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := stats.NewRand(cfg.Seed)
+	b := ratings.NewBuilder()
+	numC := len(cfg.Categories)
+
+	catWeights := make([]float64, numC)
+	for c, spec := range cfg.Categories {
+		b.AddCategory(spec.Name)
+		catWeights[c] = spec.Weight
+	}
+
+	// Objects: proportional split with at least one per category.
+	objectsByCat := splitProportional(cfg.TotalObjects, catWeights)
+	objectIDs := make([][]ratings.ObjectID, numC)
+	for c := 0; c < numC; c++ {
+		for k := 0; k < objectsByCat[c]; k++ {
+			oid, err := b.AddObject(ratings.CategoryID(c), "")
+			if err != nil {
+				return nil, nil, err
+			}
+			objectIDs[c] = append(objectIDs[c], oid)
+		}
+	}
+
+	// Users and latents.
+	b.AddUsers(cfg.NumUsers)
+	gt := &GroundTruth{Latents: make([]UserLatent, cfg.NumUsers)}
+	for u := range gt.Latents {
+		gt.Latents[u] = sampleLatent(rng, cfg, catWeights)
+	}
+
+	g := &generator{cfg: cfg, rng: rng, b: b, gt: gt, objectIDs: objectIDs, numC: numC}
+	g.generateReviews()
+	g.computeCategoryExpertise()
+	g.generateRatings()
+	g.generateTrust()
+	g.pickEditorial()
+
+	return b.Build(), gt, nil
+}
+
+type reviewRec struct {
+	id       ratings.ReviewID
+	writer   ratings.UserID
+	category int
+	trueQ    float64
+	numRated int
+}
+
+type generator struct {
+	cfg       Config
+	rng       *rand.Rand
+	b         *ratings.Builder
+	gt        *GroundTruth
+	objectIDs [][]ratings.ObjectID
+	numC      int
+
+	reviews      []reviewRec
+	reviewsByCat [][]int // indices into reviews
+
+	ratingsPerUser []int
+	reviewsPerUser []int
+
+	// conn aggregates (rater, writer) -> rating count and sum during
+	// generation, to drive trust formation.
+	conn map[uint64]*connAgg
+}
+
+type connAgg struct {
+	count int
+	sum   float64
+	// firstAt is the rating sequence number at which the connection
+	// formed; late connections are too recent to have earned trust.
+	firstAt int
+}
+
+func connKey(a, b ratings.UserID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func sampleLatent(rng *rand.Rand, cfg Config, catWeights []float64) UserLatent {
+	numC := len(catWeights)
+	l := UserLatent{
+		Interests:         make([]float64, numC),
+		Skill:             stats.Beta(rng, cfg.SkillAlpha, cfg.SkillBeta),
+		Conscientiousness: stats.Beta(rng, cfg.ConscAlpha, cfg.ConscBeta),
+		Generosity:        stats.Beta(rng, cfg.GenerosityAlpha, cfg.GenerosityBeta),
+		Activity:          stats.Pareto(rng, 1, cfg.ActivityMax, cfg.ActivityTail),
+		Bias:              stats.Normal(rng, 0, cfg.RaterBiasStdDev),
+	}
+	// Non-adoption of the explicit trust feature concentrates among light
+	// users: heavily engaged members almost always maintain a trust list,
+	// casual ones rarely do. This keeps the rating-mass-weighted trust
+	// coverage high (as in the paper's crawl) while most *users* still
+	// have empty trust lists — the sparsity the paper motivates.
+	if rng.Float64() < cfg.ZeroTrustFrac*math.Exp(-l.Activity/50) {
+		l.Generosity = 0
+	}
+	m := 1 + rng.IntN(cfg.MaxInterests)
+	remaining := make([]float64, numC)
+	copy(remaining, catWeights)
+	var total float64
+	for c := 0; c < m; c++ {
+		pick := stats.WeightedChoice(rng, remaining)
+		if pick < 0 {
+			break
+		}
+		w := stats.Gamma(rng, 1)
+		l.Interests[pick] = w
+		total += w
+		remaining[pick] = 0
+	}
+	if total > 0 {
+		for c := range l.Interests {
+			l.Interests[c] /= total
+		}
+	}
+	return l
+}
+
+// splitProportional divides total into len(weights) non-negative parts
+// proportional to weights, each at least 1, summing exactly to total
+// (assuming total >= len(weights)).
+func splitProportional(total int, weights []float64) []int {
+	n := len(weights)
+	out := make([]int, n)
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	assigned := 0
+	for i, w := range weights {
+		out[i] = 1 + int(float64(total-n)*w/wsum)
+		assigned += out[i]
+	}
+	// Distribute the rounding remainder to the largest categories.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	for k := 0; assigned < total; k = (k + 1) % n {
+		out[order[k]]++
+		assigned++
+	}
+	return out
+}
+
+func (g *generator) generateReviews() {
+	cfg := g.cfg
+	totalReviews := int(math.Round(float64(cfg.NumUsers) * cfg.MeanReviewsPerUser))
+	// Writers weighted by activity and skill: skilled, active users write
+	// more, which is what makes Epinions-style Top Reviewers exist.
+	weights := make([]float64, cfg.NumUsers)
+	for u, l := range g.gt.Latents {
+		weights[u] = l.Activity * (0.25 + 0.75*l.Skill)
+	}
+	writerSampler := stats.NewSampler(weights)
+	g.reviewsByCat = make([][]int, g.numC)
+	g.reviewsPerUser = make([]int, cfg.NumUsers)
+
+	for n := 0; n < totalReviews; n++ {
+		// A few attempts to find a (writer, object) pair not yet used.
+		for attempt := 0; attempt < 8; attempt++ {
+			writer := ratings.UserID(writerSampler.Draw(g.rng))
+			l := &g.gt.Latents[writer]
+			cat := stats.WeightedChoice(g.rng, l.Interests)
+			if cat < 0 {
+				continue
+			}
+			objs := g.objectIDs[cat]
+			obj := objs[g.rng.IntN(len(objs))]
+			if g.b.HasReview(writer, obj) {
+				continue
+			}
+			rid, err := g.b.AddReview(writer, obj)
+			if err != nil {
+				continue // defensive; HasReview should have caught it
+			}
+			trueQ := stats.NormalClamped01(g.rng, l.Skill, g.cfg.QualityNoise)
+			g.gt.ReviewQuality = append(g.gt.ReviewQuality, trueQ)
+			rec := reviewRec{id: rid, writer: writer, category: cat, trueQ: trueQ}
+			g.reviews = append(g.reviews, rec)
+			g.reviewsByCat[cat] = append(g.reviewsByCat[cat], len(g.reviews)-1)
+			g.reviewsPerUser[writer]++
+			break
+		}
+	}
+}
+
+func (g *generator) computeCategoryExpertise() {
+	exp := make([][]float64, g.cfg.NumUsers)
+	for u := range exp {
+		exp[u] = make([]float64, g.numC)
+	}
+	for _, rec := range g.reviews {
+		exp[rec.writer][rec.category]++
+	}
+	// Expertise exposure = skill saturating in the number of reviews
+	// written in the category: the community perceives experts as those
+	// who write *many* good reviews there (the paper's Section I
+	// hypothesis), not one lucky review.
+	for u := range exp {
+		skill := g.gt.Latents[u].Skill
+		for c, count := range exp[u] {
+			if count > 0 {
+				exp[u][c] = skill * count / (count + 1)
+			}
+		}
+	}
+	g.gt.CategoryExpertise = exp
+}
+
+func (g *generator) generateRatings() {
+	cfg := g.cfg
+	totalRatings := int(math.Round(float64(cfg.NumUsers) * cfg.MeanRatingsPerUser))
+	weights := make([]float64, cfg.NumUsers)
+	for u, l := range g.gt.Latents {
+		weights[u] = l.Activity
+	}
+	raterSampler := stats.NewSampler(weights)
+	g.ratingsPerUser = make([]int, cfg.NumUsers)
+	g.conn = make(map[uint64]*connAgg)
+
+	for n := 0; n < totalRatings; n++ {
+		for attempt := 0; attempt < 8; attempt++ {
+			rater := ratings.UserID(raterSampler.Draw(g.rng))
+			l := &g.gt.Latents[rater]
+			cat := stats.WeightedChoice(g.rng, l.Interests)
+			if cat < 0 || len(g.reviewsByCat[cat]) == 0 {
+				continue
+			}
+			rec := g.pickReview(cat)
+			if rec == nil || rec.writer == rater || g.b.HasRating(rater, rec.id) {
+				continue
+			}
+			noise := cfg.RatingNoiseBase + cfg.RatingNoiseSlope*(1-l.Conscientiousness)
+			observed := ratings.QuantizeRating(stats.Clamp01(rec.trueQ + l.Bias + stats.Normal(g.rng, 0, noise)))
+			if err := g.b.AddRating(rater, rec.id, observed); err != nil {
+				continue
+			}
+			rec.numRated++
+			g.ratingsPerUser[rater]++
+			key := connKey(rater, rec.writer)
+			a := g.conn[key]
+			if a == nil {
+				a = &connAgg{firstAt: n}
+				g.conn[key] = a
+			}
+			a.count++
+			a.sum += observed
+			break
+		}
+	}
+}
+
+// pickReview implements preferential attachment with a quality prior: draw
+// several candidate reviews uniformly from the category and keep the one
+// with the most ratings so far (ties broken by true quality). Popular,
+// well-written reviews accumulate raters the way Epinions traffic
+// concentrates on its top reviewers, while staying O(1) per draw.
+func (g *generator) pickReview(cat int) *reviewRec {
+	pool := g.reviewsByCat[cat]
+	best := &g.reviews[pool[g.rng.IntN(len(pool))]]
+	for k := 1; k < 5; k++ {
+		cand := &g.reviews[pool[g.rng.IntN(len(pool))]]
+		if tournamentScore(cand) > tournamentScore(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// tournamentScore ranks a review for reader attention: accumulated ratings
+// (rich-get-richer) with a quality prior worth a handful of ratings, so
+// high-skill writers attract the early traffic that later snowballs.
+func tournamentScore(r *reviewRec) float64 {
+	return float64(r.numRated) + 8*r.trueQ
+}
+
+// exposure computes s_ij: how much of writer j's latent expertise falls in
+// rater i's interest categories.
+func (g *generator) exposure(i, j ratings.UserID) float64 {
+	var s float64
+	li := g.gt.Latents[i].Interests
+	le := g.gt.CategoryExpertise[j]
+	for c, w := range li {
+		s += w * le[c]
+	}
+	return s
+}
+
+func (g *generator) generateTrust() {
+	cfg := g.cfg
+	// Group each user's direct connections, oldest first.
+	type connRec struct {
+		to      ratings.UserID
+		avg     float64
+		firstAt int
+	}
+	byUser := make([][]connRec, cfg.NumUsers)
+	for key, agg := range g.conn {
+		from := ratings.UserID(key >> 32)
+		byUser[from] = append(byUser[from], connRec{
+			to:      ratings.UserID(uint32(key)),
+			avg:     agg.sum / float64(agg.count),
+			firstAt: agg.firstAt,
+		})
+	}
+	totalRatings := int(math.Round(float64(cfg.NumUsers) * cfg.MeanRatingsPerUser))
+	trustCutoff := int(float64(totalRatings) * (1 - cfg.RecentConnectionFrac))
+	trustPerUser := make([]int, cfg.NumUsers)
+
+	// In-R trust is budget-constrained: a user expresses trust toward
+	// roughly generosity * |connections| of their established (non-recent)
+	// connections, sampled without replacement with weights driven by
+	// latent exposure and experienced rating quality. Users with many
+	// high-exposure connections therefore leave many of them untrusted —
+	// the paper's "would become trust in the future" population.
+	for u := 0; u < cfg.NumUsers; u++ {
+		conns := byUser[u]
+		if len(conns) == 0 {
+			continue
+		}
+		sort.Slice(conns, func(a, b int) bool { return conns[a].to < conns[b].to })
+		from := ratings.UserID(u)
+		eligible := conns[:0:0]
+		for _, c := range conns {
+			if c.firstAt < trustCutoff {
+				eligible = append(eligible, c)
+			}
+		}
+		budget := int(math.Round(g.gt.Latents[u].Generosity * float64(len(eligible))))
+		if budget == 0 || len(eligible) == 0 {
+			continue
+		}
+		if budget > len(eligible) {
+			budget = len(eligible)
+		}
+		// Efraimidis–Spirakis weighted sampling without replacement:
+		// keep the budget smallest exponential keys -log(u)/w.
+		type keyed struct {
+			idx int
+			key float64
+		}
+		keys := make([]keyed, len(eligible))
+		for i, c := range eligible {
+			s := g.exposure(from, c.to)
+			w := cfg.TrustBase + cfg.TrustAffinityWeight*sNorm(s) +
+				cfg.TrustRatingWeight*(c.avg-0.6)/0.4
+			if w < 1e-6 {
+				w = 1e-6
+			}
+			u01 := g.rng.Float64()
+			for u01 == 0 {
+				u01 = g.rng.Float64()
+			}
+			keys[i] = keyed{idx: i, key: -math.Log(u01) / w}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a].key < keys[b].key })
+		for _, kk := range keys[:budget] {
+			if err := g.b.AddTrust(from, eligible[kk.idx].to); err == nil {
+				trustPerUser[u]++
+			}
+		}
+	}
+
+	// Out-of-band (T−R) trust: word-of-mouth edges toward experts in the
+	// user's interest categories, independent of direct connections.
+	expertSamplers := make([]*stats.Sampler, g.numC)
+	for c := 0; c < g.numC; c++ {
+		w := make([]float64, cfg.NumUsers)
+		for u := 0; u < cfg.NumUsers; u++ {
+			w[u] = g.gt.CategoryExpertise[u][c]
+		}
+		expertSamplers[c] = stats.NewSampler(w) // nil if no experts
+	}
+	for u := 0; u < cfg.NumUsers; u++ {
+		want := int(math.Round(cfg.OutOfBandTrustFrac * float64(trustPerUser[u])))
+		from := ratings.UserID(u)
+		for k := 0; k < want; k++ {
+			for attempt := 0; attempt < 8; attempt++ {
+				cat := stats.WeightedChoice(g.rng, g.gt.Latents[u].Interests)
+				if cat < 0 || expertSamplers[cat] == nil {
+					break
+				}
+				to := ratings.UserID(expertSamplers[cat].Draw(g.rng))
+				if to == from || g.conn[connKey(from, to)] != nil || g.b.HasTrust(from, to) {
+					continue
+				}
+				if err := g.b.AddTrust(from, to); err == nil {
+					break
+				}
+			}
+		}
+	}
+}
+
+// sNorm rescales raw exposure (typically small, bounded by max skill) into
+// a usable [0,1] driver with diminishing returns.
+func sNorm(s float64) float64 {
+	return 1 - math.Exp(-4*s)
+}
+
+func (g *generator) pickEditorial() {
+	cfg := g.cfg
+	type scored struct {
+		u     ratings.UserID
+		score float64
+	}
+	var raters, writers []scored
+	for u := 0; u < cfg.NumUsers; u++ {
+		l := g.gt.Latents[u]
+		if g.ratingsPerUser[u] > 0 {
+			score := l.Conscientiousness*math.Log1p(float64(g.ratingsPerUser[u])) +
+				stats.Normal(g.rng, 0, cfg.SelectionNoise)
+			raters = append(raters, scored{u: ratings.UserID(u), score: score})
+		}
+		if g.reviewsPerUser[u] > 0 {
+			score := l.Skill*math.Log1p(float64(g.reviewsPerUser[u])) +
+				stats.Normal(g.rng, 0, cfg.SelectionNoise)
+			writers = append(writers, scored{u: ratings.UserID(u), score: score})
+		}
+	}
+	pick := func(list []scored, n int) []ratings.UserID {
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].score != list[b].score {
+				return list[a].score > list[b].score
+			}
+			return list[a].u < list[b].u
+		})
+		if n > len(list) {
+			n = len(list)
+		}
+		out := make([]ratings.UserID, n)
+		for i := 0; i < n; i++ {
+			out[i] = list[i].u
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	g.gt.Advisors = pick(raters, cfg.NumAdvisors)
+	g.gt.TopReviewers = pick(writers, cfg.NumTopReviewers)
+}

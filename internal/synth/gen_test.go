@@ -1,0 +1,346 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	cfg := Small()
+	d, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != cfg.NumUsers {
+		t.Errorf("users = %d, want %d", d.NumUsers(), cfg.NumUsers)
+	}
+	if d.NumCategories() != len(cfg.Categories) {
+		t.Errorf("categories = %d, want %d", d.NumCategories(), len(cfg.Categories))
+	}
+	if d.NumObjects() != cfg.TotalObjects {
+		t.Errorf("objects = %d, want %d", d.NumObjects(), cfg.TotalObjects)
+	}
+	// Volumes land near the configured means (collisions shave a little).
+	wantReviews := float64(cfg.NumUsers) * cfg.MeanReviewsPerUser
+	if got := float64(d.NumReviews()); got < 0.7*wantReviews || got > 1.05*wantReviews {
+		t.Errorf("reviews = %v, want ~%v", got, wantReviews)
+	}
+	wantRatings := float64(cfg.NumUsers) * cfg.MeanRatingsPerUser
+	if got := float64(d.NumRatings()); got < 0.7*wantRatings || got > 1.05*wantRatings {
+		t.Errorf("ratings = %v, want ~%v", got, wantRatings)
+	}
+	if d.NumTrustEdges() == 0 {
+		t.Error("no trust edges generated")
+	}
+	if len(gt.Latents) != cfg.NumUsers || len(gt.ReviewQuality) != d.NumReviews() {
+		t.Error("ground truth sizes wrong")
+	}
+	if len(gt.Advisors) != cfg.NumAdvisors || len(gt.TopReviewers) != cfg.NumTopReviewers {
+		t.Errorf("editorial picks = %d/%d, want %d/%d",
+			len(gt.Advisors), len(gt.TopReviewers), cfg.NumAdvisors, cfg.NumTopReviewers)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Small()
+	d1, gt1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, gt2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumReviews() != d2.NumReviews() || d1.NumRatings() != d2.NumRatings() ||
+		d1.NumTrustEdges() != d2.NumTrustEdges() {
+		t.Fatal("same seed produced different datasets")
+	}
+	for i, r := range d1.Ratings() {
+		r2 := d2.Ratings()[i]
+		if r != r2 {
+			t.Fatalf("rating %d differs: %+v vs %+v", i, r, r2)
+		}
+	}
+	for u := range gt1.Latents {
+		if gt1.Latents[u].Skill != gt2.Latents[u].Skill {
+			t.Fatal("latents differ")
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 999
+	d3, _, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.NumRatings() == d1.NumRatings() && d3.NumTrustEdges() == d1.NumTrustEdges() &&
+		d3.NumReviews() == d1.NumReviews() {
+		// Sizes could coincide; compare content.
+		same := true
+		for i, r := range d1.Ratings() {
+			if r != d3.Ratings()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.NumUsers = 1 },
+		func(c *Config) { c.Categories = nil },
+		func(c *Config) { c.TotalObjects = 0 },
+		func(c *Config) { c.MeanReviewsPerUser = 0 },
+		func(c *Config) { c.MeanRatingsPerUser = -1 },
+		func(c *Config) { c.MaxInterests = 0 },
+		func(c *Config) { c.MaxInterests = 99 },
+		func(c *Config) { c.SkillAlpha = 0 },
+		func(c *Config) { c.ConscBeta = -1 },
+		func(c *Config) { c.GenerosityAlpha = 0 },
+		func(c *Config) { c.ActivityTail = 0 },
+		func(c *Config) { c.ActivityMax = 1 },
+		func(c *Config) { c.QualityNoise = -0.1 },
+		func(c *Config) { c.OutOfBandTrustFrac = -1 },
+		func(c *Config) { c.NumAdvisors = -1 },
+		func(c *Config) { c.Categories[0].Weight = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := Small()
+		cfg.Categories = append([]CategorySpec(nil), cfg.Categories...)
+		mutate(&cfg)
+		if _, _, err := Generate(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("mutation %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestLatentInvariants(t *testing.T) {
+	cfg := Small()
+	_, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, l := range gt.Latents {
+		var sum float64
+		positive := 0
+		for _, w := range l.Interests {
+			if w < 0 {
+				t.Fatalf("user %d: negative interest", u)
+			}
+			if w > 0 {
+				positive++
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("user %d: interests sum to %v", u, sum)
+		}
+		if positive < 1 || positive > cfg.MaxInterests {
+			t.Fatalf("user %d: %d interest categories, want 1..%d", u, positive, cfg.MaxInterests)
+		}
+		if l.Skill < 0 || l.Skill > 1 || l.Conscientiousness < 0 || l.Conscientiousness > 1 ||
+			l.Generosity < 0 || l.Generosity > 1 {
+			t.Fatalf("user %d: latent out of [0,1]: %+v", u, l)
+		}
+		if l.Activity < 1 || l.Activity > cfg.ActivityMax {
+			t.Fatalf("user %d: activity %v out of range", u, l.Activity)
+		}
+	}
+	for i, q := range gt.ReviewQuality {
+		if q < 0 || q > 1 {
+			t.Fatalf("review %d: true quality %v out of [0,1]", i, q)
+		}
+	}
+}
+
+func TestTrustStructure(t *testing.T) {
+	d, _, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	// Both T∩R and T−R must be non-empty (Fig. 3's structure).
+	if s.TrustInR == 0 {
+		t.Error("no trust edges inside R")
+	}
+	if s.TrustOutsideR == 0 {
+		t.Error("no trust edges outside R (word-of-mouth)")
+	}
+	// Most trust should arise over direct connections.
+	if s.TrustInR <= s.TrustOutsideR {
+		t.Errorf("TrustInR=%d should exceed TrustOutsideR=%d", s.TrustInR, s.TrustOutsideR)
+	}
+}
+
+func TestCategorySizesFollowWeights(t *testing.T) {
+	d, _, err := Generate(Medium())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dramas (weight 18879) must have more reviews than Horror/Suspense
+	// (weight 341).
+	var dramas, horror ratings.CategoryID = -1, -1
+	for c := 0; c < d.NumCategories(); c++ {
+		switch d.CategoryName(ratings.CategoryID(c)) {
+		case "Dramas":
+			dramas = ratings.CategoryID(c)
+		case "Horror/Suspense":
+			horror = ratings.CategoryID(c)
+		}
+	}
+	if dramas < 0 || horror < 0 {
+		t.Fatal("paper genres missing")
+	}
+	if len(d.ReviewsInCategory(dramas)) <= len(d.ReviewsInCategory(horror)) {
+		t.Errorf("Dramas reviews (%d) should exceed Horror/Suspense (%d)",
+			len(d.ReviewsInCategory(dramas)), len(d.ReviewsInCategory(horror)))
+	}
+}
+
+func TestAdvisorsAreConscientiousAndActive(t *testing.T) {
+	d, gt, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var advisorConsc, allConsc []float64
+	for u := 0; u < d.NumUsers(); u++ {
+		if len(d.RatingsBy(ratings.UserID(u))) == 0 {
+			continue
+		}
+		c := gt.Latents[u].Conscientiousness
+		if gt.IsAdvisor(ratings.UserID(u)) {
+			advisorConsc = append(advisorConsc, c)
+		}
+		allConsc = append(allConsc, c)
+	}
+	if stats.Mean(advisorConsc) <= stats.Mean(allConsc) {
+		t.Errorf("advisors mean conscientiousness %v should exceed population %v",
+			stats.Mean(advisorConsc), stats.Mean(allConsc))
+	}
+	// Advisors rate far more than the average rater.
+	var advisorN, allN []float64
+	for u := 0; u < d.NumUsers(); u++ {
+		n := float64(len(d.RatingsBy(ratings.UserID(u))))
+		if n == 0 {
+			continue
+		}
+		if gt.IsAdvisor(ratings.UserID(u)) {
+			advisorN = append(advisorN, n)
+		}
+		allN = append(allN, n)
+	}
+	if stats.Mean(advisorN) <= 2*stats.Mean(allN) {
+		t.Errorf("advisors mean ratings %v should be well above population %v",
+			stats.Mean(advisorN), stats.Mean(allN))
+	}
+}
+
+func TestTopReviewersAreSkilled(t *testing.T) {
+	d, gt, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topSkill, allSkill []float64
+	for u := 0; u < d.NumUsers(); u++ {
+		if len(d.ReviewsByWriter(ratings.UserID(u))) == 0 {
+			continue
+		}
+		s := gt.Latents[u].Skill
+		if gt.IsTopReviewer(ratings.UserID(u)) {
+			topSkill = append(topSkill, s)
+		}
+		allSkill = append(allSkill, s)
+	}
+	if stats.Mean(topSkill) <= stats.Mean(allSkill) {
+		t.Errorf("top reviewers mean skill %v should exceed population %v",
+			stats.Mean(topSkill), stats.Mean(allSkill))
+	}
+}
+
+func TestRatingsTrackTrueQuality(t *testing.T) {
+	// Observed average rating of a review should correlate with its true
+	// quality — the signal the whole framework depends on.
+	d, gt, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avgObs, trueQ []float64
+	for r := 0; r < d.NumReviews(); r++ {
+		rs := d.RatingsOn(ratings.ReviewID(r))
+		if len(rs) < 2 {
+			continue
+		}
+		var sum float64
+		for _, rt := range rs {
+			sum += rt.Value
+		}
+		avgObs = append(avgObs, sum/float64(len(rs)))
+		trueQ = append(trueQ, gt.ReviewQuality[r])
+	}
+	if len(avgObs) < 30 {
+		t.Fatalf("too few multi-rated reviews (%d) to test correlation", len(avgObs))
+	}
+	if corr := stats.Pearson(avgObs, trueQ); corr < 0.6 {
+		t.Errorf("observed-vs-true quality correlation = %v, want >= 0.6", corr)
+	}
+}
+
+func TestSplitProportional(t *testing.T) {
+	out := splitProportional(10, []float64{1, 1, 8})
+	if len(out) != 3 {
+		t.Fatal("wrong length")
+	}
+	total := 0
+	for _, v := range out {
+		if v < 1 {
+			t.Errorf("part %d below minimum 1", v)
+		}
+		total += v
+	}
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+	if out[2] <= out[0] {
+		t.Errorf("heaviest weight should get most: %v", out)
+	}
+}
+
+func TestGroundTruthHelpers(t *testing.T) {
+	_, gt, err := Generate(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt.Advisors) == 0 || len(gt.TopReviewers) == 0 {
+		t.Fatal("no editorial picks")
+	}
+	if !gt.IsAdvisor(gt.Advisors[0]) {
+		t.Error("IsAdvisor(first advisor) = false")
+	}
+	if !gt.IsTopReviewer(gt.TopReviewers[0]) {
+		t.Error("IsTopReviewer(first pick) = false")
+	}
+	// A non-pick: find one.
+	for u := ratings.UserID(0); int(u) < len(gt.Latents); u++ {
+		if !gt.IsAdvisor(u) {
+			break
+		}
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := Small()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package tables renders aligned plain-text tables in the style of the
+// paper's result tables. It is used by the experiment runners and CLIs to
+// print Tables 2-4 and the figure summaries.
+package tables
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// displayWidth approximates the rendered width of a cell: runes minus
+// combining marks (so "T̂" counts as one column, not two bytes).
+func displayWidth(s string) int {
+	w := 0
+	for _, r := range s {
+		if !unicode.Is(unicode.Mn, r) {
+			w++
+		}
+	}
+	return w
+}
+
+// Align controls the alignment of a column.
+type Align int
+
+// Column alignments.
+const (
+	Left Align = iota
+	Right
+)
+
+// Table is a simple text table with a header row and an optional title.
+// The zero value is not usable; create one with New.
+type Table struct {
+	title   string
+	headers []string
+	aligns  []Align
+	rows    [][]string
+}
+
+// New creates a table with the given column headers. Columns default to
+// left alignment.
+func New(headers ...string) *Table {
+	t := &Table{headers: headers, aligns: make([]Align, len(headers))}
+	return t
+}
+
+// Title sets a title printed above the table and returns the table.
+func (t *Table) Title(title string) *Table {
+	t.title = title
+	return t
+}
+
+// AlignRight marks the given column indices as right-aligned (useful for
+// numbers) and returns the table. Out-of-range indices are ignored.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.aligns) {
+			t.aligns[c] = Right
+		}
+	}
+	return t
+}
+
+// AddRow appends a row. Each cell is formatted with the default %v verb;
+// float64 cells are formatted with 3 decimal places and float32 likewise.
+// Rows shorter than the header are padded with empty cells; longer rows are
+// truncated to the header width.
+func (t *Table) AddRow(cells ...any) *Table {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = formatCell(cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// AddSeparator appends a horizontal rule row.
+func (t *Table) AddSeparator() *Table {
+	t.rows = append(t.rows, nil)
+	return t
+}
+
+// NumRows returns the number of data rows added (separators included).
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.3f", x)
+	case float32:
+		return fmt.Sprintf("%.3f", x)
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Render writes the table to w. It returns the first write error
+// encountered, if any.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if w := displayWidth(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+	}
+	rule := t.ruleLine(widths)
+	sb.WriteString(rule)
+	t.writeRow(&sb, t.headers, widths)
+	sb.WriteString(rule)
+	for _, row := range t.rows {
+		if row == nil {
+			sb.WriteString(rule)
+			continue
+		}
+		t.writeRow(&sb, row, widths)
+	}
+	sb.WriteString(rule)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb) // strings.Builder never errors
+	return sb.String()
+}
+
+func (t *Table) ruleLine(widths []int) string {
+	var sb strings.Builder
+	sb.WriteByte('+')
+	for _, w := range widths {
+		sb.WriteString(strings.Repeat("-", w+2))
+		sb.WriteByte('+')
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func (t *Table) writeRow(sb *strings.Builder, cells []string, widths []int) {
+	sb.WriteByte('|')
+	for i, w := range widths {
+		c := ""
+		if i < len(cells) {
+			c = cells[i]
+		}
+		pad := w - displayWidth(c)
+		if pad < 0 {
+			pad = 0
+		}
+		sb.WriteByte(' ')
+		if t.aligns[i] == Right {
+			sb.WriteString(strings.Repeat(" ", pad))
+			sb.WriteString(c)
+		} else {
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", pad))
+		}
+		sb.WriteString(" |")
+	}
+	sb.WriteByte('\n')
+}
+
+// Percent formats a fraction as a percentage with one decimal, e.g. 0.984
+// renders as "98.4%".
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// CountPct formats "count (pct%)" as the paper's tables do, e.g.
+// "22(100%)".
+func CountPct(count, total int) string {
+	if total == 0 {
+		return fmt.Sprintf("%d(-)", count)
+	}
+	return fmt.Sprintf("%d(%.1f%%)", count, 100*float64(count)/float64(total))
+}

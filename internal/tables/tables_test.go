@@ -1,0 +1,106 @@
+package tables
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tbl := New("Genre", "Raters").AlignRight(1)
+	tbl.AddRow("Comedies", 14406)
+	tbl.AddRow("Dramas", 18879)
+	got := tbl.String()
+	if !strings.Contains(got, "| Genre") {
+		t.Errorf("missing header:\n%s", got)
+	}
+	if !strings.Contains(got, "Comedies") || !strings.Contains(got, "14406") {
+		t.Errorf("missing row content:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) != width {
+			t.Errorf("line %d has width %d, want %d:\n%s", i, len(l), width, got)
+		}
+	}
+}
+
+func TestRenderTitleAndSeparator(t *testing.T) {
+	tbl := New("A").Title("THE TITLE")
+	tbl.AddRow("x").AddSeparator().AddRow("y")
+	got := tbl.String()
+	if !strings.HasPrefix(got, "THE TITLE\n") {
+		t.Errorf("title missing:\n%s", got)
+	}
+	// header rule + after-header rule + separator + closing rule = 4 rules
+	if n := strings.Count(got, "+---"); n != 4 {
+		t.Errorf("rule count = %d, want 4:\n%s", n, got)
+	}
+}
+
+func TestAddRowPadTruncate(t *testing.T) {
+	tbl := New("A", "B")
+	tbl.AddRow("only")
+	tbl.AddRow("x", "y", "overflow")
+	got := tbl.String()
+	if strings.Contains(got, "overflow") {
+		t.Errorf("extra cell not truncated:\n%s", got)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tbl.NumRows())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tbl := New("V")
+	tbl.AddRow(0.857)
+	tbl.AddRow(float32(0.25))
+	got := tbl.String()
+	if !strings.Contains(got, "0.857") || !strings.Contains(got, "0.250") {
+		t.Errorf("float formatting wrong:\n%s", got)
+	}
+}
+
+func TestRightAlignment(t *testing.T) {
+	tbl := New("N").AlignRight(0)
+	tbl.AddRow(5)
+	tbl.AddRow(12345)
+	got := tbl.String()
+	if !strings.Contains(got, "|     5 |") {
+		t.Errorf("right alignment wrong:\n%s", got)
+	}
+}
+
+func TestAlignRightIgnoresOutOfRange(t *testing.T) {
+	tbl := New("A").AlignRight(-1, 5) // must not panic
+	tbl.AddRow("v")
+	_ = tbl.String()
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestRenderPropagatesWriteError(t *testing.T) {
+	tbl := New("A")
+	tbl.AddRow("x")
+	if err := tbl.Render(failWriter{}); err == nil {
+		t.Error("expected write error")
+	}
+}
+
+func TestPercentAndCountPct(t *testing.T) {
+	if got := Percent(0.984); got != "98.4%" {
+		t.Errorf("Percent = %q, want 98.4%%", got)
+	}
+	if got := CountPct(22, 22); got != "22(100.0%)" {
+		t.Errorf("CountPct = %q", got)
+	}
+	if got := CountPct(0, 0); got != "0(-)" {
+		t.Errorf("CountPct zero total = %q", got)
+	}
+	if got := CountPct(1, 3); got != "1(33.3%)" {
+		t.Errorf("CountPct = %q", got)
+	}
+}
