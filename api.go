@@ -75,6 +75,7 @@ func WithAffinityWritesOnly() Option {
 // query-oriented wrapper around the pipeline's artifacts. It is immutable
 // and safe for concurrent use.
 type TrustModel struct {
+	cfg       core.Config
 	dataset   *ratings.Dataset
 	artifacts *core.Artifacts
 }
@@ -91,7 +92,23 @@ func Derive(d *Dataset, opts ...Option) (*TrustModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TrustModel{dataset: d, artifacts: art}, nil
+	return &TrustModel{cfg: cfg, dataset: d, artifacts: art}, nil
+}
+
+// Update derives a new model for a dataset that extends this model's —
+// the shape produced by replaying an append-only event log past the
+// position this model was built from. It re-solves the Step 1 fixed point
+// only for categories touched by the new activity and reuses the rest, so
+// it is much cheaper than Derive on the grown dataset while producing
+// exactly the same model (it keeps the options Derive was called with).
+// The receiver is unchanged and remains valid: readers can keep querying
+// it while the replacement is prepared, then swap atomically.
+func (m *TrustModel) Update(newD *Dataset) (*TrustModel, error) {
+	art, err := m.cfg.Update(m.artifacts, m.dataset, newD)
+	if err != nil {
+		return nil, err
+	}
+	return &TrustModel{cfg: m.cfg, dataset: newD, artifacts: art}, nil
 }
 
 // Score returns the degree of trust T̂_ij user i holds for user j, in

@@ -87,6 +87,70 @@ func TestDeriveAndQuery(t *testing.T) {
 	}
 }
 
+func TestModelUpdateMatchesColdDerive(t *testing.T) {
+	b := ratings.NewBuilder()
+	movies := b.AddCategory("movies")
+	expert := b.AddUser("expert")
+	fan := b.AddUser("fan")
+	for i := 0; i < 3; i++ {
+		oid, err := b.AddObject(movies, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rid, err := b.AddReview(expert, oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddRating(fan, rid, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldD := b.Snapshot()
+	// A non-default option, to check Update keeps the derivation config.
+	model, err := weboftrust.Derive(oldD, weboftrust.WithoutExperienceDiscount())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow: a brand-new category plus fresh activity in the old one.
+	books := b.AddCategory("books")
+	critic := b.AddUser("critic")
+	oid, err := b.AddObject(books, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := b.AddReview(critic, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRating(fan, rid, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	newD := b.Snapshot()
+
+	updated, err := model.Update(newD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := weboftrust.Derive(newD, weboftrust.WithoutExperienceDiscount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < newD.NumUsers(); i++ {
+		for j := 0; j < newD.NumUsers(); j++ {
+			u, c := updated.Score(weboftrust.UserID(i), weboftrust.UserID(j)),
+				cold.Score(weboftrust.UserID(i), weboftrust.UserID(j))
+			if u != c {
+				t.Fatalf("Score(%d,%d): updated %v != cold %v", i, j, u, c)
+			}
+		}
+	}
+	// The old model must still answer from the old dataset.
+	if model.Dataset() != oldD || updated.Dataset() != newD {
+		t.Error("Update disturbed dataset identity")
+	}
+}
+
 func TestDeriveOptions(t *testing.T) {
 	d := buildFixture(t)
 	if _, err := weboftrust.Derive(d, weboftrust.WithRiggsIterations(0)); err == nil {

@@ -10,7 +10,12 @@ package weboftrust_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -18,6 +23,7 @@ import (
 	"weboftrust/internal/core"
 	"weboftrust/internal/experiments"
 	"weboftrust/internal/ratings"
+	"weboftrust/internal/server"
 	"weboftrust/internal/store"
 	"weboftrust/internal/synth"
 )
@@ -325,5 +331,117 @@ func BenchmarkTopTrusted(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Artifacts.Trust.TopTrusted(ratings.UserID(i%e.Dataset.NumUsers()), 10)
+	}
+}
+
+// --- Serving benchmarks ---------------------------------------------------
+
+// BenchmarkServerTopK measures trustd's full /v1/topk handler path —
+// routing, parameter validation, row cache, RowAuto evaluation, ranking
+// and JSON encoding — cycling through every user so the row cache runs at
+// its steady-state miss rate.
+func BenchmarkServerTopK(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(model, 0, server.Options{}).Handler()
+	numU := e.Dataset.NumUsers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/topk?user=%d&k=10", i%numU), nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("topk: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerTopKCached is the hot-user variant: every request after
+// the first hits the row cache, isolating the ranking + encoding cost.
+func BenchmarkServerTopKCached(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(model, 0, server.Options{}).Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/v1/topk?user=17&k=10", nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("topk: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkIngestSwap measures one full tailer cycle on a live log:
+// append a small event batch, tail-read past the checkpoint, replay,
+// rebuild artifacts with the incremental update, and swap the new state
+// in. This is the freshness cost a community pays per ingest tick.
+func BenchmarkIngestSwap(b *testing.B) {
+	e := env(b)
+	path := filepath.Join(b.TempDir(), "events.log")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lw := store.NewLogWriter(f)
+	if err := store.AppendDataset(lw, e.Dataset); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	srv, tailer, err := server.Open(path, 0, server.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = srv
+	users := e.Dataset.NumUsers()
+	objects := e.Dataset.NumObjects()
+	reviews := e.Dataset.NumReviews()
+	numCats := e.Dataset.NumCategories()
+	appendBatch := func(i int) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lw := store.NewLogWriter(f)
+		// One new user writing one rated review, cycling categories.
+		for _, ev := range []store.Event{
+			{Kind: store.EvAddUser, Name: ""},
+			{Kind: store.EvAddObject, Category: ratings.CategoryID(i % numCats), Name: ""},
+			{Kind: store.EvAddReview, User: ratings.UserID(users), Object: ratings.ObjectID(objects)},
+			{Kind: store.EvAddRating, User: ratings.UserID(i % users), Review: ratings.ReviewID(reviews), Level: uint8(1 + i%5)},
+		} {
+			if err := lw.Append(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := lw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		users++
+		objects++
+		reviews++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		appendBatch(i)
+		n, err := tailer.Poll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != 4 {
+			b.Fatalf("ingested %d events, want 4", n)
+		}
 	}
 }

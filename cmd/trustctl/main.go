@@ -8,13 +8,15 @@
 //	trustctl topk     -in data.wot -user ID [-k N]
 //	trustctl expertise -in data.wot -user ID
 //	trustctl export   -in data.wot -dir DIR
-//	trustctl ingest   -log events.log -out data.wot
+//	trustctl ingest   -log events.log -out data.wot [-allow-truncated]
+//	trustctl exportlog -in data.wot -log events.log
 //
 // Datasets are stored in the snapshot format of internal/store (CRC-32
 // checked); "ingest" replays an append-only event log into a snapshot.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,11 +38,13 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest> [flags]")
+		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest|exportlog> [flags]")
 	}
 	switch args[0] {
 	case "generate":
 		return cmdGenerate(args[1:])
+	case "exportlog":
+		return cmdExportLog(args[1:])
 	case "stats":
 		return cmdStats(args[1:])
 	case "topk":
@@ -241,29 +245,71 @@ func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
 	logPath := fs.String("log", "", "input event log path (required)")
 	out := fs.String("out", "", "output snapshot path (required)")
+	allowTruncated := fs.Bool("allow-truncated", false,
+		"ingest the intact prefix of a log whose final record is torn (crash during append)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *logPath == "" || *out == "" {
 		return fmt.Errorf("ingest: -log and -out are required")
 	}
-	f, err := os.Open(*logPath)
+	return ingestLog(*logPath, *out, *allowTruncated)
+}
+
+func ingestLog(logPath, out string, allowTruncated bool) error {
+	f, err := os.Open(logPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	events, err := store.ReadLog(f)
 	if err != nil {
-		return fmt.Errorf("reading log: %w", err)
+		var trunc *store.TruncatedError
+		if errors.As(err, &trunc) && allowTruncated {
+			fmt.Fprintf(os.Stderr, "ingest: torn final record; ingesting %d events up to offset %d\n",
+				len(events), trunc.Offset)
+		} else {
+			return fmt.Errorf("reading log: %w", err)
+		}
 	}
 	b := ratings.NewBuilder()
 	if err := store.Replay(events, b); err != nil {
 		return err
 	}
 	d := b.Build()
-	if err := saveDataset(*out, d); err != nil {
+	if err := saveDataset(out, d); err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d events into %s: %v\n", len(events), *out, d)
+	fmt.Printf("replayed %d events into %s: %v\n", len(events), out, d)
+	return nil
+}
+
+func cmdExportLog(args []string) error {
+	fs := flag.NewFlagSet("exportlog", flag.ContinueOnError)
+	in := fs.String("in", "", "input snapshot path (required)")
+	logPath := fs.String("log", "", "output event log path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *logPath == "" {
+		return fmt.Errorf("exportlog: -in and -log are required")
+	}
+	d, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*logPath)
+	if err != nil {
+		return err
+	}
+	lw := store.NewLogWriter(f)
+	if err := store.AppendDataset(lw, d); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s from %s: %v\n", *logPath, *in, d)
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,6 +105,60 @@ func TestIngest(t *testing.T) {
 	}
 	if got.NumRatings() != d.NumRatings() || got.NumTrustEdges() != d.NumTrustEdges() {
 		t.Errorf("replayed dataset differs: %v vs %v", got, d)
+	}
+}
+
+func TestExportLogRoundTrip(t *testing.T) {
+	snap := generateSnapshot(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "events.log")
+	if err := run([]string{"exportlog", "-in", snap, "-log", logPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Log → snapshot → dataset must equal the original.
+	out := filepath.Join(dir, "replayed.wot")
+	if err := run([]string{"ingest", "-log", logPath, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := loadDataset(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUsers() != want.NumUsers() || got.NumRatings() != want.NumRatings() ||
+		got.NumTrustEdges() != want.NumTrustEdges() {
+		t.Errorf("round trip differs: %v vs %v", got, want)
+	}
+}
+
+func TestIngestTruncatedLog(t *testing.T) {
+	snap := generateSnapshot(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "events.log")
+	if err := run([]string{"exportlog", "-in", snap, "-log", logPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record.
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "replayed.wot")
+	err = run([]string{"ingest", "-log", logPath, "-out", out})
+	if !errors.Is(err, store.ErrTruncated) {
+		t.Fatalf("torn log ingest error = %v, want ErrTruncated", err)
+	}
+	if err := run([]string{"ingest", "-log", logPath, "-out", out, "-allow-truncated"}); err != nil {
+		t.Fatalf("tolerant ingest failed: %v", err)
+	}
+	if _, err := loadDataset(out); err != nil {
+		t.Fatalf("prefix snapshot unreadable: %v", err)
 	}
 }
 

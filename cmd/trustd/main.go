@@ -1,0 +1,149 @@
+// Command trustd serves derived trust over HTTP and keeps itself fresh by
+// tailing an append-only event log.
+//
+// Usage:
+//
+//	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-rows 512]
+//	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
+//	trustd loadgen -addr http://localhost:8080 [-duration 10s] [-concurrency 8] [-k 10]
+//
+// In log mode the daemon replays the whole log on startup (tolerating a
+// torn final record from a crashed writer), derives the model, and then
+// polls for appended events: each batch is folded in with the incremental
+// pipeline update and swapped in atomically, so queries never block on
+// ingest and always see a complete, consistent model.
+//
+// Endpoints: /v1/topk?user=U&k=K, /v1/trust?from=I&to=J,
+// /v1/expertise?user=U, /v1/stats, /healthz, /metrics (Prometheus text).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"weboftrust"
+	"weboftrust/internal/server"
+	"weboftrust/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trustd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: trustd <serve|loadgen> [flags]")
+	}
+	switch args[0] {
+	case "serve":
+		return cmdServe(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	logPath := fs.String("log", "", "event log to replay and tail")
+	snapshot := fs.String("snapshot", "", "snapshot to serve statically (alternative to -log)")
+	poll := fs.Duration("poll", server.DefaultPoll, "event log polling interval")
+	cacheRows := fs.Int("cache-rows", server.DefaultCacheRows, "trust-row LRU capacity (-1 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*logPath == "") == (*snapshot == "") {
+		return fmt.Errorf("serve: exactly one of -log or -snapshot is required")
+	}
+	opts := server.Options{CacheRows: *cacheRows}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var srv *server.Server
+	tailErr := make(chan error, 1)
+	if *logPath != "" {
+		s, tailer, err := server.Open(*logPath, *poll, opts)
+		if err != nil {
+			return err
+		}
+		srv = s
+		go func() { tailErr <- tailer.Run(ctx) }()
+		_, offset, _ := srv.Current()
+		fmt.Fprintf(os.Stderr, "trustd: replayed %s to offset %d, tailing every %v\n", *logPath, offset, *poll)
+	} else {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			return err
+		}
+		d, err := store.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		model, err := weboftrust.Derive(d)
+		if err != nil {
+			return err
+		}
+		srv = server.New(model, 0, opts)
+		fmt.Fprintf(os.Stderr, "trustd: serving snapshot %s (%v)\n", *snapshot, d)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "trustd: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutdownCtx)
+	case err := <-serveErr:
+		return err
+	case err := <-tailErr:
+		httpSrv.Close()
+		if errors.Is(err, context.Canceled) {
+			return nil
+		}
+		return fmt.Errorf("tailer stopped: %w", err)
+	}
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of a running trustd")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	concurrency := fs.Int("concurrency", 8, "number of concurrent clients")
+	k := fs.Int("k", 10, "top-k size to request")
+	users := fs.Int("users", 0, "user-id space to sample (0 = ask /v1/stats)")
+	seed := fs.Uint64("seed", 1, "sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := server.RunLoadgen(context.Background(), server.LoadgenConfig{
+		BaseURL:     *addr,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		K:           *k,
+		Users:       *users,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	return nil
+}

@@ -1,0 +1,3 @@
+module weboftrust
+
+go 1.24

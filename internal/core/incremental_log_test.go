@@ -1,0 +1,246 @@
+package core
+
+// Tests for the serving path's ingest contract: a model built from an
+// event-log prefix, grown by tail-replaying appended events and folded in
+// with Update, must be indistinguishable from a cold Run over the whole
+// log. This is exactly what trustd's tailer does between swaps.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+)
+
+// logCommunity generates a small synthetic community and serialises it to
+// an event log, the "snapshot" every test here starts from.
+func logCommunity(t *testing.T) []byte {
+	t.Helper()
+	cfg := synth.Small()
+	cfg.NumUsers = 50
+	cfg.TotalObjects = 25
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lw := store.NewLogWriter(&buf)
+	if err := store.AppendDataset(lw, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// growthEvents fabricates a valid batch of appended activity: two new
+// users (a writer and a rater), optionally a brand-new category, two new
+// reviewed objects with ratings from both the new rater and an existing
+// user, and a trust edge.
+func growthEvents(d *ratings.Dataset, seed uint64, newCat bool) []store.Event {
+	rng := stats.NewRand(seed)
+	users, cats := d.NumUsers(), d.NumCategories()
+	objects, reviews := d.NumObjects(), d.NumReviews()
+
+	writer := ratings.UserID(users)
+	rater := ratings.UserID(users + 1)
+	evs := []store.Event{
+		{Kind: store.EvAddUser, Name: "tail-writer"},
+		{Kind: store.EvAddUser, Name: "tail-rater"},
+	}
+	cat := ratings.CategoryID(rng.IntN(cats))
+	if newCat {
+		evs = append(evs, store.Event{Kind: store.EvAddCategory, Name: "tail-category"})
+		cat = ratings.CategoryID(cats)
+	}
+	for i := 0; i < 2; i++ {
+		oid := ratings.ObjectID(objects + i)
+		rid := ratings.ReviewID(reviews + i)
+		evs = append(evs,
+			store.Event{Kind: store.EvAddObject, Category: cat, Name: ""},
+			store.Event{Kind: store.EvAddReview, User: writer, Object: oid},
+			store.Event{Kind: store.EvAddRating, User: rater, Review: rid, Level: uint8(1 + rng.IntN(5))},
+			store.Event{Kind: store.EvAddRating, User: ratings.UserID(rng.IntN(users)), Review: rid, Level: uint8(1 + rng.IntN(5))},
+		)
+	}
+	evs = append(evs, store.Event{Kind: store.EvAddTrust, User: rater, To: writer})
+	return evs
+}
+
+// replayAll replays the whole log into a fresh builder and returns the
+// builder, its snapshot, and the end offset.
+func replayAll(t *testing.T, raw []byte) (*ratings.Builder, *ratings.Dataset, int64) {
+	t.Helper()
+	events, off, err := store.ReadLogFrom(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ratings.NewBuilder()
+	if err := store.Replay(events, b); err != nil {
+		t.Fatal(err)
+	}
+	return b, b.Snapshot(), off
+}
+
+// assertArtifactsEqual fails unless the two artifact sets are exactly
+// equal, cell for cell.
+func assertArtifactsEqual(t *testing.T, inc, full *Artifacts, numUsers int) {
+	t.Helper()
+	if !inc.Expertise.Equal(full.Expertise, 0) {
+		t.Fatal("tail-replay expertise differs from cold run")
+	}
+	if !inc.Affinity.Equal(full.Affinity, 0) {
+		t.Fatal("tail-replay affinity differs from cold run")
+	}
+	for i := 0; i < numUsers; i++ {
+		for j := 0; j < numUsers; j++ {
+			a := inc.Trust.Value(ratings.UserID(i), ratings.UserID(j))
+			b := full.Trust.Value(ratings.UserID(i), ratings.UserID(j))
+			if a != b {
+				t.Fatalf("T̂[%d][%d]: tail-replay %v != cold %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// Property: snapshot → append events → tail-replay → Update produces the
+// same model as a cold Run over the full log, whether or not the tail
+// introduces a new category.
+func TestUpdateFromLogTailQuick(t *testing.T) {
+	raw := logCommunity(t)
+	cfg := DefaultConfig()
+	f := func(seed uint64, newCat bool) bool {
+		b, d0, off := replayAll(t, raw)
+		art0, err := cfg.Run(d0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		buf.Write(raw)
+		lw := store.NewLogWriter(&buf)
+		for _, ev := range growthEvents(d0, seed, newCat) {
+			if err := lw.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := lw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		grown := buf.Bytes()
+
+		tail, off2, err := store.ReadLogFrom(bytes.NewReader(grown), off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off2 != int64(len(grown)) {
+			t.Fatalf("tail stopped at %d, want %d", off2, len(grown))
+		}
+		if err := store.Replay(tail, b); err != nil {
+			t.Fatal(err)
+		}
+		newD := b.Snapshot()
+		inc, err := cfg.Update(art0, d0, newD)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		_, fullD, _ := replayAll(t, grown)
+		full, err := cfg.Run(fullD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertArtifactsEqual(t, inc, full, fullD.NumUsers())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A crash mid-append must not poison the pipeline: the tailer ingests the
+// intact prefix (ErrTruncated carries where it ends), updates, and picks
+// up the completed record on the next pass — ending at the same model a
+// cold run over the completed log produces.
+func TestUpdateFromTruncatedTail(t *testing.T) {
+	raw := logCommunity(t)
+	cfg := DefaultConfig()
+	b, d0, off := replayAll(t, raw)
+	art0, err := cfg.Run(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialise a growth batch separately so we can tear its last record.
+	var batch bytes.Buffer
+	lw := store.NewLogWriter(&batch)
+	evs := growthEvents(d0, 7, true)
+	for _, ev := range evs[:len(evs)-1] {
+		if err := lw.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	intactLen := batch.Len()
+	if err := lw.Append(evs[len(evs)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := batch.Bytes()
+	torn := append(append([]byte(nil), raw...), full[:intactLen+2]...)
+
+	// First tail pass: the intact prefix plus ErrTruncated at its end.
+	tail, off2, err := store.ReadLogFrom(bytes.NewReader(torn), off)
+	if !errors.Is(err, store.ErrTruncated) {
+		t.Fatalf("torn tail error = %v, want ErrTruncated", err)
+	}
+	if len(tail) != len(evs)-1 || off2 != int64(len(raw)+intactLen) {
+		t.Fatalf("torn tail: %d events to offset %d, want %d events to %d",
+			len(tail), off2, len(evs)-1, len(raw)+intactLen)
+	}
+	if err := store.Replay(tail, b); err != nil {
+		t.Fatal(err)
+	}
+	midD := b.Snapshot()
+	midArt, err := cfg.Update(art0, d0, midD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldMidD, _ := replayAll(t, torn[:len(raw)+intactLen])
+	coldMid, err := cfg.Run(coldMidD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertArtifactsEqual(t, midArt, coldMid, coldMidD.NumUsers())
+
+	// The writer finishes the record; the second pass picks up the rest.
+	whole := append(append([]byte(nil), raw...), full...)
+	tail2, off3, err := store.ReadLogFrom(bytes.NewReader(whole), off2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail2) != 1 || off3 != int64(len(whole)) {
+		t.Fatalf("resumed tail: %d events to %d, want 1 event to %d", len(tail2), off3, len(whole))
+	}
+	if err := store.Replay(tail2, b); err != nil {
+		t.Fatal(err)
+	}
+	finalD := b.Snapshot()
+	finalArt, err := cfg.Update(midArt, midD, finalD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldFinalD, _ := replayAll(t, whole)
+	coldFinal, err := cfg.Run(coldFinalD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertArtifactsEqual(t, finalArt, coldFinal, coldFinalD.NumUsers())
+}

@@ -156,6 +156,31 @@ func (dt *DerivedTrust) RowSparse(i ratings.UserID, dst []float64) []float64 {
 	return dst
 }
 
+// sparseCost estimates the number of multiply-adds RowSparse performs for
+// source i: the total expert-list length over the categories i has
+// affinity for, plus the O(U) clear and scale passes.
+func (dt *DerivedTrust) sparseCost(i ratings.UserID) int {
+	cost := 2 * dt.NumUsers()
+	for c, wc := range dt.affinity.Row(int(i)) {
+		if wc != 0 {
+			cost += len(dt.expertLists[c])
+		}
+	}
+	return cost
+}
+
+// RowAuto fills dst (length U) with row i of T̂, routing to RowSparse when
+// user i's affinity is narrow enough that walking only the relevant expert
+// lists beats the dense U·C sweep, and to Row otherwise. Both paths add
+// the same products in the same order, so the result is identical either
+// way; only the cost differs.
+func (dt *DerivedTrust) RowAuto(i ratings.UserID, dst []float64) []float64 {
+	if dt.sparseCost(i) < dt.NumUsers()*dt.NumCategories() {
+		return dt.RowSparse(i, dst)
+	}
+	return dt.Row(i, dst)
+}
+
 // RowSupport returns the number of users j != i with T̂_ij > 0: the size
 // of user i's "derived connections" set that binarisation draws from.
 func (dt *DerivedTrust) RowSupport(i ratings.UserID) int {
@@ -194,10 +219,20 @@ type Ranked struct {
 
 // TopTrusted returns the k users with the highest T̂_ij for source i,
 // excluding i itself and zero scores, in descending score order (ties by
-// ascending user id).
+// ascending user id). The row is evaluated through RowAuto, so sources
+// with narrow interests pay only for the experts they can reach.
 func (dt *DerivedTrust) TopTrusted(i ratings.UserID, k int) []Ranked {
-	row := dt.Row(i, nil)
+	row := dt.RowAuto(i, nil)
 	row[i] = 0 // exclude self
+	return RankRow(row, k)
+}
+
+// RankRow selects the top-k positive scores from a precomputed trust row
+// (self already excluded), in descending score order with ties by
+// ascending user id — the selection half of TopTrusted, split out so
+// serving layers that cache rows can rank without recomputing them. The
+// row is only read.
+func RankRow(row []float64, k int) []Ranked {
 	idx := mat.TopK(row, k)
 	out := make([]Ranked, 0, len(idx))
 	for _, j := range idx {

@@ -230,6 +230,31 @@ func TestRowSparseMatchesRowQuick(t *testing.T) {
 	}
 }
 
+// Property: RowAuto is bitwise identical to Row regardless of which path
+// the cost estimate picks — the serving layer caches RowAuto output, so
+// routing must never change a score.
+func TestRowAutoBitwiseIdenticalQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		dt := randomDT(seed)
+		numU := dt.NumUsers()
+		dense := make([]float64, numU)
+		auto := make([]float64, numU)
+		for i := 0; i < numU; i++ {
+			dt.Row(ratings.UserID(i), dense)
+			dt.RowAuto(ratings.UserID(i), auto)
+			for j := range dense {
+				if dense[j] != auto[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRowSparseEdgeCases(t *testing.T) {
 	dt := buildAE(t)
 	// No affinity -> zero row.

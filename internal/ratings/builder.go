@@ -174,8 +174,19 @@ func (b *Builder) NumObjects() int { return len(b.objects) }
 func (b *Builder) NumReviews() int { return len(b.reviews) }
 
 // Build freezes the accumulated entities into an immutable, fully indexed
-// Dataset. The builder must not be used afterwards.
+// Dataset. The builder must not be used afterwards; use Snapshot to keep
+// appending.
 func (b *Builder) Build() *Dataset {
+	return b.Snapshot()
+}
+
+// Snapshot freezes the entities added so far into an immutable, fully
+// indexed Dataset without retiring the builder. The builder may keep
+// appending and snapshot again; because the builder is append-only, every
+// later snapshot extends every earlier one (the event-log-tailing shape),
+// and earlier snapshots are never disturbed — appends land beyond their
+// slice lengths.
+func (b *Builder) Snapshot() *Dataset {
 	d := &Dataset{
 		userNames:  b.userNames,
 		categories: b.categories,

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"weboftrust/internal/ratings"
+)
+
+// rowCache is a bounded LRU of derived-trust rows keyed by source user.
+// Rows are stored with the self-trust cell already zeroed, ready for
+// ranking, and are treated as immutable once inserted (readers only read,
+// so one row may serve many concurrent requests). Each server state owns
+// its own cache, so an artifact swap invalidates every entry wholesale —
+// there is no per-row invalidation to get wrong.
+type rowCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[ratings.UserID]*list.Element
+}
+
+type cacheEntry struct {
+	user ratings.UserID
+	row  []float64
+}
+
+func newRowCache(capacity int) *rowCache {
+	return &rowCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[ratings.UserID]*list.Element, capacity),
+	}
+}
+
+// get returns the cached row for u, marking it most recently used.
+func (c *rowCache) get(u ratings.UserID) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[u]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).row, true
+}
+
+// put inserts a row for u, evicting the least recently used entry when
+// the cache is full. The caller must not modify row afterwards.
+func (c *rowCache) put(u ratings.UserID, row []float64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[u]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).row = row
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).user)
+	}
+	c.m[u] = c.ll.PushFront(&cacheEntry{user: u, row: row})
+}
+
+// len returns the number of cached rows.
+func (c *rowCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

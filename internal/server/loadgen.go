@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"weboftrust/internal/stats"
+)
+
+// LoadgenConfig parameterises a load run against a live trustd.
+type LoadgenConfig struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Duration bounds the run.
+	Duration time.Duration
+	// Concurrency is the number of in-flight clients.
+	Concurrency int
+	// K is the top-k size requested.
+	K int
+	// Users is the user-id space to sample from; 0 fetches the served
+	// dataset's user count from /v1/stats.
+	Users int
+	// Seed drives the per-worker user sampling.
+	Seed uint64
+}
+
+// LoadgenReport summarises a load run.
+type LoadgenReport struct {
+	Requests int
+	Errors   int
+	Elapsed  time.Duration
+	QPS      float64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+func (r *LoadgenReport) String() string {
+	return fmt.Sprintf("%d requests in %v (%.0f req/s), %d errors\nlatency p50 %v  p95 %v  p99 %v  max %v",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.QPS, r.Errors, r.P50, r.P95, r.P99, r.Max)
+}
+
+// RunLoadgen hammers /v1/topk with random users until the duration (or
+// ctx) expires and reports throughput and latency quantiles. It is the
+// "is the serving path actually fast" harness: run it against a live
+// daemon while the tailer ingests to observe both halves under load.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 4
+	}
+	if cfg.K < 1 {
+		cfg.K = 10
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	users := cfg.Users
+	if users == 0 {
+		var sr StatsResponse
+		if err := getJSON(ctx, cfg.BaseURL+"/v1/stats", &sr); err != nil {
+			return nil, fmt.Errorf("loadgen: fetch user count: %w", err)
+		}
+		users = sr.Dataset.Users
+	}
+	if users < 1 {
+		return nil, fmt.Errorf("loadgen: served dataset has no users")
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	type workerResult struct {
+		latencies []time.Duration
+		errs      int
+	}
+	results := make([]workerResult, cfg.Concurrency)
+	var wg sync.WaitGroup
+	startedAt := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRand(cfg.Seed + uint64(w)*0x9e37)
+			client := &http.Client{}
+			for ctx.Err() == nil {
+				u := rng.IntN(users)
+				url := fmt.Sprintf("%s/v1/topk?user=%d&k=%d", cfg.BaseURL, u, cfg.K)
+				t0 := time.Now()
+				if err := drainGet(ctx, client, url); err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					results[w].errs++
+					continue
+				}
+				results[w].latencies = append(results[w].latencies, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(startedAt)
+
+	var all []time.Duration
+	report := &LoadgenReport{Elapsed: elapsed}
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		report.Errors += r.errs
+	}
+	report.Requests = len(all)
+	if elapsed > 0 {
+		report.QPS = float64(report.Requests) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		report.P50, report.P95, report.P99 = q(0.50), q(0.95), q(0.99)
+		report.Max = all[len(all)-1]
+	}
+	return report, nil
+}
+
+func getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func drainGet(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+// Package server implements trustd's serving core: an HTTP daemon that
+// answers trust queries from immutable pipeline artifacts and keeps itself
+// fresh by tailing an append-only event log.
+//
+// The design splits reads from ingest. Queries read a *state — the derived
+// model, its event-log offset and a bounded row cache — through one
+// atomic.Pointer load, so the read path never takes a lock and never
+// blocks on ingest. The Tailer replays new events past its checkpoint,
+// rebuilds artifacts incrementally with core.Update, and swaps the new
+// state in atomically; in-flight requests finish against the state they
+// started with, and the fresh state starts with an empty cache (swap IS
+// the invalidation).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"weboftrust"
+	"weboftrust/internal/core"
+	"weboftrust/internal/ratings"
+)
+
+// state is everything one consistent view of the world needs. It is
+// immutable after construction and replaced wholesale on ingest.
+type state struct {
+	model   *weboftrust.TrustModel
+	offset  int64 // event-log offset the model reflects
+	version uint64
+	cache   *rowCache
+}
+
+// Options tunes a Server. The zero value uses the defaults.
+type Options struct {
+	// CacheRows bounds the per-state LRU of derived-trust rows. Zero
+	// means DefaultCacheRows; negative disables caching.
+	CacheRows int
+}
+
+// DefaultCacheRows is the row-cache bound when Options.CacheRows is 0.
+// A row costs 8·U bytes, so at the Medium preset (2,000 users) the
+// default cache tops out at ~8 MiB.
+const DefaultCacheRows = 512
+
+// Server serves trust queries over HTTP. Create with New, mount Handler,
+// and feed it fresh models via Swap (usually from a Tailer).
+type Server struct {
+	opts    Options
+	cur     atomic.Pointer[state]
+	start   time.Time
+	metrics metrics
+}
+
+// metrics is the server's instrumentation, exposed at /metrics in
+// Prometheus text format. All fields are monotonic counters except the
+// gauges derived from the current state at scrape time.
+type metrics struct {
+	requests       [4]atomic.Int64 // indexed by endpoint constants below
+	badRequests    atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	swaps          atomic.Int64
+	eventsIngested atomic.Int64
+	truncatedReads atomic.Int64
+	lastSwapNanos  atomic.Int64
+}
+
+const (
+	epTopK = iota
+	epTrust
+	epExpertise
+	epStats
+)
+
+// New wraps a derived model for serving. offset is the event-log position
+// the model reflects (0 when serving a snapshot with no log).
+func New(model *weboftrust.TrustModel, offset int64, opts Options) *Server {
+	if opts.CacheRows == 0 {
+		opts.CacheRows = DefaultCacheRows
+	}
+	s := &Server{opts: opts, start: time.Now()}
+	s.cur.Store(&state{
+		model:   model,
+		offset:  offset,
+		version: 1,
+		cache:   newRowCache(opts.CacheRows),
+	})
+	return s
+}
+
+// Swap atomically replaces the served model. Readers in flight keep the
+// state they loaded; new requests see the new model with a fresh (empty)
+// row cache. Safe for one writer; queries never block on it.
+func (s *Server) Swap(model *weboftrust.TrustModel, offset int64) {
+	s.cur.Store(&state{
+		model:   model,
+		offset:  offset,
+		version: s.cur.Load().version + 1,
+		cache:   newRowCache(s.opts.CacheRows),
+	})
+	s.metrics.swaps.Add(1)
+	s.metrics.lastSwapNanos.Store(time.Now().UnixNano())
+}
+
+// Current returns the served model, its event-log offset and version.
+func (s *Server) Current() (*weboftrust.TrustModel, int64, uint64) {
+	st := s.cur.Load()
+	return st.model, st.offset, st.version
+}
+
+// row returns user u's trust row (self excluded) from the state's cache,
+// computing and inserting it on a miss. The returned slice is shared and
+// must not be modified.
+func (s *Server) row(st *state, u ratings.UserID) []float64 {
+	if r, ok := st.cache.get(u); ok {
+		s.metrics.cacheHits.Add(1)
+		return r
+	}
+	s.metrics.cacheMisses.Add(1)
+	dt := st.model.Artifacts().Trust
+	r := dt.RowAuto(u, nil)
+	r[u] = 0 // exclude self, matching TopTrusted
+	st.cache.put(u, r)
+	return r
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/trust", s.handleTrust)
+	mux.HandleFunc("GET /v1/expertise", s.handleExpertise)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.badRequests.Add(1)
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// userParam parses a user id query parameter and range-checks it against
+// the dataset.
+func (s *Server) userParam(w http.ResponseWriter, r *http.Request, st *state, name string) (ratings.UserID, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		s.fail(w, http.StatusBadRequest, "missing %q parameter", name)
+		return 0, false
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad %q parameter %q", name, raw)
+		return 0, false
+	}
+	if id < 0 || id >= st.model.Dataset().NumUsers() {
+		s.fail(w, http.StatusNotFound, "user %d out of range (%d users)", id, st.model.Dataset().NumUsers())
+		return 0, false
+	}
+	return ratings.UserID(id), true
+}
+
+// RankedUser is one /v1/topk result row.
+type RankedUser struct {
+	User  int     `json:"user"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse is the /v1/topk body.
+type TopKResponse struct {
+	User    int          `json:"user"`
+	K       int          `json:"k"`
+	Version uint64       `json:"version"`
+	Results []RankedUser `json:"results"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epTopK].Add(1)
+	st := s.cur.Load()
+	u, ok := s.userParam(w, r, st, "user")
+	if !ok {
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		var err error
+		if k, err = strconv.Atoi(raw); err != nil || k < 1 {
+			s.fail(w, http.StatusBadRequest, "bad \"k\" parameter %q", raw)
+			return
+		}
+	}
+	ranked := core.RankRow(s.row(st, u), k)
+	d := st.model.Dataset()
+	results := make([]RankedUser, len(ranked))
+	for i, rk := range ranked {
+		results[i] = RankedUser{User: int(rk.User), Name: d.UserName(rk.User), Score: rk.Score}
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{User: int(u), K: k, Version: st.version, Results: results})
+}
+
+// TrustResponse is the /v1/trust body.
+type TrustResponse struct {
+	From    int     `json:"from"`
+	To      int     `json:"to"`
+	Version uint64  `json:"version"`
+	Score   float64 `json:"score"`
+}
+
+func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epTrust].Add(1)
+	st := s.cur.Load()
+	from, ok := s.userParam(w, r, st, "from")
+	if !ok {
+		return
+	}
+	to, ok := s.userParam(w, r, st, "to")
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, TrustResponse{
+		From: int(from), To: int(to), Version: st.version,
+		Score: st.model.Score(from, to),
+	})
+}
+
+// CategoryProfile is one /v1/expertise result row.
+type CategoryProfile struct {
+	Category  int     `json:"category"`
+	Name      string  `json:"name"`
+	Expertise float64 `json:"expertise"`
+	Affinity  float64 `json:"affinity"`
+}
+
+// ExpertiseResponse is the /v1/expertise body.
+type ExpertiseResponse struct {
+	User       int               `json:"user"`
+	Name       string            `json:"name"`
+	Version    uint64            `json:"version"`
+	Categories []CategoryProfile `json:"categories"`
+}
+
+func (s *Server) handleExpertise(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epExpertise].Add(1)
+	st := s.cur.Load()
+	u, ok := s.userParam(w, r, st, "user")
+	if !ok {
+		return
+	}
+	d := st.model.Dataset()
+	e := st.model.Expertise(u)
+	a := st.model.Affinity(u)
+	cats := make([]CategoryProfile, d.NumCategories())
+	for c := range cats {
+		cats[c] = CategoryProfile{
+			Category:  c,
+			Name:      d.CategoryName(ratings.CategoryID(c)),
+			Expertise: e[c],
+			Affinity:  a[c],
+		}
+	}
+	writeJSON(w, http.StatusOK, ExpertiseResponse{
+		User: int(u), Name: d.UserName(u), Version: st.version, Categories: cats,
+	})
+}
+
+// StatsResponse is the /v1/stats body: dataset shape plus serving state.
+type StatsResponse struct {
+	Dataset       ratings.DatasetStats `json:"dataset"`
+	Version       uint64               `json:"version"`
+	LogOffset     int64                `json:"log_offset"`
+	CachedRows    int                  `json:"cached_rows"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epStats].Add(1)
+	st := s.cur.Load()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Dataset:       st.model.Dataset().Stats(),
+		Version:       st.version,
+		LogOffset:     st.offset,
+		CachedRows:    st.cache.len(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cur.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": st.version,
+		"offset":  st.offset,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cur.Load()
+	d := st.model.Dataset()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP trustd_requests_total Queries served, by endpoint.\n# TYPE trustd_requests_total counter\n")
+	for i, ep := range []string{"topk", "trust", "expertise", "stats"} {
+		fmt.Fprintf(w, "trustd_requests_total{endpoint=%q} %d\n", ep, s.metrics.requests[i].Load())
+	}
+	counter("trustd_bad_requests_total", "Requests rejected with a client error.", s.metrics.badRequests.Load())
+	counter("trustd_row_cache_hits_total", "Trust-row cache hits.", s.metrics.cacheHits.Load())
+	counter("trustd_row_cache_misses_total", "Trust-row cache misses.", s.metrics.cacheMisses.Load())
+	counter("trustd_swaps_total", "Model swaps performed by ingest.", s.metrics.swaps.Load())
+	counter("trustd_events_ingested_total", "Event-log records ingested since start.", s.metrics.eventsIngested.Load())
+	counter("trustd_log_truncated_reads_total", "Tail reads that hit a torn final record.", s.metrics.truncatedReads.Load())
+	gauge("trustd_model_version", "Version of the served model (increments per swap).", int64(st.version))
+	gauge("trustd_log_offset_bytes", "Event-log offset the served model reflects.", st.offset)
+	gauge("trustd_row_cache_size", "Rows currently cached.", int64(st.cache.len()))
+	gauge("trustd_dataset_users", "Users in the served dataset.", int64(d.NumUsers()))
+	gauge("trustd_dataset_categories", "Categories in the served dataset.", int64(d.NumCategories()))
+	gauge("trustd_dataset_reviews", "Reviews in the served dataset.", int64(d.NumReviews()))
+	gauge("trustd_dataset_ratings", "Ratings in the served dataset.", int64(d.NumRatings()))
+	gauge("trustd_last_swap_timestamp_nanos", "Unix time of the last model swap, 0 before any.", s.metrics.lastSwapNanos.Load())
+}

@@ -1,0 +1,517 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+)
+
+// writeLogFile generates a small community and writes it to an event log
+// in a temp dir, returning the path and the dataset.
+func writeLogFile(t *testing.T) (string, *ratings.Dataset) {
+	t.Helper()
+	cfg := synth.Small()
+	cfg.NumUsers = 60
+	cfg.TotalObjects = 30
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := store.NewLogWriter(f)
+	if err := store.AppendDataset(lw, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, d
+}
+
+func openServer(t *testing.T) (*Server, *Tailer, *ratings.Dataset) {
+	t.Helper()
+	path, d := writeLogFile(t)
+	srv, tailer, err := Open(path, time.Hour, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, tailer, d
+}
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(rec.Body).Decode(&v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+func TestTopKMatchesModel(t *testing.T) {
+	srv, _, d := openServer(t)
+	h := srv.Handler()
+	model, _, _ := srv.Current()
+	for u := 0; u < d.NumUsers(); u += 7 {
+		rec := get(t, h, "/v1/topk?user="+itoa(u)+"&k=5")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("topk(%d): %d %s", u, rec.Code, rec.Body.String())
+		}
+		resp := decode[TopKResponse](t, rec)
+		want := model.TopTrusted(ratings.UserID(u), 5)
+		if len(resp.Results) != len(want) {
+			t.Fatalf("topk(%d): %d results, want %d", u, len(resp.Results), len(want))
+		}
+		for i, rk := range want {
+			got := resp.Results[i]
+			if got.User != int(rk.User) || got.Score != rk.Score || got.Name != d.UserName(rk.User) {
+				t.Errorf("topk(%d)[%d] = %+v, want {%d %s %v}", u, i, got, rk.User, d.UserName(rk.User), rk.Score)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestTrustAndExpertiseEndpoints(t *testing.T) {
+	srv, _, d := openServer(t)
+	h := srv.Handler()
+	model, _, _ := srv.Current()
+
+	rec := get(t, h, "/v1/trust?from=3&to=9")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trust: %d %s", rec.Code, rec.Body.String())
+	}
+	tr := decode[TrustResponse](t, rec)
+	if want := model.Score(3, 9); tr.Score != want {
+		t.Errorf("trust(3,9) = %v, want %v", tr.Score, want)
+	}
+
+	rec = get(t, h, "/v1/expertise?user=4")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("expertise: %d %s", rec.Code, rec.Body.String())
+	}
+	ex := decode[ExpertiseResponse](t, rec)
+	if len(ex.Categories) != d.NumCategories() {
+		t.Fatalf("expertise categories = %d, want %d", len(ex.Categories), d.NumCategories())
+	}
+	e, a := model.Expertise(4), model.Affinity(4)
+	for c, prof := range ex.Categories {
+		if prof.Expertise != e[c] || prof.Affinity != a[c] {
+			t.Errorf("expertise[%d] = %+v, want e=%v a=%v", c, prof, e[c], a[c])
+		}
+		if prof.Name != d.CategoryName(ratings.CategoryID(c)) {
+			t.Errorf("category name[%d] = %q", c, prof.Name)
+		}
+	}
+}
+
+func TestStatsHealthzMetrics(t *testing.T) {
+	srv, _, d := openServer(t)
+	h := srv.Handler()
+
+	st := decode[StatsResponse](t, get(t, h, "/v1/stats"))
+	if st.Dataset.Users != d.NumUsers() || st.Version != 1 || st.LogOffset <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	body := get(t, h, "/metrics").Body.String()
+	for _, want := range []string{
+		"trustd_requests_total{endpoint=\"stats\"} 1",
+		"trustd_model_version 1",
+		"trustd_dataset_users 60",
+		"trustd_swaps_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _, _ := openServer(t)
+	h := srv.Handler()
+	for url, want := range map[string]int{
+		"/v1/topk":                http.StatusBadRequest, // missing user
+		"/v1/topk?user=abc":       http.StatusBadRequest,
+		"/v1/topk?user=99999":     http.StatusNotFound,
+		"/v1/topk?user=1&k=0":     http.StatusBadRequest,
+		"/v1/topk?user=-1":        http.StatusNotFound,
+		"/v1/trust?from=1":        http.StatusBadRequest, // missing to
+		"/v1/expertise?user=bust": http.StatusBadRequest,
+	} {
+		if rec := get(t, h, url); rec.Code != want {
+			t.Errorf("GET %s = %d, want %d", url, rec.Code, want)
+		}
+	}
+	// Non-GET methods are rejected by the router.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/topk?user=1", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/topk = %d, want 405", rec.Code)
+	}
+}
+
+func TestRowCacheHitsAndSwapInvalidation(t *testing.T) {
+	srv, tailer, d := openServer(t)
+	h := srv.Handler()
+
+	get(t, h, "/v1/topk?user=5")
+	get(t, h, "/v1/topk?user=5")
+	get(t, h, "/v1/topk?user=5&k=3") // same row, different k: still a hit
+	if hits, misses := srv.metrics.cacheHits.Load(), srv.metrics.cacheMisses.Load(); hits != 2 || misses != 1 {
+		t.Errorf("cache hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// Append one event and swap; the fresh state must start cold.
+	appendEvents(t, tailer.path, growBatch(d, 0))
+	if n, err := tailer.Poll(); err != nil || n == 0 {
+		t.Fatalf("poll: n=%d err=%v", n, err)
+	}
+	if _, _, version := srv.Current(); version != 2 {
+		t.Fatalf("version = %d after swap", version)
+	}
+	get(t, h, "/v1/topk?user=5")
+	if misses := srv.metrics.cacheMisses.Load(); misses != 2 {
+		t.Errorf("post-swap misses = %d, want 2 (swap must invalidate)", misses)
+	}
+}
+
+func TestRowCacheEviction(t *testing.T) {
+	c := newRowCache(2)
+	c.put(1, []float64{1})
+	c.put(2, []float64{2})
+	if _, ok := c.get(1); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	c.put(3, []float64{3}) // evicts 2 (1 was just used)
+	if _, ok := c.get(2); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Error("recently used entry 1 evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Disabled cache accepts nothing.
+	off := newRowCache(-1)
+	off.put(1, []float64{1})
+	if off.len() != 0 {
+		t.Error("disabled cache stored a row")
+	}
+}
+
+// growBatch fabricates a valid batch of appended events against the
+// counts tracked in counts (which it advances), cycling categories.
+type counts struct{ users, cats, objects, reviews int }
+
+func newCounts(d *ratings.Dataset) *counts {
+	return &counts{users: d.NumUsers(), cats: d.NumCategories(), objects: d.NumObjects(), reviews: d.NumReviews()}
+}
+
+func (c *counts) batch(newCat bool) []store.Event {
+	writer := ratings.UserID(c.users)
+	rater := ratings.UserID(c.users + 1)
+	c.users += 2
+	evs := []store.Event{
+		{Kind: store.EvAddUser, Name: ""},
+		{Kind: store.EvAddUser, Name: ""},
+	}
+	cat := ratings.CategoryID(c.objects % c.cats)
+	if newCat {
+		evs = append(evs, store.Event{Kind: store.EvAddCategory, Name: ""})
+		cat = ratings.CategoryID(c.cats)
+		c.cats++
+	}
+	for i := 0; i < 2; i++ {
+		oid := ratings.ObjectID(c.objects)
+		rid := ratings.ReviewID(c.reviews)
+		c.objects++
+		c.reviews++
+		evs = append(evs,
+			store.Event{Kind: store.EvAddObject, Category: cat},
+			store.Event{Kind: store.EvAddReview, User: writer, Object: oid},
+			store.Event{Kind: store.EvAddRating, User: rater, Review: rid, Level: uint8(1 + i*3)},
+		)
+	}
+	return evs
+}
+
+func growBatch(d *ratings.Dataset, i int) []store.Event {
+	return newCounts(d).batch(i%2 == 0)
+}
+
+func appendEvents(t *testing.T, path string, evs []store.Event) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := store.NewLogWriter(f)
+	for _, ev := range evs {
+		if err := lw.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance test: /v1/topk serves correct answers while the tailer
+// ingests appended events concurrently, and after the dust settles every
+// query matches a cold rebuild of the grown log. Run with -race.
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	path, d := writeLogFile(t)
+	srv, tailer, err := Open(path, time.Hour, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+
+	const rounds = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Every in-flight state has at least d.NumUsers() users,
+				// so these ids are always valid.
+				u := (w*131 + i) % d.NumUsers()
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/topk?user="+itoa(u)+"&k=5", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("topk during ingest: %d %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Ingest rounds of growth (alternating new-category batches) while
+	// the query goroutines hammer the handler.
+	cnt := newCounts(d)
+	for i := 0; i < rounds; i++ {
+		appendEvents(t, path, cnt.batch(i%2 == 0))
+		if n, err := tailer.Poll(); err != nil || n == 0 {
+			t.Fatalf("poll %d: n=%d err=%v", i, n, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	model, offset, version := srv.Current()
+	if version != uint64(1+rounds) {
+		t.Errorf("version = %d, want %d", version, 1+rounds)
+	}
+
+	// Cold rebuild over the grown log must agree exactly.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, endOff, err := store.ReadLogFrom(f, 0)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != endOff {
+		t.Errorf("served offset = %d, log end = %d", offset, endOff)
+	}
+	b := ratings.NewBuilder()
+	if err := store.Replay(events, b); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := weboftrust.Derive(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldD := cold.Dataset()
+	if model.Dataset().NumUsers() != coldD.NumUsers() {
+		t.Fatalf("served %d users, cold rebuild %d", model.Dataset().NumUsers(), coldD.NumUsers())
+	}
+	for u := 0; u < coldD.NumUsers(); u++ {
+		rec := get(t, h, "/v1/topk?user="+itoa(u)+"&k=10")
+		resp := decode[TopKResponse](t, rec)
+		want := cold.TopTrusted(ratings.UserID(u), 10)
+		if len(resp.Results) != len(want) {
+			t.Fatalf("user %d: %d results, want %d", u, len(resp.Results), len(want))
+		}
+		for i, rk := range want {
+			if resp.Results[i].User != int(rk.User) || resp.Results[i].Score != rk.Score {
+				t.Fatalf("user %d rank %d: got %+v, want {%d %v}", u, i, resp.Results[i], rk.User, rk.Score)
+			}
+		}
+	}
+}
+
+// A torn final record pauses ingest at the tear without erroring, and the
+// tailer picks the record up once the writer completes it.
+func TestTailerToleratesTornTail(t *testing.T) {
+	path, d := writeLogFile(t)
+	srv, tailer, err := Open(path, time.Hour, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialise a batch, then append only part of its last record.
+	tmp := filepath.Join(t.TempDir(), "batch.bin")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := store.NewLogWriter(f)
+	for _, ev := range growBatch(d, 0) {
+		if err := lw.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	whole, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logF, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logF.Write(whole[:len(whole)-3]); err != nil {
+		t.Fatal(err)
+	}
+	logF.Close()
+
+	n, err := tailer.Poll()
+	if err != nil {
+		t.Fatalf("poll over torn tail: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("torn tail: intact prefix not ingested")
+	}
+	if srv.metrics.truncatedReads.Load() != 1 {
+		t.Error("truncated read not counted")
+	}
+	beforeOffset := tailer.Offset()
+
+	// Complete the record; the next poll ingests exactly the remainder.
+	logF, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logF.Write(whole[len(whole)-3:]); err != nil {
+		t.Fatal(err)
+	}
+	logF.Close()
+	n, err = tailer.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("resume ingested %d events, want 1", n)
+	}
+	if tailer.Offset() <= beforeOffset {
+		t.Error("offset did not advance on resume")
+	}
+}
+
+// A poisoned log (an event that fails validation) must stop ingest for
+// good: the first Poll reports the error, every later Poll repeats it
+// instead of re-applying the partial replay, and the server keeps serving
+// its last good model.
+func TestTailerPoisonedByInvalidEvent(t *testing.T) {
+	path, d := writeLogFile(t)
+	srv, tailer, err := Open(path, time.Hour, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A valid user event followed by a self-rating (writer rating their
+	// own review), which Replay rejects after mutating the builder.
+	rev := d.Review(0)
+	appendEvents(t, path, []store.Event{
+		{Kind: store.EvAddUser, Name: "valid-before-poison"},
+		{Kind: store.EvAddRating, User: rev.Writer, Review: 0, Level: 3},
+	})
+	if _, err := tailer.Poll(); err == nil {
+		t.Fatal("poisoned log ingested")
+	}
+	first := tailer.failed
+	if first == nil {
+		t.Fatal("tailer not poisoned")
+	}
+	if n, err := tailer.Poll(); n != 0 || err != first {
+		t.Errorf("retry after poison: n=%d err=%v, want sticky %v", n, err, first)
+	}
+	if _, _, version := srv.Current(); version != 1 {
+		t.Errorf("version = %d, want 1 (no swap from a poisoned log)", version)
+	}
+}
+
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	srv, _, _ := openServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	report, err := RunLoadgen(context.Background(), LoadgenConfig{
+		BaseURL:     ts.URL,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 3,
+		K:           5,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 {
+		t.Error("loadgen made no requests")
+	}
+	if report.Errors != 0 {
+		t.Errorf("loadgen saw %d errors", report.Errors)
+	}
+	if report.P50 <= 0 || report.Max < report.P99 {
+		t.Errorf("implausible latency report: %+v", report)
+	}
+}

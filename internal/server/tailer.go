@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+)
+
+// Tailer keeps a Server fresh against an append-only event log. It owns a
+// long-lived ratings.Builder holding exactly the entities the served model
+// reflects; each poll replays the records past its checkpoint into the
+// builder, snapshots the grown dataset, rebuilds artifacts incrementally
+// with TrustModel.Update (only categories touched by the new events are
+// re-solved), and swaps the result into the server. A torn final record —
+// a writer crashed or is still mid-append — is not an error: the tailer
+// ingests the intact prefix and retries the tail on the next poll.
+type Tailer struct {
+	srv     *Server
+	path    string
+	poll    time.Duration
+	builder *ratings.Builder
+	offset  int64
+	// failed poisons the tailer once the builder may have diverged from
+	// the offset checkpoint (a partial replay or failed update): retrying
+	// would re-apply events to the mutated builder and silently corrupt
+	// the next model. The server keeps serving its last good state.
+	failed error
+}
+
+// DefaultPoll is the tail polling interval when none is given.
+const DefaultPoll = 500 * time.Millisecond
+
+// NewTailer resumes tailing path from offset. builder must hold exactly
+// the events in [0, offset) — the builder used to construct the server's
+// current model. The Tailer takes ownership of it.
+func NewTailer(srv *Server, path string, poll time.Duration, builder *ratings.Builder, offset int64) *Tailer {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	return &Tailer{srv: srv, path: path, poll: poll, builder: builder, offset: offset}
+}
+
+// Offset returns the event-log offset of the last ingested record.
+func (t *Tailer) Offset() int64 { return t.offset }
+
+// Poll ingests every complete record currently past the checkpoint and, if
+// there were any, swaps an updated model into the server. It returns the
+// number of events ingested. Safe to call from one goroutine (Run's, or a
+// test's — not both). After an ingest error (an invalid event in the log,
+// a failed update) the tailer is poisoned: every later Poll returns the
+// same error rather than re-applying events to the half-mutated builder.
+func (t *Tailer) Poll() (int, error) {
+	if t.failed != nil {
+		return 0, t.failed
+	}
+	f, err := os.Open(t.path)
+	if err != nil {
+		return 0, fmt.Errorf("server: open log: %w", err)
+	}
+	defer f.Close()
+	events, newOffset, err := store.ReadLogFrom(f, t.offset)
+	if err != nil {
+		if !errors.Is(err, store.ErrTruncated) {
+			return 0, fmt.Errorf("server: tail log: %w", err)
+		}
+		// Torn tail: ingest the intact prefix, re-read the rest later.
+		t.srv.metrics.truncatedReads.Add(1)
+	}
+	if len(events) == 0 {
+		return 0, nil
+	}
+	// From here on the builder is mutated; any failure poisons the tailer
+	// so a retry cannot double-apply the prefix Replay already folded in.
+	if err := store.Replay(events, t.builder); err != nil {
+		t.failed = fmt.Errorf("server: replay at offset %d: %w", t.offset, err)
+		return 0, t.failed
+	}
+	newD := t.builder.Snapshot()
+	cur, _, _ := t.srv.Current()
+	model, err := cur.Update(newD)
+	if err != nil {
+		t.failed = fmt.Errorf("server: incremental update: %w", err)
+		return 0, t.failed
+	}
+	t.srv.Swap(model, newOffset)
+	t.offset = newOffset
+	t.srv.metrics.eventsIngested.Add(int64(len(events)))
+	return len(events), nil
+}
+
+// Run polls until ctx is cancelled. A failed poll stops the loop and
+// returns the error — the server keeps serving its last good model, and
+// the operator decides whether to restart.
+func (t *Tailer) Run(ctx context.Context) error {
+	ticker := time.NewTicker(t.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if _, err := t.Poll(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Open bootstraps a serving stack from an event log: it replays the whole
+// log (tolerating a torn final record), derives the model, and returns a
+// Server plus a Tailer checkpointed at the end of the intact prefix. Start
+// the tailer with go tailer.Run(ctx).
+func Open(path string, poll time.Duration, opts Options, derive ...weboftrust.Option) (*Server, *Tailer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: open log: %w", err)
+	}
+	defer f.Close()
+	events, offset, err := store.ReadLogFrom(f, 0)
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		return nil, nil, fmt.Errorf("server: read log: %w", err)
+	}
+	builder := ratings.NewBuilder()
+	if err := store.Replay(events, builder); err != nil {
+		return nil, nil, err
+	}
+	model, err := weboftrust.Derive(builder.Snapshot(), derive...)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := New(model, offset, opts)
+	return srv, NewTailer(srv, path, poll, builder, offset), nil
+}

@@ -29,6 +29,28 @@ const (
 // ErrUnknownEvent reports an unrecognised event kind during replay.
 var ErrUnknownEvent = errors.New("store: unknown event kind")
 
+// ErrTruncated reports an event log whose final record is incomplete —
+// the shape a crash during append leaves behind. Unlike ErrCorrupt, the
+// complete prefix is intact and usable; errors carrying ErrTruncated are
+// always a *TruncatedError, whose Offset says where the good prefix ends
+// so a tailer can resume once the writer completes the record.
+var ErrTruncated = errors.New("store: truncated log tail")
+
+// TruncatedError is the concrete error for a mid-record end of log. It
+// wraps ErrTruncated, so errors.Is(err, ErrTruncated) matches.
+type TruncatedError struct {
+	// Offset is the byte offset just past the last complete record: the
+	// position to resume reading from after the writer finishes (or the
+	// length to truncate the log to when discarding the torn tail).
+	Offset int64
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("store: truncated log tail (last good offset %d)", e.Offset)
+}
+
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }
+
 // Event is one log record. Which fields are meaningful depends on Kind:
 //
 //	EvAddCategory: Name
@@ -106,39 +128,125 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// ReadLog decodes all event records from r. It fails on framing or
-// checksum errors; a truncated final record is reported as ErrCorrupt.
-func ReadLog(r io.Reader) ([]Event, error) {
-	br := bufio.NewReader(r)
+// LogReader decodes event records one at a time, tracking the byte offset
+// of the last complete record so callers can checkpoint their position and
+// resume later — the shape a tailing daemon needs. It distinguishes a torn
+// final record (*TruncatedError, recoverable by re-reading from Offset once
+// the writer finishes) from genuine corruption (ErrCorrupt / ErrChecksum).
+type LogReader struct {
+	br     *bufio.Reader
+	offset int64 // bytes of complete, validated records consumed
+}
+
+// NewLogReader wraps r for record-at-a-time decoding. The reader's offset
+// starts at base, which must be the stream position of r's first byte
+// (0 for a whole log, the saved checkpoint when r was seeked there).
+func NewLogReader(r io.Reader, base int64) *LogReader {
+	return &LogReader{br: bufio.NewReader(r), offset: base}
+}
+
+// Offset returns the byte offset just past the last complete record read.
+func (lr *LogReader) Offset() int64 { return lr.offset }
+
+// readUvarint is binary.ReadUvarint with byte accounting, so truncation
+// inside the length prefix is detected and the offset stays exact.
+func (lr *LogReader) readUvarint() (v uint64, n int, err error) {
+	for shift := uint(0); ; shift += 7 {
+		b, err := lr.br.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		n++
+		if shift >= 64 {
+			return 0, n, fmt.Errorf("%w: frame length overflows uvarint", ErrCorrupt)
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<shift, n, nil
+		}
+		v |= uint64(b&0x7f) << shift
+	}
+}
+
+// Next decodes the next record. At a clean end of log it returns io.EOF;
+// at a mid-record end it returns a *TruncatedError carrying the last good
+// offset. Any other error means the log is corrupt at the current offset.
+func (lr *LogReader) Next() (Event, error) {
+	length, lenBytes, err := lr.readUvarint()
+	if err == io.EOF {
+		if lenBytes == 0 {
+			return Event{}, io.EOF
+		}
+		return Event{}, &TruncatedError{Offset: lr.offset}
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: frame length: %v", ErrCorrupt, err)
+	}
+	if length == 0 || length > 1<<20 {
+		return Event{}, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(lr.br, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Event{}, &TruncatedError{Offset: lr.offset}
+		}
+		return Event{}, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(lr.br, sum[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Event{}, &TruncatedError{Offset: lr.offset}
+		}
+		return Event{}, fmt.Errorf("%w: record checksum: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, castagnoli) {
+		return Event{}, ErrChecksum
+	}
+	ev, err := decodeEvent(payload)
+	if err != nil {
+		return Event{}, err
+	}
+	lr.offset += int64(lenBytes) + int64(length) + 4
+	return ev, nil
+}
+
+// ReadAll decodes records until the end of the log, returning every
+// complete event. A clean end returns a nil error; a torn final record
+// returns the complete prefix alongside a *TruncatedError.
+func (lr *LogReader) ReadAll() ([]Event, error) {
 	var events []Event
 	for {
-		length, err := binary.ReadUvarint(br)
+		ev, err := lr.Next()
 		if err == io.EOF {
 			return events, nil
 		}
-		if err != nil {
-			return events, fmt.Errorf("%w: frame length: %v", ErrCorrupt, err)
-		}
-		if length == 0 || length > 1<<20 {
-			return events, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return events, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
-		}
-		var sum [4]byte
-		if _, err := io.ReadFull(br, sum[:]); err != nil {
-			return events, fmt.Errorf("%w: record checksum: %v", ErrCorrupt, err)
-		}
-		if binary.LittleEndian.Uint32(sum[:]) != crc32.Checksum(payload, castagnoli) {
-			return events, ErrChecksum
-		}
-		ev, err := decodeEvent(payload)
 		if err != nil {
 			return events, err
 		}
 		events = append(events, ev)
 	}
+}
+
+// ReadLog decodes all event records from r. It fails on framing or
+// checksum errors; a truncated final record is reported as a
+// *TruncatedError (matching ErrTruncated) alongside the intact prefix.
+func ReadLog(r io.Reader) ([]Event, error) {
+	return NewLogReader(r, 0).ReadAll()
+}
+
+// ReadLogFrom seeks r to offset and decodes every complete record from
+// there, returning the events and the offset just past the last complete
+// record. A clean end of log returns a nil error; a torn final record
+// returns the events read so far with a *TruncatedError whose Offset
+// equals the returned offset — the caller keeps the events, checkpoints
+// the offset, and retries after the writer finishes the record. This is
+// the resumable-tail primitive trustd's ingest loop is built on.
+func ReadLogFrom(r io.ReadSeeker, offset int64) ([]Event, int64, error) {
+	if _, err := r.Seek(offset, io.SeekStart); err != nil {
+		return nil, offset, fmt.Errorf("store: seek to log offset %d: %w", offset, err)
+	}
+	lr := NewLogReader(r, offset)
+	events, err := lr.ReadAll()
+	return events, lr.Offset(), err
 }
 
 func decodeEvent(payload []byte) (Event, error) {

@@ -215,15 +215,87 @@ func TestEventLogTruncation(t *testing.T) {
 	var buf bytes.Buffer
 	lw := NewLogWriter(&buf)
 	_ = lw.Append(Event{Kind: EvAddUser, Name: "u"})
+	firstEnd := -1
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd = buf.Len()
 	_ = lw.Append(Event{Kind: EvAddUser, Name: "v"})
 	_ = lw.Flush()
 	raw := buf.Bytes()
-	events, err := ReadLog(bytes.NewReader(raw[:len(raw)-2]))
-	if err == nil {
-		t.Error("truncated log accepted")
+	// Cut the log at every point inside the second record: each cut must
+	// yield the intact first event plus ErrTruncated at its exact end.
+	for cut := firstEnd + 1; cut < len(raw); cut++ {
+		events, err := ReadLog(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: error = %v, want ErrTruncated", cut, err)
+		}
+		var trunc *TruncatedError
+		if !errors.As(err, &trunc) {
+			t.Fatalf("cut %d: error %T does not carry the offset", cut, err)
+		}
+		if trunc.Offset != int64(firstEnd) {
+			t.Errorf("cut %d: last good offset = %d, want %d", cut, trunc.Offset, firstEnd)
+		}
+		if len(events) != 1 {
+			t.Errorf("cut %d: expected the intact first record, got %d", cut, len(events))
+		}
 	}
-	if len(events) != 1 {
-		t.Errorf("expected the intact first record, got %d", len(events))
+	// A clean cut at a record boundary is not truncation.
+	if _, err := ReadLog(bytes.NewReader(raw[:firstEnd])); err != nil {
+		t.Errorf("boundary cut: %v", err)
+	}
+}
+
+func TestReadLogFromResume(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	all := []Event{
+		{Kind: EvAddCategory, Name: "movies"},
+		{Kind: EvAddUser, Name: "alice"},
+		{Kind: EvAddUser, Name: "bob"},
+		{Kind: EvAddObject, Category: 0, Name: "m1"},
+		{Kind: EvAddReview, User: 0, Object: 0},
+		{Kind: EvAddRating, User: 1, Review: 0, Level: 4},
+	}
+	for _, ev := range all[:3] {
+		if err := lw.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batch1, off1, err := ReadLogFrom(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch1) != 3 || off1 != int64(buf.Len()) {
+		t.Fatalf("first tail: %d events, offset %d (log is %d bytes)", len(batch1), off1, buf.Len())
+	}
+	// Append more, including a torn final record, and resume from off1.
+	for _, ev := range all[3:] {
+		if err := lw.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Len()
+	buf.Write([]byte{0x09, 0x02}) // torn: length prefix + partial payload
+	batch2, off2, err := ReadLogFrom(bytes.NewReader(buf.Bytes()), off1)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn tail: error = %v, want ErrTruncated", err)
+	}
+	if len(batch2) != 3 || off2 != int64(whole) {
+		t.Fatalf("resumed tail: %d events, offset %d, want 3 events at %d", len(batch2), off2, whole)
+	}
+	got := append(append([]Event(nil), batch1...), batch2...)
+	for i := range all {
+		if got[i] != all[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], all[i])
+		}
 	}
 }
 
