@@ -1,0 +1,25 @@
+GO ?= go
+BENCH_OUT ?= BENCH_pr2.json
+BENCH_COUNT ?= 5
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race: build
+	$(GO) test -race ./...
+
+# bench runs the pipeline, incremental-update and serving benchmarks with
+# -benchmem -count=$(BENCH_COUNT) and records the parsed results in
+# $(BENCH_OUT) alongside the machine's shape.
+bench:
+	BENCH_COUNT=$(BENCH_COUNT) ./scripts/bench.sh $(BENCH_OUT)
+
+# bench-smoke is the CI guard: every benchmark must still compile and
+# complete one iteration.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap' -benchtime 1x .

@@ -71,6 +71,21 @@ func WithAffinityWritesOnly() Option {
 	}
 }
 
+// WithWorkers caps the goroutines the pipeline fans out to; 0 (the
+// default) means one per available CPU and 1 forces serial execution.
+// Every stage shards independent work items, so the derived model is
+// bitwise-identical at any setting — the knob only trades wall-clock
+// time. Update inherits the setting.
+func WithWorkers(n int) Option {
+	return func(c *core.Config) error {
+		if n < 0 {
+			return fmt.Errorf("weboftrust: workers %d < 0", n)
+		}
+		c.Workers = n
+		return nil
+	}
+}
+
 // TrustModel is the derived web of trust for one dataset: a thin,
 // query-oriented wrapper around the pipeline's artifacts. It is immutable
 // and safe for concurrent use.
@@ -78,6 +93,10 @@ type TrustModel struct {
 	cfg       core.Config
 	dataset   *ratings.Dataset
 	artifacts *core.Artifacts
+	// scratch carries the reusable Update buffers down the chain of
+	// models an ingest loop produces; core.Scratch serialises concurrent
+	// use internally.
+	scratch *core.Scratch
 }
 
 // Derive runs the full three-step pipeline over the dataset.
@@ -92,7 +111,7 @@ func Derive(d *Dataset, opts ...Option) (*TrustModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TrustModel{cfg: cfg, dataset: d, artifacts: art}, nil
+	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch)}, nil
 }
 
 // Update derives a new model for a dataset that extends this model's —
@@ -104,11 +123,11 @@ func Derive(d *Dataset, opts ...Option) (*TrustModel, error) {
 // The receiver is unchanged and remains valid: readers can keep querying
 // it while the replacement is prepared, then swap atomically.
 func (m *TrustModel) Update(newD *Dataset) (*TrustModel, error) {
-	art, err := m.cfg.Update(m.artifacts, m.dataset, newD)
+	art, err := m.cfg.UpdateScratch(m.artifacts, m.dataset, newD, m.scratch)
 	if err != nil {
 		return nil, err
 	}
-	return &TrustModel{cfg: m.cfg, dataset: newD, artifacts: art}, nil
+	return &TrustModel{cfg: m.cfg, dataset: newD, artifacts: art, scratch: m.scratch}, nil
 }
 
 // Score returns the degree of trust T̂_ij user i holds for user j, in

@@ -445,3 +445,170 @@ func BenchmarkIngestSwap(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel pipeline benchmarks -----------------------------------------
+
+// rebuildBuilder reloads a dataset into a fresh Builder so a benchmark can
+// append growth events to it.
+func rebuildBuilder(b *testing.B, d *ratings.Dataset) *ratings.Builder {
+	b.Helper()
+	bld := ratings.NewBuilder()
+	for c := 0; c < d.NumCategories(); c++ {
+		bld.AddCategory(d.CategoryName(ratings.CategoryID(c)))
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		bld.AddUser(d.UserName(ratings.UserID(u)))
+	}
+	for o := 0; o < d.NumObjects(); o++ {
+		obj := d.Object(ratings.ObjectID(o))
+		if _, err := bld.AddObject(obj.Category, obj.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for r := 0; r < d.NumReviews(); r++ {
+		rev := d.Review(ratings.ReviewID(r))
+		if _, err := bld.AddReview(rev.Writer, rev.Object); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, rt := range d.Ratings() {
+		if err := bld.AddRating(rt.Rater, rt.Review, rt.Value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, e := range d.TrustEdges() {
+		if err := bld.AddTrust(e.From, e.To); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bld
+}
+
+// growTouching extends d with one new user writing one rated review in
+// each of the first touchedCats categories — the smallest growth that
+// touches exactly that many categories.
+func growTouching(b *testing.B, d *ratings.Dataset, touchedCats int) *ratings.Dataset {
+	b.Helper()
+	bld := rebuildBuilder(b, d)
+	writer := bld.AddUser("bench-writer")
+	rater := bld.AddUser("bench-rater")
+	for c := 0; c < touchedCats; c++ {
+		oid, err := bld.AddObject(ratings.CategoryID(c), "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rid, err := bld.AddReview(writer, oid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bld.AddRating(rater, rid, ratings.QuantizeRating(0.7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bld.Build()
+}
+
+// benchPipelineWorkers runs the full Steps 1-3 pipeline at 1, 2, 4 and 8
+// workers over the given dataset. Artifacts are bitwise-identical across
+// worker counts (asserted by TestRunParallelEqualsSerial); only wall-clock
+// time should differ, and only when the hardware has the cores to use.
+func benchPipelineWorkers(b *testing.B, d *ratings.Dataset) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.Run(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineRun measures the parallel derivation pipeline at the
+// Medium preset (2,000 users, 12 categories) across worker counts.
+func BenchmarkPipelineRun(b *testing.B) {
+	benchPipelineWorkers(b, env(b).Dataset)
+}
+
+// BenchmarkPipelineRunLarge is BenchmarkPipelineRun at the Large preset
+// (6,000 users, 36 categories): a wider category axis for the fan-out.
+func BenchmarkPipelineRunLarge(b *testing.B) {
+	d, _, err := synth.Generate(synth.Large())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPipelineWorkers(b, d)
+}
+
+// BenchmarkUpdateTouchedFraction measures core.Update against growth
+// batches touching 1, a quarter, half and all of the Medium preset's 12
+// categories, with a reused Scratch — the steady-state tailer ingest cost.
+// Compare touched=1 with touched=12 (and with BenchmarkPipelineRun): the
+// cost should track the touched fraction, not the total category count.
+func BenchmarkUpdateTouchedFraction(b *testing.B) {
+	e := env(b)
+	oldD := e.Dataset
+	numC := oldD.NumCategories()
+	cfg := core.DefaultConfig()
+	oldArt, err := cfg.Run(oldD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, touched := range []int{1, numC / 4, numC / 2, numC} {
+		newD := growTouching(b, oldD, touched)
+		scratch := new(core.Scratch)
+		b.Run(fmt.Sprintf("touched=%d of %d", touched, numC), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.UpdateScratch(oldArt, oldD, newD, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUpdateCategoryScaling holds the touched set fixed at one
+// category and scales the total category count (12 → 24 → 48 splits of
+// the paper genres at 2,000 users), demonstrating that Update's cost no
+// longer grows with the size of the untouched world the way a full
+// rebuild does (BenchmarkPipelineRun is the comparison).
+func BenchmarkUpdateCategoryScaling(b *testing.B) {
+	for _, splits := range []int{1, 2, 4} {
+		cfg := synth.Medium()
+		if splits > 1 {
+			var cats []synth.CategorySpec
+			for _, g := range synth.PaperGenres() {
+				for s := 0; s < splits; s++ {
+					cats = append(cats, synth.CategorySpec{
+						Name:   fmt.Sprintf("%s/%d", g.Name, s),
+						Weight: g.Weight / float64(splits),
+					})
+				}
+			}
+			cfg.Categories = cats
+		}
+		oldD, _, err := synth.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pc := core.DefaultConfig()
+		oldArt, err := pc.Run(oldD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		newD := growTouching(b, oldD, 1)
+		scratch := new(core.Scratch)
+		b.Run(fmt.Sprintf("cats=%d", oldD.NumCategories()), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pc.UpdateScratch(oldArt, oldD, newD, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

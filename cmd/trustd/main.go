@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-rows 512]
+//	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-rows 512] [-workers N]
 //	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
 //	trustd loadgen -addr http://localhost:8080 [-duration 10s] [-concurrency 8] [-k 10]
 //
@@ -61,11 +61,15 @@ func cmdServe(args []string) error {
 	snapshot := fs.String("snapshot", "", "snapshot to serve statically (alternative to -log)")
 	poll := fs.Duration("poll", server.DefaultPoll, "event log polling interval")
 	cacheRows := fs.Int("cache-rows", server.DefaultCacheRows, "trust-row LRU capacity (-1 disables)")
+	workers := fs.Int("workers", 0, "pipeline worker goroutines for derive and ingest (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*logPath == "") == (*snapshot == "") {
 		return fmt.Errorf("serve: exactly one of -log or -snapshot is required")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve: -workers %d < 0", *workers)
 	}
 	opts := server.Options{CacheRows: *cacheRows}
 
@@ -75,7 +79,7 @@ func cmdServe(args []string) error {
 	var srv *server.Server
 	tailErr := make(chan error, 1)
 	if *logPath != "" {
-		s, tailer, err := server.Open(*logPath, *poll, opts)
+		s, tailer, err := server.Open(*logPath, *poll, opts, weboftrust.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}
@@ -93,7 +97,7 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		model, err := weboftrust.Derive(d)
+		model, err := weboftrust.Derive(d, weboftrust.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}

@@ -21,9 +21,9 @@ func TestRunUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},
 		{"bogus"},
-		{"serve"},                                     // neither -log nor -snapshot
-		{"serve", "-log", "a", "-snapshot", "b"},      // both
-		{"serve", "-log", "/does/not/exist.log"},      // unreadable log
+		{"serve"},                                // neither -log nor -snapshot
+		{"serve", "-log", "a", "-snapshot", "b"}, // both
+		{"serve", "-log", "/does/not/exist.log"}, // unreadable log
 		{"serve", "-snapshot", "/does/not/exist.wot"}, // unreadable snapshot
 	} {
 		if err := run(args); err == nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"weboftrust/internal/mat"
+	"weboftrust/internal/par"
 	"weboftrust/internal/ratings"
 )
 
@@ -55,40 +56,60 @@ type Counts struct {
 	Writes  *mat.Dense
 }
 
-// Count tallies the raw activity counts in one pass over the dataset.
-func Count(d *ratings.Dataset) Counts {
+// Count tallies the raw activity counts. Users are independent rows of
+// both count matrices, so the tally shards by user across workers (<= 0
+// means one per available CPU), each worker walking its users' own review
+// and rating indexes. Counts are integer increments, so the result is
+// identical at any worker count.
+func Count(d *ratings.Dataset, workers int) Counts {
 	numU, numC := d.NumUsers(), d.NumCategories()
 	c := Counts{Ratings: mat.NewDense(numU, numC), Writes: mat.NewDense(numU, numC)}
-	for _, r := range d.Reviews() {
-		c.Writes.Add(int(r.Writer), int(r.Category), 1)
-	}
-	for _, rt := range d.Ratings() {
-		cat := d.Review(rt.Review).Category
-		c.Ratings.Add(int(rt.Rater), int(cat), 1)
-	}
+	par.Do(workers, numU, func(u int) {
+		wRow := c.Writes.Row(u)
+		for _, rid := range d.ReviewsByWriter(ratings.UserID(u)) {
+			wRow[d.Review(rid).Category]++
+		}
+		rRow := c.Ratings.Row(u)
+		for _, rt := range d.RatingsBy(ratings.UserID(u)) {
+			rRow[d.Review(rt.Review).Category]++
+		}
+	})
 	return c
 }
 
 // Matrix computes the U x C affiliation matrix from a dataset using the
-// given mode.
+// given mode, parallelised over one worker per available CPU.
 func Matrix(d *ratings.Dataset, mode Mode) (*mat.Dense, error) {
+	return MatrixWorkers(d, mode, 0)
+}
+
+// MatrixWorkers is Matrix with an explicit worker count (<= 0 means one
+// per available CPU). The result is identical at any worker count.
+func MatrixWorkers(d *ratings.Dataset, mode Mode, workers int) (*mat.Dense, error) {
 	if !mode.Valid() {
 		return nil, fmt.Errorf("affinity: invalid mode %d", int(mode))
 	}
-	return FromCounts(Count(d), mode)
+	return FromCountsWorkers(Count(d, workers), mode, workers)
 }
 
 // FromCounts computes the affiliation matrix from precomputed activity
 // counts, normalising each signal by the user's row maximum (eq. 4). Users
 // with no activity of a given kind contribute 0 for that term.
 func FromCounts(c Counts, mode Mode) (*mat.Dense, error) {
+	return FromCountsWorkers(c, mode, 1)
+}
+
+// FromCountsWorkers is FromCounts sharded by user row across workers
+// (<= 0 means one per available CPU). Each row is normalised
+// independently, so the result is identical at any worker count.
+func FromCountsWorkers(c Counts, mode Mode, workers int) (*mat.Dense, error) {
 	ru, rc := c.Ratings.Dims()
 	wu, wc := c.Writes.Dims()
 	if ru != wu || rc != wc {
 		return nil, fmt.Errorf("%w: ratings %dx%d vs writes %dx%d", mat.ErrShape, ru, rc, wu, wc)
 	}
 	a := mat.NewDense(ru, rc)
-	for u := 0; u < ru; u++ {
+	par.Do(workers, ru, func(u int) {
 		rRow := c.Ratings.Row(u)
 		wRow := c.Writes.Row(u)
 		rMax := c.Ratings.RowMax(u)
@@ -111,6 +132,6 @@ func FromCounts(c Counts, mode Mode) (*mat.Dense, error) {
 				out[j] = wTerm
 			}
 		}
-	}
+	})
 	return a, nil
 }

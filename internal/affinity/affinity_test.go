@@ -58,7 +58,7 @@ func build(t *testing.T) *ratings.Dataset {
 
 func TestCount(t *testing.T) {
 	d := build(t)
-	c := Count(d)
+	c := Count(d, 1)
 	if got := c.Writes.At(0, 0); got != 2 {
 		t.Errorf("writer writes in movies = %v, want 2", got)
 	}
@@ -143,7 +143,7 @@ func TestInvalidMode(t *testing.T) {
 }
 
 func TestFromCountsShapeMismatch(t *testing.T) {
-	c := Count(build(t))
+	c := Count(build(t), 2)
 	same := Counts{Ratings: c.Ratings, Writes: c.Ratings.Clone()}
 	if _, err := FromCounts(same, Blend); err != nil {
 		t.Fatalf("same-shape counts should work: %v", err)

@@ -3,8 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"weboftrust/internal/affinity"
+	"weboftrust/internal/mat"
+	"weboftrust/internal/par"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/riggs"
 )
@@ -13,19 +16,48 @@ import (
 // one, so incremental update is impossible.
 var ErrNotExtension = errors.New("core: new dataset does not extend the old one")
 
+// Scratch carries reusable buffers across Update calls, so a long-lived
+// ingest loop (trustd's tailer folds a batch in on every poll tick) stops
+// re-allocating the Riggs iteration buffers per tick. The zero value is
+// ready to use; a mutex serialises concurrent Update calls that happen to
+// share one Scratch, so reuse is always safe, just not concurrent.
+type Scratch struct {
+	mu    sync.Mutex
+	riggs []*riggs.Scratch
+}
+
+// riggsScratch returns the lazily-created per-worker Riggs scratch slots,
+// sized to at least workers. Callers hold s.mu.
+func (s *Scratch) riggsScratch(workers int) []*riggs.Scratch {
+	for len(s.riggs) < workers {
+		s.riggs = append(s.riggs, riggs.NewScratch())
+	}
+	return s.riggs
+}
+
 // Update recomputes the pipeline artifacts after the dataset grew,
 // re-solving the Step 1 fixed point only for the categories touched by
-// new reviews or ratings. The untouched categories' Riggs results are
-// reused verbatim (their inputs are byte-identical), so the result is
-// exactly what Run would produce on the new dataset — verified by the
-// equivalence property test.
+// new reviews or ratings. Untouched categories are reused wholesale: their
+// Riggs results verbatim (their inputs are byte-identical), their
+// expertise columns copied from the old E instead of re-aggregating
+// writers, and their expert sets shared with the old derived-trust index
+// instead of re-scanning E columns. What does need recomputing — touched
+// fixed points, touched expertise columns, the affinity matrix (any new
+// event shifts some user's activity normalisation) and the trust row sums
+// — fans out across Config.Workers. The result is exactly what Run would
+// produce on the new dataset — verified by the equivalence property tests.
 //
 // newD must extend oldD: all of oldD's users, categories, objects,
 // reviews and ratings must form a prefix of newD's (the shape produced by
-// replaying an append-only event log past its previous position). The
-// affinity matrix and expertise assembly are always rebuilt — they are
-// single linear passes, cheap next to the fixed points.
+// replaying an append-only event log past its previous position).
 func (c Config) Update(oldArt *Artifacts, oldD, newD *ratings.Dataset) (*Artifacts, error) {
+	return c.UpdateScratch(oldArt, oldD, newD, nil)
+}
+
+// UpdateScratch is Update with caller-owned reusable buffers; pass nil to
+// allocate per call. A steady-state ingest loop passes the same Scratch
+// every tick.
+func (c Config) UpdateScratch(oldArt *Artifacts, oldD, newD *ratings.Dataset, s *Scratch) (*Artifacts, error) {
 	if oldArt == nil || oldD == nil || newD == nil {
 		return nil, fmt.Errorf("core: Update requires non-nil artifacts and datasets")
 	}
@@ -36,10 +68,17 @@ func (c Config) Update(oldArt *Artifacts, oldD, newD *ratings.Dataset) (*Artifac
 		return nil, fmt.Errorf("core: artifacts carry %d riggs results for %d categories",
 			len(oldArt.RiggsResults), oldD.NumCategories())
 	}
+	if oldD.NumCategories() > 0 && oldArt.Expertise == nil {
+		return nil, fmt.Errorf("core: artifacts missing expertise matrix")
+	}
+	if s == nil {
+		s = new(Scratch)
+	}
 
-	touched := make([]bool, newD.NumCategories())
+	numC := newD.NumCategories()
+	touched := make([]bool, numC)
 	// Categories new to the dataset are touched by definition.
-	for cat := oldD.NumCategories(); cat < newD.NumCategories(); cat++ {
+	for cat := oldD.NumCategories(); cat < numC; cat++ {
 		touched[cat] = true
 	}
 	for r := oldD.NumReviews(); r < newD.NumReviews(); r++ {
@@ -50,30 +89,62 @@ func (c Config) Update(oldArt *Artifacts, oldD, newD *ratings.Dataset) (*Artifac
 		touched[newD.Review(rt.Review).Category] = true
 	}
 
-	results := make([]*riggs.CategoryResult, newD.NumCategories())
-	recomputed := 0
+	results := make([]*riggs.CategoryResult, numC)
+	var touchedCats []int
 	for cat := range results {
 		if cat < oldD.NumCategories() && !touched[cat] {
 			results[cat] = oldArt.RiggsResults[cat]
 			continue
 		}
-		cr, err := c.Riggs.Solve(newD, ratings.CategoryID(cat))
-		if err != nil {
-			return nil, fmt.Errorf("core: update category %d: %w", cat, err)
-		}
-		results[cat] = cr
-		recomputed++
+		touchedCats = append(touchedCats, cat)
 	}
 
-	e, err := c.Reputation.ExpertiseMatrix(newD, results)
-	if err != nil {
+	s.mu.Lock()
+	// Normalize once so the scratch slots and DoWorker's ids come from
+	// the same evaluation even if GOMAXPROCS changes concurrently.
+	workers := par.Normalize(c.Workers)
+	scratch := s.riggsScratch(workers)
+	solveErrs := make([]error, len(touchedCats))
+	par.DoWorker(workers, len(touchedCats), func(w, i int) {
+		cat := touchedCats[i]
+		cr, err := c.Riggs.SolveScratch(newD, ratings.CategoryID(cat), scratch[w])
+		if err != nil {
+			solveErrs[i] = fmt.Errorf("core: update category %d: %w", cat, err)
+			return
+		}
+		results[cat] = cr
+	})
+	s.mu.Unlock()
+	if err := par.FirstError(solveErrs); err != nil {
+		return nil, err
+	}
+
+	// Expertise: untouched columns are copied verbatim from the old E
+	// (rows for users added since stay zero — a new user writing in an
+	// old category would have touched it), touched columns recomputed.
+	oldE, oldUsers := oldArt.Expertise, oldD.NumUsers()
+	e := mat.NewDense(newD.NumUsers(), numC)
+	colErrs := make([]error, numC)
+	par.Do(c.Workers, numC, func(cat int) {
+		// Untouched implies cat < oldD.NumCategories(): new categories
+		// are always marked touched.
+		if !touched[cat] {
+			for u := 0; u < oldUsers; u++ {
+				e.Set(u, cat, oldE.At(u, cat))
+			}
+			return
+		}
+		colErrs[cat] = c.Reputation.ExpertiseColumnInto(newD, results[cat], ratings.CategoryID(cat), e)
+	})
+	if err := par.FirstError(colErrs); err != nil {
 		return nil, fmt.Errorf("core: update expertise: %w", err)
 	}
-	a, err := affinity.Matrix(newD, c.AffinityMode)
+
+	a, err := affinity.MatrixWorkers(newD, c.AffinityMode, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: update affinity: %w", err)
 	}
-	dt, err := NewDerivedTrust(a, e)
+	dt, err := newDerivedTrust(a, e, c.Workers, oldArt.Trust, touched)
 	if err != nil {
 		return nil, fmt.Errorf("core: update derive: %w", err)
 	}

@@ -19,6 +19,14 @@ type Config struct {
 	Reputation reputation.Options
 	// AffinityMode selects the Step 2 activity blend (eq. 4).
 	AffinityMode affinity.Mode
+	// Workers caps the goroutines every pipeline stage fans out to.
+	// 0 (the default) means one per available CPU
+	// (runtime.GOMAXPROCS(0)); 1 forces fully serial execution. Every
+	// stage shards work items that own disjoint output slots (categories
+	// for the fixed points and expertise columns, users for affinity rows
+	// and trust row sums), so artifacts are bitwise-identical at any
+	// setting — the knob only trades wall-clock time.
+	Workers int
 }
 
 // DefaultConfig returns the configuration the paper evaluates.
@@ -46,19 +54,19 @@ type Artifacts struct {
 
 // Run executes Steps 1-3 on the dataset and returns the artifacts.
 func (c Config) Run(d *ratings.Dataset) (*Artifacts, error) {
-	results, err := c.Riggs.SolveAll(d)
+	results, err := c.Riggs.SolveAllWorkers(d, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 1 (riggs): %w", err)
 	}
-	e, err := c.Reputation.ExpertiseMatrix(d, results)
+	e, err := c.Reputation.ExpertiseMatrixWorkers(d, results, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 1c (expertise): %w", err)
 	}
-	a, err := affinity.Matrix(d, c.AffinityMode)
+	a, err := affinity.MatrixWorkers(d, c.AffinityMode, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 2 (affinity): %w", err)
 	}
-	dt, err := NewDerivedTrust(a, e)
+	dt, err := NewDerivedTrustWorkers(a, e, c.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3 (derive): %w", err)
 	}

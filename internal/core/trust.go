@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"weboftrust/internal/mat"
+	"weboftrust/internal/par"
 	"weboftrust/internal/ratings"
 )
 
@@ -42,8 +43,28 @@ type DerivedTrust struct {
 }
 
 // NewDerivedTrust builds the derived trust matrix from the affinity matrix
-// A and expertise matrix E, both U x C.
+// A and expertise matrix E, both U x C, fanning the per-user and
+// per-category index construction out to one worker per available CPU.
 func NewDerivedTrust(affinity, expertise *mat.Dense) (*DerivedTrust, error) {
+	return NewDerivedTrustWorkers(affinity, expertise, 0)
+}
+
+// NewDerivedTrustWorkers is NewDerivedTrust with an explicit worker count
+// (<= 0 means one per available CPU). Row sums shard by user and expert
+// sets by category — every slot has exactly one writer — so the result is
+// identical at any worker count.
+func NewDerivedTrustWorkers(affinity, expertise *mat.Dense, workers int) (*DerivedTrust, error) {
+	return newDerivedTrust(affinity, expertise, workers, nil, nil)
+}
+
+// newDerivedTrust builds the derived structures. When old and touched are
+// given (the incremental-update path), the expert set of every untouched
+// category is taken from old instead of scanning its E column: the column
+// was copied verbatim and rows past old's user count are zero, so the set
+// is unchanged. Expert lists are shared with old outright (both sides are
+// immutable); bitsets are shared too when the user count is unchanged, and
+// rebuilt from the (typically short) expert list when it grew.
+func newDerivedTrust(affinity, expertise *mat.Dense, workers int, old *DerivedTrust, touched []bool) (*DerivedTrust, error) {
 	au, ac := affinity.Dims()
 	eu, ec := expertise.Dims()
 	if au != eu || ac != ec {
@@ -54,21 +75,37 @@ func NewDerivedTrust(affinity, expertise *mat.Dense) (*DerivedTrust, error) {
 		expertise: expertise,
 		rowSum:    make([]float64, au),
 	}
-	for u := 0; u < au; u++ {
+	par.Do(workers, au, func(u int) {
 		dt.rowSum[u] = affinity.RowSum(u)
-	}
+	})
 	dt.expertsByCategory = make([]*mat.Bitset, ac)
 	dt.expertLists = make([][]int32, ac)
-	for c := 0; c < ac; c++ {
+	par.Do(workers, ac, func(c int) {
+		if old != nil && c < len(touched) && !touched[c] && c < old.NumCategories() {
+			list := old.expertLists[c]
+			dt.expertLists[c] = list
+			if old.NumUsers() == au {
+				dt.expertsByCategory[c] = old.expertsByCategory[c]
+			} else {
+				bs := mat.NewBitset(au)
+				for _, u := range list {
+					bs.Set(int(u))
+				}
+				dt.expertsByCategory[c] = bs
+			}
+			return
+		}
 		bs := mat.NewBitset(au)
+		var list []int32
 		for u := 0; u < au; u++ {
 			if expertise.At(u, c) > 0 {
 				bs.Set(u)
-				dt.expertLists[c] = append(dt.expertLists[c], int32(u))
+				list = append(list, int32(u))
 			}
 		}
 		dt.expertsByCategory[c] = bs
-	}
+		dt.expertLists[c] = list
+	})
 	return dt, nil
 }
 

@@ -1,0 +1,87 @@
+// Package par is the shared worker-pool substrate the derivation pipeline
+// fans out on. Every stage of the pipeline (the per-category Riggs fixed
+// points, the affinity and expertise passes, the derived-trust assembly)
+// is embarrassingly parallel: each work item writes only to its own output
+// slot, so results are bitwise-identical at any worker count and the knob
+// trades nothing but wall-clock time.
+//
+// Items are handed out dynamically through an atomic counter rather than
+// static striding, because the pipeline's work items are heavily skewed
+// (the paper's category sizes span two orders of magnitude); dynamic
+// dealing keeps all workers busy until the last item without affecting
+// which slot an item writes to.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Normalize returns the effective worker count for a configuration knob:
+// n itself when n >= 1, otherwise one worker per available CPU
+// (runtime.GOMAXPROCS(0)).
+func Normalize(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0, n) exactly once, across at most
+// Normalize(workers) goroutines. fn must be safe to call concurrently for
+// distinct i and should write only to state owned by item i. With
+// workers == 1 (or n <= 1) everything runs inline on the calling
+// goroutine with no synchronisation at all.
+func Do(workers, n int, fn func(i int)) {
+	DoWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// DoWorker is Do for callers that keep per-worker scratch: fn receives the
+// worker id w in [0, min(Normalize(workers), n)) alongside the item index,
+// so a caller may allocate Normalize(workers) scratch slots and index them
+// by w without locking.
+func DoWorker(workers, n int, fn func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Normalize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// FirstError returns the lowest-index non-nil error, or nil. Parallel
+// stages record per-item errors into a slot slice and pick the winner
+// deterministically afterwards, so the reported error does not depend on
+// goroutine scheduling.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

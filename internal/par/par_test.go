@@ -1,0 +1,86 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(3); got != 3 {
+		t.Errorf("Normalize(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Normalize(0); got != want {
+		t.Errorf("Normalize(0) = %d, want %d", got, want)
+	}
+	if got := Normalize(-7); got != want {
+		t.Errorf("Normalize(-7) = %d, want %d", got, want)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 63, 1000} {
+			counts := make([]atomic.Int32, n)
+			Do(workers, n, func(i int) {
+				counts[i].Add(1)
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDoWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int32
+	seen := make([]atomic.Int32, workers)
+	DoWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+			return
+		}
+		seen[w].Add(1)
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls saw out-of-range worker ids", bad.Load())
+	}
+	var total int32
+	for w := range seen {
+		total += seen[w].Load()
+	}
+	if total != n {
+		t.Fatalf("worker tallies sum to %d, want %d", total, n)
+	}
+}
+
+func TestDoWorkerSerialWhenOneWorker(t *testing.T) {
+	// With workers == 1 items must run in order on the calling goroutine.
+	var order []int
+	DoWorker(1, 10, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("worker id %d with one worker", w)
+		}
+		order = append(order, i) // no locking: must be inline
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := FirstError([]error{nil, nil}); err != nil {
+		t.Errorf("FirstError(all nil) = %v", err)
+	}
+	e1, e2 := errors.New("one"), errors.New("two")
+	if err := FirstError([]error{nil, e1, e2}); err != e1 {
+		t.Errorf("FirstError = %v, want first non-nil", err)
+	}
+}

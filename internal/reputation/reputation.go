@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"weboftrust/internal/mat"
+	"weboftrust/internal/par"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/riggs"
 )
@@ -99,20 +100,41 @@ func (o Options) Writers(d *ratings.Dataset, rq *riggs.CategoryResult, cat ratin
 
 // ExpertiseMatrix assembles the U x C expertise matrix E from per-category
 // Riggs results (one per category, indexed by CategoryID). E[u][c] is
-// writer u's reputation in category c, 0 if u wrote nothing there.
+// writer u's reputation in category c, 0 if u wrote nothing there. The
+// assembly fans categories out to one worker per available CPU.
 func (o Options) ExpertiseMatrix(d *ratings.Dataset, results []*riggs.CategoryResult) (*mat.Dense, error) {
+	return o.ExpertiseMatrixWorkers(d, results, 0)
+}
+
+// ExpertiseMatrixWorkers is ExpertiseMatrix with an explicit worker count
+// (<= 0 means one per available CPU). Each category owns a disjoint column
+// of E, so the result is identical at any worker count.
+func (o Options) ExpertiseMatrixWorkers(d *ratings.Dataset, results []*riggs.CategoryResult, workers int) (*mat.Dense, error) {
 	if len(results) != d.NumCategories() {
 		return nil, fmt.Errorf("reputation: %d riggs results for %d categories", len(results), d.NumCategories())
 	}
 	e := mat.NewDense(d.NumUsers(), d.NumCategories())
-	for c := 0; c < d.NumCategories(); c++ {
-		cw, err := o.Writers(d, results[c], ratings.CategoryID(c))
-		if err != nil {
-			return nil, err
-		}
-		for i, w := range cw.Writers {
-			e.Set(int(w), c, cw.Reputation[i])
-		}
+	errs := make([]error, d.NumCategories())
+	par.Do(workers, d.NumCategories(), func(c int) {
+		errs[c] = o.ExpertiseColumnInto(d, results[c], ratings.CategoryID(c), e)
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return e, nil
+}
+
+// ExpertiseColumnInto computes column cat of the expertise matrix from one
+// category's Riggs result and writes it into e (whose column is assumed
+// zero). It lets incremental pipelines recompute only the columns whose
+// category was touched; e must have d.NumUsers() rows.
+func (o Options) ExpertiseColumnInto(d *ratings.Dataset, rq *riggs.CategoryResult, cat ratings.CategoryID, e *mat.Dense) error {
+	cw, err := o.Writers(d, rq, cat)
+	if err != nil {
+		return err
+	}
+	for i, w := range cw.Writers {
+		e.Set(int(w), int(cat), cw.Reputation[i])
+	}
+	return nil
 }

@@ -17,6 +17,10 @@
 // quantities live in [0, 1] and are solved by fixed-point iteration with
 // rater reputations initialised to 1 (so the first quality pass is the
 // plain average, Riggs' starting point).
+//
+// Categories are mutually independent, which makes them the natural
+// parallel axis: SolveAll fans them out across workers and the result is
+// bitwise-identical to solving them one by one.
 package riggs
 
 import (
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"weboftrust/internal/par"
 	"weboftrust/internal/ratings"
 )
 
@@ -118,46 +123,108 @@ func (cr *CategoryResult) ReputationOf(u ratings.UserID) (float64, bool) {
 	return rep, ok
 }
 
+// obs is one (review, rater, value) observation in a category's local
+// dense numbering.
+type obs struct {
+	review int // local review index
+	rater  int // local rater index
+	value  float64
+}
+
+// Scratch holds the iteration buffers of Solve so callers that solve many
+// categories — SolveAll across a dataset, or core.Update on every trustd
+// ingest tick — reuse one set of allocations instead of paying for
+// qNum/qDen/dev/newRep/newQ (and the observation list) per category per
+// call. The zero value is ready to use. A Scratch may serve any number of
+// sequential Solve calls but must not be shared by concurrent ones; give
+// each worker its own.
+type Scratch struct {
+	observations []obs
+	raterLocal   map[ratings.UserID]int
+	qNum, qDen   []float64
+	newQ         []float64
+	fallback     []float64
+	dev, newRep  []float64
+}
+
+// NewScratch returns an empty Scratch. Equivalent to new(Scratch); it
+// exists to make call sites explicit about buffer reuse.
+func NewScratch() *Scratch { return new(Scratch) }
+
+// grow returns buf resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified; callers overwrite.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
 // Solve computes the fixed point for one category of the dataset.
 func (m Model) Solve(d *ratings.Dataset, cat ratings.CategoryID) (*CategoryResult, error) {
+	return m.SolveScratch(d, cat, nil)
+}
+
+// SolveScratch is Solve with caller-provided iteration buffers; pass nil
+// to allocate fresh ones. The returned result never aliases the scratch.
+func (m Model) SolveScratch(d *ratings.Dataset, cat ratings.CategoryID, s *Scratch) (*CategoryResult, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
 	if int(cat) < 0 || int(cat) >= d.NumCategories() {
 		return nil, fmt.Errorf("riggs: category %d out of range %d", cat, d.NumCategories())
 	}
+	if s == nil {
+		s = NewScratch()
+	}
+	if s.raterLocal == nil {
+		s.raterLocal = make(map[ratings.UserID]int)
+	} else {
+		clear(s.raterLocal)
+	}
 
 	reviews := d.ReviewsInCategory(cat)
+	numReviews := len(reviews)
 	cr := &CategoryResult{
 		Category: cat,
 		Reviews:  reviews,
-		Quality:  make([]float64, len(reviews)),
+		Quality:  make([]float64, numReviews),
 	}
 
-	// Local, dense renumbering of the category's reviews and raters so
-	// the iteration runs over flat slices.
-	reviewLocal := make(map[ratings.ReviewID]int, len(reviews))
-	for k, r := range reviews {
-		reviewLocal[r] = k
+	// Size the observation list exactly before filling it, and hoist the
+	// zero-denominator fallback quality per review out of the iteration
+	// loop: the plain average when the review has ratings (the guard for
+	// all-zero-reputation raters), UnratedQuality otherwise.
+	totalObs := 0
+	for _, rid := range reviews {
+		totalObs += len(d.RatingsOn(rid))
 	}
-	raterLocal := make(map[ratings.UserID]int)
-	type obs struct {
-		review int // local review index
-		rater  int // local rater index
-		value  float64
+	if cap(s.observations) < totalObs {
+		s.observations = make([]obs, 0, totalObs)
+	} else {
+		s.observations = s.observations[:0]
 	}
-	var observations []obs
+	s.fallback = grow(s.fallback, numReviews)
 	for k, rid := range reviews {
-		for _, rt := range d.RatingsOn(rid) {
-			li, seen := raterLocal[rt.Rater]
+		rs := d.RatingsOn(rid)
+		if len(rs) == 0 {
+			s.fallback[k] = m.UnratedQuality
+			continue
+		}
+		var sum float64
+		for _, rt := range rs {
+			li, seen := s.raterLocal[rt.Rater]
 			if !seen {
 				li = len(cr.Raters)
-				raterLocal[rt.Rater] = li
+				s.raterLocal[rt.Rater] = li
 				cr.Raters = append(cr.Raters, rt.Rater)
 			}
-			observations = append(observations, obs{review: k, rater: li, value: rt.Value})
+			s.observations = append(s.observations, obs{review: k, rater: li, value: rt.Value})
+			sum += rt.Value
 		}
+		s.fallback[k] = sum / float64(len(rs))
 	}
+	observations := s.observations
 	numRaters := len(cr.Raters)
 	cr.RaterRep = make([]float64, numRaters)
 	cr.RaterCount = make([]int, numRaters)
@@ -173,19 +240,18 @@ func (m Model) Solve(d *ratings.Dataset, cat ratings.CategoryID) (*CategoryResul
 		cr.Quality[k] = m.UnratedQuality
 	}
 
-	qNum := make([]float64, len(reviews))
-	qDen := make([]float64, len(reviews))
-	dev := make([]float64, numRaters)
-	newRep := make([]float64, numRaters)
-	newQ := make([]float64, len(reviews))
+	qNum := grow(s.qNum, numReviews)
+	qDen := grow(s.qDen, numReviews)
+	newQ := grow(s.newQ, numReviews)
+	dev := grow(s.dev, numRaters)
+	newRep := grow(s.newRep, numRaters)
+	s.qNum, s.qDen, s.newQ, s.dev, s.newRep = qNum, qDen, newQ, dev, newRep
 
 	for iter := 1; iter <= m.MaxIter; iter++ {
 		cr.Iterations = iter
-		// Quality pass (eq. 1): reputation-weighted average. Reviews
-		// whose raters all have zero reputation fall back to the plain
-		// average so the quality stays defined; with the experience
-		// discount active a rater's reputation can reach zero only via
-		// maximal disagreement, so this is a rare numerical guard.
+		// Quality pass (eq. 1): reputation-weighted average, falling back
+		// to the precomputed plain average (or UnratedQuality) when the
+		// review's raters all have zero reputation.
 		for k := range qNum {
 			qNum[k], qDen[k] = 0, 0
 		}
@@ -195,13 +261,10 @@ func (m Model) Solve(d *ratings.Dataset, cat ratings.CategoryID) (*CategoryResul
 			qDen[o.review] += w
 		}
 		for k := range newQ {
-			switch {
-			case qDen[k] > 0:
+			if qDen[k] > 0 {
 				newQ[k] = qNum[k] / qDen[k]
-			case kHasRatings(d, reviews[k]):
-				newQ[k] = plainAverage(d.RatingsOn(reviews[k]))
-			default:
-				newQ[k] = m.UnratedQuality
+			} else {
+				newQ[k] = s.fallback[k]
 			}
 		}
 
@@ -244,7 +307,7 @@ func (m Model) Solve(d *ratings.Dataset, cat ratings.CategoryID) (*CategoryResul
 		}
 	}
 
-	cr.qualityByReview = make(map[ratings.ReviewID]float64, len(reviews))
+	cr.qualityByReview = make(map[ratings.ReviewID]float64, numReviews)
 	for k, r := range reviews {
 		cr.qualityByReview[r] = cr.Quality[k]
 	}
@@ -255,28 +318,40 @@ func (m Model) Solve(d *ratings.Dataset, cat ratings.CategoryID) (*CategoryResul
 	return cr, nil
 }
 
-func kHasRatings(d *ratings.Dataset, r ratings.ReviewID) bool {
-	return len(d.RatingsOn(r)) > 0
-}
-
-func plainAverage(rs []ratings.Rating) float64 {
-	var s float64
-	for _, r := range rs {
-		s += r.Value
-	}
-	return s / float64(len(rs))
-}
-
 // SolveAll runs Solve for every category and returns the results indexed
-// by CategoryID.
+// by CategoryID, fanning categories out to one worker per available CPU.
 func (m Model) SolveAll(d *ratings.Dataset) ([]*CategoryResult, error) {
-	out := make([]*CategoryResult, d.NumCategories())
-	for c := 0; c < d.NumCategories(); c++ {
-		cr, err := m.Solve(d, ratings.CategoryID(c))
+	return m.SolveAllWorkers(d, 0)
+}
+
+// SolveAllWorkers is SolveAll with an explicit worker count (<= 0 means
+// one per available CPU). Each category's fixed point is independent and
+// each worker keeps its own Scratch, so the results are bitwise-identical
+// at any worker count.
+func (m Model) SolveAllWorkers(d *ratings.Dataset, workers int) ([]*CategoryResult, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	numC := d.NumCategories()
+	out := make([]*CategoryResult, numC)
+	errs := make([]error, numC)
+	// Normalize once so the scratch slice length and DoWorker's ids come
+	// from the same evaluation even if GOMAXPROCS changes concurrently.
+	workers = par.Normalize(workers)
+	scratch := make([]*Scratch, workers)
+	par.DoWorker(workers, numC, func(w, c int) {
+		if scratch[w] == nil {
+			scratch[w] = NewScratch()
+		}
+		cr, err := m.SolveScratch(d, ratings.CategoryID(c), scratch[w])
 		if err != nil {
-			return nil, fmt.Errorf("riggs: category %d: %w", c, err)
+			errs[c] = fmt.Errorf("riggs: category %d: %w", c, err)
+			return
 		}
 		out[c] = cr
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -373,3 +373,86 @@ func BenchmarkSolveCategory(b *testing.B) {
 		}
 	}
 }
+
+// resultsEqual reports whether two category results are bitwise identical
+// in every exported field.
+func resultsEqual(a, b *CategoryResult) bool {
+	if a.Category != b.Category || a.Iterations != b.Iterations || a.Converged != b.Converged ||
+		len(a.Reviews) != len(b.Reviews) || len(a.Raters) != len(b.Raters) {
+		return false
+	}
+	for k := range a.Reviews {
+		if a.Reviews[k] != b.Reviews[k] || a.Quality[k] != b.Quality[k] {
+			return false
+		}
+	}
+	for i := range a.Raters {
+		if a.Raters[i] != b.Raters[i] || a.RaterRep[i] != b.RaterRep[i] || a.RaterCount[i] != b.RaterCount[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: reusing one Scratch across many categories yields exactly the
+// results of scratch-free solves — stale buffer contents never leak.
+func TestScratchReuseQuick(t *testing.T) {
+	m := DefaultModel()
+	scratch := NewScratch()
+	f := func(seed uint64) bool {
+		d := randomCategory(seed)
+		fresh, err := m.Solve(d, 0)
+		if err != nil {
+			return false
+		}
+		reused, err := m.SolveScratch(d, 0, scratch)
+		if err != nil {
+			return false
+		}
+		return resultsEqual(fresh, reused)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveAllWorkersIdentical asserts the parallel fan-out is
+// bitwise-identical to the serial solve at several worker counts.
+func TestSolveAllWorkersIdentical(t *testing.T) {
+	var ds []*ratings.Dataset
+	for seed := uint64(1); seed <= 4; seed++ {
+		ds = append(ds, randomCategory(seed))
+	}
+	m := DefaultModel()
+	for _, d := range ds {
+		serial, err := m.SolveAllWorkers(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			parallel, err := m.SolveAllWorkers(d, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range serial {
+				if !resultsEqual(serial[c], parallel[c]) {
+					t.Fatalf("workers=%d: category %d differs from serial", workers, c)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSolveCategoryScratch is BenchmarkSolveCategory with a reused
+// Scratch: the steady-state per-category solve cost on an ingest tick.
+func BenchmarkSolveCategoryScratch(b *testing.B) {
+	d := randomCategory(31)
+	m := DefaultModel()
+	s := NewScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolveScratch(d, 0, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,7 +17,12 @@ import (
 // reflects; each poll replays the records past its checkpoint into the
 // builder, snapshots the grown dataset, rebuilds artifacts incrementally
 // with TrustModel.Update (only categories touched by the new events are
-// re-solved), and swaps the result into the server. A torn final record —
+// re-solved, the rest of the model is reused, and the recompute fans out
+// across the Workers the model was derived with — see
+// weboftrust.WithWorkers), and swaps the result into the server. Because
+// Update chains the model's scratch buffers, steady-state ingest ticks
+// reuse the Riggs iteration buffers instead of reallocating them. A torn
+// final record —
 // a writer crashed or is still mid-append — is not an error: the tailer
 // ingests the intact prefix and retries the tail on the next poll.
 type Tailer struct {

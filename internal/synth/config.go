@@ -146,6 +146,30 @@ func Medium() Config {
 	return c
 }
 
+// Large returns the scale-up configuration the parallel-pipeline
+// benchmarks run: 6,000 users over 36 categories — each paper genre split
+// into three audience tiers — so the category axis the pipeline shards on
+// is wide enough to keep many workers busy and to expose how incremental
+// updates scale with category count.
+func Large() Config {
+	c := base()
+	c.NumUsers = 6000
+	c.TotalObjects = 2160
+	c.MeanRatingsPerUser = 35
+	c.MaxInterests = 6
+	var cats []CategorySpec
+	for _, g := range PaperGenres() {
+		for i, share := range []float64{0.55, 0.30, 0.15} {
+			cats = append(cats, CategorySpec{
+				Name:   fmt.Sprintf("%s/tier%d", g.Name, i+1),
+				Weight: g.Weight * share,
+			})
+		}
+	}
+	c.Categories = cats
+	return c
+}
+
 // PaperScale returns the configuration the experiment suite runs: the 12
 // paper genres, 22 Advisors and 40 Top Reviewers as in the crawl, with the
 // user count scaled to keep the full suite laptop-fast (the paper itself
