@@ -1,8 +1,8 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 BENCH_COUNT ?= 5
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race bench bench-smoke bench-guard
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,9 @@ bench:
 # bench-smoke is the CI guard: every benchmark must still compile and
 # complete one iteration.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect' -benchtime 1x .
+
+# bench-guard fails if the serving hot path's allocs/op regress above the
+# BENCH_pr2.json baseline.
+bench-guard:
+	./scripts/check_allocs.sh

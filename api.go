@@ -132,12 +132,19 @@ func (m *TrustModel) Update(newD *Dataset) (*TrustModel, error) {
 
 // Score returns the degree of trust T̂_ij user i holds for user j, in
 // [0, 1]. Zero means no overlap between i's interests and j's expertise.
+// Single cells are evaluated through the expert-score index (one binary
+// search per interest) when i's affinity is narrow relative to the
+// category count, and through the dense eq. 5 dot otherwise; both routes
+// return the identical value.
 func (m *TrustModel) Score(i, j UserID) float64 {
 	return m.artifacts.Trust.Value(i, j)
 }
 
 // TopTrusted returns the k users with the highest derived trust from user
-// u's point of view, best first, excluding u and zero scores.
+// u's point of view, best first, excluding u and zero scores. The row is
+// evaluated through the sparse expert-score index when u's interests are
+// narrow, and ranked with a bounded heap (O(U log k), O(k) working
+// memory), so the cost tracks the community's sparsity rather than U·C.
 func (m *TrustModel) TopTrusted(u UserID, k int) []Ranked {
 	return m.artifacts.Trust.TopTrusted(u, k)
 }

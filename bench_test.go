@@ -22,6 +22,7 @@ import (
 	"weboftrust"
 	"weboftrust/internal/core"
 	"weboftrust/internal/experiments"
+	"weboftrust/internal/mat"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/server"
 	"weboftrust/internal/store"
@@ -32,6 +33,10 @@ var (
 	benchOnce sync.Once
 	benchEnv  *experiments.Env
 	benchErr  error
+
+	benchLargeOnce sync.Once
+	benchLargeEnv  *experiments.Env
+	benchLargeErr  error
 )
 
 // env lazily builds the shared Medium-scale environment (dataset +
@@ -47,6 +52,21 @@ func env(b *testing.B) *experiments.Env {
 		b.Fatal(benchErr)
 	}
 	return benchEnv
+}
+
+// envLarge is env at the Large preset (6,000 users, 36 categories), for
+// the serving benchmarks that track the read path's scaling behaviour.
+func envLarge(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchLargeOnce.Do(func() {
+		cfg := synth.Large()
+		cfg.Seed = 1
+		benchLargeEnv, benchLargeErr = experiments.Suite{Synth: cfg, Pipeline: core.DefaultConfig()}.Setup()
+	})
+	if benchLargeErr != nil {
+		b.Fatal(benchLargeErr)
+	}
+	return benchLargeEnv
 }
 
 // BenchmarkTable2RaterReputation regenerates Table 2: the per-category
@@ -274,6 +294,43 @@ func BenchmarkDerivedTrustRowSparse(b *testing.B) {
 	}
 }
 
+// BenchmarkDerivedTrustRowSparseLarge is BenchmarkDerivedTrustRowSparse
+// at the Large preset, where the contiguous expert-score columns matter
+// most: 3× the users and categories of Medium.
+func BenchmarkDerivedTrustRowSparseLarge(b *testing.B) {
+	e := envLarge(b)
+	dst := make([]float64, e.Dataset.NumUsers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Artifacts.Trust.RowSparse(ratings.UserID(i%e.Dataset.NumUsers()), dst)
+	}
+}
+
+// BenchmarkTopKHeap measures the bounded-heap top-k selection on a real
+// Medium trust row at the serving default k=10 (compare with
+// BenchmarkTopKQuickselect, the full-index path it replaced on the query
+// side).
+func BenchmarkTopKHeap(b *testing.B) {
+	e := env(b)
+	row := e.Artifacts.Trust.Row(17, nil)
+	scratch := make([]int, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = mat.TopKHeapInto(row, 10, scratch)
+	}
+}
+
+// BenchmarkTopKQuickselect is the quickselect selection BenchmarkTopKHeap
+// replaced in the query path, on the same row and k.
+func BenchmarkTopKQuickselect(b *testing.B) {
+	e := env(b)
+	row := e.Artifacts.Trust.Row(17, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.TopK(row, 10)
+	}
+}
+
 // BenchmarkGenerosity measures the per-user k_i computation.
 func BenchmarkGenerosity(b *testing.B) {
 	e := env(b)
@@ -337,9 +394,9 @@ func BenchmarkTopTrusted(b *testing.B) {
 // --- Serving benchmarks ---------------------------------------------------
 
 // BenchmarkServerTopK measures trustd's full /v1/topk handler path —
-// routing, parameter validation, row cache, RowAuto evaluation, ranking
-// and JSON encoding — cycling through every user so the row cache runs at
-// its steady-state miss rate.
+// routing, parameter validation, result cache, pooled RowAuto evaluation,
+// heap ranking and JSON encoding — cycling through every user so the
+// result cache runs at its steady-state miss rate.
 func BenchmarkServerTopK(b *testing.B) {
 	e := env(b)
 	model, err := weboftrust.Derive(e.Dataset)
@@ -360,7 +417,8 @@ func BenchmarkServerTopK(b *testing.B) {
 }
 
 // BenchmarkServerTopKCached is the hot-user variant: every request after
-// the first hits the row cache, isolating the ranking + encoding cost.
+// the first hits the ranked-result cache, isolating the lookup + encoding
+// cost.
 func BenchmarkServerTopKCached(b *testing.B) {
 	e := env(b)
 	model, err := weboftrust.Derive(e.Dataset)
@@ -372,6 +430,28 @@ func BenchmarkServerTopKCached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rec := httptest.NewRecorder()
 		req := httptest.NewRequest(http.MethodGet, "/v1/topk?user=17&k=10", nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("topk: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerTopKLarge is BenchmarkServerTopK at the Large preset
+// (6,000 users, 36 categories): the per-query row evaluation and ranking
+// cost the serving layer pays as the community grows.
+func BenchmarkServerTopKLarge(b *testing.B) {
+	e := envLarge(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(model, 0, server.Options{}).Handler()
+	numU := e.Dataset.NumUsers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/topk?user=%d&k=10", i%numU), nil)
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("topk: %d %s", rec.Code, rec.Body.String())

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-rows 512] [-workers N]
+//	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-results 512] [-workers N]
 //	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
 //	trustd loadgen -addr http://localhost:8080 [-duration 10s] [-concurrency 8] [-k 10]
 //
@@ -60,7 +60,9 @@ func cmdServe(args []string) error {
 	logPath := fs.String("log", "", "event log to replay and tail")
 	snapshot := fs.String("snapshot", "", "snapshot to serve statically (alternative to -log)")
 	poll := fs.Duration("poll", server.DefaultPoll, "event log polling interval")
-	cacheRows := fs.Int("cache-rows", server.DefaultCacheRows, "trust-row LRU capacity (-1 disables)")
+	cacheResults := fs.Int("cache-results", server.DefaultCacheResults, "ranked top-k result LRU capacity (-1 disables)")
+	fs.IntVar(cacheResults, "cache-rows", server.DefaultCacheResults, "deprecated alias for -cache-results")
+	cacheBytes := fs.Int64("cache-bytes", server.DefaultCacheBytes, "result cache byte budget (-1 unbounded)")
 	workers := fs.Int("workers", 0, "pipeline worker goroutines for derive and ingest (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +73,7 @@ func cmdServe(args []string) error {
 	if *workers < 0 {
 		return fmt.Errorf("serve: -workers %d < 0", *workers)
 	}
-	opts := server.Options{CacheRows: *cacheRows}
+	opts := server.Options{CacheResults: *cacheResults, CacheBytes: *cacheBytes}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -40,8 +40,8 @@ func (s *Scratch) riggsScratch(workers int) []*riggs.Scratch {
 // new reviews or ratings. Untouched categories are reused wholesale: their
 // Riggs results verbatim (their inputs are byte-identical), their
 // expertise columns copied from the old E instead of re-aggregating
-// writers, and their expert sets shared with the old derived-trust index
-// instead of re-scanning E columns. What does need recomputing — touched
+// writers, and their expert sets and packed score columns shared with the
+// old derived-trust index instead of re-scanning E columns. What does need recomputing — touched
 // fixed points, touched expertise columns, the affinity matrix (any new
 // event shifts some user's activity normalisation) and the trust row sums
 // — fans out across Config.Workers. The result is exactly what Run would

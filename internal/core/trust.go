@@ -17,6 +17,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 
 	"weboftrust/internal/mat"
 	"weboftrust/internal/par"
@@ -37,9 +39,19 @@ type DerivedTrust struct {
 	// expertsByCategory[c] marks users with E_jc > 0; used to count row
 	// support without scanning all U·C products.
 	expertsByCategory []*mat.Bitset
-	// expertLists[c] holds the same sets as id slices, for the sparse
-	// row evaluation path (RowSparse).
+	// expertLists[c] holds the same sets as ascending id slices, for the
+	// sparse row evaluation path (RowSparse).
 	expertLists [][]int32
+	// expertScores[c] is the CSC-style score column packed parallel to
+	// expertLists[c]: expertScores[c][i] == E[expertLists[c][i]][c]. The
+	// sparse paths stream these two contiguous slices per category
+	// instead of gathering E.At(j, c) with a C-element stride, and Value
+	// binary-searches a list for single-cell queries.
+	expertScores [][]float64
+	// affinityNNZ[u] counts user u's non-zero affinities, so Value can
+	// decide between the dense dot and the indexed path without
+	// re-scanning A's row.
+	affinityNNZ []int32
 }
 
 // NewDerivedTrust builds the derived trust matrix from the affinity matrix
@@ -61,7 +73,8 @@ func NewDerivedTrustWorkers(affinity, expertise *mat.Dense, workers int) (*Deriv
 // given (the incremental-update path), the expert set of every untouched
 // category is taken from old instead of scanning its E column: the column
 // was copied verbatim and rows past old's user count are zero, so the set
-// is unchanged. Expert lists are shared with old outright (both sides are
+// — and the packed score column beside it — is unchanged. Expert lists
+// and score columns are shared with old outright (both sides are
 // immutable); bitsets are shared too when the user count is unchanged, and
 // rebuilt from the (typically short) expert list when it grew.
 func newDerivedTrust(affinity, expertise *mat.Dense, workers int, old *DerivedTrust, touched []bool) (*DerivedTrust, error) {
@@ -71,19 +84,31 @@ func newDerivedTrust(affinity, expertise *mat.Dense, workers int, old *DerivedTr
 		return nil, fmt.Errorf("%w: A is %dx%d, E is %dx%d", ErrShape, au, ac, eu, ec)
 	}
 	dt := &DerivedTrust{
-		affinity:  affinity,
-		expertise: expertise,
-		rowSum:    make([]float64, au),
+		affinity:    affinity,
+		expertise:   expertise,
+		rowSum:      make([]float64, au),
+		affinityNNZ: make([]int32, au),
 	}
 	par.Do(workers, au, func(u int) {
-		dt.rowSum[u] = affinity.RowSum(u)
+		var sum float64
+		var nnz int32
+		for _, v := range affinity.Row(u) {
+			sum += v
+			if v != 0 {
+				nnz++
+			}
+		}
+		dt.rowSum[u] = sum
+		dt.affinityNNZ[u] = nnz
 	})
 	dt.expertsByCategory = make([]*mat.Bitset, ac)
 	dt.expertLists = make([][]int32, ac)
+	dt.expertScores = make([][]float64, ac)
 	par.Do(workers, ac, func(c int) {
 		if old != nil && c < len(touched) && !touched[c] && c < old.NumCategories() {
 			list := old.expertLists[c]
 			dt.expertLists[c] = list
+			dt.expertScores[c] = old.expertScores[c]
 			if old.NumUsers() == au {
 				dt.expertsByCategory[c] = old.expertsByCategory[c]
 			} else {
@@ -97,14 +122,17 @@ func newDerivedTrust(affinity, expertise *mat.Dense, workers int, old *DerivedTr
 		}
 		bs := mat.NewBitset(au)
 		var list []int32
+		var scores []float64
 		for u := 0; u < au; u++ {
-			if expertise.At(u, c) > 0 {
+			if v := expertise.At(u, c); v > 0 {
 				bs.Set(u)
 				list = append(list, int32(u))
+				scores = append(scores, v)
 			}
 		}
 		dt.expertsByCategory[c] = bs
 		dt.expertLists[c] = list
+		dt.expertScores[c] = scores
 	})
 	return dt, nil
 }
@@ -125,12 +153,44 @@ func (dt *DerivedTrust) Expertise() *mat.Dense { return dt.expertise }
 // (eq. 5). It is 0 when i has no category affinity or no overlap exists
 // between i's interests and j's expertise. Self-trust T̂_ii is computed
 // like any other cell; callers that need to exclude it do so themselves.
+//
+// When i's affinity is narrow relative to the category count, the cell is
+// evaluated through the expert-score index (one binary search per
+// interest) instead of the dense C-element dot; both paths add the same
+// non-zero products in the same ascending-category order, so the result
+// is identical either way.
 func (dt *DerivedTrust) Value(i, j ratings.UserID) float64 {
 	sum := dt.rowSum[i]
 	if sum == 0 {
 		return 0
 	}
+	// A binary search costs ~log2(U) branchy probes against one
+	// contiguous multiply-add per category for the dense dot.
+	if int(dt.affinityNNZ[i])*(bits.Len(uint(dt.NumUsers()))+1) < dt.NumCategories() {
+		return dt.valueIndexed(i, j) / sum
+	}
 	return mat.Dot(dt.affinity.Row(int(i)), dt.expertise.Row(int(j))) / sum
+}
+
+// valueIndexed evaluates the eq. 5 numerator for cell (i, j) through the
+// expert-score index: for each category i has affinity for, binary-search
+// j in the (ascending) expert list and, when present, add the packed
+// score. Products skipped relative to the dense dot are exactly the zero
+// ones, and all summands here are non-negative, so the partial sums are
+// bit-for-bit the same as mat.Dot's.
+func (dt *DerivedTrust) valueIndexed(i, j ratings.UserID) float64 {
+	var acc float64
+	target := int32(j)
+	for c, wc := range dt.affinity.Row(int(i)) {
+		if wc == 0 {
+			continue
+		}
+		list := dt.expertLists[c]
+		if pos, ok := slices.BinarySearch(list, target); ok {
+			acc += wc * dt.expertScores[c][pos]
+		}
+	}
+	return acc
 }
 
 // Row fills dst (length U) with row i of T̂ and returns it. If dst is nil
@@ -182,8 +242,11 @@ func (dt *DerivedTrust) RowSparse(i ratings.UserID, dst []float64) []float64 {
 		if wc == 0 {
 			continue
 		}
-		for _, j := range dt.expertLists[c] {
-			dst[j] += wc * dt.expertise.At(int(j), c)
+		// Stream the packed (id, score) columns: two contiguous slices
+		// per category instead of a C-stride gather through E.
+		scores := dt.expertScores[c]
+		for idx, j := range dt.expertLists[c] {
+			dst[j] += wc * scores[idx]
 		}
 	}
 	inv := 1 / sum
@@ -257,7 +320,9 @@ type Ranked struct {
 // TopTrusted returns the k users with the highest T̂_ij for source i,
 // excluding i itself and zero scores, in descending score order (ties by
 // ascending user id). The row is evaluated through RowAuto, so sources
-// with narrow interests pay only for the experts they can reach.
+// with narrow interests pay only for the experts they can reach, and
+// selection runs through the bounded heap (O(U log k), O(k) working
+// memory) rather than a full-row sort-select.
 func (dt *DerivedTrust) TopTrusted(i ratings.UserID, k int) []Ranked {
 	row := dt.RowAuto(i, nil)
 	row[i] = 0 // exclude self
@@ -267,14 +332,23 @@ func (dt *DerivedTrust) TopTrusted(i ratings.UserID, k int) []Ranked {
 // RankRow selects the top-k positive scores from a precomputed trust row
 // (self already excluded), in descending score order with ties by
 // ascending user id — the selection half of TopTrusted, split out so
-// serving layers that cache rows can rank without recomputing them. The
-// row is only read.
+// serving layers that cache ranked results can rank without recomputing
+// rows. The row is only read.
 func RankRow(row []float64, k int) []Ranked {
-	idx := mat.TopK(row, k)
+	return RankRowScratch(row, k, nil)
+}
+
+// RankRowScratch is RankRow with a caller-owned index scratch slice for
+// the heap selection (see mat.TopKHeapInto): a scratch with capacity k
+// makes the selection allocation-free, leaving the returned []Ranked —
+// which callers typically retain — as the only allocation. The scratch's
+// contents are overwritten; pass nil to allocate per call.
+func RankRowScratch(row []float64, k int, scratch []int) []Ranked {
+	idx := mat.TopKHeapInto(row, k, scratch)
 	out := make([]Ranked, 0, len(idx))
 	for _, j := range idx {
 		if row[j] <= 0 {
-			break // TopK is sorted descending; the rest are zeros too
+			break // the selection is sorted descending; the rest are zeros too
 		}
 		out = append(out, Ranked{User: ratings.UserID(j), Score: row[j]})
 	}

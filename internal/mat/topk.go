@@ -137,6 +137,97 @@ func partition(idx []int, lo, hi int, greater func(a, b int) bool) int {
 	}
 }
 
+// TopKHeap returns exactly what TopK returns — the indices of the k
+// largest values in descending value order, ties toward the smaller index
+// — but selects with a bounded min-heap of k indices instead of
+// quickselecting an n-length index permutation. The cost is O(n log k)
+// worst case (O(n + k log k) expected on unordered data, since most
+// elements fail the cheap beats-the-root test) and, crucially for the
+// serving path, the working memory is O(k) rather than the O(n) index
+// slice TopK materialises: at a million users and k=10 that is 80 bytes
+// instead of 8 MB per query.
+func TopKHeap(values []float64, k int) []int {
+	return TopKHeapInto(values, k, nil)
+}
+
+// TopKHeapInto is TopKHeap with a caller-owned scratch slice: the heap is
+// built in dst's storage when it has capacity for min(k, len(values))
+// indices, so steady-state callers (the server's query path) select with
+// zero allocations. The returned slice aliases dst whenever dst was large
+// enough; dst's previous contents are ignored.
+func TopKHeapInto(values []float64, k int, dst []int) []int {
+	n := len(values)
+	if k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return nil
+	}
+	h := dst[:0]
+	if cap(h) < k {
+		h = make([]int, 0, k)
+	}
+	// worse orders the heap: the root is the weakest of the kept k —
+	// smallest value, ties toward the larger index (the exact inverse of
+	// makeGreater's order, so the kept set matches TopK's).
+	worse := func(a, b int) bool {
+		va, vb := values[a], values[b]
+		if va != vb {
+			return va < vb
+		}
+		return a > b
+	}
+	siftDown := func(h []int, i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(h) && worse(h[r], h[l]) {
+				m = r
+			}
+			if !worse(h[m], h[i]) {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(h) < k {
+			h = append(h, i)
+			// Sift the new leaf up.
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+			continue
+		}
+		// Ties lose to the incumbent: indices stream in ascending order,
+		// so equal values keep the earlier index, matching TopK.
+		if va, vr := values[i], values[h[0]]; va > vr {
+			h[0] = i
+			siftDown(h, 0)
+		}
+	}
+	// Heap-sort in place: repeatedly move the current weakest to the back,
+	// leaving the slice in descending order under makeGreater's total
+	// order — identical to TopK's sorted output.
+	for m := len(h) - 1; m > 0; m-- {
+		h[0], h[m] = h[m], h[0]
+		siftDown(h[:m], 0)
+	}
+	return h
+}
+
 // KthLargest returns the k-th largest value of values (1-based: k=1 is the
 // maximum). It panics if k is out of range.
 func KthLargest(values []float64, k int) float64 {

@@ -201,6 +201,94 @@ func TestTopKSetBoundaryQuick(t *testing.T) {
 	}
 }
 
+func TestTopKHeapBasic(t *testing.T) {
+	values := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	got := TopKHeap(values, 3)
+	want := []int{5, 7, 4} // 9, 6, 5
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopKHeap[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKHeapEdgeCases(t *testing.T) {
+	if got := TopKHeap([]float64{1, 2}, 0); got != nil {
+		t.Errorf("k=0: got %v, want nil", got)
+	}
+	if got := TopKHeap([]float64{1, 2}, -3); got != nil {
+		t.Errorf("k<0: got %v, want nil", got)
+	}
+	if got := TopKHeap(nil, 5); got != nil {
+		t.Errorf("empty values: got %v, want nil", got)
+	}
+	got := TopKHeap([]float64{1, 3, 2}, 10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Errorf("k>n: got %v, want [1 2 0]", got)
+	}
+	ties := TopKHeap([]float64{2, 2, 2, 2, 2}, 3)
+	for i, want := range []int{0, 1, 2} {
+		if ties[i] != want {
+			t.Errorf("ties[%d] = %d, want %d (smaller index wins)", i, ties[i], want)
+		}
+	}
+}
+
+// TestTopKHeapIntoReusesScratch asserts the scratch contract: a dst with
+// enough capacity is reused (the steady-state query path allocates
+// nothing), and a too-small dst is replaced, not overrun.
+func TestTopKHeapIntoReusesScratch(t *testing.T) {
+	values := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	scratch := make([]int, 0, 8)
+	got := TopKHeapInto(values, 3, scratch)
+	if &got[0] != &scratch[:1][0] {
+		t.Error("dst with capacity was not reused")
+	}
+	small := make([]int, 0, 1)
+	got = TopKHeapInto(values, 3, small)
+	if len(got) != 3 {
+		t.Fatalf("small dst: len = %d, want 3", len(got))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = TopKHeapInto(values, 3, scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("TopKHeapInto with scratch allocated %.1f times per run", allocs)
+	}
+}
+
+// Property (ISSUE 3 satellite): TopKHeap returns exactly TopK's order —
+// descending score, ties by ascending id — on random inputs with heavy
+// duplication, across the full k range including k=0, k=n and k>n.
+func TestTopKHeapMatchesTopKQuick(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := 1 + rng.IntN(200)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.IntN(8)) // heavy ties
+		}
+		k := int(kRaw) % (n + 2)
+		got := TopKHeapInto(values, k, make([]int, 0, 4))
+		want := TopK(values, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkTopK(b *testing.B) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	values := make([]float64, 10000)

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"weboftrust/internal/ratings"
+)
+
+// flightGroup coalesces concurrent computations of one user's trust row
+// (stdlib-only singleflight): the first miss for a user becomes the
+// leader and computes the row into a pooled scratch; followers that
+// arrive while the computation is in flight wait on the flight's
+// WaitGroup and read the same buffer instead of recomputing an O(U·C)
+// row per request. The scratch returns to the pool when the last
+// participant — leader or follower — releases it, so a coalesced row is
+// never recycled under a reader.
+//
+// Each server state owns its own group (like its cache and pool): a
+// swap strands in-flight computations harmlessly on the state their
+// requests loaded.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[ratings.UserID]*flight
+}
+
+type flight struct {
+	wg      sync.WaitGroup
+	scratch *queryScratch // set by the leader before wg.Done
+	// refs counts participants still using scratch: the leader plus every
+	// follower that registered before the leader unpublished the flight.
+	// Followers register under flightGroup.mu — the same lock the leader
+	// deletes the map entry under — so no follower can join after the
+	// release accounting has started.
+	refs atomic.Int32
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[ratings.UserID]*flight)}
+}
+
+// join returns the in-flight computation for user u and registers the
+// caller as a follower, or reports that the caller must lead.
+func (g *flightGroup) join(u ratings.UserID) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[u]; ok {
+		f.refs.Add(1)
+		return f, true
+	}
+	f := &flight{}
+	f.refs.Store(1)
+	f.wg.Add(1)
+	g.m[u] = f
+	return f, false
+}
+
+// unpublish removes the finished flight so later misses start fresh; the
+// leader calls it after setting f.scratch and before wg.Done.
+func (g *flightGroup) unpublish(u ratings.UserID) {
+	g.mu.Lock()
+	delete(g.m, u)
+	g.mu.Unlock()
+}
+
+// refs reports the participants registered on user u's in-flight row
+// computation, 0 when none is in flight. Test hook.
+func (g *flightGroup) refsOf(u ratings.UserID) int32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[u]; ok {
+		return f.refs.Load()
+	}
+	return 0
+}

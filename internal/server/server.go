@@ -3,19 +3,27 @@
 // fresh by tailing an append-only event log.
 //
 // The design splits reads from ingest. Queries read a *state — the derived
-// model, its event-log offset and a bounded row cache — through one
+// model, its event-log offset and a bounded result cache — through one
 // atomic.Pointer load, so the read path never takes a lock and never
 // blocks on ingest. The Tailer replays new events past its checkpoint,
 // rebuilds artifacts incrementally with core.Update, and swaps the new
 // state in atomically; in-flight requests finish against the state they
 // started with, and the fresh state starts with an empty cache (swap IS
 // the invalidation).
+//
+// The query path itself is two-tier: a bounded LRU of ranked top-k
+// results keyed by (user, k) — O(k) bytes per entry, not the 8·U-byte
+// dense rows the first iteration cached — backed by a sync.Pool of
+// row-length scratch buffers, so steady-state misses evaluate eq. 5 with
+// zero allocations. Concurrent misses for the same user coalesce through
+// a per-state flight group: one computation, many readers.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -31,20 +39,33 @@ type state struct {
 	model   *weboftrust.TrustModel
 	offset  int64 // event-log offset the model reflects
 	version uint64
-	cache   *rowCache
+	results *resultCache
+	rows    *rowPool
+	flights *flightGroup
 }
 
 // Options tunes a Server. The zero value uses the defaults.
 type Options struct {
-	// CacheRows bounds the per-state LRU of derived-trust rows. Zero
-	// means DefaultCacheRows; negative disables caching.
-	CacheRows int
+	// CacheResults bounds the per-state LRU of ranked top-k results.
+	// Zero means DefaultCacheResults; negative disables caching.
+	CacheResults int
+	// CacheBytes bounds the result cache's approximate retained memory,
+	// guarding against large-k answers (each legitimately O(k), up to
+	// O(U), bytes) filling every entry slot. Zero means
+	// DefaultCacheBytes; negative disables the byte bound.
+	CacheBytes int64
 }
 
-// DefaultCacheRows is the row-cache bound when Options.CacheRows is 0.
-// A row costs 8·U bytes, so at the Medium preset (2,000 users) the
-// default cache tops out at ~8 MiB.
-const DefaultCacheRows = 512
+// DefaultCacheResults is the result-cache bound when Options.CacheResults
+// is 0. An entry costs O(k) bytes (~250 B at k=10), so the default cache
+// tops out around 128 KiB — against the ~8 MiB the same bound cost when
+// entries were dense 8·U-byte rows at the Medium preset.
+const DefaultCacheResults = 512
+
+// DefaultCacheBytes is the result-cache byte budget when
+// Options.CacheBytes is 0: generous against the default-k entry size
+// (512 × ~250 B), tight against dense-row-sized entries.
+const DefaultCacheBytes = 1 << 20
 
 // Server serves trust queries over HTTP. Create with New, mount Handler,
 // and feed it fresh models via Swap (usually from a Tailer).
@@ -53,6 +74,10 @@ type Server struct {
 	cur     atomic.Pointer[state]
 	start   time.Time
 	metrics metrics
+	// computeGate, when non-nil, runs on the leader goroutine right
+	// before a row computation. Test hook: the singleflight test parks
+	// the leader here until every concurrent request has registered.
+	computeGate func(u ratings.UserID)
 }
 
 // metrics is the server's instrumentation, exposed at /metrics in
@@ -63,6 +88,7 @@ type metrics struct {
 	badRequests    atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
+	rowComputes    atomic.Int64 // misses that actually evaluated a row (not coalesced)
 	swaps          atomic.Int64
 	eventsIngested atomic.Int64
 	truncatedReads atomic.Int64
@@ -79,29 +105,34 @@ const (
 // New wraps a derived model for serving. offset is the event-log position
 // the model reflects (0 when serving a snapshot with no log).
 func New(model *weboftrust.TrustModel, offset int64, opts Options) *Server {
-	if opts.CacheRows == 0 {
-		opts.CacheRows = DefaultCacheRows
+	if opts.CacheResults == 0 {
+		opts.CacheResults = DefaultCacheResults
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
 	}
 	s := &Server{opts: opts, start: time.Now()}
-	s.cur.Store(&state{
+	s.cur.Store(s.newState(model, offset, 1))
+	return s
+}
+
+func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version uint64) *state {
+	return &state{
 		model:   model,
 		offset:  offset,
-		version: 1,
-		cache:   newRowCache(opts.CacheRows),
-	})
-	return s
+		version: version,
+		results: newResultCache(s.opts.CacheResults, s.opts.CacheBytes),
+		rows:    newRowPool(model.Dataset().NumUsers()),
+		flights: newFlightGroup(),
+	}
 }
 
 // Swap atomically replaces the served model. Readers in flight keep the
 // state they loaded; new requests see the new model with a fresh (empty)
-// row cache. Safe for one writer; queries never block on it.
+// result cache and a pool sized to the new user count. Safe for one
+// writer; queries never block on it.
 func (s *Server) Swap(model *weboftrust.TrustModel, offset int64) {
-	s.cur.Store(&state{
-		model:   model,
-		offset:  offset,
-		version: s.cur.Load().version + 1,
-		cache:   newRowCache(s.opts.CacheRows),
-	})
+	s.cur.Store(s.newState(model, offset, s.cur.Load().version+1))
 	s.metrics.swaps.Add(1)
 	s.metrics.lastSwapNanos.Store(time.Now().UnixNano())
 }
@@ -112,19 +143,113 @@ func (s *Server) Current() (*weboftrust.TrustModel, int64, uint64) {
 	return st.model, st.offset, st.version
 }
 
-// row returns user u's trust row (self excluded) from the state's cache,
-// computing and inserting it on a miss. The returned slice is shared and
-// must not be modified.
-func (s *Server) row(st *state, u ratings.UserID) []float64 {
-	if r, ok := st.cache.get(u); ok {
-		s.metrics.cacheHits.Add(1)
-		return r
+// topKCacheFloor is the smallest k a result is ranked and cached at (the
+// serving default).
+const topKCacheFloor = 10
+
+// cacheK returns the k a request for k is ranked and cached at: at least
+// the floor, doubled until it covers k, clamped to the user count (every
+// k >= U is the same full ranking). Nearby ks land on one key, so a
+// client sweeping k does one row evaluation and O(k) cache bytes instead
+// of one of each per distinct k; the answer stays exact because a ranked
+// result is a strict total order truncated only at zero scores, so any
+// prefix of a larger ranking IS the smaller one.
+func cacheK(k, numU int) int {
+	// Clamp before doubling: every k >= U is the same full ranking, and
+	// an unclamped loop would overflow into a spin for k near MaxInt.
+	if k >= numU {
+		return numU
 	}
-	s.metrics.cacheMisses.Add(1)
-	dt := st.model.Artifacts().Trust
-	r := dt.RowAuto(u, nil)
-	r[u] = 0 // exclude self, matching TopTrusted
-	st.cache.put(u, r)
+	kc := topKCacheFloor
+	for kc < k {
+		kc *= 2
+	}
+	return min(kc, numU)
+}
+
+// ranked returns user u's top-k result from the state's result cache,
+// computing it on a miss: the trust row is evaluated into a pooled
+// scratch buffer — coalesced across concurrent misses for the same user
+// by the state's flight group — ranked with the bounded heap, and only
+// the O(k)-byte ranked slice is retained. The returned slice is shared
+// and must not be modified.
+func (s *Server) ranked(st *state, u ratings.UserID, k int) []core.Ranked {
+	kc := cacheK(k, st.model.Dataset().NumUsers())
+	key := resultKey{user: u, k: kc}
+	for {
+		if r, ok := st.results.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return trimRanked(r, k)
+		}
+		s.metrics.cacheMisses.Add(1)
+		f, follower := st.flights.join(u)
+		if follower {
+			// Another request is already computing this user's row; wait
+			// for it and rank the shared buffer with our own k.
+			f.wg.Wait()
+			if f.scratch == nil {
+				// The leader died before publishing a row (its panic is
+				// its own request's failure); yield until its unwinding
+				// unpublishes the dead flight, then retry — and likely
+				// lead — instead of dereferencing nothing.
+				runtime.Gosched()
+				continue
+			}
+		} else {
+			// The flight stays published until this function returns —
+			// after the result reaches the cache — so misses arriving
+			// while the leader ranks coalesce instead of re-leading; the
+			// defer also guarantees a panicking computation can't strand
+			// a flight that would hang every later miss in wg.Wait. The
+			// leader's scratch reference is released only after the
+			// unpublish: followers can join (and take references) right
+			// up to that point, so an earlier release could recycle the
+			// buffer under a late joiner.
+			defer func() {
+				st.flights.unpublish(u)
+				if f.refs.Add(-1) == 0 && f.scratch != nil {
+					st.rows.put(f.scratch)
+				}
+			}()
+			func() {
+				defer f.wg.Done()
+				if s.computeGate != nil {
+					s.computeGate(u)
+				}
+				sc := st.rows.get()
+				st.model.Artifacts().Trust.RowAuto(u, sc.row)
+				sc.row[u] = 0 // exclude self, matching TopTrusted
+				f.scratch = sc
+				s.metrics.rowComputes.Add(1)
+			}()
+		}
+		var idx []int
+		if !follower {
+			idx = f.scratch.idx // followers rank with a per-call scratch
+		}
+		r := core.RankRowScratch(f.scratch.row, kc, idx)
+		if follower && f.refs.Add(-1) == 0 {
+			// The last participant (always a follower here: the leader
+			// holds its reference until the deferred unpublish) recycles
+			// the shared scratch.
+			st.rows.put(f.scratch)
+		}
+		if cap(r) > len(r) {
+			// Cache an exact-length copy: the ranked slice was sized for
+			// kc candidates but zero scores may have trimmed it.
+			r = append(make([]core.Ranked, 0, len(r)), r...)
+		}
+		st.results.put(key, r)
+		return trimRanked(r, k)
+	}
+}
+
+// trimRanked returns the exact top-k prefix of a result ranked at a
+// larger k.
+func trimRanked(r []core.Ranked, k int) []core.Ranked {
+	if len(r) > k {
+		return r[:k]
+	}
 	return r
 }
 
@@ -203,7 +328,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ranked := core.RankRow(s.row(st, u), k)
+	ranked := s.ranked(st, u, k)
 	d := st.model.Dataset()
 	results := make([]RankedUser, len(ranked))
 	for i, rk := range ranked {
@@ -278,11 +403,14 @@ func (s *Server) handleExpertise(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse is the /v1/stats body: dataset shape plus serving state.
+// CacheEntries and CacheBytes expose the ranked-result cache, so the
+// dense-row → O(k)-result memory win is visible in production.
 type StatsResponse struct {
 	Dataset       ratings.DatasetStats `json:"dataset"`
 	Version       uint64               `json:"version"`
 	LogOffset     int64                `json:"log_offset"`
-	CachedRows    int                  `json:"cached_rows"`
+	CacheEntries  int                  `json:"cache_entries"`
+	CacheBytes    int64                `json:"cache_bytes"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
 }
 
@@ -293,7 +421,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Dataset:       st.model.Dataset().Stats(),
 		Version:       st.version,
 		LogOffset:     st.offset,
-		CachedRows:    st.cache.len(),
+		CacheEntries:  st.results.len(),
+		CacheBytes:    st.results.approxBytes(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
@@ -322,14 +451,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "trustd_requests_total{endpoint=%q} %d\n", ep, s.metrics.requests[i].Load())
 	}
 	counter("trustd_bad_requests_total", "Requests rejected with a client error.", s.metrics.badRequests.Load())
-	counter("trustd_row_cache_hits_total", "Trust-row cache hits.", s.metrics.cacheHits.Load())
-	counter("trustd_row_cache_misses_total", "Trust-row cache misses.", s.metrics.cacheMisses.Load())
+	counter("trustd_result_cache_hits_total", "Ranked-result cache hits.", s.metrics.cacheHits.Load())
+	counter("trustd_result_cache_misses_total", "Ranked-result cache misses.", s.metrics.cacheMisses.Load())
+	counter("trustd_row_computes_total", "Trust rows actually evaluated (misses minus coalesced flights).", s.metrics.rowComputes.Load())
 	counter("trustd_swaps_total", "Model swaps performed by ingest.", s.metrics.swaps.Load())
 	counter("trustd_events_ingested_total", "Event-log records ingested since start.", s.metrics.eventsIngested.Load())
 	counter("trustd_log_truncated_reads_total", "Tail reads that hit a torn final record.", s.metrics.truncatedReads.Load())
 	gauge("trustd_model_version", "Version of the served model (increments per swap).", int64(st.version))
 	gauge("trustd_log_offset_bytes", "Event-log offset the served model reflects.", st.offset)
-	gauge("trustd_row_cache_size", "Rows currently cached.", int64(st.cache.len()))
+	gauge("trustd_result_cache_entries", "Ranked results currently cached.", int64(st.results.len()))
+	gauge("trustd_result_cache_bytes", "Approximate memory retained by the result cache.", st.results.approxBytes())
 	gauge("trustd_dataset_users", "Users in the served dataset.", int64(d.NumUsers()))
 	gauge("trustd_dataset_categories", "Categories in the served dataset.", int64(d.NumCategories()))
 	gauge("trustd_dataset_reviews", "Reviews in the served dataset.", int64(d.NumReviews()))

@@ -9,10 +9,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"weboftrust"
+	"weboftrust/internal/core"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/store"
 	"weboftrust/internal/synth"
@@ -139,6 +141,20 @@ func TestStatsHealthzMetrics(t *testing.T) {
 	if st.Dataset.Users != d.NumUsers() || st.Version != 1 || st.LogOffset <= 0 {
 		t.Errorf("stats = %+v", st)
 	}
+	if st.CacheEntries != 0 || st.CacheBytes != 0 {
+		t.Errorf("cold cache: entries=%d bytes=%d, want 0/0", st.CacheEntries, st.CacheBytes)
+	}
+
+	// One top-k query retains one O(k) result: entries and the byte gauge
+	// must both move, and the bytes must be result-sized, not row-sized.
+	get(t, h, "/v1/topk?user=3&k=5")
+	st = decode[StatsResponse](t, get(t, h, "/v1/stats"))
+	if st.CacheEntries != 1 || st.CacheBytes <= 0 {
+		t.Errorf("after topk: entries=%d bytes=%d, want 1/>0", st.CacheEntries, st.CacheBytes)
+	}
+	if rowBytes := int64(8 * d.NumUsers()); st.CacheBytes >= rowBytes {
+		t.Errorf("cache_bytes = %d per entry, not O(k) (dense row would be %d)", st.CacheBytes, rowBytes)
+	}
 
 	rec := get(t, h, "/healthz")
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
@@ -147,10 +163,14 @@ func TestStatsHealthzMetrics(t *testing.T) {
 
 	body := get(t, h, "/metrics").Body.String()
 	for _, want := range []string{
-		"trustd_requests_total{endpoint=\"stats\"} 1",
+		"trustd_requests_total{endpoint=\"stats\"} 2",
 		"trustd_model_version 1",
 		"trustd_dataset_users 60",
 		"trustd_swaps_total 0",
+		"trustd_result_cache_entries 1",
+		"trustd_result_cache_misses_total 1",
+		"trustd_row_computes_total 1",
+		"trustd_result_cache_bytes",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, body)
@@ -182,15 +202,31 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-func TestRowCacheHitsAndSwapInvalidation(t *testing.T) {
+func TestResultCacheHitsAndSwapInvalidation(t *testing.T) {
 	srv, tailer, d := openServer(t)
 	h := srv.Handler()
 
 	get(t, h, "/v1/topk?user=5")
 	get(t, h, "/v1/topk?user=5")
-	get(t, h, "/v1/topk?user=5&k=3") // same row, different k: still a hit
-	if hits, misses := srv.metrics.cacheHits.Load(), srv.metrics.cacheMisses.Load(); hits != 2 || misses != 1 {
-		t.Errorf("cache hits=%d misses=%d, want 2/1", hits, misses)
+	get(t, h, "/v1/topk?user=5&k=3")  // k below the cache floor: exact prefix, still a hit
+	get(t, h, "/v1/topk?user=5&k=15") // k above the floor: a distinct cached result
+	if hits, misses := srv.metrics.cacheHits.Load(), srv.metrics.cacheMisses.Load(); hits != 2 || misses != 2 {
+		t.Errorf("cache hits=%d misses=%d, want 2/2", hits, misses)
+	}
+	if computes := srv.metrics.rowComputes.Load(); computes != 2 {
+		t.Errorf("row computes = %d, want 2 (one per uncoalesced miss)", computes)
+	}
+	// The prefix answer must be the exact top-3.
+	model, _, _ := srv.Current()
+	resp := decode[TopKResponse](t, get(t, h, "/v1/topk?user=5&k=3"))
+	want := model.TopTrusted(5, 3)
+	if len(resp.Results) != len(want) {
+		t.Fatalf("k=3 prefix has %d results, want %d", len(resp.Results), len(want))
+	}
+	for i, rk := range want {
+		if resp.Results[i].User != int(rk.User) || resp.Results[i].Score != rk.Score {
+			t.Errorf("k=3 prefix[%d] = %+v, want {%d %v}", i, resp.Results[i], rk.User, rk.Score)
+		}
 	}
 
 	// Append one event and swap; the fresh state must start cold.
@@ -202,33 +238,272 @@ func TestRowCacheHitsAndSwapInvalidation(t *testing.T) {
 		t.Fatalf("version = %d after swap", version)
 	}
 	get(t, h, "/v1/topk?user=5")
-	if misses := srv.metrics.cacheMisses.Load(); misses != 2 {
-		t.Errorf("post-swap misses = %d, want 2 (swap must invalidate)", misses)
+	if misses := srv.metrics.cacheMisses.Load(); misses != 3 {
+		t.Errorf("post-swap misses = %d, want 3 (swap must invalidate)", misses)
 	}
 }
 
-func TestRowCacheEviction(t *testing.T) {
-	c := newRowCache(2)
-	c.put(1, []float64{1})
-	c.put(2, []float64{2})
-	if _, ok := c.get(1); !ok {
-		t.Fatal("entry 1 missing")
+func TestResultCacheEvictionAndBytes(t *testing.T) {
+	c := newResultCache(2, 0)
+	ranked := func(n int) []core.Ranked {
+		r := make([]core.Ranked, n)
+		for i := range r {
+			r[i] = core.Ranked{User: ratings.UserID(i), Score: 0.5}
+		}
+		return r
 	}
-	c.put(3, []float64{3}) // evicts 2 (1 was just used)
-	if _, ok := c.get(2); ok {
-		t.Error("LRU entry 2 not evicted")
+	c.put(resultKey{user: 1, k: 5}, ranked(5))
+	c.put(resultKey{user: 2, k: 5}, ranked(5))
+	if want := 2 * entryBytes(ranked(5)); c.approxBytes() != want {
+		t.Errorf("approxBytes = %d, want %d", c.approxBytes(), want)
 	}
-	if _, ok := c.get(1); !ok {
-		t.Error("recently used entry 1 evicted")
+	if _, ok := c.get(resultKey{user: 1, k: 5}); !ok {
+		t.Fatal("entry (1,5) missing")
+	}
+	c.put(resultKey{user: 3, k: 5}, ranked(3)) // evicts (2,5); (1,5) was just used
+	if _, ok := c.get(resultKey{user: 2, k: 5}); ok {
+		t.Error("LRU entry (2,5) not evicted")
+	}
+	if _, ok := c.get(resultKey{user: 1, k: 5}); !ok {
+		t.Error("recently used entry (1,5) evicted")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
 	}
+	if want := entryBytes(ranked(5)) + entryBytes(ranked(3)); c.approxBytes() != want {
+		t.Errorf("approxBytes after eviction = %d, want %d", c.approxBytes(), want)
+	}
+	// Replacing a key adjusts the byte accounting instead of double-counting.
+	c.put(resultKey{user: 1, k: 5}, ranked(2))
+	if want := entryBytes(ranked(2)) + entryBytes(ranked(3)); c.approxBytes() != want {
+		t.Errorf("approxBytes after replace = %d, want %d", c.approxBytes(), want)
+	}
 	// Disabled cache accepts nothing.
-	off := newRowCache(-1)
-	off.put(1, []float64{1})
-	if off.len() != 0 {
-		t.Error("disabled cache stored a row")
+	off := newResultCache(-1, 0)
+	off.put(resultKey{user: 1, k: 5}, ranked(1))
+	if off.len() != 0 || off.approxBytes() != 0 {
+		t.Error("disabled cache stored a result")
+	}
+
+	// The byte budget evicts LRU entries even below the entry bound, but
+	// never the entry just inserted — one oversized answer is cacheable.
+	budget := newResultCache(100, 2*entryBytes(ranked(5)))
+	budget.put(resultKey{user: 1, k: 5}, ranked(5))
+	budget.put(resultKey{user: 2, k: 5}, ranked(5))
+	budget.put(resultKey{user: 3, k: 5}, ranked(5)) // over budget: evicts (1,5)
+	if _, ok := budget.get(resultKey{user: 1, k: 5}); ok {
+		t.Error("byte budget did not evict the LRU entry")
+	}
+	if budget.len() != 2 || budget.approxBytes() > 2*entryBytes(ranked(5)) {
+		t.Errorf("over budget: len=%d bytes=%d", budget.len(), budget.approxBytes())
+	}
+	huge := newResultCache(100, 64)
+	huge.put(resultKey{user: 1, k: 50}, ranked(50)) // bigger than the whole budget
+	if huge.len() != 1 {
+		t.Error("oversized single entry was not retained")
+	}
+}
+
+// TestOversizedKSharesOneEntry: every k >= U is the same full ranking,
+// so the cache key is clamped to the user count and distinct oversized
+// ks must neither recompute the row nor store duplicate entries.
+func TestOversizedKSharesOneEntry(t *testing.T) {
+	srv, _, d := openServer(t)
+	h := srv.Handler()
+	a := decode[TopKResponse](t, get(t, h, "/v1/topk?user=1&k=10000"))
+	b := decode[TopKResponse](t, get(t, h, "/v1/topk?user=1&k=20000"))
+	if computes := srv.metrics.rowComputes.Load(); computes != 1 {
+		t.Errorf("row computes = %d, want 1 (oversized ks share a key)", computes)
+	}
+	if hits := srv.metrics.cacheHits.Load(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+	if len(a.Results) != len(b.Results) || len(a.Results) >= d.NumUsers() {
+		t.Errorf("oversized-k results: %d and %d rows for %d users", len(a.Results), len(b.Results), d.NumUsers())
+	}
+	st := decode[StatsResponse](t, get(t, h, "/v1/stats"))
+	if st.CacheEntries != 1 {
+		t.Errorf("cache entries = %d, want 1", st.CacheEntries)
+	}
+
+	// Adjacent above-floor ks share a doubling bucket (11 and 12 both
+	// rank at 20): one more compute, then a prefix hit.
+	c := decode[TopKResponse](t, get(t, h, "/v1/topk?user=1&k=12"))
+	p := decode[TopKResponse](t, get(t, h, "/v1/topk?user=1&k=11"))
+	if computes := srv.metrics.rowComputes.Load(); computes != 2 {
+		t.Errorf("row computes after k sweep = %d, want 2 (bucketed key)", computes)
+	}
+	if len(p.Results) > 11 || len(c.Results) > 12 {
+		t.Errorf("bucketed results not trimmed: %d and %d rows", len(p.Results), len(c.Results))
+	}
+	for i := range p.Results {
+		if p.Results[i] != c.Results[i] {
+			t.Errorf("k=11 result[%d] = %+v, want prefix of k=12 %+v", i, p.Results[i], c.Results[i])
+		}
+	}
+
+	// A k at the integer limit must answer promptly (regression: the
+	// unclamped cacheK doubling loop overflowed into an infinite spin).
+	rec := get(t, h, "/v1/topk?user=1&k=9223372036854775807")
+	if rec.Code != http.StatusOK {
+		t.Errorf("k=MaxInt64: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestLeaderPanicFollowersRecover: when a leader panics with followers
+// coalesced on its flight, the followers must observe the unpublished
+// nil-scratch flight and retry (one of them leading the recomputation)
+// rather than dereferencing nothing or hanging — the panic costs exactly
+// the leader's request.
+func TestLeaderPanicFollowersRecover(t *testing.T) {
+	srv, _, _ := openServer(t)
+	h := srv.Handler()
+	const clients = 4
+	var armed atomic.Bool
+	armed.Store(true)
+	srv.computeGate = func(u ratings.UserID) {
+		if armed.Load() {
+			// Wait for every request to coalesce, then die.
+			deadline := time.Now().Add(5 * time.Second)
+			for srv.cur.Load().flights.refsOf(u) < clients && time.Now().Before(deadline) {
+				time.Sleep(50 * time.Microsecond)
+			}
+			armed.Store(false)
+			panic("injected compute failure")
+		}
+	}
+	codes := make(chan int, clients)
+	for g := 0; g < clients; g++ {
+		go func() {
+			defer func() {
+				if recover() != nil {
+					codes <- -1 // the panicked leader's request
+				}
+			}()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/topk?user=11&k=5", nil))
+			codes <- rec.Code
+		}()
+	}
+	panics, oks := 0, 0
+	for i := 0; i < clients; i++ {
+		select {
+		case c := <-codes:
+			switch c {
+			case -1:
+				panics++
+			case http.StatusOK:
+				oks++
+			default:
+				t.Errorf("request returned %d", c)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("request hung after leader panic")
+		}
+	}
+	if panics != 1 || oks != clients-1 {
+		t.Errorf("panics=%d oks=%d, want 1/%d (panic costs only the leader)", panics, oks, clients-1)
+	}
+	if computes := srv.metrics.rowComputes.Load(); computes != 1 {
+		t.Errorf("row computes = %d, want 1 (retry leader computes once)", computes)
+	}
+}
+
+// TestLeaderPanicReleasesFlight: a panic during the leader's row
+// computation must unpublish the flight and release its WaitGroup, so
+// the failure costs one request instead of hanging every later miss for
+// that user.
+func TestLeaderPanicReleasesFlight(t *testing.T) {
+	srv, _, _ := openServer(t)
+	h := srv.Handler()
+	armed := true
+	srv.computeGate = func(u ratings.UserID) {
+		if armed {
+			armed = false
+			panic("injected compute failure")
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected panic did not propagate")
+			}
+		}()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/topk?user=9&k=5", nil))
+	}()
+	// The next request for the same user must not block on a dead flight.
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/topk?user=9&k=5", nil))
+		done <- rec
+	}()
+	select {
+	case rec := <-done:
+		if rec.Code != http.StatusOK {
+			t.Fatalf("post-panic request: %d %s", rec.Code, rec.Body.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request after leader panic hung on the dead flight")
+	}
+}
+
+// TestSingleflightCoalescesConcurrentMisses is the ISSUE 3 thundering-herd
+// guard: concurrent identical /v1/topk misses for one user must evaluate
+// the trust row exactly once. The computeGate hook parks the leader until
+// every other request has registered on its flight, so the schedule that
+// used to recompute the row per request is forced deterministically.
+func TestSingleflightCoalescesConcurrentMisses(t *testing.T) {
+	srv, _, _ := openServer(t)
+	h := srv.Handler()
+	const clients = 8
+	srv.computeGate = func(u ratings.UserID) {
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.cur.Load().flights.refsOf(u) < clients {
+			if time.Now().After(deadline) {
+				return // let the test fail on the counter, not hang
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/topk?user=7&k=5", nil))
+			if rec.Code == http.StatusOK {
+				bodies[g] = rec.Body.String()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if computes := srv.metrics.rowComputes.Load(); computes != 1 {
+		t.Errorf("%d concurrent identical requests computed %d rows, want 1", clients, computes)
+	}
+	if misses := srv.metrics.cacheMisses.Load(); misses != clients {
+		t.Errorf("misses = %d, want %d (every request raced the empty cache)", misses, clients)
+	}
+	for g := 1; g < clients; g++ {
+		if bodies[g] == "" || bodies[g] != bodies[0] {
+			t.Fatalf("request %d answer diverged:\n%s\nvs\n%s", g, bodies[g], bodies[0])
+		}
+	}
+	// The coalesced answer must also be the correct one.
+	model, _, _ := srv.Current()
+	want := model.TopTrusted(7, 5)
+	rec := get(t, h, "/v1/topk?user=7&k=5")
+	resp := decode[TopKResponse](t, rec)
+	if len(resp.Results) != len(want) {
+		t.Fatalf("coalesced result has %d rows, want %d", len(resp.Results), len(want))
+	}
+	for i, rk := range want {
+		if resp.Results[i].User != int(rk.User) || resp.Results[i].Score != rk.Score {
+			t.Errorf("coalesced result[%d] = %+v, want {%d %v}", i, resp.Results[i], rk.User, rk.Score)
+		}
 	}
 }
 

@@ -1,25 +1,28 @@
 #!/usr/bin/env bash
 # bench.sh runs the pipeline / incremental-update / serving benchmark
-# suite and writes the parsed results as JSON (default BENCH_pr2.json),
-# so speedups are recorded next to the machine shape they were measured
-# on rather than asserted in prose.
+# suite and writes the parsed results as JSON, so speedups are recorded
+# next to the machine shape they were measured on rather than asserted
+# in prose.
 #
 # Usage: scripts/bench.sh [output.json]
+#   BENCH_OUT     output path when no argument is given (default BENCH_pr3.json)
+#   BENCH_SUITE   suite label recorded in the JSON (default: output basename)
 #   BENCH_COUNT   repetitions per benchmark (default 5)
-#   BENCH_FILTER  benchmark regexp (default: the PR 2 perf surface)
+#   BENCH_FILTER  benchmark regexp (default: the read-path + pipeline perf surface)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-${BENCH_OUT:-BENCH_pr3.json}}"
+suite="${BENCH_SUITE:-$(basename "$out" .json)}"
 count="${BENCH_COUNT:-5}"
-filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap}"
+filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$filter" -benchmem -count="$count" . | tee "$raw"
 
-awk -v out="$out" -v count="$count" '
+awk -v out="$out" -v suite="$suite" -v count="$count" '
 /^goos:/    { goos = $2 }
 /^goarch:/  { goarch = $2 }
 /^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
@@ -34,7 +37,7 @@ awk -v out="$out" -v count="$count" '
 }
 END {
 	printf "{\n" > out
-	printf "  \"suite\": \"pr2-parallel-pipeline\",\n" >> out
+	printf "  \"suite\": \"%s\",\n", suite >> out
 	printf "  \"count\": %s,\n", count >> out
 	printf "  \"goos\": \"%s\",\n", goos >> out
 	printf "  \"goarch\": \"%s\",\n", goarch >> out

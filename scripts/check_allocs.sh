@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# check_allocs.sh is the CI allocation guard for the serving hot path: it
+# runs BenchmarkServerTopK and fails if allocs/op regress above the
+# pre-PR-3 baseline recorded in BENCH_pr2.json (the dense-row read path),
+# so the pooled-scratch + heap-selection win cannot silently erode.
+#
+# Usage: scripts/check_allocs.sh
+#   ALLOC_BASELINE_FILE  baseline JSON (default BENCH_pr2.json)
+#   ALLOC_BENCHTIME      iterations for the measurement (default 200x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline_file="${ALLOC_BASELINE_FILE:-BENCH_pr2.json}"
+benchtime="${ALLOC_BENCHTIME:-200x}"
+
+# Lowest recorded allocs/op for BenchmarkServerTopK in the baseline file.
+baseline="$(grep -o '"name": "BenchmarkServerTopK"[^}]*' "$baseline_file" |
+	grep -o '"allocs_per_op": [0-9]*' | awk '{print $2}' | sort -n | head -1)"
+if [ -z "$baseline" ]; then
+	echo "check_allocs: no BenchmarkServerTopK baseline in $baseline_file" >&2
+	exit 2
+fi
+
+current="$(go test -run '^$' -bench 'ServerTopK$' -benchmem -benchtime "$benchtime" . |
+	awk '/^BenchmarkServerTopK/ {print $(NF-1)}')"
+if [ -z "$current" ]; then
+	echo "check_allocs: BenchmarkServerTopK produced no allocs/op figure" >&2
+	exit 2
+fi
+
+echo "BenchmarkServerTopK allocs/op: current=$current baseline=$baseline"
+if [ "$current" -gt "$baseline" ]; then
+	echo "check_allocs: FAIL — allocs/op regressed above the $baseline_file baseline" >&2
+	exit 1
+fi
+echo "check_allocs: OK"
