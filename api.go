@@ -101,15 +101,64 @@ type TrustModel struct {
 
 // Derive runs the full three-step pipeline over the dataset.
 func Derive(d *Dataset, opts ...Option) (*TrustModel, error) {
-	cfg := core.DefaultConfig()
-	for _, opt := range opts {
-		if err := opt(&cfg); err != nil {
-			return nil, err
-		}
+	cfg, err := resolveConfig(opts)
+	if err != nil {
+		return nil, err
 	}
 	art, err := cfg.Run(d)
 	if err != nil {
 		return nil, err
+	}
+	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch)}, nil
+}
+
+func resolveConfig(opts []Option) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// Fingerprint returns the configuration fingerprint Derive(…, opts...)
+// would stamp on its model: a stable hash of every option that affects
+// derived values (worker count excluded — results are bitwise-identical at
+// any parallelism). Persistence layers record it so a checkpoint written
+// under one configuration is never restored under another.
+func Fingerprint(opts ...Option) (uint64, error) {
+	cfg, err := resolveConfig(opts)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Fingerprint(), nil
+}
+
+// Restore reassembles a TrustModel from persisted pipeline artifacts — the
+// warm-restart path. art must carry the Riggs results and the expertise
+// and affinity matrices for d exactly as a Derive with the same opts
+// produced them; the derived-trust index is rebuilt deterministically from
+// those matrices (see core.RehydrateArtifacts), so the restored model
+// serves values bitwise-identical to the Derive it checkpoints, and
+// Update continues from it exactly as it would from the original.
+func Restore(d *Dataset, art *core.Artifacts, opts ...Option) (*TrustModel, error) {
+	if d == nil || art == nil {
+		return nil, fmt.Errorf("weboftrust: Restore requires a dataset and artifacts")
+	}
+	cfg, err := resolveConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if art.Expertise == nil || art.Expertise.Rows() != d.NumUsers() || art.Expertise.Cols() != d.NumCategories() {
+		return nil, fmt.Errorf("weboftrust: Restore artifacts do not match dataset %v", d)
+	}
+	if art.Trust == nil {
+		rebuilt, err := core.RehydrateArtifacts(art.RiggsResults, art.Expertise, art.Affinity, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("weboftrust: Restore: %w", err)
+		}
+		art = rebuilt
 	}
 	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch)}, nil
 }
@@ -182,6 +231,10 @@ func (m *TrustModel) RaterReputation(u UserID, c ratings.CategoryID) (float64, b
 
 // Dataset returns the dataset the model was derived from.
 func (m *TrustModel) Dataset() *Dataset { return m.dataset }
+
+// Fingerprint returns the configuration fingerprint of the options this
+// model was derived (or restored) with; see the package-level Fingerprint.
+func (m *TrustModel) Fingerprint() uint64 { return m.cfg.Fingerprint() }
 
 // Artifacts exposes the underlying pipeline artifacts for advanced use
 // (binarisation, evaluation, propagation).

@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"weboftrust"
+	"weboftrust/internal/checkpoint"
 	"weboftrust/internal/core"
 	"weboftrust/internal/experiments"
 	"weboftrust/internal/mat"
@@ -525,6 +526,125 @@ func BenchmarkIngestSwap(b *testing.B) {
 		}
 	}
 }
+
+// --- Boot benchmarks ------------------------------------------------------
+
+// bootEnv materialises what a daemon restart sees on disk: the full event
+// log plus a checkpoint directory holding one checkpoint at the log's
+// end. Built once per preset and shared by the cold/warm pairs (boots
+// only read these artifacts).
+type bootEnv struct {
+	logPath string
+	ckptDir string
+}
+
+var bootEnvs sync.Map // users count -> *bootEnv
+
+// TestMain exists to remove the boot-benchmark temp dirs: they are shared
+// across benchmarks in one binary run, so per-benchmark cleanup (b.TempDir,
+// b.Cleanup) would tear them down under a later benchmark.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	bootEnvs.Range(func(_, v any) bool {
+		os.RemoveAll(filepath.Dir(v.(*bootEnv).logPath))
+		return true
+	})
+	os.Exit(code)
+}
+
+func setupBootEnv(b *testing.B, e *experiments.Env) *bootEnv {
+	b.Helper()
+	if v, ok := bootEnvs.Load(e.Dataset.NumUsers()); ok {
+		return v.(*bootEnv)
+	}
+	dir, err := os.MkdirTemp("", "wotboot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "events.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lw := store.NewLogWriter(f)
+	if err := store.AppendDataset(lw, e.Dataset); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "ckpts")
+	st, err := os.Stat(logPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := checkpoint.WriteDir(ckptDir, model, st.Size(), st.Size()); err != nil {
+		b.Fatal(err)
+	}
+	env := &bootEnv{logPath: logPath, ckptDir: ckptDir}
+	bootEnvs.Store(e.Dataset.NumUsers(), env)
+	return env
+}
+
+// benchColdStart measures time-to-serving from nothing but the event
+// log: full replay through the validating builder plus a from-scratch
+// Derive — what every trustd boot paid before checkpointing.
+func benchColdStart(b *testing.B, e *experiments.Env) {
+	env := setupBootEnv(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, _, err := server.Open(env.logPath, 0, server.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		model, _, _ := srv.Current()
+		if model.Dataset().NumUsers() != e.Dataset.NumUsers() {
+			b.Fatal("cold boot lost users")
+		}
+	}
+}
+
+// benchWarmRestart measures time-to-serving from a checkpoint: restore
+// the persisted artifacts, rebuild the derived-trust index, and tail the
+// (already-covered) log — the post-checkpointing boot path. Compare
+// directly with benchColdStart at the same preset.
+func benchWarmRestart(b *testing.B, e *experiments.Env) {
+	env := setupBootEnv(b, e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, _, info, err := server.OpenCheckpointed(env.logPath, env.ckptDir, 0, server.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Warm {
+			b.Fatalf("boot went cold: %+v", info)
+		}
+		model, _, _ := srv.Current()
+		if model.Dataset().NumUsers() != e.Dataset.NumUsers() {
+			b.Fatal("warm boot lost users")
+		}
+	}
+}
+
+// BenchmarkColdStart is the log-replay + full-Derive boot at the Medium
+// preset (2,000 users, 12 categories).
+func BenchmarkColdStart(b *testing.B) { benchColdStart(b, env(b)) }
+
+// BenchmarkWarmRestart is the checkpoint-restore boot at the Medium
+// preset; the ratio to BenchmarkColdStart is the warm-restart win.
+func BenchmarkWarmRestart(b *testing.B) { benchWarmRestart(b, env(b)) }
+
+// BenchmarkColdStartLarge is BenchmarkColdStart at the Large preset
+// (6,000 users, 36 categories), where replay + derive dominates boot.
+func BenchmarkColdStartLarge(b *testing.B) { benchColdStart(b, envLarge(b)) }
+
+// BenchmarkWarmRestartLarge is BenchmarkWarmRestart at the Large preset —
+// the acceptance bar: ≥ 5× faster time-to-serving than the cold start.
+func BenchmarkWarmRestartLarge(b *testing.B) { benchWarmRestart(b, envLarge(b)) }
 
 // --- Parallel pipeline benchmarks -----------------------------------------
 

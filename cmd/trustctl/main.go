@@ -10,9 +10,17 @@
 //	trustctl export   -in data.wot -dir DIR
 //	trustctl ingest   -log events.log -out data.wot [-allow-truncated]
 //	trustctl exportlog -in data.wot -log events.log
+//	trustctl checkpoint -log events.log -dir DIR [-workers N] [-allow-truncated]
+//	trustctl compact    -log events.log -dir DIR [-workers N] [-allow-truncated]
 //
 // Datasets are stored in the snapshot format of internal/store (CRC-32
 // checked); "ingest" replays an append-only event log into a snapshot.
+// "checkpoint" folds the log's complete prefix into a warm-restart
+// checkpoint (internal/checkpoint) offline, so the next trustd boot
+// restores instead of re-deriving; "compact" additionally truncates the
+// folded prefix out of the log, bounding log growth. Both warm-start from
+// an existing checkpoint in -dir when one is usable. Neither may run
+// while a writer is appending or a trustd is tailing the log.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"path/filepath"
 
 	"weboftrust"
+	"weboftrust/internal/checkpoint"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/store"
 	"weboftrust/internal/synth"
@@ -38,13 +47,17 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest|exportlog> [flags]")
+		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest|exportlog|checkpoint|compact> [flags]")
 	}
 	switch args[0] {
 	case "generate":
 		return cmdGenerate(args[1:])
 	case "exportlog":
 		return cmdExportLog(args[1:])
+	case "checkpoint":
+		return cmdCheckpoint(args[1:])
+	case "compact":
+		return cmdCompact(args[1:])
 	case "stats":
 		return cmdStats(args[1:])
 	case "topk":
@@ -281,6 +294,58 @@ func ingestLog(logPath, out string, allowTruncated bool) error {
 		return err
 	}
 	fmt.Printf("replayed %d events into %s: %v\n", len(events), out, d)
+	return nil
+}
+
+func cmdCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("checkpoint", flag.ContinueOnError)
+	logPath := fs.String("log", "", "input event log path (required)")
+	dir := fs.String("dir", "", "checkpoint directory (required)")
+	workers := fs.Int("workers", 0, "pipeline worker goroutines (0 = one per CPU)")
+	allowTruncated := fs.Bool("allow-truncated", false,
+		"fold the intact prefix of a log whose final record is torn (crash during append)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" || *dir == "" {
+		return fmt.Errorf("checkpoint: -log and -dir are required")
+	}
+	res, err := checkpoint.WriteFromLog(*logPath, *dir, *allowTruncated, weboftrust.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	boot := "cold"
+	if res.Warm {
+		boot = "warm"
+	}
+	fmt.Printf("wrote %s at log offset %d (%s build, %d events replayed)\n",
+		res.Path, res.Offset, boot, res.TailedEvents)
+	return nil
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
+	logPath := fs.String("log", "", "event log to compact (required; rewritten in place)")
+	dir := fs.String("dir", "", "checkpoint directory (required)")
+	workers := fs.Int("workers", 0, "pipeline worker goroutines (0 = one per CPU)")
+	allowTruncated := fs.Bool("allow-truncated", false,
+		"fold the intact prefix of a log whose final record is torn (the torn bytes stay in the log)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" || *dir == "" {
+		return fmt.Errorf("compact: -log and -dir are required")
+	}
+	res, err := checkpoint.Compact(*logPath, *dir, *allowTruncated, weboftrust.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	boot := "cold"
+	if res.Warm {
+		boot = "warm"
+	}
+	fmt.Printf("folded %d bytes (%d events, %s build) into %s; log now %d bytes\n",
+		res.FoldedBytes, res.FoldedEvents, boot, res.Path, res.RemainderBytes)
 	return nil
 }
 

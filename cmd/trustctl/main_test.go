@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"weboftrust/internal/checkpoint"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/store"
 	"weboftrust/internal/synth"
@@ -131,6 +132,72 @@ func TestExportLogRoundTrip(t *testing.T) {
 	if got.NumUsers() != want.NumUsers() || got.NumRatings() != want.NumRatings() ||
 		got.NumTrustEdges() != want.NumTrustEdges() {
 		t.Errorf("round trip differs: %v vs %v", got, want)
+	}
+}
+
+func TestCheckpointAndCompact(t *testing.T) {
+	snap := generateSnapshot(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "events.log")
+	if err := run([]string{"exportlog", "-in", snap, "-log", logPath}); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := filepath.Join(dir, "ckpts")
+
+	// checkpoint: builds a warm-restart bundle, leaves the log alone.
+	if err := run([]string{"checkpoint", "-log", logPath, "-dir", ckptDir}); err != nil {
+		t.Fatal(err)
+	}
+	logSize := func() int64 {
+		st, err := os.Stat(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	sizeBefore := logSize()
+	if sizeBefore == 0 {
+		t.Fatal("log emptied by checkpoint")
+	}
+	want, err := loadDataset(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, info, err := checkpoint.Restore(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Offset != sizeBefore {
+		t.Fatalf("checkpoint offset %d, want full log %d", info.Offset, sizeBefore)
+	}
+	if model.Dataset().NumUsers() != want.NumUsers() || model.Dataset().NumRatings() != want.NumRatings() {
+		t.Fatalf("checkpointed dataset %v, want %v", model.Dataset(), want)
+	}
+
+	// compact: folds the prefix and truncates the log.
+	if err := run([]string{"compact", "-log", logPath, "-dir", ckptDir}); err != nil {
+		t.Fatal(err)
+	}
+	if s := logSize(); s != 0 {
+		t.Fatalf("log holds %d bytes after compact, want 0", s)
+	}
+	model2, info2, err := checkpoint.Restore(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Offset != 0 {
+		t.Fatalf("post-compact offset %d, want 0", info2.Offset)
+	}
+	if model2.Dataset().NumUsers() != want.NumUsers() || model2.Dataset().NumRatings() != want.NumRatings() {
+		t.Fatalf("compacted dataset %v, want %v", model2.Dataset(), want)
+	}
+
+	// Flag validation.
+	if err := run([]string{"checkpoint", "-log", logPath}); err == nil {
+		t.Error("checkpoint without -dir accepted")
+	}
+	if err := run([]string{"compact", "-dir", ckptDir}); err == nil {
+		t.Error("compact without -log accepted")
 	}
 }
 

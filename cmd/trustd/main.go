@@ -4,14 +4,22 @@
 // Usage:
 //
 //	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-results 512] [-workers N]
+//	               [-checkpoint-dir DIR] [-checkpoint-interval 5m] [-checkpoint-keep 2]
 //	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
 //	trustd loadgen -addr http://localhost:8080 [-duration 10s] [-concurrency 8] [-k 10]
 //
-// In log mode the daemon replays the whole log on startup (tolerating a
-// torn final record from a crashed writer), derives the model, and then
-// polls for appended events: each batch is folded in with the incremental
-// pipeline update and swapped in atomically, so queries never block on
-// ingest and always see a complete, consistent model.
+// In log mode the daemon boots warm when -checkpoint-dir holds a usable
+// checkpoint: the persisted model is restored and only the log suffix
+// past its offset is replayed through the incremental pipeline, so
+// startup cost is O(checkpoint load + tail) instead of O(whole history).
+// Without a usable checkpoint it replays the whole log (tolerating a torn
+// final record from a crashed writer) and derives from scratch. Either
+// way it then polls for appended events: each batch is folded in with the
+// incremental pipeline update and swapped in atomically, so queries never
+// block on ingest and always see a complete, consistent model. With
+// -checkpoint-dir set the daemon also writes a fresh checkpoint every
+// -checkpoint-interval (skipping idle intervals) and once more on
+// SIGTERM, keeping the newest -checkpoint-keep files.
 //
 // Endpoints: /v1/topk?user=U&k=K, /v1/trust?from=I&to=J,
 // /v1/expertise?user=U, /v1/stats, /healthz, /metrics (Prometheus text).
@@ -64,6 +72,9 @@ func cmdServe(args []string) error {
 	fs.IntVar(cacheResults, "cache-rows", server.DefaultCacheResults, "deprecated alias for -cache-results")
 	cacheBytes := fs.Int64("cache-bytes", server.DefaultCacheBytes, "result cache byte budget (-1 unbounded)")
 	workers := fs.Int("workers", 0, "pipeline worker goroutines for derive and ingest (0 = one per CPU)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for warm-restart checkpoints (restore at boot, write periodically and on shutdown)")
+	ckptInterval := fs.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "periodic checkpoint cadence")
+	ckptKeep := fs.Int("checkpoint-keep", server.DefaultCheckpointKeep, "recent checkpoints to retain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +84,15 @@ func cmdServe(args []string) error {
 	if *workers < 0 {
 		return fmt.Errorf("serve: -workers %d < 0", *workers)
 	}
+	if *ckptDir != "" && *logPath == "" {
+		return fmt.Errorf("serve: -checkpoint-dir requires -log (snapshots already boot from durable state)")
+	}
+	if *ckptInterval <= 0 {
+		return fmt.Errorf("serve: -checkpoint-interval %v must be positive (only the SIGTERM flush cannot be disabled)", *ckptInterval)
+	}
+	if *ckptKeep < 1 {
+		return fmt.Errorf("serve: -checkpoint-keep %d < 1", *ckptKeep)
+	}
 	opts := server.Options{CacheResults: *cacheResults, CacheBytes: *cacheBytes}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -80,15 +100,29 @@ func cmdServe(args []string) error {
 
 	var srv *server.Server
 	tailErr := make(chan error, 1)
+	var ckptDone chan error
 	if *logPath != "" {
-		s, tailer, err := server.Open(*logPath, *poll, opts, weboftrust.WithWorkers(*workers))
+		s, tailer, info, err := server.OpenCheckpointed(*logPath, *ckptDir, *poll, opts, weboftrust.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}
 		srv = s
 		go func() { tailErr <- tailer.Run(ctx) }()
-		_, offset, _ := srv.Current()
-		fmt.Fprintf(os.Stderr, "trustd: replayed %s to offset %d, tailing every %v\n", *logPath, offset, *poll)
+		if info.Warm {
+			fmt.Fprintf(os.Stderr, "trustd: warm boot from %s (offset %d), tailed %d events to offset %d, tailing every %v\n",
+				info.CheckpointPath, info.CheckpointOffset, info.TailedEvents, info.Offset, *poll)
+		} else {
+			fmt.Fprintf(os.Stderr, "trustd: replayed %s to offset %d, tailing every %v\n", *logPath, info.Offset, *poll)
+			if info.FallbackReason != "" {
+				fmt.Fprintf(os.Stderr, "trustd: cold boot: %s\n", info.FallbackReason)
+			}
+		}
+		if *ckptDir != "" {
+			ck := server.NewCheckpointer(srv, *ckptDir, *ckptInterval, *ckptKeep)
+			ckptDone = make(chan error, 1)
+			go func() { ckptDone <- ck.Run(ctx) }()
+			fmt.Fprintf(os.Stderr, "trustd: checkpointing to %s every %v (keep %d)\n", *ckptDir, *ckptInterval, *ckptKeep)
+		}
 	} else {
 		f, err := os.Open(*snapshot)
 		if err != nil {
@@ -112,15 +146,39 @@ func cmdServe(args []string) error {
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "trustd: listening on %s\n", *addr)
 
+	// awaitCheckpointer waits for the shutdown flush so process death
+	// never costs the events ingested since the last periodic write.
+	awaitCheckpointer := func() error {
+		if ckptDone == nil {
+			return nil
+		}
+		if err := <-ckptDone; err != nil && !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		return nil
+	}
+
 	select {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return httpSrv.Shutdown(shutdownCtx)
+		err := httpSrv.Shutdown(shutdownCtx)
+		if ckErr := awaitCheckpointer(); err == nil {
+			err = ckErr
+		}
+		return err
 	case err := <-serveErr:
+		stop()
+		if ckErr := awaitCheckpointer(); ckErr != nil {
+			fmt.Fprintln(os.Stderr, "trustd:", ckErr)
+		}
 		return err
 	case err := <-tailErr:
 		httpSrv.Close()
+		stop()
+		if ckErr := awaitCheckpointer(); ckErr != nil {
+			fmt.Fprintln(os.Stderr, "trustd:", ckErr)
+		}
 		if errors.Is(err, context.Canceled) {
 			return nil
 		}

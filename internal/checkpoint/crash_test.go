@@ -1,0 +1,384 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+)
+
+// bootModel reproduces the daemon's boot decision in miniature: restore
+// the newest usable checkpoint and tail the log from its (rebased)
+// offset, falling back to a cold replay + Derive when no checkpoint is
+// usable. The crash-consistency tests drive it over every intermediate
+// on-disk state a crash can leave and demand the same served model.
+func bootModel(t *testing.T, logPath, dir string) *weboftrust.TrustModel {
+	t.Helper()
+	var model *weboftrust.TrustModel
+	var resume int64
+
+	restored, info, err := Restore(dir)
+	warm := err == nil
+	if !warm && !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		model = restored
+		resume = info.Resume(st.Size())
+	}
+
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, _, err := store.ReadLogFrom(f, resume)
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		t.Fatal(err)
+	}
+	if warm {
+		if len(events) == 0 {
+			return model
+		}
+		b := ratings.NewBuilderFrom(model.Dataset())
+		if err := store.Replay(events, b); err != nil {
+			t.Fatal(err)
+		}
+		updated, err := model.Update(b.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return updated
+	}
+	b := ratings.NewBuilder()
+	if err := store.Replay(events, b); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := weboftrust.Derive(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cold
+}
+
+// TestRestoreSkipsTornAndTempFiles plants a valid checkpoint, a torn
+// newer one, a checkpoint-shaped file of garbage, and a temp leftover,
+// then asserts boot lands on the valid one and RemoveTemps clears the
+// leftover.
+func TestRestoreSkipsTornAndTempFiles(t *testing.T) {
+	d := smallDataset(t)
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ckpts")
+
+	good, err := WriteDir(dir, model, 42, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A "crash mid-write under a final name" — should be impossible given
+	// the temp+rename protocol, but boot must survive it anyway.
+	torn, err := WriteDir(dir, model, 43, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Garbage under the next sequence number.
+	garbage := filepath.Join(dir, fileName(99))
+	if err := os.WriteFile(garbage, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crashed writer's temp file.
+	tmp := filepath.Join(dir, fileName(100)+tempSuffix)
+	if err := os.WriteFile(tmp, raw[:16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, info, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Path != good || info.Offset != 42 {
+		t.Fatalf("restored %+v, want %s at 42", info, good)
+	}
+	modelsEqual(t, model, restored)
+
+	if err := RemoveTemps(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp leftover survived RemoveTemps: %v", err)
+	}
+}
+
+// cloneState copies a log file and checkpoint directory into a fresh
+// temp location, so each interruption scenario starts from pristine
+// state.
+func cloneState(t *testing.T, logPath, dir string) (string, string) {
+	t.Helper()
+	root := t.TempDir()
+	newLog := filepath.Join(root, "events.log")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newLog, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newDir := filepath.Join(root, "ckpts")
+	if err := os.MkdirAll(newDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(newDir, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return newLog, newDir
+}
+
+// TestCompactInterruptedAtEveryStage aborts Compact after each stage of
+// its protocol and proves that (a) booting from the interrupted state
+// yields the same model a from-scratch replay does, and (b) re-running
+// Compact to completion from the interrupted state converges to the
+// clean post-compaction state.
+func TestCompactInterruptedAtEveryStage(t *testing.T) {
+	d := smallDataset(t)
+	root := t.TempDir()
+	logPath := writeLog(t, root, d)
+	dir := filepath.Join(root, "ckpts")
+
+	// Seed the directory with a mid-log checkpoint so compaction has both
+	// a warm start and older checkpoints to prune.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := store.ReadLogFrom(f, 0)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(events) / 2
+	pb := ratings.NewBuilder()
+	if err := store.Replay(events[:cut], pb); err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := weboftrust.Derive(pb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The byte offset of the cut: re-read that many records.
+	var cutOffset int64
+	{
+		f, err := os.Open(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr := store.NewLogReader(f, 0)
+		for i := 0; i < cut; i++ {
+			if _, err := lr.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cutOffset = lr.Offset()
+		f.Close()
+	}
+	logSt, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteDir(dir, prefix, cutOffset, logSt.Size()); err != nil {
+		t.Fatal(err)
+	}
+
+	want := bootModel(t, logPath, dir) // == full derive; compaction must preserve it
+
+	errInjected := errors.New("injected crash")
+	for _, stage := range []string{"fold", "checkpoint", "prune", "swap", ""} {
+		t.Run("crash after "+stage, func(t *testing.T) {
+			log2, dir2 := cloneState(t, logPath, dir)
+			if stage != "" {
+				compactFault = func(s string) error {
+					if s == stage {
+						return errInjected
+					}
+					return nil
+				}
+				defer func() { compactFault = nil }()
+				if _, err := Compact(log2, dir2, false); !errors.Is(err, errInjected) {
+					t.Fatalf("Compact err = %v, want injected crash", err)
+				}
+				compactFault = nil
+				modelsEqual(t, want, bootModel(t, log2, dir2))
+			}
+
+			// Finish (or run from scratch) and verify the end state.
+			res, err := Compact(log2, dir2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RemainderBytes != 0 {
+				t.Fatalf("remainder = %d bytes, want 0", res.RemainderBytes)
+			}
+			st, err := os.Stat(log2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() != 0 {
+				t.Fatalf("log size = %d after compaction, want 0", st.Size())
+			}
+			// Compaction leaves the rebased checkpoint plus the fold-point
+			// one it deliberately keeps (the only other copy of the folded
+			// history); both must be usable, newest first.
+			cands, err := scan(dir2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) != 2 {
+				t.Fatalf("%d checkpoints after compaction, want 2 (rebased + kept fold)", len(cands))
+			}
+			for _, c := range cands {
+				if _, _, err := ReadFile(c.path); err != nil {
+					t.Fatalf("post-compaction checkpoint %s unusable: %v", c.path, err)
+				}
+			}
+			modelsEqual(t, want, bootModel(t, log2, dir2))
+
+			// The kept fold checkpoint must also boot correctly on its own
+			// (the redundancy it exists for: the rebased file corrupting).
+			if err := os.Remove(cands[0].path); err != nil {
+				t.Fatal(err)
+			}
+			modelsEqual(t, want, bootModel(t, log2, dir2))
+
+			// Life goes on: append fresh events and boot again.
+			af, err := os.OpenFile(log2, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lw := store.NewLogWriter(af)
+			newUser := want.Dataset().NumUsers()
+			for _, ev := range []store.Event{
+				{Kind: store.EvAddUser, Name: "post-compact"},
+				{Kind: store.EvAddObject, Category: 0, Name: "obj"},
+				{Kind: store.EvAddReview, User: ratings.UserID(newUser), Object: ratings.ObjectID(want.Dataset().NumObjects())},
+			} {
+				if err := lw.Append(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := lw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := af.Close(); err != nil {
+				t.Fatal(err)
+			}
+			grown := bootModel(t, log2, dir2)
+			if grown.Dataset().NumUsers() != newUser+1 {
+				t.Fatalf("post-compact tail lost: %d users, want %d", grown.Dataset().NumUsers(), newUser+1)
+			}
+		})
+	}
+}
+
+// TestCompactTornTail verifies a torn final record fails compaction by
+// default, and is preserved in the log under allowTruncated while the
+// intact prefix folds.
+func TestCompactTornTail(t *testing.T) {
+	d := smallDataset(t)
+	root := t.TempDir()
+	logPath := writeLog(t, root, d)
+	dir := filepath.Join(root, "ckpts")
+
+	// Append the first 3 bytes of a record a crashed writer never
+	// finished: frame length 10, two payload bytes, end of file.
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(raw, 0x0a, byte(store.EvAddUser), 'x')
+	if err := os.WriteFile(logPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Compact(logPath, dir, false); !errors.Is(err, store.ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	res, err := Compact(logPath, dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemainderBytes != 3 {
+		t.Fatalf("remainder = %d, want the 3 torn bytes", res.RemainderBytes)
+	}
+	left, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 3 {
+		t.Fatalf("log holds %d bytes, want 3", len(left))
+	}
+}
+
+// TestCompactResultShape sanity-checks the warm/cold reporting.
+func TestCompactResultShape(t *testing.T) {
+	d := smallDataset(t)
+	root := t.TempDir()
+	logPath := writeLog(t, root, d)
+	dir := filepath.Join(root, "ckpts")
+
+	res, err := Compact(logPath, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm {
+		t.Fatal("first compaction reported warm")
+	}
+	if res.FoldedEvents == 0 || res.FoldedBytes == 0 {
+		t.Fatalf("nothing folded: %+v", res)
+	}
+
+	// Second compaction warm-starts from the rebased checkpoint and has
+	// nothing to fold.
+	res2, err := Compact(logPath, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Warm {
+		t.Fatal("second compaction reported cold")
+	}
+	if res2.FoldedEvents != 0 {
+		t.Fatalf("second compaction folded %d events, want 0", res2.FoldedEvents)
+	}
+	if fmt.Sprint(res2.RemainderBytes) != "0" {
+		t.Fatalf("remainder = %d", res2.RemainderBytes)
+	}
+}

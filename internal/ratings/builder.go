@@ -1,6 +1,9 @@
 package ratings
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Builder accumulates a dataset's entities, validates referential
 // integrity, and freezes the result into an immutable Dataset. The zero
@@ -28,6 +31,39 @@ func NewBuilder() *Builder {
 }
 
 func pairKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// NewBuilderFrom returns a Builder holding exactly the entities of d, as
+// if every one had been re-added in order, so appending can continue where
+// the dataset left off — the shape a warm restart needs: a checkpoint
+// restores the Dataset, and the event-log tailer requires a live Builder
+// positioned at the same point. The dataset's slices are cloned (the
+// builder mutates its backing arrays as it grows; the dataset must stay
+// immutable), and the dedup maps are rebuilt from the entries themselves.
+// Later snapshots of the returned builder extend d in the checkExtension
+// sense: all of d's entities form a prefix, element for element.
+func NewBuilderFrom(d *Dataset) *Builder {
+	b := &Builder{
+		userNames:            slices.Clone(d.userNames),
+		categories:           slices.Clone(d.categories),
+		objects:              slices.Clone(d.objects),
+		reviews:              slices.Clone(d.reviews),
+		ratingList:           slices.Clone(d.ratingList),
+		trust:                slices.Clone(d.trust),
+		reviewByWriterObject: make(map[uint64]struct{}, len(d.reviews)),
+		ratingByRaterReview:  make(map[uint64]struct{}, len(d.ratingList)),
+		trustByPair:          make(map[uint64]struct{}, len(d.trust)),
+	}
+	for _, r := range b.reviews {
+		b.reviewByWriterObject[pairKey(int32(r.Writer), int32(r.Object))] = struct{}{}
+	}
+	for _, rt := range b.ratingList {
+		b.ratingByRaterReview[pairKey(int32(rt.Rater), int32(rt.Review))] = struct{}{}
+	}
+	for _, e := range b.trust {
+		b.trustByPair[pairKey(int32(e.From), int32(e.To))] = struct{}{}
+	}
+	return b
+}
 
 // AddUser registers a user and returns its id. Names need not be unique;
 // an empty name is replaced with "user<N>".

@@ -1,0 +1,146 @@
+package ratings
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// imageTestDataset builds a small community exercising every entity kind
+// and both empty and loaded groups.
+func imageTestDataset(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder()
+	b.AddCategory("movies")
+	b.AddCategory("books")
+	b.AddCategory("empty") // category with no objects or reviews
+	users := b.AddUsers(6)
+	o0, _ := b.AddObject(0, "heat")
+	o1, _ := b.AddObject(0, "ran")
+	o2, _ := b.AddObject(1, "dune")
+	r0, err := b.AddReview(users, o0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := b.AddReview(users+1, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.AddReview(users+1, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range []struct {
+		u UserID
+		r ReviewID
+		v float64
+	}{
+		{users + 2, r0, 0.8}, {users + 3, r0, 0.6}, {users + 2, r1, 1.0},
+		{users + 4, r2, 0.2}, {users + 2, r2, 0.4},
+	} {
+		if err := b.AddRating(rt.u, rt.r, rt.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddTrust(users, users+1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTrust(users+2, users); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+// TestImageRoundTrip pins that an imaged dataset is indistinguishable
+// from its original: entities, and every frozen index view the pipeline
+// reads, element for element.
+func TestImageRoundTrip(t *testing.T) {
+	d := imageTestDataset(t)
+	got, err := DatasetFromImage(AppendImage(nil, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.String() != d.String() {
+		t.Fatalf("shape: %v vs %v", got, d)
+	}
+	for c := 0; c < d.NumCategories(); c++ {
+		if got.CategoryName(CategoryID(c)) != d.CategoryName(CategoryID(c)) {
+			t.Fatalf("category %d name differs", c)
+		}
+		if fmt.Sprint(got.ReviewsInCategory(CategoryID(c))) != fmt.Sprint(d.ReviewsInCategory(CategoryID(c))) {
+			t.Fatalf("ReviewsInCategory(%d) differs", c)
+		}
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		uid := UserID(u)
+		if got.UserName(uid) != d.UserName(uid) {
+			t.Fatalf("user %d name differs", u)
+		}
+		if fmt.Sprint(got.ReviewsByWriter(uid)) != fmt.Sprint(d.ReviewsByWriter(uid)) {
+			t.Fatalf("ReviewsByWriter(%d) differs", u)
+		}
+		if fmt.Sprint(got.RatingsBy(uid)) != fmt.Sprint(d.RatingsBy(uid)) {
+			t.Fatalf("RatingsBy(%d) differs", u)
+		}
+		if fmt.Sprint(got.TrustedBy(uid)) != fmt.Sprint(d.TrustedBy(uid)) {
+			t.Fatalf("TrustedBy(%d) differs", u)
+		}
+		var wantConn, gotConn []Connection
+		d.ConnectionsFrom(uid, func(c Connection) { wantConn = append(wantConn, c) })
+		got.ConnectionsFrom(uid, func(c Connection) { gotConn = append(gotConn, c) })
+		if fmt.Sprint(wantConn) != fmt.Sprint(gotConn) {
+			t.Fatalf("ConnectionsFrom(%d): %v vs %v", u, gotConn, wantConn)
+		}
+	}
+	for r := 0; r < d.NumReviews(); r++ {
+		if got.Review(ReviewID(r)) != d.Review(ReviewID(r)) {
+			t.Fatalf("review %d differs", r)
+		}
+		if fmt.Sprint(got.RatingsOn(ReviewID(r))) != fmt.Sprint(d.RatingsOn(ReviewID(r))) {
+			t.Fatalf("RatingsOn(%d) differs", r)
+		}
+	}
+	for i := range d.Ratings() {
+		if got.Ratings()[i] != d.Ratings()[i] {
+			t.Fatalf("rating %d differs", i)
+		}
+	}
+
+	// And the round trip is byte-stable: image(decode(image)) == image.
+	a := AppendImage(nil, d)
+	bb := AppendImage(nil, got)
+	if string(a) != string(bb) {
+		t.Fatal("image round trip is not byte-stable")
+	}
+}
+
+// TestImageRejectsDamage walks truncations and bit flips through the
+// decoder: every one must fail with ErrBadImage, never panic.
+func TestImageRejectsDamage(t *testing.T) {
+	d := imageTestDataset(t)
+	img := AppendImage(nil, d)
+
+	for cut := 0; cut < len(img); cut += 7 {
+		if _, err := DatasetFromImage(img[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, ErrBadImage) {
+			t.Fatalf("truncation at %d: err = %v, want ErrBadImage", cut, err)
+		}
+	}
+	if _, err := DatasetFromImage(append(img[:len(img):len(img)], 0xff)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestImageEmptyDataset round-trips the degenerate empty community.
+func TestImageEmptyDataset(t *testing.T) {
+	d := NewBuilder().Build()
+	got, err := DatasetFromImage(AppendImage(nil, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUsers() != 0 || got.NumRatings() != 0 {
+		t.Fatalf("empty round trip: %v", got)
+	}
+}

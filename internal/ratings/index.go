@@ -1,6 +1,9 @@
 package ratings
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // indexes holds the CSR-style groupings frozen at Build time. Every
 // grouping is two slices: offsets (one per group, plus one) and a payload
@@ -49,47 +52,52 @@ func buildIndexes(d *Dataset) *indexes {
 	idx.ratingsByRaterOff, idx.ratingsByRater = groupRatings(d.ratingList, int(numU),
 		func(r Rating) int32 { return int32(r.Rater) })
 
-	// Direct connections: aggregate (rater, writer) pairs.
-	type agg struct {
-		count int32
-		sum   float64
-	}
-	conn := make(map[uint64]*agg)
-	for _, r := range d.ratingList {
-		writer := d.reviews[r.Review].Writer
-		key := pairKey(int32(r.Rater), int32(writer))
-		a := conn[key]
-		if a == nil {
-			a = &agg{}
-			conn[key] = a
-		}
-		a.count++
-		a.sum += r.Value
+	// Direct connections: aggregate (rater, writer) pairs. Ratings are
+	// already grouped by rater above, so each rater's row aggregates
+	// independently: gather its (writer, value) pairs, stable-sort by
+	// writer — stability keeps each pair's values in rating-list order,
+	// so the run sums below accumulate in exactly the order the previous
+	// global-map implementation added them, bit for bit — and collapse
+	// runs. No global hash map (the old one dominated index-build time on
+	// big datasets), and rows emerge writer-ascending with no second
+	// sorting pass.
+	type wv struct {
+		writer int32
+		value  float64
 	}
 	idx.connOff = make([]int32, numU+1)
-	for key := range conn {
-		idx.connOff[int32(key>>32)+1]++
-	}
+	var scratch []wv
 	for u := int32(0); u < numU; u++ {
-		idx.connOff[u+1] += idx.connOff[u]
-	}
-	total := idx.connOff[numU]
-	idx.connTo = make([]UserID, total)
-	idx.connCount = make([]int32, total)
-	idx.connSum = make([]float64, total)
-	next := make([]int32, numU)
-	copy(next, idx.connOff[:numU])
-	for key, a := range conn {
-		from := int32(key >> 32)
-		pos := next[from]
-		idx.connTo[pos] = UserID(uint32(key))
-		idx.connCount[pos] = a.count
-		idx.connSum[pos] = a.sum
-		next[from]++
-	}
-	for u := int32(0); u < numU; u++ {
-		lo, hi := idx.connOff[u], idx.connOff[u+1]
-		sortConnRow(idx.connTo[lo:hi], idx.connCount[lo:hi], idx.connSum[lo:hi])
+		lo, hi := idx.ratingsByRaterOff[u], idx.ratingsByRaterOff[u+1]
+		scratch = scratch[:0]
+		for _, r := range idx.ratingsByRater[lo:hi] {
+			scratch = append(scratch, wv{writer: int32(d.reviews[r.Review].Writer), value: r.Value})
+		}
+		// Stable sort by writer. Typical rows are a few dozen entries, so
+		// insertion sort wins (and avoids sort.SliceStable's reflection
+		// swapper, which dominated index builds); the generic stable sort
+		// covers the power-law heavy raters.
+		if len(scratch) <= 48 {
+			for i := 1; i < len(scratch); i++ {
+				for j := i; j > 0 && scratch[j].writer < scratch[j-1].writer; j-- {
+					scratch[j], scratch[j-1] = scratch[j-1], scratch[j]
+				}
+			}
+		} else {
+			slices.SortStableFunc(scratch, func(a, b wv) int { return int(a.writer) - int(b.writer) })
+		}
+		for i := 0; i < len(scratch); {
+			j := i
+			var sum float64
+			for ; j < len(scratch) && scratch[j].writer == scratch[i].writer; j++ {
+				sum += scratch[j].value
+			}
+			idx.connTo = append(idx.connTo, UserID(scratch[i].writer))
+			idx.connCount = append(idx.connCount, int32(j-i))
+			idx.connSum = append(idx.connSum, sum)
+			i = j
+		}
+		idx.connOff[u+1] = int32(len(idx.connTo))
 	}
 
 	// Trust adjacency.
@@ -151,23 +159,6 @@ func groupRatings(list []Rating, groups int, key func(Rating) int32) ([]int32, [
 		next[g]++
 	}
 	return off, payload
-}
-
-func sortConnRow(to []UserID, count []int32, sum []float64) {
-	order := make([]int, len(to))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return to[order[a]] < to[order[b]] })
-	t2 := make([]UserID, len(to))
-	c2 := make([]int32, len(to))
-	s2 := make([]float64, len(to))
-	for i, o := range order {
-		t2[i], c2[i], s2[i] = to[o], count[o], sum[o]
-	}
-	copy(to, t2)
-	copy(count, c2)
-	copy(sum, s2)
 }
 
 // ReviewsInCategory returns the ids of all reviews in category c, in

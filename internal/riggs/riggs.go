@@ -109,6 +109,22 @@ type CategoryResult struct {
 	repByRater      map[ratings.UserID]float64
 }
 
+// Reindex rebuilds the lookup maps behind QualityOf and ReputationOf from
+// the exported parallel slices. Solve populates them itself; Reindex exists
+// for results rehydrated from a checkpoint, where only the exported fields
+// survive serialisation. The maps are derived state, so a reindexed result
+// is indistinguishable from a freshly solved one.
+func (cr *CategoryResult) Reindex() {
+	cr.qualityByReview = make(map[ratings.ReviewID]float64, len(cr.Reviews))
+	for k, r := range cr.Reviews {
+		cr.qualityByReview[r] = cr.Quality[k]
+	}
+	cr.repByRater = make(map[ratings.UserID]float64, len(cr.Raters))
+	for i, u := range cr.Raters {
+		cr.repByRater[u] = cr.RaterRep[i]
+	}
+}
+
 // QualityOf returns the quality of review r and whether r belongs to this
 // category's result.
 func (cr *CategoryResult) QualityOf(r ratings.ReviewID) (float64, bool) {

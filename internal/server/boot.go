@@ -1,0 +1,135 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"weboftrust"
+	"weboftrust/internal/checkpoint"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+)
+
+// BootInfo reports how a serving stack came up, for operator logs.
+type BootInfo struct {
+	// Warm is true when a checkpoint was restored; false means a full
+	// cold replay + derive.
+	Warm bool
+	// CheckpointPath and CheckpointOffset identify the restored
+	// checkpoint (zero values when cold).
+	CheckpointPath   string
+	CheckpointOffset int64
+	// TailedEvents is how many log records were replayed on top of the
+	// restored checkpoint (cold boots replay everything; see Offset).
+	TailedEvents int
+	// Offset is the event-log offset the served model reflects.
+	Offset int64
+	// FallbackReason is set when a checkpoint directory was given but the
+	// boot went cold anyway: no usable checkpoint, or a warm tail that
+	// failed against the current log.
+	FallbackReason string
+}
+
+// OpenCheckpointed bootstraps a serving stack like Open, but restores the
+// newest usable checkpoint in ckptDir first and replays only the log
+// suffix past it through the incremental pipeline — converting boot cost
+// from O(whole history) to O(checkpoint load + tail). Any problem with
+// the checkpoint path (no usable checkpoint, stale fingerprint, a tail
+// that no longer matches the log) falls back to the cold path, so a bad
+// checkpoint directory can delay a boot but never prevent one. An empty
+// ckptDir is exactly Open.
+//
+// The returned Tailer is positioned at the end of the log's intact
+// prefix, whichever path built the model.
+func OpenCheckpointed(logPath, ckptDir string, poll time.Duration, opts Options, derive ...weboftrust.Option) (*Server, *Tailer, *BootInfo, error) {
+	cold := func(reason string) (*Server, *Tailer, *BootInfo, error) {
+		srv, tailer, err := Open(logPath, poll, opts, derive...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		_, offset, _ := srv.Current()
+		return srv, tailer, &BootInfo{Offset: offset, FallbackReason: reason}, nil
+	}
+	if ckptDir == "" {
+		return cold("")
+	}
+	// No writer can be mid-checkpoint at boot; clear crashed-write debris.
+	_ = checkpoint.RemoveTemps(ckptDir)
+
+	// Any restore failure — no usable checkpoint, or a directory that
+	// cannot even be scanned (wrong permissions, a file where a dir was
+	// expected) — goes cold: a bad checkpoint setup may delay a boot but
+	// must never prevent one.
+	model, info, err := checkpoint.Restore(ckptDir, derive...)
+	if err != nil {
+		return cold(err.Error())
+	}
+
+	srv, tailer, tailed, offset, err := resumeFrom(model, logPath, poll, opts, info)
+	if err != nil {
+		// The checkpoint restored but the log disagrees with it (swapped
+		// out from under the directory, or corrupt past the offset in a
+		// way a fresh replay may tolerate differently). Serving data
+		// beats serving nothing: replay from scratch.
+		return cold(fmt.Sprintf("checkpoint %s unusable against log: %v", info.Path, err))
+	}
+	// Seed the durability surface from the restored file: /v1/stats and
+	// /metrics report it immediately, and a Checkpointer's first
+	// skip-idle check can recognise the on-disk checkpoint instead of
+	// rewriting a byte-identical one.
+	status := &CheckpointStatus{Path: info.Path, Offset: info.Offset}
+	if st, err := os.Stat(info.Path); err == nil {
+		status.SizeBytes = st.Size()
+		status.WrittenAt = st.ModTime()
+	}
+	srv.setCheckpointStatus(status)
+	return srv, tailer, &BootInfo{
+		Warm:             true,
+		CheckpointPath:   info.Path,
+		CheckpointOffset: info.Offset,
+		TailedEvents:     tailed,
+		Offset:           offset,
+	}, nil
+}
+
+// resumeFrom builds the serving stack on top of a restored model: tail
+// the log from the checkpoint's (rebased) offset, fold the suffix in with
+// the incremental pipeline, and position the tailer at the end of the
+// intact prefix.
+func resumeFrom(model *weboftrust.TrustModel, logPath string, poll time.Duration, opts Options, info checkpoint.Info) (*Server, *Tailer, int, int64, error) {
+	st, err := os.Stat(logPath)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	resume := info.Resume(st.Size())
+
+	f, err := os.Open(logPath)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer f.Close()
+	events, offset, err := store.ReadLogFrom(f, resume)
+	if err != nil && !errors.Is(err, store.ErrTruncated) {
+		return nil, nil, 0, 0, err
+	}
+
+	if len(events) == 0 {
+		// Nothing past the checkpoint: serve the restored model as-is and
+		// let the tailer materialise its builder lazily, keeping the
+		// dedup-map reconstruction off the time-to-serving path.
+		srv := New(model, offset, opts)
+		return srv, NewTailerFromDataset(srv, logPath, poll, model.Dataset(), offset), 0, offset, nil
+	}
+	builder := ratings.NewBuilderFrom(model.Dataset())
+	if err := store.Replay(events, builder); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	model, err = model.Update(builder.Snapshot())
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	srv := New(model, offset, opts)
+	return srv, NewTailer(srv, logPath, poll, builder, offset), len(events), offset, nil
+}

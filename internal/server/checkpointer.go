@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"os"
+	"time"
+
+	"weboftrust/internal/checkpoint"
+)
+
+// DefaultCheckpointInterval is the periodic checkpoint cadence when none
+// is given.
+const DefaultCheckpointInterval = 5 * time.Minute
+
+// DefaultCheckpointKeep is how many recent checkpoints a Checkpointer
+// retains: the newest plus one fallback, so a torn newest (crash exactly
+// at publish, disk corruption) still leaves a warm boot.
+const DefaultCheckpointKeep = 2
+
+// CheckpointStatus is the most recent durable state of the served model,
+// surfaced through /v1/stats and /metrics so operators can alarm on a
+// checkpointer that has stopped making progress.
+type CheckpointStatus struct {
+	// Path is the newest checkpoint file.
+	Path string
+	// Offset is the event-log offset that checkpoint reflects.
+	Offset int64
+	// SizeBytes is the checkpoint file's size.
+	SizeBytes int64
+	// WrittenAt is when it was published.
+	WrittenAt time.Time
+}
+
+// Checkpointer periodically persists the server's current model so the
+// next boot restores in milliseconds instead of replaying the log (see
+// package checkpoint). It writes on an interval — skipping ticks where
+// ingest made no progress — and once more on shutdown, so the final
+// checkpoint reflects everything the daemon ingested. One Checkpointer
+// per server; it is driven by a single goroutine (Run's).
+type Checkpointer struct {
+	srv      *Server
+	dir      string
+	interval time.Duration
+	keep     int
+}
+
+// NewCheckpointer wires a Checkpointer to a server. interval <= 0 uses
+// DefaultCheckpointInterval; keep <= 0 uses DefaultCheckpointKeep.
+func NewCheckpointer(srv *Server, dir string, interval time.Duration, keep int) *Checkpointer {
+	if interval <= 0 {
+		interval = DefaultCheckpointInterval
+	}
+	if keep <= 0 {
+		keep = DefaultCheckpointKeep
+	}
+	return &Checkpointer{srv: srv, dir: dir, interval: interval, keep: keep}
+}
+
+// WriteNow checkpoints the currently served model if it is ahead of the
+// last checkpoint, returning the path written and whether a write
+// happened (false means the model was already durable). Failures are
+// counted in the server's metrics and returned.
+func (c *Checkpointer) WriteNow() (string, bool, error) {
+	model, offset, _ := c.srv.Current()
+	if last := c.srv.checkpointStatus(); last != nil && last.Offset == offset {
+		return last.Path, false, nil
+	}
+	path, err := checkpoint.WriteDir(c.dir, model, offset, offset)
+	if err != nil {
+		c.srv.metrics.checkpointErrors.Add(1)
+		return "", false, err
+	}
+	size := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		size = st.Size()
+	}
+	c.srv.setCheckpointStatus(&CheckpointStatus{
+		Path:      path,
+		Offset:    offset,
+		SizeBytes: size,
+		WrittenAt: time.Now(),
+	})
+	c.srv.metrics.checkpointWrites.Add(1)
+	if err := checkpoint.Prune(c.dir, c.keep); err != nil {
+		// The new checkpoint is safely published; failing to clean old
+		// ones is worth counting but not failing over.
+		c.srv.metrics.checkpointErrors.Add(1)
+	}
+	return path, true, nil
+}
+
+// Run writes checkpoints on the configured interval until ctx is
+// cancelled, then writes a final checkpoint (the SIGTERM flush: process
+// death must not cost the events ingested since the last tick) and
+// returns ctx's error. Write failures are recorded in metrics and do not
+// stop the loop — an out-of-disk window shouldn't kill a healthy server —
+// but the last error is returned alongside ctx's if the final flush also
+// fails.
+func (c *Checkpointer) Run(ctx context.Context) error {
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if _, _, err := c.WriteNow(); err != nil {
+				return err
+			}
+			return ctx.Err()
+		case <-ticker.C:
+			_, _, _ = c.WriteNow()
+		}
+	}
+}

@@ -74,25 +74,39 @@ type Server struct {
 	cur     atomic.Pointer[state]
 	start   time.Time
 	metrics metrics
+	// ckpt is the durability surface: the newest checkpoint the served
+	// model is covered by, published by a Checkpointer and read by
+	// /v1/stats and /metrics. Nil when no checkpointer runs.
+	ckpt atomic.Pointer[CheckpointStatus]
 	// computeGate, when non-nil, runs on the leader goroutine right
 	// before a row computation. Test hook: the singleflight test parks
 	// the leader here until every concurrent request has registered.
 	computeGate func(u ratings.UserID)
 }
 
+// setCheckpointStatus publishes the newest durable state; nil-safe
+// concurrent reads come through checkpointStatus.
+func (s *Server) setCheckpointStatus(st *CheckpointStatus) { s.ckpt.Store(st) }
+
+// checkpointStatus returns the last published checkpoint status, or nil
+// when none has been written this process.
+func (s *Server) checkpointStatus() *CheckpointStatus { return s.ckpt.Load() }
+
 // metrics is the server's instrumentation, exposed at /metrics in
 // Prometheus text format. All fields are monotonic counters except the
 // gauges derived from the current state at scrape time.
 type metrics struct {
-	requests       [4]atomic.Int64 // indexed by endpoint constants below
-	badRequests    atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	rowComputes    atomic.Int64 // misses that actually evaluated a row (not coalesced)
-	swaps          atomic.Int64
-	eventsIngested atomic.Int64
-	truncatedReads atomic.Int64
-	lastSwapNanos  atomic.Int64
+	requests         [4]atomic.Int64 // indexed by endpoint constants below
+	badRequests      atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	rowComputes      atomic.Int64 // misses that actually evaluated a row (not coalesced)
+	swaps            atomic.Int64
+	eventsIngested   atomic.Int64
+	truncatedReads   atomic.Int64
+	lastSwapNanos    atomic.Int64
+	checkpointWrites atomic.Int64
+	checkpointErrors atomic.Int64
 }
 
 const (
@@ -412,19 +426,41 @@ type StatsResponse struct {
 	CacheEntries  int                  `json:"cache_entries"`
 	CacheBytes    int64                `json:"cache_bytes"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
+	// Checkpoint reports the newest durable copy of the served model;
+	// absent when the daemon runs without a checkpoint directory.
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+}
+
+// CheckpointStats is the durability block of /v1/stats. AgeSeconds and
+// the lag between Offset and LogOffset are the operator's staleness
+// alarms: they bound how much replay the next boot pays.
+type CheckpointStats struct {
+	Path       string  `json:"path"`
+	Offset     int64   `json:"offset"`
+	SizeBytes  int64   `json:"size_bytes"`
+	AgeSeconds float64 `json:"age_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epStats].Add(1)
 	st := s.cur.Load()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Dataset:       st.model.Dataset().Stats(),
 		Version:       st.version,
 		LogOffset:     st.offset,
 		CacheEntries:  st.results.len(),
 		CacheBytes:    st.results.approxBytes(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	if ck := s.checkpointStatus(); ck != nil {
+		resp.Checkpoint = &CheckpointStats{
+			Path:       ck.Path,
+			Offset:     ck.Offset,
+			SizeBytes:  ck.SizeBytes,
+			AgeSeconds: time.Since(ck.WrittenAt).Seconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -461,6 +497,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("trustd_log_offset_bytes", "Event-log offset the served model reflects.", st.offset)
 	gauge("trustd_result_cache_entries", "Ranked results currently cached.", int64(st.results.len()))
 	gauge("trustd_result_cache_bytes", "Approximate memory retained by the result cache.", st.results.approxBytes())
+	counter("trustd_checkpoint_writes_total", "Checkpoints successfully written.", s.metrics.checkpointWrites.Load())
+	counter("trustd_checkpoint_errors_total", "Checkpoint write or prune failures.", s.metrics.checkpointErrors.Load())
+	if ck := s.checkpointStatus(); ck != nil {
+		gauge("trustd_checkpoint_last_offset_bytes", "Event-log offset the newest checkpoint reflects.", ck.Offset)
+		gauge("trustd_checkpoint_size_bytes", "Size of the newest checkpoint file.", ck.SizeBytes)
+		fmt.Fprintf(w, "# HELP trustd_checkpoint_age_seconds Seconds since the newest checkpoint was written.\n# TYPE trustd_checkpoint_age_seconds gauge\ntrustd_checkpoint_age_seconds %g\n",
+			time.Since(ck.WrittenAt).Seconds())
+	}
 	gauge("trustd_dataset_users", "Users in the served dataset.", int64(d.NumUsers()))
 	gauge("trustd_dataset_categories", "Categories in the served dataset.", int64(d.NumCategories()))
 	gauge("trustd_dataset_reviews", "Reviews in the served dataset.", int64(d.NumReviews()))

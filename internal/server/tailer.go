@@ -30,7 +30,13 @@ type Tailer struct {
 	path    string
 	poll    time.Duration
 	builder *ratings.Builder
-	offset  int64
+	// base lazily materialises the builder on the first poll that finds
+	// events: a warm boot whose log tail was empty hands the tailer just
+	// the restored dataset, deferring the dedup-map reconstruction
+	// (NewBuilderFrom) off the time-to-serving path and onto the first
+	// ingest tick. Exactly one of builder/base is set at construction.
+	base   *ratings.Dataset
+	offset int64
 	// failed poisons the tailer once the builder may have diverged from
 	// the offset checkpoint (a partial replay or failed update): retrying
 	// would re-apply events to the mutated builder and silently corrupt
@@ -49,6 +55,17 @@ func NewTailer(srv *Server, path string, poll time.Duration, builder *ratings.Bu
 		poll = DefaultPoll
 	}
 	return &Tailer{srv: srv, path: path, poll: poll, builder: builder, offset: offset}
+}
+
+// NewTailerFromDataset is NewTailer for callers that hold the dataset at
+// offset but no live Builder — the warm-restore boot path. The builder is
+// reconstructed from the dataset on the first poll that actually finds
+// events, keeping that cost off the time-to-serving path.
+func NewTailerFromDataset(srv *Server, path string, poll time.Duration, d *ratings.Dataset, offset int64) *Tailer {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	return &Tailer{srv: srv, path: path, poll: poll, base: d, offset: offset}
 }
 
 // Offset returns the event-log offset of the last ingested record.
@@ -79,6 +96,10 @@ func (t *Tailer) Poll() (int, error) {
 	}
 	if len(events) == 0 {
 		return 0, nil
+	}
+	if t.builder == nil {
+		t.builder = ratings.NewBuilderFrom(t.base)
+		t.base = nil
 	}
 	// From here on the builder is mutated; any failure poisons the tailer
 	// so a retry cannot double-apply the prefix Replay already folded in.

@@ -215,9 +215,22 @@ type decoder struct {
 	err error
 }
 
-// maxCount bounds any section size to defend against corrupted counts
-// causing huge allocations.
-const maxCount = 1 << 31
+// Decoder hardening bounds. The invariant across this package's decoders
+// (snapshot, event log, and the checkpoint decoder built on them) is that
+// NO allocation is ever sized by an unvalidated count from the wire:
+// section counts are loop bounds whose iterations each consume stream
+// bytes (so a forged count dies on EOF after reading only what exists),
+// and the only count-sized allocation — a string's byte buffer — is
+// capped at maxStringBytes first. The fuzz targets in fuzz_test.go pin
+// this: no input may panic or allocate past its own length.
+const (
+	// maxCount bounds any section size; large enough for the
+	// million-user north star, small enough to reject garbage varints.
+	maxCount = 1 << 31
+	// maxStringBytes bounds a single name's length — the one allocation
+	// sized directly by wire data.
+	maxStringBytes = 1 << 20
+)
 
 func (d *decoder) uvarint() uint64 {
 	if d.err != nil {
@@ -267,7 +280,7 @@ func (d *decoder) str() string {
 	if d.err != nil {
 		return ""
 	}
-	if n > 1<<20 {
+	if n > maxStringBytes {
 		d.err = fmt.Errorf("%w: string length %d too large", ErrCorrupt, n)
 		return ""
 	}

@@ -29,6 +29,12 @@ const (
 // ErrUnknownEvent reports an unrecognised event kind during replay.
 var ErrUnknownEvent = errors.New("store: unknown event kind")
 
+// maxFrameBytes bounds one log record's payload — the only allocation a
+// log decoder sizes from wire data. Real records are tens of bytes; the
+// cap keeps a forged frame length from preallocating the daemon into an
+// OOM while leaving generous headroom for long names.
+const maxFrameBytes = 1 << 20
+
 // ErrTruncated reports an event log whose final record is incomplete —
 // the shape a crash during append leaves behind. Unlike ErrCorrupt, the
 // complete prefix is intact and usable; errors carrying ErrTruncated are
@@ -181,7 +187,7 @@ func (lr *LogReader) Next() (Event, error) {
 	if err != nil {
 		return Event{}, fmt.Errorf("%w: frame length: %v", ErrCorrupt, err)
 	}
-	if length == 0 || length > 1<<20 {
+	if length == 0 || length > maxFrameBytes {
 		return Event{}, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
 	}
 	payload := make([]byte, length)

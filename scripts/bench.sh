@@ -5,17 +5,17 @@
 # in prose.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCH_OUT     output path when no argument is given (default BENCH_pr3.json)
+#   BENCH_OUT     output path when no argument is given (default BENCH_pr4.json)
 #   BENCH_SUITE   suite label recorded in the JSON (default: output basename)
 #   BENCH_COUNT   repetitions per benchmark (default 5)
-#   BENCH_FILTER  benchmark regexp (default: the read-path + pipeline perf surface)
+#   BENCH_FILTER  benchmark regexp (default: the boot + read-path + pipeline perf surface)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_pr3.json}}"
+out="${1:-${BENCH_OUT:-BENCH_pr4.json}}"
 suite="${BENCH_SUITE:-$(basename "$out" .json)}"
 count="${BENCH_COUNT:-5}"
-filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect}"
+filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
