@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 BENCH_COUNT ?= 5
 FUZZTIME ?= 10s
 
@@ -23,17 +23,19 @@ bench:
 # bench-smoke is the CI guard: every benchmark must still compile and
 # complete one iteration.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart' -benchtime 1x .
 
 # bench-guard fails if the serving hot path's allocs/op regress above the
 # BENCH_pr2.json baseline.
 bench-guard:
 	./scripts/check_allocs.sh
 
-# fuzz-smoke gives each binary-decoder fuzz target a short adversarial
-# run ($(FUZZTIME) apiece); a panic or over-allocation fails CI. go test
-# accepts one -fuzz pattern per package invocation, hence three runs.
+# fuzz-smoke gives each binary-decoder fuzz target (plus the graph
+# constructor's edge validation) a short adversarial run ($(FUZZTIME)
+# apiece); a panic or over-allocation fails CI. go test accepts one -fuzz
+# pattern per package invocation, hence one run per target.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzReadSnapshot$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz 'FuzzLogReader$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz 'FuzzReadCheckpoint$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz 'FuzzGraphNew$$' -fuzztime $(FUZZTIME) ./internal/graph

@@ -2,9 +2,13 @@ package weboftrust
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"weboftrust/internal/affinity"
 	"weboftrust/internal/core"
+	"weboftrust/internal/propagation"
 	"weboftrust/internal/ratings"
 )
 
@@ -18,6 +22,12 @@ type Dataset = ratings.Dataset
 
 // Ranked pairs a user with a derived trust score.
 type Ranked = core.Ranked
+
+// Web is the binarised web of trust derived from the continuous matrix:
+// the paper's end product, carried as a pipeline artifact (generosity
+// vector, per-user edge rows, CSR graph form) and maintained
+// incrementally through Update.
+type Web = core.Web
 
 // Option customises Derive.
 type Option func(*core.Config) error
@@ -71,6 +81,39 @@ func WithAffinityWritesOnly() Option {
 	}
 }
 
+// WithWebThreshold switches the web-of-trust binarisation from the
+// paper's per-user top-k-generosity protocol to a global threshold:
+// predict a trust edge wherever T̂_ij >= tau (the A-4 ablation policy).
+// The policy shapes only the graph artifact — continuous scores, top-k
+// rankings and checkpoints are unaffected, and the policy is excluded
+// from the configuration fingerprint.
+func WithWebThreshold(tau float64) Option {
+	return func(c *core.Config) error {
+		if tau < 0 || tau > 1 {
+			return fmt.Errorf("weboftrust: web threshold %v outside [0,1]", tau)
+		}
+		c.Web.Policy = core.GlobalThreshold
+		c.Web.Tau = tau
+		return nil
+	}
+}
+
+// WithWebColdStartGenerosity sets the generosity used to binarise users
+// whose own history cannot calibrate one (k_i = 0: no direct connections,
+// or none carrying explicit trust). The paper's protocol gives such users
+// no out-edges at all; a positive fallback lets the web serve exactly the
+// cold-start users the framework exists for. Applies to the per-user
+// top-k policy only.
+func WithWebColdStartGenerosity(k float64) Option {
+	return func(c *core.Config) error {
+		if k < 0 || k > 1 {
+			return fmt.Errorf("weboftrust: cold-start generosity %v outside [0,1]", k)
+		}
+		c.Web.ColdGenerosity = k
+		return nil
+	}
+}
+
 // WithWorkers caps the goroutines the pipeline fans out to; 0 (the
 // default) means one per available CPU and 1 forces serial execution.
 // Every stage shards independent work items, so the derived model is
@@ -97,6 +140,16 @@ type TrustModel struct {
 	// models an ingest loop produces; core.Scratch serialises concurrent
 	// use internally.
 	scratch *core.Scratch
+	// webOnce/webLazy back WebOfTrust for restored models, whose
+	// artifacts deliberately arrive without the graph (see Restore): the
+	// first graph consumer — a propagation query, or the first
+	// incremental update — builds it exactly once, off the
+	// time-to-serving path. webLazy is atomic so non-forcing observers
+	// (WebOfTrustBuilt) can peek without joining the Once. Models
+	// produced by Derive/Update carry the graph in artifacts and never
+	// touch these.
+	webOnce sync.Once
+	webLazy atomic.Pointer[core.Web]
 }
 
 // Derive runs the full three-step pipeline over the dataset.
@@ -153,6 +206,12 @@ func Restore(d *Dataset, art *core.Artifacts, opts ...Option) (*TrustModel, erro
 	if art.Expertise == nil || art.Expertise.Rows() != d.NumUsers() || art.Expertise.Cols() != d.NumCategories() {
 		return nil, fmt.Errorf("weboftrust: Restore artifacts do not match dataset %v", d)
 	}
+	// Fail fast on an unbuildable web policy: the graph itself is
+	// rebuilt lazily (WebOfTrust), off the time-to-serving path, and
+	// that build must not be able to fail.
+	if err := cfg.Web.Validate(); err != nil {
+		return nil, fmt.Errorf("weboftrust: Restore: %w", err)
+	}
 	if art.Trust == nil {
 		rebuilt, err := core.RehydrateArtifacts(art.RiggsResults, art.Expertise, art.Affinity, cfg.Workers)
 		if err != nil {
@@ -166,13 +225,25 @@ func Restore(d *Dataset, art *core.Artifacts, opts ...Option) (*TrustModel, erro
 // Update derives a new model for a dataset that extends this model's —
 // the shape produced by replaying an append-only event log past the
 // position this model was built from. It re-solves the Step 1 fixed point
-// only for categories touched by the new activity and reuses the rest, so
+// only for categories touched by the new activity and reuses the rest —
+// including the web-of-trust graph, whose edge rows are re-selected only
+// for users whose inputs changed and shared by reference otherwise — so
 // it is much cheaper than Derive on the grown dataset while producing
 // exactly the same model (it keeps the options Derive was called with).
 // The receiver is unchanged and remains valid: readers can keep querying
 // it while the replacement is prepared, then swap atomically.
 func (m *TrustModel) Update(newD *Dataset) (*TrustModel, error) {
-	art, err := m.cfg.UpdateScratch(m.artifacts, m.dataset, newD, m.scratch)
+	art := m.artifacts
+	if art.Web == nil {
+		// A restored model defers its graph build to here (or to the
+		// first graph query): materialise it so the incremental web
+		// maintenance has a predecessor to share rows with.
+		web := m.WebOfTrust()
+		cp := *art
+		cp.Web = web
+		art = &cp
+	}
+	art, err := m.cfg.UpdateScratch(art, m.dataset, newD, m.scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -239,3 +310,164 @@ func (m *TrustModel) Fingerprint() uint64 { return m.cfg.Fingerprint() }
 // Artifacts exposes the underlying pipeline artifacts for advanced use
 // (binarisation, evaluation, propagation).
 func (m *TrustModel) Artifacts() *core.Artifacts { return m.artifacts }
+
+// WebOfTrust returns the binarised web-of-trust artifact: the graph the
+// propagation queries traverse. It is immutable and safe for concurrent
+// use; Update produces a successor web sharing untouched users' rows.
+// Models produced by Derive or Update carry the graph from the pipeline;
+// a restored model builds it here exactly once, on first use (the build
+// is deterministic, so the result is identical to the eager one —
+// pinned by the checkpoint round-trip tests).
+func (m *TrustModel) WebOfTrust() *Web {
+	if m.artifacts.Web != nil {
+		return m.artifacts.Web
+	}
+	m.webOnce.Do(func() {
+		web, err := core.BuildWeb(m.dataset, m.artifacts.Trust, m.cfg.Web, m.cfg.Workers)
+		if err != nil {
+			// Restore validated the policy and the artifacts' shapes;
+			// nothing recoverable can fail here.
+			panic(fmt.Sprintf("weboftrust: lazy web build: %v", err))
+		}
+		m.webLazy.Store(web)
+	})
+	return m.webLazy.Load()
+}
+
+// WebOfTrustBuilt returns the web artifact only if it already exists —
+// built eagerly by the pipeline or lazily by an earlier graph consumer —
+// without triggering the deferred build. Observability surfaces use it
+// so a metrics scrape against a freshly restored model stays O(1)
+// instead of paying the full binarisation.
+func (m *TrustModel) WebOfTrustBuilt() (*Web, bool) {
+	if m.artifacts.Web != nil {
+		return m.artifacts.Web, true
+	}
+	if web := m.webLazy.Load(); web != nil {
+		return web, true
+	}
+	return nil, false
+}
+
+// Neighbors returns user u's out-edges in the web of trust — the users u
+// is predicted to trust — in ascending user-id order, each carrying its
+// continuous T̂ weight.
+func (m *TrustModel) Neighbors(u UserID) []Ranked {
+	to, w := m.WebOfTrust().Neighbors(u)
+	out := make([]Ranked, len(to))
+	for i, j := range to {
+		out[i] = Ranked{User: ratings.UserID(j), Score: w[i]}
+	}
+	return out
+}
+
+// PropagationAlgo selects a personalised trust-propagation algorithm for
+// Propagate: the trust-transitivity query class the related work studies
+// over explicit webs, served here over the derived web.
+type PropagationAlgo int
+
+const (
+	// PropagateAppleseed spreads activation energy from the source
+	// (Ziegler & Lausen); scores are retained energies, useful as a
+	// ranking rather than absolute trust values.
+	PropagateAppleseed PropagationAlgo = iota
+	// PropagateMoleTrust runs Massa & Avesani's horizon-bounded
+	// trust-weighted average over the BFS distance DAG; scores are in
+	// [0, 1].
+	PropagateMoleTrust
+	// PropagateTidalTrust runs Golbeck's shortest-path threshold
+	// inference to every reachable sink; scores are in [0, 1].
+	PropagateTidalTrust
+)
+
+// propagateDepth caps the search horizon of the path-bounded algorithms
+// (MoleTrust's own default horizon is 3; TidalTrust uses the experiment
+// suite's depth).
+const propagateDepth = 4
+
+// String returns the algorithm's wire name, as accepted by
+// ParsePropagationAlgo and the /v1/propagate endpoint.
+func (a PropagationAlgo) String() string {
+	switch a {
+	case PropagateAppleseed:
+		return "appleseed"
+	case PropagateMoleTrust:
+		return "moletrust"
+	case PropagateTidalTrust:
+		return "tidaltrust"
+	default:
+		return fmt.Sprintf("PropagationAlgo(%d)", int(a))
+	}
+}
+
+// ParsePropagationAlgo maps a wire name ("appleseed", "moletrust",
+// "tidaltrust"; case-insensitive) to its algorithm.
+func ParsePropagationAlgo(s string) (PropagationAlgo, error) {
+	switch strings.ToLower(s) {
+	case "appleseed":
+		return PropagateAppleseed, nil
+	case "moletrust":
+		return PropagateMoleTrust, nil
+	case "tidaltrust":
+		return PropagateTidalTrust, nil
+	default:
+		return 0, fmt.Errorf("weboftrust: unknown propagation algorithm %q (appleseed, moletrust, tidaltrust)", s)
+	}
+}
+
+// PropagateInto fills dst (length U) with algo's personalised trust ranks
+// from source's viewpoint over the web of trust, with the source's own
+// entry zeroed (it does not rank itself). Every entry of dst is
+// overwritten, so serving layers can hand in pooled, dirty buffers. The
+// result is deterministic for a given model and algorithm.
+func (m *TrustModel) PropagateInto(algo PropagationAlgo, source UserID, dst []float64) error {
+	numU := m.dataset.NumUsers()
+	if len(dst) != numU {
+		return fmt.Errorf("weboftrust: PropagateInto dst length %d, want %d", len(dst), numU)
+	}
+	if int(source) < 0 || int(source) >= numU {
+		return fmt.Errorf("weboftrust: propagate source %d out of range (%d users)", source, numU)
+	}
+	g := m.WebOfTrust().Graph()
+	switch algo {
+	case PropagateAppleseed:
+		ranks, err := propagation.DefaultAppleseed().Rank(g, int(source))
+		if err != nil {
+			return err
+		}
+		copy(dst, ranks)
+	case PropagateMoleTrust:
+		ranks, err := propagation.DefaultMoleTrust().Rank(g, int(source))
+		if err != nil {
+			return err
+		}
+		copy(dst, ranks)
+	case PropagateTidalTrust:
+		res := propagation.TidalTrust{MaxDepth: propagateDepth}.InferAll(g, int(source))
+		for j, r := range res {
+			if r.OK && r.Value > 0 {
+				dst[j] = r.Value
+			} else {
+				dst[j] = 0
+			}
+		}
+	default:
+		return fmt.Errorf("weboftrust: unknown propagation algorithm %d", int(algo))
+	}
+	dst[source] = 0
+	return nil
+}
+
+// Propagate returns the k highest-ranked users from source's viewpoint
+// under algo, best first (ties by ascending user id), excluding the
+// source and zero scores. Where TopTrusted ranks the continuous one-hop
+// matrix, Propagate ranks multi-hop transitive trust over the binarised
+// web — the "web of trust propagation" the paper proposes as the
+// framework's payoff.
+func (m *TrustModel) Propagate(algo PropagationAlgo, source UserID, k int) ([]Ranked, error) {
+	dst := make([]float64, m.dataset.NumUsers())
+	if err := m.PropagateInto(algo, source, dst); err != nil {
+		return nil, err
+	}
+	return core.RankRow(dst, k), nil
+}

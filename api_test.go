@@ -229,3 +229,201 @@ func TestDeriveOnSyntheticCommunity(t *testing.T) {
 	}
 	_ = gt
 }
+
+// TestWebOfTrustFacade covers the graph-query surface: the web artifact
+// exists, Neighbors mirrors it, and Propagate ranks over it for every
+// algorithm.
+func TestWebOfTrustFacade(t *testing.T) {
+	cfg := synth.Small()
+	cfg.Seed = 3
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := model.WebOfTrust()
+	if web == nil {
+		t.Fatal("no web artifact")
+	}
+	if web.NumUsers() != d.NumUsers() {
+		t.Fatalf("web has %d users, dataset %d", web.NumUsers(), d.NumUsers())
+	}
+	if web.NumEdges() == 0 {
+		t.Fatal("web has no edges on a community with explicit trust")
+	}
+	withEdges := -1
+	for u := 0; u < d.NumUsers(); u++ {
+		nb := model.Neighbors(weboftrust.UserID(u))
+		to, w := web.Neighbors(weboftrust.UserID(u))
+		if len(nb) != len(to) {
+			t.Fatalf("user %d: Neighbors %d, web row %d", u, len(nb), len(to))
+		}
+		for i := range nb {
+			if int(nb[i].User) != int(to[i]) || nb[i].Score != w[i] {
+				t.Fatalf("user %d edge %d mismatch", u, i)
+			}
+		}
+		if len(nb) > 0 && withEdges < 0 {
+			withEdges = u
+		}
+	}
+	if withEdges < 0 {
+		t.Fatal("no user has edges")
+	}
+	for _, algo := range []weboftrust.PropagationAlgo{
+		weboftrust.PropagateAppleseed, weboftrust.PropagateMoleTrust, weboftrust.PropagateTidalTrust,
+	} {
+		ranked, err := model.Propagate(algo, weboftrust.UserID(withEdges), 10)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for i := 1; i < len(ranked); i++ {
+			if ranked[i].Score > ranked[i-1].Score {
+				t.Fatalf("%s: ranking not descending at %d", algo, i)
+			}
+		}
+		for _, r := range ranked {
+			if int(r.User) == withEdges || r.Score <= 0 {
+				t.Fatalf("%s: bad entry %+v", algo, r)
+			}
+		}
+		// PropagateInto overwrites a dirty buffer completely.
+		dst := make([]float64, d.NumUsers())
+		for i := range dst {
+			dst[i] = -99
+		}
+		if err := model.PropagateInto(algo, weboftrust.UserID(withEdges), dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			if v == -99 {
+				t.Fatalf("%s: dst[%d] not overwritten", algo, i)
+			}
+		}
+	}
+	if _, err := model.Propagate(weboftrust.PropagationAlgo(9), 0, 5); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := model.Propagate(weboftrust.PropagateAppleseed, weboftrust.UserID(d.NumUsers()), 5); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+// TestParsePropagationAlgo pins the wire names.
+func TestParsePropagationAlgo(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want weboftrust.PropagationAlgo
+	}{
+		{"appleseed", weboftrust.PropagateAppleseed},
+		{"MoleTrust", weboftrust.PropagateMoleTrust},
+		{"tidaltrust", weboftrust.PropagateTidalTrust},
+	} {
+		got, err := weboftrust.ParsePropagationAlgo(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePropagationAlgo(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != "" && tc.want.String() == "" {
+			t.Errorf("missing String for %v", tc.want)
+		}
+	}
+	if _, err := weboftrust.ParsePropagationAlgo("pagerank"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestWebPolicyOptions: the threshold option switches the artifact's
+// policy, the cold-start option adds edges for uncalibrated users, and
+// both validate their ranges.
+func TestWebPolicyOptions(t *testing.T) {
+	cfg := synth.Small()
+	cfg.Seed = 5
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresh, err := weboftrust.Derive(d, weboftrust.WithWebThreshold(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := thresh.WebOfTrust().Policy().String(); got != "threshold(tau=0.4)" {
+		t.Errorf("policy = %q", got)
+	}
+	cold, err := weboftrust.Derive(d, weboftrust.WithWebColdStartGenerosity(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WebOfTrust().NumEdges() < base.WebOfTrust().NumEdges() {
+		t.Errorf("cold-start fallback lost edges: %d < %d",
+			cold.WebOfTrust().NumEdges(), base.WebOfTrust().NumEdges())
+	}
+	// The policy does not enter the fingerprint: checkpoints stay
+	// portable across it.
+	if base.Fingerprint() != thresh.Fingerprint() || base.Fingerprint() != cold.Fingerprint() {
+		t.Error("web policy leaked into the config fingerprint")
+	}
+	if _, err := weboftrust.Derive(d, weboftrust.WithWebThreshold(1.5)); err == nil {
+		t.Error("tau out of range accepted")
+	}
+	if _, err := weboftrust.Derive(d, weboftrust.WithWebColdStartGenerosity(-0.1)); err == nil {
+		t.Error("cold generosity out of range accepted")
+	}
+}
+
+// TestUpdateMaintainsWeb: the facade Update chain carries the web along
+// and matches a cold derive of the grown dataset.
+func TestUpdateMaintainsWeb(t *testing.T) {
+	d := buildFixture(t)
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ratings.NewBuilderFrom(d)
+	critic := b.AddUser("critic")
+	oid, err := b.AddObject(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := b.AddReview(critic, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRating(0, rid, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTrust(0, critic); err != nil {
+		t.Fatal(err)
+	}
+	grown := b.Snapshot()
+	upd, err := model.Update(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := weboftrust.Derive(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uw, cw := upd.WebOfTrust(), cold.WebOfTrust()
+	if uw.NumEdges() != cw.NumEdges() {
+		t.Fatalf("updated web %d edges, cold %d", uw.NumEdges(), cw.NumEdges())
+	}
+	for u := 0; u < grown.NumUsers(); u++ {
+		ut, uwts := uw.Neighbors(weboftrust.UserID(u))
+		ct, cwts := cw.Neighbors(weboftrust.UserID(u))
+		if len(ut) != len(ct) {
+			t.Fatalf("user %d rows differ", u)
+		}
+		for i := range ut {
+			if ut[i] != ct[i] || uwts[i] != cwts[i] {
+				t.Fatalf("user %d edge %d differs", u, i)
+			}
+		}
+	}
+}

@@ -354,6 +354,20 @@ func BenchmarkBinarizeDerived(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphBuild measures constructing the full web-of-trust
+// artifact (generosity, per-user edge selection, CSR graph packing) from
+// the derived matrix — the Step 4 cost Run pays once and Update pays only
+// a dirty-user fraction of.
+func BenchmarkGraphBuild(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildWeb(e.Dataset, e.Artifacts.Trust, core.DefaultWebPolicy(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSnapshotWrite measures dataset serialisation.
 func BenchmarkSnapshotWrite(b *testing.B) {
 	e := env(b)
@@ -456,6 +470,73 @@ func BenchmarkServerTopKLarge(b *testing.B) {
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("topk: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerPropagate measures trustd's /v1/propagate handler on
+// the hot path the acceptance criterion names: a repeated personalised
+// query served from the ranked-result cache (lookup + JSON encoding),
+// which must stay within 2× of the equally-cached /v1/topk.
+func BenchmarkServerPropagate(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(model, 0, server.Options{}).Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/v1/propagate?algo=appleseed&user=17&k=10", nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("propagate: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerPropagateMiss is the cache-miss cost behind the cached
+// path: every request computes a fresh Appleseed spread over the served
+// graph (cycling sources so no result repeats within a cache lifetime).
+func BenchmarkServerPropagateMiss(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// CacheResults -1 disables result caching, so every request pays the
+	// full spreading-activation traversal.
+	h := server.New(model, 0, server.Options{CacheResults: -1}).Handler()
+	numU := e.Dataset.NumUsers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/propagate?algo=appleseed&user=%d&k=10", i%numU), nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("propagate: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerPropagateLarge is BenchmarkServerPropagate at the Large
+// preset: the cached-path latency must stay flat as the community grows,
+// because a cache hit never touches the graph.
+func BenchmarkServerPropagateLarge(b *testing.B) {
+	e := envLarge(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(model, 0, server.Options{}).Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/v1/propagate?algo=appleseed&user=17&k=10", nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("propagate: %d %s", rec.Code, rec.Body.String())
 		}
 	}
 }

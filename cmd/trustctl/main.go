@@ -12,6 +12,9 @@
 //	trustctl exportlog -in data.wot -log events.log
 //	trustctl checkpoint -log events.log -dir DIR [-workers N] [-allow-truncated]
 //	trustctl compact    -log events.log -dir DIR [-workers N] [-allow-truncated]
+//	trustctl exportgraph (-in data.wot | -log events.log | -checkpoint FILE)
+//	                     [-format csv|json] [-out FILE] [-tau T] [-cold-generosity K]
+//	                     [-workers N] [-allow-truncated]
 //
 // Datasets are stored in the snapshot format of internal/store (CRC-32
 // checked); "ingest" replays an append-only event log into a snapshot.
@@ -21,12 +24,19 @@
 // folded prefix out of the log, bounding log growth. Both warm-start from
 // an existing checkpoint in -dir when one is usable. Neither may run
 // while a writer is appending or a trustd is tailing the log.
+//
+// "exportgraph" dumps the binarised web of trust — the same graph trustd
+// serves at /v1/neighbors and propagates at /v1/propagate — as a
+// from,to,weight edge list (CSV or JSON) for offline analysis, built from
+// a snapshot, an event log, or a warm-restart checkpoint file.
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -47,13 +57,15 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest|exportlog|checkpoint|compact> [flags]")
+		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest|exportlog|exportgraph|checkpoint|compact> [flags]")
 	}
 	switch args[0] {
 	case "generate":
 		return cmdGenerate(args[1:])
 	case "exportlog":
 		return cmdExportLog(args[1:])
+	case "exportgraph":
+		return cmdExportGraph(args[1:])
 	case "checkpoint":
 		return cmdCheckpoint(args[1:])
 	case "compact":
@@ -270,31 +282,41 @@ func cmdIngest(args []string) error {
 }
 
 func ingestLog(logPath, out string, allowTruncated bool) error {
-	f, err := os.Open(logPath)
+	d, n, err := loadLogDataset(logPath, allowTruncated, "ingest")
 	if err != nil {
 		return err
+	}
+	if err := saveDataset(out, d); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d events into %s: %v\n", n, out, d)
+	return nil
+}
+
+// loadLogDataset replays an event log into a dataset, tolerating a torn
+// final record when allowTruncated is set (the shared torn-record
+// semantics of every log-consuming subcommand). cmd labels the warning.
+func loadLogDataset(logPath string, allowTruncated bool, cmd string) (*ratings.Dataset, int, error) {
+	f, err := os.Open(logPath)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer f.Close()
 	events, err := store.ReadLog(f)
 	if err != nil {
 		var trunc *store.TruncatedError
 		if errors.As(err, &trunc) && allowTruncated {
-			fmt.Fprintf(os.Stderr, "ingest: torn final record; ingesting %d events up to offset %d\n",
-				len(events), trunc.Offset)
+			fmt.Fprintf(os.Stderr, "%s: torn final record; using %d events up to offset %d\n",
+				cmd, len(events), trunc.Offset)
 		} else {
-			return fmt.Errorf("reading log: %w", err)
+			return nil, 0, fmt.Errorf("reading log: %w", err)
 		}
 	}
 	b := ratings.NewBuilder()
 	if err := store.Replay(events, b); err != nil {
-		return err
+		return nil, 0, err
 	}
-	d := b.Build()
-	if err := saveDataset(out, d); err != nil {
-		return err
-	}
-	fmt.Printf("replayed %d events into %s: %v\n", len(events), out, d)
-	return nil
+	return b.Build(), len(events), nil
 }
 
 func cmdCheckpoint(args []string) error {
@@ -347,6 +369,124 @@ func cmdCompact(args []string) error {
 	fmt.Printf("folded %d bytes (%d events, %s build) into %s; log now %d bytes\n",
 		res.FoldedBytes, res.FoldedEvents, boot, res.Path, res.RemainderBytes)
 	return nil
+}
+
+func cmdExportGraph(args []string) error {
+	fs := flag.NewFlagSet("exportgraph", flag.ContinueOnError)
+	in := fs.String("in", "", "input snapshot path")
+	logPath := fs.String("log", "", "input event log path (replayed in full)")
+	ckptPath := fs.String("checkpoint", "", "input warm-restart checkpoint file")
+	format := fs.String("format", "csv", "output format: csv or json")
+	out := fs.String("out", "", "output path (default stdout)")
+	tau := fs.Float64("tau", -1, "binarise with a global score threshold instead of per-user top-k generosity (-1 = per-user top-k)")
+	coldK := fs.Float64("cold-generosity", 0, "generosity fallback for users whose history cannot calibrate one")
+	workers := fs.Int("workers", 0, "pipeline worker goroutines (0 = one per CPU)")
+	allowTruncated := fs.Bool("allow-truncated", false,
+		"replay the intact prefix of a log whose final record is torn")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sources := 0
+	for _, s := range []string{*in, *logPath, *ckptPath} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("exportgraph: exactly one of -in, -log or -checkpoint is required")
+	}
+	if *format != "csv" && *format != "json" {
+		return fmt.Errorf("exportgraph: unknown format %q (csv, json)", *format)
+	}
+	opts := []weboftrust.Option{weboftrust.WithWorkers(*workers)}
+	if *tau >= 0 {
+		opts = append(opts, weboftrust.WithWebThreshold(*tau))
+	}
+	if *coldK != 0 {
+		opts = append(opts, weboftrust.WithWebColdStartGenerosity(*coldK))
+	}
+
+	var model *weboftrust.TrustModel
+	switch {
+	case *in != "":
+		d, err := loadDataset(*in)
+		if err != nil {
+			return err
+		}
+		if model, err = weboftrust.Derive(d, opts...); err != nil {
+			return err
+		}
+	case *logPath != "":
+		d, _, err := loadLogDataset(*logPath, *allowTruncated, "exportgraph")
+		if err != nil {
+			return err
+		}
+		if model, err = weboftrust.Derive(d, opts...); err != nil {
+			return err
+		}
+	default:
+		var err error
+		if model, _, err = checkpoint.ReadFile(*ckptPath, opts...); err != nil {
+			return err
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	web := model.WebOfTrust()
+	if err := writeGraph(w, web, *format); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported web of trust: %d nodes, %d edges, policy %s\n",
+		web.NumUsers(), web.NumEdges(), web.Policy())
+	return nil
+}
+
+// writeGraph streams the web's edge list: CSV with a from,to,weight
+// header, or a JSON array of {"from","to","weight"} objects.
+func writeGraph(w io.Writer, web *weboftrust.Web, format string) error {
+	bw := bufio.NewWriter(w)
+	switch format {
+	case "csv":
+		if _, err := fmt.Fprintln(bw, "from,to,weight"); err != nil {
+			return err
+		}
+		for u := 0; u < web.NumUsers(); u++ {
+			to, weights := web.Neighbors(ratings.UserID(u))
+			for i, j := range to {
+				if _, err := fmt.Fprintf(bw, "%d,%d,%g\n", u, j, weights[i]); err != nil {
+					return err
+				}
+			}
+		}
+	case "json":
+		sep := "["
+		for u := 0; u < web.NumUsers(); u++ {
+			to, weights := web.Neighbors(ratings.UserID(u))
+			for i, j := range to {
+				if _, err := fmt.Fprintf(bw, "%s\n  {\"from\": %d, \"to\": %d, \"weight\": %g}", sep, u, j, weights[i]); err != nil {
+					return err
+				}
+				sep = ","
+			}
+		}
+		if sep == "[" {
+			if _, err := fmt.Fprint(bw, "["); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "\n]"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func cmdExportLog(args []string) error {

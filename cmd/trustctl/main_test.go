@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"weboftrust"
 	"weboftrust/internal/checkpoint"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/store"
@@ -298,4 +300,115 @@ func TestLoadDatasetHelpers(t *testing.T) {
 	if err := saveDataset("/nonexistent-dir/x.wot", b.Build()); err == nil {
 		t.Error("write to bad path accepted")
 	}
+}
+
+func TestExportGraph(t *testing.T) {
+	snap := generateSnapshot(t)
+	dir := t.TempDir()
+
+	// CSV from a snapshot: a header plus one line per edge, matching the
+	// derived model's web exactly.
+	csvPath := filepath.Join(dir, "graph.csv")
+	if err := run([]string{"exportgraph", "-in", snap, "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadDataset(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := model.WebOfTrust()
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "from,to,weight" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines)-1 != web.NumEdges() {
+		t.Fatalf("csv has %d edges, web %d", len(lines)-1, web.NumEdges())
+	}
+
+	// JSON from an event log (replay path) must carry the same edges.
+	logPath := filepath.Join(dir, "events.log")
+	if err := run([]string{"exportlog", "-in", snap, "-log", logPath}); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "graph.json")
+	if err := run([]string{"exportgraph", "-log", logPath, "-format", "json", "-out", jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	jraw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []struct {
+		From   int     `json:"from"`
+		To     int     `json:"to"`
+		Weight float64 `json:"weight"`
+	}
+	if err := json.Unmarshal(jraw, &edges); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if len(edges) != web.NumEdges() {
+		t.Fatalf("json has %d edges, web %d", len(edges), web.NumEdges())
+	}
+	for _, e := range edges {
+		if w, ok := findEdge(web, e.From, e.To); !ok || w != e.Weight {
+			t.Fatalf("edge %+v not in web (ok=%v w=%v)", e, ok, w)
+		}
+	}
+
+	// Checkpoint source serves the same graph.
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := run([]string{"checkpoint", "-log", logPath, "-dir", ckptDir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(ckptDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	ckptCSV := filepath.Join(dir, "from-ckpt.csv")
+	if err := run([]string{"exportgraph", "-checkpoint", filepath.Join(ckptDir, entries[0].Name()), "-out", ckptCSV}); err != nil {
+		t.Fatal(err)
+	}
+	craw, err := os.ReadFile(ckptCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(craw) != string(raw) {
+		t.Error("checkpoint-sourced graph differs from snapshot-sourced graph")
+	}
+
+	// Threshold policy produces a different (valid) dump.
+	tauCSV := filepath.Join(dir, "tau.csv")
+	if err := run([]string{"exportgraph", "-in", snap, "-tau", "0.5", "-out", tauCSV}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flag validation.
+	if err := run([]string{"exportgraph"}); err == nil {
+		t.Error("no source accepted")
+	}
+	if err := run([]string{"exportgraph", "-in", snap, "-log", logPath}); err == nil {
+		t.Error("two sources accepted")
+	}
+	if err := run([]string{"exportgraph", "-in", snap, "-format", "dot"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// findEdge looks an edge up in the web's rows.
+func findEdge(web *weboftrust.Web, from, to int) (float64, bool) {
+	cols, w := web.Neighbors(ratings.UserID(from))
+	for i, j := range cols {
+		if int(j) == to {
+			return w[i], true
+		}
+	}
+	return 0, false
 }

@@ -5,6 +5,7 @@
 //
 //	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-results 512] [-workers N]
 //	               [-checkpoint-dir DIR] [-checkpoint-interval 5m] [-checkpoint-keep 2]
+//	               [-web-tau T] [-web-cold-generosity K]
 //	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
 //	trustd loadgen -addr http://localhost:8080 [-duration 10s] [-concurrency 8] [-k 10]
 //
@@ -21,8 +22,18 @@
 // -checkpoint-interval (skipping idle intervals) and once more on
 // SIGTERM, keeping the newest -checkpoint-keep files.
 //
+// The daemon also derives, incrementally maintains and serves the
+// binarised web of trust: by default users select their top ⌈k_i·n_i⌉
+// derived connections (the paper's per-user-generosity protocol;
+// -web-cold-generosity gives users who cannot calibrate a k_i a fallback),
+// or -web-tau switches to a global score threshold. /v1/neighbors lists a
+// user's predicted-trust edges, /v1/propagate ranks transitive trust over
+// the graph, /v1/graph/stats reports its shape.
+//
 // Endpoints: /v1/topk?user=U&k=K, /v1/trust?from=I&to=J,
-// /v1/expertise?user=U, /v1/stats, /healthz, /metrics (Prometheus text).
+// /v1/expertise?user=U, /v1/neighbors?user=U,
+// /v1/propagate?algo=appleseed|moletrust|tidaltrust&user=U&k=K,
+// /v1/graph/stats, /v1/stats, /healthz, /metrics (Prometheus text).
 package main
 
 import (
@@ -75,6 +86,8 @@ func cmdServe(args []string) error {
 	ckptDir := fs.String("checkpoint-dir", "", "directory for warm-restart checkpoints (restore at boot, write periodically and on shutdown)")
 	ckptInterval := fs.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "periodic checkpoint cadence")
 	ckptKeep := fs.Int("checkpoint-keep", server.DefaultCheckpointKeep, "recent checkpoints to retain")
+	webTau := fs.Float64("web-tau", -1, "binarise the web of trust with a global score threshold instead of per-user top-k generosity (-1 = per-user top-k)")
+	webColdK := fs.Float64("web-cold-generosity", 0, "generosity fallback for users whose history cannot calibrate one (per-user top-k policy; 0 = paper protocol)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +107,13 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: -checkpoint-keep %d < 1", *ckptKeep)
 	}
 	opts := server.Options{CacheResults: *cacheResults, CacheBytes: *cacheBytes}
+	derive := []weboftrust.Option{weboftrust.WithWorkers(*workers)}
+	if *webTau >= 0 {
+		derive = append(derive, weboftrust.WithWebThreshold(*webTau))
+	}
+	if *webColdK != 0 {
+		derive = append(derive, weboftrust.WithWebColdStartGenerosity(*webColdK))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -102,7 +122,7 @@ func cmdServe(args []string) error {
 	tailErr := make(chan error, 1)
 	var ckptDone chan error
 	if *logPath != "" {
-		s, tailer, info, err := server.OpenCheckpointed(*logPath, *ckptDir, *poll, opts, weboftrust.WithWorkers(*workers))
+		s, tailer, info, err := server.OpenCheckpointed(*logPath, *ckptDir, *poll, opts, derive...)
 		if err != nil {
 			return err
 		}
@@ -133,7 +153,7 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		model, err := weboftrust.Derive(d, weboftrust.WithWorkers(*workers))
+		model, err := weboftrust.Derive(d, derive...)
 		if err != nil {
 			return err
 		}

@@ -19,11 +19,20 @@
 //  3. Derived trust. T̂_ij = Σ_c A_ic·E_jc / Σ_c A_ic — user i trusts
 //     user j to the degree j is an expert in what i cares about.
 //
+// The continuous matrix is then binarised into the web of trust itself —
+// each user keeps their top ⌈k_i·n_i⌉ derived connections, sized by
+// their own generosity k_i — and that graph is carried as a pipeline
+// artifact: incrementally maintained by Update, persisted across
+// restarts, and traversable with the propagation algorithms of the
+// related work.
+//
 // The facade in this package wraps the full pipeline:
 //
 //	model, err := weboftrust.Derive(dataset)
 //	top := model.TopTrusted(alice, 10)     // whom should alice trust?
 //	score := model.Score(alice, bob)       // degree of trust in [0,1]
+//	edges := model.Neighbors(alice)        // alice's web-of-trust out-edges
+//	far, err := model.Propagate(weboftrust.PropagateAppleseed, alice, 10)
 //
 // Datasets are built with the ratings package's Builder, loaded from a
 // snapshot or event log (internal/store), or generated synthetically

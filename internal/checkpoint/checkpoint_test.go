@@ -84,6 +84,39 @@ func modelsEqual(t *testing.T, want, got *weboftrust.TrustModel) {
 			}
 		}
 	}
+	websEqual(t, want.WebOfTrust(), got.WebOfTrust())
+}
+
+// websEqual pins the restored (or restored-and-tailed) web-of-trust
+// artifact bitwise against the fresh derive's: policy, generosity, every
+// edge and weight, and the graph shape the propagation endpoints serve.
+func websEqual(t *testing.T, want, got *weboftrust.Web) {
+	t.Helper()
+	if want == nil || got == nil {
+		t.Fatalf("missing web artifact: want %v, got %v", want != nil, got != nil)
+	}
+	if want.Policy() != got.Policy() || want.NumUsers() != got.NumUsers() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("web shape: want %v %d/%d, got %v %d/%d",
+			want.Policy(), want.NumUsers(), want.NumEdges(),
+			got.Policy(), got.NumUsers(), got.NumEdges())
+	}
+	for u := 0; u < want.NumUsers(); u++ {
+		uid := ratings.UserID(u)
+		if want.Generosity(uid) != got.Generosity(uid) {
+			t.Fatalf("generosity[%d]: want %v, got %v", u, want.Generosity(uid), got.Generosity(uid))
+		}
+		wTo, wW := want.Neighbors(uid)
+		gTo, gW := got.Neighbors(uid)
+		if len(wTo) != len(gTo) {
+			t.Fatalf("web row %d: want %d edges, got %d", u, len(wTo), len(gTo))
+		}
+		for i := range wTo {
+			if wTo[i] != gTo[i] || wW[i] != gW[i] {
+				t.Fatalf("web row %d edge %d: want (%d, %v), got (%d, %v)",
+					u, i, wTo[i], wW[i], gTo[i], gW[i])
+			}
+		}
+	}
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {

@@ -3,10 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"weboftrust/internal/mat"
+	"weboftrust/internal/par"
 	"weboftrust/internal/ratings"
 )
 
@@ -18,18 +17,26 @@ import (
 func Generosity(d *ratings.Dataset) []float64 {
 	k := make([]float64, d.NumUsers())
 	for u := ratings.UserID(0); int(u) < d.NumUsers(); u++ {
-		total, trusted := 0, 0
-		d.ConnectionsFrom(u, func(c ratings.Connection) {
-			total++
-			if d.HasTrustEdge(u, c.To) {
-				trusted++
-			}
-		})
-		if total > 0 {
-			k[int(u)] = float64(trusted) / float64(total)
-		}
+		k[int(u)] = generosityOf(d, u)
 	}
 	return k
+}
+
+// generosityOf computes one user's conversion ratio k_i. It reads only
+// user i's own connection and trust rows, which is what lets the web
+// artifact recompute generosity for exactly the users whose rows grew.
+func generosityOf(d *ratings.Dataset, u ratings.UserID) float64 {
+	total, trusted := 0, 0
+	d.ConnectionsFrom(u, func(c ratings.Connection) {
+		total++
+		if d.HasTrustEdge(u, c.To) {
+			trusted++
+		}
+	})
+	if total == 0 {
+		return 0
+	}
+	return float64(trusted) / float64(total)
 }
 
 // BinarizePolicy selects how the continuous matrices are converted to
@@ -75,62 +82,220 @@ func topCount(k float64, n int) int {
 	return c
 }
 
+// Binarize converts the continuous derived matrix into the binary
+// prediction matrix T̂′ under the given policy — the single entry point
+// behind BinarizeDerived, BinarizeDerivedThreshold, the web-of-trust
+// artifact and the facade's binarize option. For PerUserTopK, generosity
+// must hold one k_i per user (a k_i of 0 falls back to
+// policy.ColdGenerosity when that is positive); for GlobalThreshold it is
+// ignored and may be nil. Rows are processed in parallel across workers
+// (<= 0 means one per available CPU) and are identical at any worker
+// count: each row is a pure function of its own inputs.
+func Binarize(dt *DerivedTrust, policy WebPolicy, generosity []float64, workers int) (*mat.CSR, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	numU := dt.NumUsers()
+	if policy.Policy == PerUserTopK && len(generosity) != numU {
+		return nil, fmt.Errorf("core: generosity length %d, want %d", len(generosity), numU)
+	}
+	rows := make([][]int32, numU)
+	n := par.Normalize(workers)
+	bufs := make([]*selectScratch, n)
+	par.DoWorker(n, numU, func(w, i int) {
+		if bufs[w] == nil {
+			bufs[w] = newSelectScratch(numU)
+		}
+		k := 0.0
+		if policy.Policy == PerUserTopK {
+			k = policy.effectiveGenerosity(generosity[i])
+		}
+		rows[i] = policyRowInto(dt, ratings.UserID(i), policy, k, bufs[w], false).To
+	})
+	return mat.NewCSRFromRows(numU, numU, rows, nil)
+}
+
+// selectScratch is the per-worker working memory of a policy row
+// selection: the row evaluation buffer and the candidate-value buffer the
+// threshold selection partitions, reused across every row a worker
+// processes.
+type selectScratch struct {
+	row  []float64
+	vals []float64
+}
+
+func newSelectScratch(numU int) *selectScratch {
+	return &selectScratch{row: make([]float64, numU), vals: make([]float64, 0, numU)}
+}
+
 // BinarizeDerived converts the continuous derived matrix into the binary
 // prediction matrix T̂′ using PerUserTopK: for each user i the candidate
 // set is every j != i with T̂_ij > 0, and the top ⌈k_i·|candidates|⌉ by
 // score become predicted-trust edges. Rows are processed in parallel.
 func BinarizeDerived(dt *DerivedTrust, generosity []float64) (*mat.CSR, error) {
-	numU := dt.NumUsers()
-	if len(generosity) != numU {
-		return nil, fmt.Errorf("core: generosity length %d, want %d", len(generosity), numU)
-	}
-	rows := make([][]int32, numU)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	ch := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			row := make([]float64, numU)
-			for i := range ch {
-				rows[i] = selectDerivedRow(dt, ratings.UserID(i), generosity[i], row)
-			}
-		}()
-	}
-	for i := 0; i < numU; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	return mat.NewCSRFromRows(numU, numU, rows, nil)
+	return Binarize(dt, WebPolicy{Policy: PerUserTopK}, generosity, 0)
 }
 
-func selectDerivedRow(dt *DerivedTrust, i ratings.UserID, k float64, row []float64) []int32 {
-	if k <= 0 {
-		return nil
-	}
-	dt.RowSparse(i, row)
-	row[i] = 0 // self is never a candidate
-	candidates := 0
-	for _, v := range row {
-		if v > 0 {
-			candidates++
+// policyRowInto evaluates user i's derived-trust row into the scratch's
+// U-length row buffer and applies the binarize policy, returning the
+// selected out-neighbours in ascending id order. When withWeights is set
+// the parallel T̂ values are captured too (the derived web is a weighted
+// graph); binarisation to a boolean CSR skips them. Every consumer of a
+// policy — the binarize entry points above and the web-of-trust artifact —
+// funnels through here, so the selection protocol cannot drift between
+// the offline evaluation path and the served graph. k is the user's
+// effective generosity (PerUserTopK only; cold fallback already applied).
+//
+// Selection is threshold-based rather than heap- or sort-based: the
+// take-th largest candidate value is found by quickselect over the
+// compacted positive values — O(candidates) expected — and one ascending
+// scan then emits every score above it plus the lowest-index ties, which
+// is exactly the set mat.TopK keeps (its order is value descending, ties
+// toward the smaller index). The output is therefore already in ascending
+// id order with zero per-row selection allocations beyond the result
+// itself, where the first binarize iteration paid an O(U)-index
+// quickselect plus an O(take log take) sort per row.
+func policyRowInto(dt *DerivedTrust, i ratings.UserID, p WebPolicy, k float64, sc *selectScratch, withWeights bool) WebRow {
+	row := sc.row
+	var ids []int32
+	var ws []float64
+	switch p.Policy {
+	case PerUserTopK:
+		if k <= 0 {
+			return WebRow{}
+		}
+		dt.RowSparse(i, row)
+		row[i] = 0 // self is never a candidate
+		vals := sc.vals[:0]
+		for _, v := range row {
+			if v > 0 {
+				vals = append(vals, v)
+			}
+		}
+		sc.vals = vals[:0] // keep a grown buffer for later rows
+		take := topCount(k, len(vals))
+		if take == 0 {
+			return WebRow{}
+		}
+		ids = make([]int32, 0, take)
+		if withWeights {
+			ws = make([]float64, 0, take)
+		}
+		if take == len(vals) {
+			// Everything positive is selected; no threshold needed.
+			for j, v := range row {
+				if v > 0 {
+					ids = append(ids, int32(j))
+					if withWeights {
+						ws = append(ws, v)
+					}
+				}
+			}
+			break
+		}
+		quickselectDesc(vals, take)
+		// The selected set occupies vals[:take] in unspecified order; the
+		// threshold is its weakest member.
+		thresh := vals[0]
+		for _, v := range vals[1:take] {
+			if v < thresh {
+				thresh = v
+			}
+		}
+		// Entries strictly above the threshold are all in; ties at the
+		// threshold fill the remainder lowest-index-first, matching
+		// TopK's deterministic tie-break.
+		greater := 0
+		for _, v := range row {
+			if v > thresh {
+				greater++
+			}
+		}
+		tiesLeft := take - greater
+		for j, v := range row {
+			if v > thresh || (v == thresh && tiesLeft > 0) {
+				if v == thresh {
+					tiesLeft--
+				}
+				ids = append(ids, int32(j))
+				if withWeights {
+					ws = append(ws, v)
+				}
+			}
+		}
+	case GlobalThreshold:
+		dt.RowSparse(i, row)
+		for j, v := range row {
+			if j != int(i) && v > 0 && v >= p.Tau {
+				ids = append(ids, int32(j))
+				if withWeights {
+					ws = append(ws, v)
+				}
+			}
 		}
 	}
-	take := topCount(k, candidates)
-	if take == 0 {
-		return nil
+	if len(ids) == 0 {
+		return WebRow{}
 	}
-	selected := mat.TopK(row, take)
-	out := make([]int32, 0, len(selected))
-	for _, j := range selected {
-		if row[j] <= 0 {
-			break // ran out of positive candidates
+	return WebRow{To: ids, W: ws}
+}
+
+// quickselectDesc partitions vals so vals[:k] holds the k largest values
+// in unspecified order (iterative Hoare partition, median-of-three
+// pivot): expected O(n). 0 < k <= len(vals); values are finite (trust
+// scores in [0, 1]).
+func quickselectDesc(vals []float64, k int) {
+	lo, hi := 0, len(vals)
+	for k > lo && k < hi {
+		if hi-lo == 2 {
+			if vals[lo+1] > vals[lo] {
+				vals[lo], vals[lo+1] = vals[lo+1], vals[lo]
+			}
+			return
 		}
-		out = append(out, int32(j))
+		// Median-of-three, arranged so vals[lo] >= pivot >= vals[hi-1]:
+		// both scans stop inside the range and the split is interior.
+		mid := lo + (hi-lo)/2
+		last := hi - 1
+		if vals[mid] > vals[lo] {
+			vals[mid], vals[lo] = vals[lo], vals[mid]
+		}
+		if vals[last] > vals[lo] {
+			vals[last], vals[lo] = vals[lo], vals[last]
+		}
+		if vals[last] > vals[mid] {
+			vals[last], vals[mid] = vals[mid], vals[last]
+		}
+		pivot := vals[mid]
+		i, j := lo, hi-1
+		for {
+			for {
+				i++
+				if !(vals[i] > pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !(pivot > vals[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+		p := j + 1
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p
+		default:
+			hi = p
+		}
 	}
-	return out
 }
 
 // BaselineMatrix builds the paper's baseline B: B_ij is the average rating
@@ -185,34 +350,7 @@ func BinarizeSparse(scores *mat.CSR, generosity []float64) (*mat.CSR, error) {
 // matrix: predict trust wherever T̂_ij >= tau (j != i). Rows are processed
 // in parallel.
 func BinarizeDerivedThreshold(dt *DerivedTrust, tau float64) *mat.CSR {
-	numU := dt.NumUsers()
-	rows := make([][]int32, numU)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	ch := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			row := make([]float64, numU)
-			for i := range ch {
-				dt.RowSparse(ratings.UserID(i), row)
-				var out []int32
-				for j, v := range row {
-					if j != i && v >= tau && v > 0 {
-						out = append(out, int32(j))
-					}
-				}
-				rows[i] = out
-			}
-		}()
-	}
-	for i := 0; i < numU; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	m, err := mat.NewCSRFromRows(numU, numU, rows, nil)
+	m, err := Binarize(dt, WebPolicy{Policy: GlobalThreshold, Tau: tau}, nil, 0)
 	if err != nil {
 		panic(fmt.Sprintf("core: BinarizeDerivedThreshold: %v", err)) // rows are unique and in-range
 	}

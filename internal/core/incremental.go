@@ -148,11 +148,21 @@ func (c Config) UpdateScratch(oldArt *Artifacts, oldD, newD *ratings.Dataset, s 
 	if err != nil {
 		return nil, fmt.Errorf("core: update derive: %w", err)
 	}
+	// The web of trust follows the same reuse discipline: only users
+	// whose own activity or reachable expertise changed get their edge
+	// rows re-selected; everyone else's rows are shared with the old web
+	// by reference (a nil oldArt.Web — artifacts assembled by hand —
+	// falls back to a full build).
+	web, err := buildWeb(newD, dt, c.Web, c.Workers, oldArt.Web, oldD, touched)
+	if err != nil {
+		return nil, fmt.Errorf("core: update web of trust: %w", err)
+	}
 	return &Artifacts{
 		RiggsResults: results,
 		Expertise:    e,
 		Affinity:     a,
 		Trust:        dt,
+		Web:          web,
 	}, nil
 }
 
@@ -162,7 +172,8 @@ func checkExtension(oldD, newD *ratings.Dataset) error {
 		newD.NumCategories() < oldD.NumCategories() ||
 		newD.NumObjects() < oldD.NumObjects() ||
 		newD.NumReviews() < oldD.NumReviews() ||
-		newD.NumRatings() < oldD.NumRatings() {
+		newD.NumRatings() < oldD.NumRatings() ||
+		newD.NumTrustEdges() < oldD.NumTrustEdges() {
 		return fmt.Errorf("%w: shrunk entity counts", ErrNotExtension)
 	}
 	for c := 0; c < oldD.NumCategories(); c++ {
@@ -184,6 +195,14 @@ func checkExtension(oldD, newD *ratings.Dataset) error {
 	for i := range oldRatings {
 		if oldRatings[i] != newRatings[i] {
 			return fmt.Errorf("%w: rating %d differs", ErrNotExtension, i)
+		}
+	}
+	// The web artifact's generosity maintenance keys on new trust edges,
+	// so the trust list must be append-only like everything else.
+	oldTrust, newTrust := oldD.TrustEdges(), newD.TrustEdges()
+	for i := range oldTrust {
+		if oldTrust[i] != newTrust[i] {
+			return fmt.Errorf("%w: trust edge %d differs", ErrNotExtension, i)
 		}
 	}
 	return nil

@@ -45,6 +45,16 @@ func growDataset(d *ratings.Dataset, seed uint64) (*ratings.Dataset, map[ratings
 	}
 
 	touched := make(map[ratings.CategoryID]bool)
+	// A new explicit trust edge from an existing user with no other new
+	// activity: the only web-of-trust input that changes for them is
+	// their generosity, exercising that maintenance path in isolation.
+	for tries := 0; tries < 8 && d.NumUsers() >= 2; tries++ {
+		from := ratings.UserID(rng.IntN(d.NumUsers()))
+		to := ratings.UserID(rng.IntN(d.NumUsers()))
+		if b.AddTrust(from, to) == nil {
+			break
+		}
+	}
 	// New writer and rater.
 	writer := b.AddUser("new-writer")
 	rater := b.AddUser("new-rater")

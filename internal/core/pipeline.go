@@ -27,6 +27,12 @@ type Config struct {
 	// and trust row sums), so artifacts are bitwise-identical at any
 	// setting — the knob only trades wall-clock time.
 	Workers int
+	// Web selects how the derived matrix is binarised into the
+	// web-of-trust graph artifact (Step 4, Artifacts.Web). Like Workers
+	// it is excluded from the configuration fingerprint: the persisted
+	// artifacts do not depend on it, and a restore rebuilds the graph
+	// under the restoring side's policy.
+	Web WebPolicy
 }
 
 // DefaultConfig returns the configuration the paper evaluates.
@@ -35,6 +41,7 @@ func DefaultConfig() Config {
 		Riggs:        riggs.DefaultModel(),
 		Reputation:   reputation.DefaultOptions(),
 		AffinityMode: affinity.Blend,
+		Web:          DefaultWebPolicy(),
 	}
 }
 
@@ -50,6 +57,10 @@ type Artifacts struct {
 	Affinity *mat.Dense
 	// Trust is the derived trust matrix T̂ (Step 3) in functional form.
 	Trust *DerivedTrust
+	// Web is the binarised web of trust (Step 4): the paper's end
+	// product, built from Trust under Config.Web and maintained
+	// incrementally through Update.
+	Web *Web
 }
 
 // Run executes Steps 1-3 on the dataset and returns the artifacts.
@@ -70,10 +81,15 @@ func (c Config) Run(d *ratings.Dataset) (*Artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3 (derive): %w", err)
 	}
+	web, err := BuildWeb(d, dt, c.Web, c.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 4 (web of trust): %w", err)
+	}
 	return &Artifacts{
 		RiggsResults: results,
 		Expertise:    e,
 		Affinity:     a,
 		Trust:        dt,
+		Web:          web,
 	}, nil
 }

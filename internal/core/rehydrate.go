@@ -15,9 +15,13 @@ import (
 // the reputation discount and the affinity mode. Workers is deliberately
 // excluded — the pipeline is bitwise-identical at any worker count, so a
 // checkpoint written under one parallelism setting restores under any
-// other. Checkpoints record the fingerprint of the config they were
-// derived with, and a restore under a different fingerprint is rejected as
-// stale: the persisted artifacts would not match what Derive produces.
+// other. The web binarize policy (Config.Web) is excluded for the same
+// reason checkpoints stay portable across it: none of the persisted
+// artifacts depend on it, and the graph is rebuilt deterministically
+// under the restoring side's policy. Checkpoints record the fingerprint
+// of the config they were derived with, and a restore under a different
+// fingerprint is rejected as stale: the persisted artifacts would not
+// match what Derive produces.
 func (c Config) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -50,7 +54,11 @@ func boolWord(b bool) uint64 {
 // bitwise-deterministic at any worker count, so a rehydrated model serves
 // exactly the values a fresh Derive over the same dataset would. Each
 // Riggs result is reindexed (its lookup maps are derived state that does
-// not survive serialisation).
+// not survive serialisation). The web-of-trust graph — equally derived,
+// equally deterministic — is deliberately NOT built here: restore is the
+// time-to-serving path, and the facade rebuilds the graph lazily on
+// first use (first graph query or first incremental update) instead,
+// keeping warm boot O(load + index rebuild).
 //
 // The inputs are validated against each other: one result per E/A column,
 // each result labelled with its own index, and matching E/A shapes (the

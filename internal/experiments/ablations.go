@@ -199,7 +199,14 @@ func RunAblationBinarize(env *Env, taus []float64) (*AblationBinarizeResult, err
 	}
 	out.PerUser = eval.ValidateTrust(env.Dataset, pred)
 	for _, tau := range taus {
-		predTau := core.BinarizeDerivedThreshold(env.Artifacts.Trust, tau)
+		// The same policy-driven entry point the pipeline's web artifact
+		// and the serving facade use, so the ablation measures exactly
+		// the graph a threshold-configured deployment would serve.
+		predTau, err := core.Binarize(env.Artifacts.Trust,
+			core.WebPolicy{Policy: core.GlobalThreshold, Tau: tau}, nil, 0)
+		if err != nil {
+			return nil, err
+		}
 		out.Thresholds = append(out.Thresholds, ThresholdRow{
 			Tau:     tau,
 			Metrics: eval.ValidateTrust(env.Dataset, predTau),

@@ -90,12 +90,14 @@ func RunPropagation(env *Env, params PropagationParams) (*PropagationResult, err
 	}
 
 	// Derived web: the binarised T̂′ support carrying continuous T̂
-	// weights — the denser, weighted web the framework produces. Users
-	// with no explicit trust cannot calibrate their own generosity k_i;
-	// in a deployment the framework serves exactly those cold-start
+	// weights — the denser, weighted web the framework produces, built
+	// through the same artifact path trustd serves (core.BuildWeb).
+	// Users with no explicit trust cannot calibrate their own generosity
+	// k_i; in a deployment the framework serves exactly those cold-start
 	// users, so they fall back to the population's mean positive
 	// generosity (the paper's framework "does not rely on a web of
-	// trust"; only the binarisation threshold needs a default).
+	// trust"; only the binarisation threshold needs a default) — the
+	// web policy's ColdGenerosity knob.
 	k := core.Generosity(d)
 	var kSum float64
 	kPos := 0
@@ -109,29 +111,12 @@ func RunPropagation(env *Env, params PropagationParams) (*PropagationResult, err
 	if kPos > 0 {
 		meanK = kSum / float64(kPos)
 	}
-	for i, v := range k {
-		if v == 0 {
-			k[i] = meanK
-		}
-	}
-	pred, err := core.BinarizeDerived(env.Artifacts.Trust, k)
+	web, err := core.BuildWeb(d, env.Artifacts.Trust,
+		core.WebPolicy{Policy: core.PerUserTopK, ColdGenerosity: meanK}, 0)
 	if err != nil {
 		return nil, err
 	}
-	var derivedEdges []graph.Edge
-	for i := 0; i < numU; i++ {
-		cols, _ := pred.Row(i)
-		for _, j := range cols {
-			w := env.Artifacts.Trust.Value(ratings.UserID(i), ratings.UserID(j))
-			if w > 0 {
-				derivedEdges = append(derivedEdges, graph.Edge{From: i, To: int(j), Weight: w})
-			}
-		}
-	}
-	derived, err := graph.New(numU, derivedEdges)
-	if err != nil {
-		return nil, err
-	}
+	derived := web.Graph()
 
 	res := &PropagationResult{
 		ExplicitEdges: explicit.NumEdges(),

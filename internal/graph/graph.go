@@ -84,6 +84,74 @@ func New(n int, edges []Edge) (*Graph, error) {
 	return g, nil
 }
 
+// FromRows builds a graph directly from per-node adjacency rows: to[v]
+// lists node v's out-neighbours in strictly ascending order (therefore
+// unique) and w[v] the matching edge weights. This is the fast path for
+// callers that already hold CSR-shaped adjacency (the derived web of
+// trust's per-user edge rows): where New merges arbitrary edge lists
+// through a map and a global sort, FromRows only validates and copies,
+// so building the graph is one O(E) pass. A nil to[v] (or w[v] for a
+// nil-row) is an empty row. It returns an error for out-of-range
+// endpoints, unsorted or duplicated targets, or mismatched row lengths.
+func FromRows(n int, to [][]int32, w [][]float64) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	if len(to) != n || len(w) != n {
+		return nil, fmt.Errorf("graph: %d target rows / %d weight rows for %d nodes", len(to), len(w), n)
+	}
+	nnz := 0
+	for v := 0; v < n; v++ {
+		if len(to[v]) != len(w[v]) {
+			return nil, fmt.Errorf("graph: row %d has %d targets but %d weights", v, len(to[v]), len(w[v]))
+		}
+		for i, t := range to[v] {
+			if t < 0 || int(t) >= n {
+				return nil, fmt.Errorf("graph: edge (%d, %d) out of range %d", v, t, n)
+			}
+			if i > 0 && to[v][i-1] >= t {
+				return nil, fmt.Errorf("graph: row %d targets not strictly ascending at %d", v, t)
+			}
+		}
+		nnz += len(to[v])
+	}
+	g := &Graph{
+		n:      n,
+		outOff: make([]int32, n+1),
+		outTo:  make([]int32, nnz),
+		outW:   make([]float64, nnz),
+		inOff:  make([]int32, n+1),
+		inFrom: make([]int32, nnz),
+		inW:    make([]float64, nnz),
+	}
+	pos := 0
+	for v := 0; v < n; v++ {
+		copy(g.outTo[pos:], to[v])
+		copy(g.outW[pos:], w[v])
+		pos += len(to[v])
+		g.outOff[v+1] = int32(pos)
+		for _, t := range to[v] {
+			g.inOff[t+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	next := make([]int32, n)
+	copy(next, g.inOff[:n])
+	// Rows are visited in ascending source order, so each in-list fills in
+	// ascending source order — the same layout New produces.
+	for v := 0; v < n; v++ {
+		for i, t := range to[v] {
+			p := next[t]
+			g.inFrom[p] = int32(v)
+			g.inW[p] = w[v][i]
+			next[t]++
+		}
+	}
+	return g, nil
+}
+
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return g.n }
 

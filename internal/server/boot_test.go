@@ -32,6 +32,10 @@ func serversAgree(t *testing.T, a, b *Server) {
 			"/v1/topk?user=" + strconv.Itoa(u) + "&k=10",
 			"/v1/expertise?user=" + strconv.Itoa(u),
 			"/v1/trust?from=" + strconv.Itoa(u) + "&to=" + strconv.Itoa((u+7)%numU),
+			// The graph surfaces exercise the restored side's lazily
+			// rebuilt web of trust, which must match the eager one.
+			"/v1/neighbors?user=" + strconv.Itoa(u),
+			"/v1/propagate?algo=appleseed&user=" + strconv.Itoa(u) + "&k=10",
 		} {
 			ra, rb := get(t, ha, url), get(t, hb, url)
 			if ra.Code != http.StatusOK || rb.Code != http.StatusOK {

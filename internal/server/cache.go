@@ -8,9 +8,23 @@ import (
 	"weboftrust/internal/ratings"
 )
 
-// resultKey identifies one ranked top-k answer: the source user and the k
-// it was ranked at.
+// resultKind distinguishes the ranked-result families sharing the cache:
+// the one-hop top-k ranking and one entry per propagation algorithm. One
+// LRU serves them all, so the byte budget bounds the sum and a state swap
+// invalidates every family at once.
+type resultKind uint8
+
+const (
+	kindTopK resultKind = iota
+	kindAppleseed
+	kindMoleTrust
+	kindTidalTrust
+)
+
+// resultKey identifies one ranked answer: the result family, the source
+// user and the k it was ranked at.
 type resultKey struct {
+	kind resultKind
 	user ratings.UserID
 	k    int
 }

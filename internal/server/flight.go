@@ -7,21 +7,30 @@ import (
 	"weboftrust/internal/ratings"
 )
 
-// flightGroup coalesces concurrent computations of one user's trust row
-// (stdlib-only singleflight): the first miss for a user becomes the
-// leader and computes the row into a pooled scratch; followers that
-// arrive while the computation is in flight wait on the flight's
-// WaitGroup and read the same buffer instead of recomputing an O(U·C)
-// row per request. The scratch returns to the pool when the last
-// participant — leader or follower — releases it, so a coalesced row is
-// never recycled under a reader.
+// flightGroup coalesces concurrent computations of one user's score
+// vector (stdlib-only singleflight): the first miss for a (kind, user)
+// becomes the leader and computes the vector into a pooled scratch —
+// a trust row for the top-k family, a propagation rank vector for the
+// propagate families; followers that arrive while the computation is in
+// flight wait on the flight's WaitGroup and read the same buffer instead
+// of recomputing an O(U·C) row (or a full graph traversal) per request.
+// The scratch returns to the pool when the last participant — leader or
+// follower — releases it, so a coalesced vector is never recycled under
+// a reader.
 //
 // Each server state owns its own group (like its cache and pool): a
 // swap strands in-flight computations harmlessly on the state their
 // requests loaded.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[ratings.UserID]*flight
+	m  map[flightKey]*flight
+}
+
+// flightKey is the unit of coalescing: one result family for one source
+// user (k does not enter — every k ranks the same computed vector).
+type flightKey struct {
+	kind resultKind
+	user ratings.UserID
 }
 
 type flight struct {
@@ -36,39 +45,39 @@ type flight struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{m: make(map[ratings.UserID]*flight)}
+	return &flightGroup{m: make(map[flightKey]*flight)}
 }
 
-// join returns the in-flight computation for user u and registers the
+// join returns the in-flight computation for key and registers the
 // caller as a follower, or reports that the caller must lead.
-func (g *flightGroup) join(u ratings.UserID) (*flight, bool) {
+func (g *flightGroup) join(key flightKey) (*flight, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if f, ok := g.m[u]; ok {
+	if f, ok := g.m[key]; ok {
 		f.refs.Add(1)
 		return f, true
 	}
 	f := &flight{}
 	f.refs.Store(1)
 	f.wg.Add(1)
-	g.m[u] = f
+	g.m[key] = f
 	return f, false
 }
 
 // unpublish removes the finished flight so later misses start fresh; the
 // leader calls it after setting f.scratch and before wg.Done.
-func (g *flightGroup) unpublish(u ratings.UserID) {
+func (g *flightGroup) unpublish(key flightKey) {
 	g.mu.Lock()
-	delete(g.m, u)
+	delete(g.m, key)
 	g.mu.Unlock()
 }
 
-// refs reports the participants registered on user u's in-flight row
-// computation, 0 when none is in flight. Test hook.
+// refs reports the participants registered on user u's in-flight top-k
+// row computation, 0 when none is in flight. Test hook.
 func (g *flightGroup) refsOf(u ratings.UserID) int32 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if f, ok := g.m[u]; ok {
+	if f, ok := g.m[flightKey{kind: kindTopK, user: u}]; ok {
 		return f.refs.Load()
 	}
 	return 0

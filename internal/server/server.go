@@ -11,12 +11,21 @@
 // started with, and the fresh state starts with an empty cache (swap IS
 // the invalidation).
 //
-// The query path itself is two-tier: a bounded LRU of ranked top-k
-// results keyed by (user, k) — O(k) bytes per entry, not the 8·U-byte
+// The query path itself is two-tier: a bounded LRU of ranked results
+// keyed by (kind, user, k) — O(k) bytes per entry, not the 8·U-byte
 // dense rows the first iteration cached — backed by a sync.Pool of
 // row-length scratch buffers, so steady-state misses evaluate eq. 5 with
-// zero allocations. Concurrent misses for the same user coalesce through
+// zero allocations. Concurrent misses for the same key coalesce through
 // a per-state flight group: one computation, many readers.
+//
+// Beyond the continuous-score endpoints, the daemon serves the binarised
+// web of trust itself: /v1/neighbors lists a user's predicted-trust
+// edges, /v1/propagate ranks multi-hop transitive trust with Appleseed,
+// MoleTrust or TidalTrust over the served graph, and /v1/graph/stats
+// reports its shape. Propagation results ride the same result cache,
+// byte budget and singleflight as top-k answers (one extra key
+// dimension), and a model swap invalidates them with the same
+// whole-state replacement.
 package server
 
 import (
@@ -96,7 +105,7 @@ func (s *Server) checkpointStatus() *CheckpointStatus { return s.ckpt.Load() }
 // Prometheus text format. All fields are monotonic counters except the
 // gauges derived from the current state at scrape time.
 type metrics struct {
-	requests         [4]atomic.Int64 // indexed by endpoint constants below
+	requests         [numEndpoints]atomic.Int64 // indexed by endpoint constants below
 	badRequests      atomic.Int64
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
@@ -107,6 +116,15 @@ type metrics struct {
 	lastSwapNanos    atomic.Int64
 	checkpointWrites atomic.Int64
 	checkpointErrors atomic.Int64
+	// Propagation serving instrumentation: per-algorithm request
+	// counters, the graph traversals actually performed (cache misses
+	// minus coalesced flights), cumulative wall-clock spent in the
+	// propagate handler (nanoseconds; rate() gives mean latency), and
+	// the latency of the most recent request.
+	propagateRequests  [3]atomic.Int64 // indexed by resultKind - kindAppleseed
+	propagateComputes  atomic.Int64
+	propagateNanos     atomic.Int64
+	propagateLastNanos atomic.Int64
 }
 
 const (
@@ -114,7 +132,17 @@ const (
 	epTrust
 	epExpertise
 	epStats
+	epNeighbors
+	epPropagate
+	epGraphStats
+	numEndpoints
 )
+
+// endpointNames labels the requests counter in /metrics, indexed by the
+// endpoint constants.
+var endpointNames = [numEndpoints]string{
+	"topk", "trust", "expertise", "stats", "neighbors", "propagate", "graph_stats",
+}
 
 // New wraps a derived model for serving. offset is the event-log position
 // the model reflects (0 when serving a snapshot with no log).
@@ -181,31 +209,60 @@ func cacheK(k, numU int) int {
 	return min(kc, numU)
 }
 
-// ranked returns user u's top-k result from the state's result cache,
-// computing it on a miss: the trust row is evaluated into a pooled
-// scratch buffer — coalesced across concurrent misses for the same user
-// by the state's flight group — ranked with the bounded heap, and only
-// the O(k)-byte ranked slice is retained. The returned slice is shared
-// and must not be modified.
-func (s *Server) ranked(st *state, u ratings.UserID, k int) []core.Ranked {
+// fillScore computes the score vector one result family ranks: the
+// one-hop trust row for kindTopK, a propagation algorithm's full rank
+// vector for the propagate kinds. Every entry of dst is overwritten
+// (buffers are pooled dirty) and the source's own entry is zeroed.
+func (s *Server) fillScore(st *state, kind resultKind, u ratings.UserID, dst []float64) {
+	switch kind {
+	case kindTopK:
+		st.model.Artifacts().Trust.RowAuto(u, dst)
+		dst[u] = 0 // exclude self, matching TopTrusted
+		s.metrics.rowComputes.Add(1)
+	default:
+		// The source is range-checked by the handler and the algorithm
+		// fixed by the route, so the only error PropagateInto can return
+		// is an impossible one; panic like any other broken invariant
+		// (the flight protocol below recovers followers either way).
+		if err := st.model.PropagateInto(propagateAlgo(kind), u, dst); err != nil {
+			panic(fmt.Sprintf("server: propagate %v for user %d: %v", kind, u, err))
+		}
+		s.metrics.propagateComputes.Add(1)
+	}
+}
+
+// propagateAlgo maps a propagate result kind to its facade algorithm.
+func propagateAlgo(kind resultKind) weboftrust.PropagationAlgo {
+	return weboftrust.PropagationAlgo(kind - kindAppleseed)
+}
+
+// ranked returns user u's top-k result for one result family from the
+// state's result cache, computing it on a miss: the score vector (trust
+// row or propagation ranks) is evaluated into a pooled scratch buffer —
+// coalesced across concurrent misses for the same (kind, user) by the
+// state's flight group — ranked with the bounded heap, and only the
+// O(k)-byte ranked slice is retained, byte-accounted against the shared
+// LRU budget. The returned slice is shared and must not be modified.
+func (s *Server) ranked(st *state, kind resultKind, u ratings.UserID, k int) []core.Ranked {
 	kc := cacheK(k, st.model.Dataset().NumUsers())
-	key := resultKey{user: u, k: kc}
+	key := resultKey{kind: kind, user: u, k: kc}
+	fkey := flightKey{kind: kind, user: u}
 	for {
 		if r, ok := st.results.get(key); ok {
 			s.metrics.cacheHits.Add(1)
 			return trimRanked(r, k)
 		}
 		s.metrics.cacheMisses.Add(1)
-		f, follower := st.flights.join(u)
+		f, follower := st.flights.join(fkey)
 		if follower {
-			// Another request is already computing this user's row; wait
-			// for it and rank the shared buffer with our own k.
+			// Another request is already computing this vector; wait for
+			// it and rank the shared buffer with our own k.
 			f.wg.Wait()
 			if f.scratch == nil {
-				// The leader died before publishing a row (its panic is
-				// its own request's failure); yield until its unwinding
-				// unpublishes the dead flight, then retry — and likely
-				// lead — instead of dereferencing nothing.
+				// The leader died before publishing a vector (its panic
+				// is its own request's failure); yield until its
+				// unwinding unpublishes the dead flight, then retry — and
+				// likely lead — instead of dereferencing nothing.
 				runtime.Gosched()
 				continue
 			}
@@ -220,7 +277,7 @@ func (s *Server) ranked(st *state, u ratings.UserID, k int) []core.Ranked {
 			// up to that point, so an earlier release could recycle the
 			// buffer under a late joiner.
 			defer func() {
-				st.flights.unpublish(u)
+				st.flights.unpublish(fkey)
 				if f.refs.Add(-1) == 0 && f.scratch != nil {
 					st.rows.put(f.scratch)
 				}
@@ -231,10 +288,8 @@ func (s *Server) ranked(st *state, u ratings.UserID, k int) []core.Ranked {
 					s.computeGate(u)
 				}
 				sc := st.rows.get()
-				st.model.Artifacts().Trust.RowAuto(u, sc.row)
-				sc.row[u] = 0 // exclude self, matching TopTrusted
+				s.fillScore(st, kind, u, sc.row)
 				f.scratch = sc
-				s.metrics.rowComputes.Add(1)
 			}()
 		}
 		var idx []int
@@ -273,6 +328,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/trust", s.handleTrust)
 	mux.HandleFunc("GET /v1/expertise", s.handleExpertise)
+	mux.HandleFunc("GET /v1/neighbors", s.handleNeighbors)
+	mux.HandleFunc("GET /v1/propagate", s.handlePropagate)
+	mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -312,6 +370,19 @@ func (s *Server) userParam(w http.ResponseWriter, r *http.Request, st *state, na
 	return ratings.UserID(id), true
 }
 
+// kParam parses the optional "k" query parameter (default 10).
+func (s *Server) kParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		var err error
+		if k, err = strconv.Atoi(raw); err != nil || k < 1 {
+			s.fail(w, http.StatusBadRequest, "bad \"k\" parameter %q", raw)
+			return 0, false
+		}
+	}
+	return k, true
+}
+
 // RankedUser is one /v1/topk result row.
 type RankedUser struct {
 	User  int     `json:"user"`
@@ -334,15 +405,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	k := 10
-	if raw := r.URL.Query().Get("k"); raw != "" {
-		var err error
-		if k, err = strconv.Atoi(raw); err != nil || k < 1 {
-			s.fail(w, http.StatusBadRequest, "bad \"k\" parameter %q", raw)
-			return
-		}
+	k, ok := s.kParam(w, r)
+	if !ok {
+		return
 	}
-	ranked := s.ranked(st, u, k)
+	ranked := s.ranked(st, kindTopK, u, k)
 	d := st.model.Dataset()
 	results := make([]RankedUser, len(ranked))
 	for i, rk := range ranked {
@@ -416,6 +483,129 @@ func (s *Server) handleExpertise(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// NeighborEdge is one /v1/neighbors result row: a predicted-trust edge
+// with its continuous T̂ weight.
+type NeighborEdge struct {
+	User   int     `json:"user"`
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// NeighborsResponse is the /v1/neighbors body: user u's out-edges in the
+// served web of trust, in ascending user-id order, plus the effective
+// generosity that sized the selection.
+type NeighborsResponse struct {
+	User       int            `json:"user"`
+	Name       string         `json:"name"`
+	Version    uint64         `json:"version"`
+	Generosity float64        `json:"generosity"`
+	Edges      []NeighborEdge `json:"edges"`
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epNeighbors].Add(1)
+	st := s.cur.Load()
+	u, ok := s.userParam(w, r, st, "user")
+	if !ok {
+		return
+	}
+	d := st.model.Dataset()
+	web := st.model.WebOfTrust()
+	to, weights := web.Neighbors(u)
+	edges := make([]NeighborEdge, len(to))
+	for i, j := range to {
+		edges[i] = NeighborEdge{User: int(j), Name: d.UserName(ratings.UserID(j)), Weight: weights[i]}
+	}
+	writeJSON(w, http.StatusOK, NeighborsResponse{
+		User: int(u), Name: d.UserName(u), Version: st.version,
+		Generosity: web.Generosity(u), Edges: edges,
+	})
+}
+
+// PropagateResponse is the /v1/propagate body: the k highest-ranked users
+// from the source's viewpoint under the requested propagation algorithm,
+// computed over the served web of trust.
+type PropagateResponse struct {
+	User    int          `json:"user"`
+	Algo    string       `json:"algo"`
+	K       int          `json:"k"`
+	Version uint64       `json:"version"`
+	Results []RankedUser `json:"results"`
+}
+
+func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epPropagate].Add(1)
+	st := s.cur.Load()
+	algo, err := weboftrust.ParsePropagationAlgo(r.URL.Query().Get("algo"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad \"algo\" parameter: %v", err)
+		return
+	}
+	u, ok := s.userParam(w, r, st, "user")
+	if !ok {
+		return
+	}
+	k, ok := s.kParam(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	kind := kindAppleseed + resultKind(algo)
+	s.metrics.propagateRequests[kind-kindAppleseed].Add(1)
+	ranked := s.ranked(st, kind, u, k)
+	elapsed := time.Since(start).Nanoseconds()
+	s.metrics.propagateNanos.Add(elapsed)
+	s.metrics.propagateLastNanos.Store(elapsed)
+	d := st.model.Dataset()
+	results := make([]RankedUser, len(ranked))
+	for i, rk := range ranked {
+		results[i] = RankedUser{User: int(rk.User), Name: d.UserName(rk.User), Score: rk.Score}
+	}
+	writeJSON(w, http.StatusOK, PropagateResponse{
+		User: int(u), Algo: algo.String(), K: k, Version: st.version, Results: results,
+	})
+}
+
+// GraphStatsResponse is the /v1/graph/stats body: the shape of the served
+// web of trust.
+type GraphStatsResponse struct {
+	Version        uint64  `json:"version"`
+	Policy         string  `json:"policy"`
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	MaxOutDegree   int     `json:"max_out_degree"`
+	MaxInDegree    int     `json:"max_in_degree"`
+	MeanOutDegree  float64 `json:"mean_out_degree"`
+	Isolated       int     `json:"isolated"`
+	MeanGenerosity float64 `json:"mean_generosity"`
+}
+
+func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epGraphStats].Add(1)
+	st := s.cur.Load()
+	web := st.model.WebOfTrust()
+	deg := web.Graph().Degrees()
+	var kSum float64
+	for _, k := range web.GenerosityVector() {
+		kSum += k
+	}
+	meanK := 0.0
+	if web.NumUsers() > 0 {
+		meanK = kSum / float64(web.NumUsers())
+	}
+	writeJSON(w, http.StatusOK, GraphStatsResponse{
+		Version:        st.version,
+		Policy:         web.Policy().String(),
+		Nodes:          deg.Nodes,
+		Edges:          deg.Edges,
+		MaxOutDegree:   deg.MaxOutDegree,
+		MaxInDegree:    deg.MaxInDegree,
+		MeanOutDegree:  deg.MeanOutDegree,
+		Isolated:       deg.Isolated,
+		MeanGenerosity: meanK,
+	})
+}
+
 // StatsResponse is the /v1/stats body: dataset shape plus serving state.
 // CacheEntries and CacheBytes expose the ranked-result cache, so the
 // dense-row → O(k)-result memory win is visible in production.
@@ -483,7 +673,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 	fmt.Fprintf(w, "# HELP trustd_requests_total Queries served, by endpoint.\n# TYPE trustd_requests_total counter\n")
-	for i, ep := range []string{"topk", "trust", "expertise", "stats"} {
+	for i, ep := range endpointNames {
 		fmt.Fprintf(w, "trustd_requests_total{endpoint=%q} %d\n", ep, s.metrics.requests[i].Load())
 	}
 	counter("trustd_bad_requests_total", "Requests rejected with a client error.", s.metrics.badRequests.Load())
@@ -505,6 +695,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP trustd_checkpoint_age_seconds Seconds since the newest checkpoint was written.\n# TYPE trustd_checkpoint_age_seconds gauge\ntrustd_checkpoint_age_seconds %g\n",
 			time.Since(ck.WrittenAt).Seconds())
 	}
+	// Peek only: a scrape must never force the lazily rebuilt web of a
+	// freshly restored model (the gauges appear once a graph consumer
+	// has built it, or immediately after a pipeline-built swap).
+	if web, ok := st.model.WebOfTrustBuilt(); ok {
+		gauge("trustd_web_nodes", "Nodes in the served web of trust.", int64(web.NumUsers()))
+		gauge("trustd_web_edges", "Directed trust edges in the served web of trust.", int64(web.NumEdges()))
+	}
+	fmt.Fprintf(w, "# HELP trustd_propagate_requests_total Propagation queries served, by algorithm.\n# TYPE trustd_propagate_requests_total counter\n")
+	for i, algo := range []string{"appleseed", "moletrust", "tidaltrust"} {
+		fmt.Fprintf(w, "trustd_propagate_requests_total{algo=%q} %d\n", algo, s.metrics.propagateRequests[i].Load())
+	}
+	counter("trustd_propagate_computes_total", "Propagation rank vectors actually computed (cache misses minus coalesced flights).", s.metrics.propagateComputes.Load())
+	fmt.Fprintf(w, "# HELP trustd_propagate_seconds_total Wall-clock spent serving propagation queries.\n# TYPE trustd_propagate_seconds_total counter\ntrustd_propagate_seconds_total %g\n",
+		float64(s.metrics.propagateNanos.Load())/1e9)
+	fmt.Fprintf(w, "# HELP trustd_propagate_last_seconds Latency of the most recent propagation query.\n# TYPE trustd_propagate_last_seconds gauge\ntrustd_propagate_last_seconds %g\n",
+		float64(s.metrics.propagateLastNanos.Load())/1e9)
 	gauge("trustd_dataset_users", "Users in the served dataset.", int64(d.NumUsers()))
 	gauge("trustd_dataset_categories", "Categories in the served dataset.", int64(d.NumCategories()))
 	gauge("trustd_dataset_reviews", "Reviews in the served dataset.", int64(d.NumReviews()))

@@ -540,6 +540,9 @@ func (c *counts) batch(newCat bool) []store.Event {
 			store.Event{Kind: store.EvAddRating, User: rater, Review: rid, Level: uint8(1 + i*3)},
 		)
 	}
+	// An explicit trust edge, so ingest also exercises the web artifact's
+	// generosity maintenance.
+	evs = append(evs, store.Event{Kind: store.EvAddTrust, User: rater, To: writer})
 	return evs
 }
 

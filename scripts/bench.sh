@@ -12,10 +12,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_pr4.json}}"
+out="${1:-${BENCH_OUT:-BENCH_pr5.json}}"
 suite="${BENCH_SUITE:-$(basename "$out" .json)}"
 count="${BENCH_COUNT:-5}"
-filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart}"
+filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

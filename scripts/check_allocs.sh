@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # check_allocs.sh is the CI allocation guard for the serving hot path: it
 # runs BenchmarkServerTopK and fails if allocs/op regress above the
-# pre-PR-3 baseline recorded in BENCH_pr2.json (the dense-row read path),
-# so the pooled-scratch + heap-selection win cannot silently erode.
+# baseline recorded in BENCH_pr3.json (34 allocs/op — the pooled-scratch
+# + heap-selection read path), so that win cannot silently erode as the
+# serving surface grows.
 #
 # Usage: scripts/check_allocs.sh
-#   ALLOC_BASELINE_FILE  baseline JSON (default BENCH_pr2.json)
+#   ALLOC_BASELINE_FILE  baseline JSON (default BENCH_pr3.json)
 #   ALLOC_BENCHTIME      iterations for the measurement (default 200x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline_file="${ALLOC_BASELINE_FILE:-BENCH_pr2.json}"
+baseline_file="${ALLOC_BASELINE_FILE:-BENCH_pr3.json}"
 benchtime="${ALLOC_BENCHTIME:-200x}"
 
 # Lowest recorded allocs/op for BenchmarkServerTopK in the baseline file.
