@@ -1,9 +1,9 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 BENCH_COUNT ?= 5
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-smoke bench-guard fuzz-smoke
+.PHONY: build test race bench bench-smoke bench-guard cluster-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,19 @@ bench:
 # bench-smoke is the CI guard: every benchmark must still compile and
 # complete one iteration.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart|RouterTopK' -benchtime 1x .
 
 # bench-guard fails if the serving hot path's allocs/op regress above the
 # BENCH_pr2.json baseline.
 bench-guard:
 	./scripts/check_allocs.sh
+
+# cluster-smoke boots a real 3-shard cluster behind the consistent-hash
+# router next to an unsharded reference, checks routed responses are
+# byte-identical, runs a loadgen burst through the router, and tears the
+# cluster down.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # fuzz-smoke gives each binary-decoder fuzz target (plus the graph
 # constructor's edge validation) a short adversarial run ($(FUZZTIME)

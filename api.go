@@ -10,6 +10,7 @@ import (
 	"weboftrust/internal/core"
 	"weboftrust/internal/propagation"
 	"weboftrust/internal/ratings"
+	"weboftrust/internal/shard"
 )
 
 // UserID identifies a community member; it aliases the data model's id
@@ -114,6 +115,31 @@ func WithWebColdStartGenerosity(k float64) Option {
 	}
 }
 
+// WithShard makes the model shard index of count in an N-way
+// shard-by-source deployment: the pipeline still computes the complete
+// model (global artifacts and the replicated web graph need every user's
+// events), but dense per-source state — affinity rows, web edge rows —
+// is retained only for the users the shard owns under the consistent
+// hash, cutting steady-state memory to ~1/count. Owned sources are
+// answered bitwise-identically to an unsharded model; unowned sources
+// panic at the dense accessors, so serving layers must route by
+// ownership (see ShardSpec/Owns and the internal/router package). Like
+// WithWorkers, the spec is excluded from the configuration fingerprint:
+// it changes what is kept, never what is computed.
+func WithShard(index, count int) Option {
+	return func(c *core.Config) error {
+		sp := shard.Spec{Index: index, Count: count}
+		if count < 1 {
+			return fmt.Errorf("weboftrust: shard count %d < 1", count)
+		}
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("weboftrust: %w", err)
+		}
+		c.Shard = sp
+		return nil
+	}
+}
+
 // WithWorkers caps the goroutines the pipeline fans out to; 0 (the
 // default) means one per available CPU and 1 forces serial execution.
 // Every stage shards independent work items, so the derived model is
@@ -175,6 +201,15 @@ func resolveConfig(opts []Option) (core.Config, error) {
 	return cfg, nil
 }
 
+// ResolveConfig applies the options to the default configuration and
+// returns the result — how persistence layers learn what a Derive with
+// the same opts would be configured as (the shard spec a checkpoint must
+// match, the web policy a sharded bundle was graphed under) without
+// running the pipeline.
+func ResolveConfig(opts ...Option) (core.Config, error) {
+	return resolveConfig(opts)
+}
+
 // Fingerprint returns the configuration fingerprint Derive(…, opts...)
 // would stamp on its model: a stable hash of every option that affects
 // derived values (worker count excluded — results are bitwise-identical at
@@ -213,11 +248,19 @@ func Restore(d *Dataset, art *core.Artifacts, opts ...Option) (*TrustModel, erro
 		return nil, fmt.Errorf("weboftrust: Restore: %w", err)
 	}
 	if art.Trust == nil {
+		if cfg.Shard.IsSharded() {
+			// A sharded model's web graph cannot be rebuilt from its
+			// compact affinity matrix; per-shard checkpoints persist the
+			// graph and hand Restore fully rehydrated artifacts.
+			return nil, fmt.Errorf("weboftrust: Restore: sharded restore requires rehydrated artifacts (see core.RehydrateShardedArtifacts)")
+		}
 		rebuilt, err := core.RehydrateArtifacts(art.RiggsResults, art.Expertise, art.Affinity, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("weboftrust: Restore: %w", err)
 		}
 		art = rebuilt
+	} else if got, want := art.Trust.ShardSpec(), cfg.Shard.Canon(); got != want {
+		return nil, fmt.Errorf("weboftrust: Restore: artifacts are shard %v, configuration says %v", got, want)
 	}
 	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch)}, nil
 }
@@ -276,9 +319,24 @@ func (m *TrustModel) Expertise(u UserID) []float64 {
 }
 
 // Affinity returns user u's affiliation with every category, indexed by
-// CategoryID. The returned slice is shared; do not modify it.
+// CategoryID. The returned slice is shared; do not modify it. On a
+// sharded model it panics for sources the shard does not own.
 func (m *TrustModel) Affinity(u UserID) []float64 {
-	return m.artifacts.Affinity.Row(int(u))
+	return m.artifacts.Trust.AffinityRow(u)
+}
+
+// ShardSpec returns this model's slice of the shard-by-source
+// deployment: (0, 1) for an unsharded model.
+func (m *TrustModel) ShardSpec() (index, count int) {
+	sp := m.artifacts.Trust.ShardSpec()
+	return sp.Index, sp.Count
+}
+
+// Owns reports whether this model holds user u's dense per-source state
+// — whether u is a source it can answer trust queries for. Always true
+// on an unsharded model.
+func (m *TrustModel) Owns(u UserID) bool {
+	return m.artifacts.Trust.Owns(u)
 }
 
 // ReviewQuality returns the converged quality of a review (eq. 1) and

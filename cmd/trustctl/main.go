@@ -9,9 +9,9 @@
 //	trustctl expertise -in data.wot -user ID
 //	trustctl export   -in data.wot -dir DIR
 //	trustctl ingest   -log events.log -out data.wot [-allow-truncated]
-//	trustctl exportlog -in data.wot -log events.log
-//	trustctl checkpoint -log events.log -dir DIR [-workers N] [-allow-truncated]
-//	trustctl compact    -log events.log -dir DIR [-workers N] [-allow-truncated]
+//	trustctl exportlog -in data.wot -log events.log [-users i/N | -users 1,2,3]
+//	trustctl checkpoint -log events.log -dir DIR [-shard i/N] [-workers N] [-allow-truncated]
+//	trustctl compact    -log events.log -dir DIR [-shard i/N] [-workers N] [-allow-truncated]
 //	trustctl exportgraph (-in data.wot | -log events.log | -checkpoint FILE)
 //	                     [-format csv|json] [-out FILE] [-tau T] [-cold-generosity K]
 //	                     [-workers N] [-allow-truncated]
@@ -22,8 +22,17 @@
 // checkpoint (internal/checkpoint) offline, so the next trustd boot
 // restores instead of re-deriving; "compact" additionally truncates the
 // folded prefix out of the log, bounding log growth. Both warm-start from
-// an existing checkpoint in -dir when one is usable. Neither may run
-// while a writer is appending or a trustd is tailing the log.
+// an existing checkpoint in -dir when one is usable, and both accept
+// -shard i/N to build the per-shard checkpoint a `trustd serve -shard
+// i/N` boots from. Neither may run while a writer is appending or a
+// trustd is tailing the log.
+//
+// "exportlog -users" filters the exported log to the chosen sources'
+// actions: structural events (users, objects, reviews, categories) are
+// always kept so dense IDs stay stable, while ratings and trust edges
+// survive only when their source user matches -users — either an
+// explicit comma-separated id list or a shard spec i/N selecting the
+// users the cluster's consistent hash assigns shard i.
 //
 // "exportgraph" dumps the binarised web of trust — the same graph trustd
 // serves at /v1/neighbors and propagates at /v1/propagate — as a
@@ -39,10 +48,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"weboftrust"
 	"weboftrust/internal/checkpoint"
 	"weboftrust/internal/ratings"
+	"weboftrust/internal/shard"
 	"weboftrust/internal/store"
 	"weboftrust/internal/synth"
 	"weboftrust/internal/tables"
@@ -324,6 +336,7 @@ func cmdCheckpoint(args []string) error {
 	logPath := fs.String("log", "", "input event log path (required)")
 	dir := fs.String("dir", "", "checkpoint directory (required)")
 	workers := fs.Int("workers", 0, "pipeline worker goroutines (0 = one per CPU)")
+	shardFlag := fs.String("shard", "", "build the per-shard checkpoint for shard i/N (empty = unsharded)")
 	allowTruncated := fs.Bool("allow-truncated", false,
 		"fold the intact prefix of a log whose final record is torn (crash during append)")
 	if err := fs.Parse(args); err != nil {
@@ -332,7 +345,11 @@ func cmdCheckpoint(args []string) error {
 	if *logPath == "" || *dir == "" {
 		return fmt.Errorf("checkpoint: -log and -dir are required")
 	}
-	res, err := checkpoint.WriteFromLog(*logPath, *dir, *allowTruncated, weboftrust.WithWorkers(*workers))
+	opts, err := shardOpts(*shardFlag, weboftrust.WithWorkers(*workers))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	res, err := checkpoint.WriteFromLog(*logPath, *dir, *allowTruncated, opts...)
 	if err != nil {
 		return err
 	}
@@ -350,6 +367,7 @@ func cmdCompact(args []string) error {
 	logPath := fs.String("log", "", "event log to compact (required; rewritten in place)")
 	dir := fs.String("dir", "", "checkpoint directory (required)")
 	workers := fs.Int("workers", 0, "pipeline worker goroutines (0 = one per CPU)")
+	shardFlag := fs.String("shard", "", "build the per-shard checkpoint for shard i/N (empty = unsharded)")
 	allowTruncated := fs.Bool("allow-truncated", false,
 		"fold the intact prefix of a log whose final record is torn (the torn bytes stay in the log)")
 	if err := fs.Parse(args); err != nil {
@@ -358,7 +376,11 @@ func cmdCompact(args []string) error {
 	if *logPath == "" || *dir == "" {
 		return fmt.Errorf("compact: -log and -dir are required")
 	}
-	res, err := checkpoint.Compact(*logPath, *dir, *allowTruncated, weboftrust.WithWorkers(*workers))
+	opts, err := shardOpts(*shardFlag, weboftrust.WithWorkers(*workers))
+	if err != nil {
+		return fmt.Errorf("compact: %w", err)
+	}
+	res, err := checkpoint.Compact(*logPath, *dir, *allowTruncated, opts...)
 	if err != nil {
 		return err
 	}
@@ -493,6 +515,7 @@ func cmdExportLog(args []string) error {
 	fs := flag.NewFlagSet("exportlog", flag.ContinueOnError)
 	in := fs.String("in", "", "input snapshot path (required)")
 	logPath := fs.String("log", "", "output event log path (required)")
+	users := fs.String("users", "", "keep only these sources' ratings and trust edges: a shard spec i/N or a comma-separated id list (empty = everything)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -508,13 +531,102 @@ func cmdExportLog(args []string) error {
 		return err
 	}
 	lw := store.NewLogWriter(f)
-	if err := store.AppendDataset(lw, d); err != nil {
+	if *users == "" {
+		if err := store.AppendDataset(lw, d); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s from %s: %v\n", *logPath, *in, d)
+		return nil
+	}
+
+	keep, desc, err := parseUserFilter(*users)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("exportlog: %w", err)
+	}
+	// Materialise the full event stream, filter the per-source action
+	// events (structural events always survive; see store.FilterBySource),
+	// and write the remainder.
+	events, err := datasetEvents(d)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	total := len(events)
+	events = store.FilterBySource(events, keep)
+	for _, ev := range events {
+		if err := lw.Append(ev); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := lw.Flush(); err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s from %s: %v\n", *logPath, *in, d)
+	fmt.Printf("wrote %s from %s: kept %d of %d events for %s\n", *logPath, *in, len(events), total, desc)
 	return nil
+}
+
+// datasetEvents renders a dataset as its event stream by appending it to
+// an in-memory log and reading that back — one serialisation path, no
+// second enumeration of the dataset's contents to drift from it.
+func datasetEvents(d *ratings.Dataset) ([]store.Event, error) {
+	var buf strings.Builder
+	lw := store.NewLogWriter(&buf)
+	if err := store.AppendDataset(lw, d); err != nil {
+		return nil, err
+	}
+	events, _, err := store.ReadLogFrom(strings.NewReader(buf.String()), 0)
+	return events, err
+}
+
+// parseUserFilter interprets the -users spec: "i/N" selects the sources
+// the cluster's consistent hash assigns shard i; otherwise a
+// comma-separated list of explicit user ids.
+func parseUserFilter(spec string) (func(ratings.UserID) bool, string, error) {
+	if strings.Contains(spec, "/") {
+		sp, err := shard.Parse(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		return func(u ratings.UserID) bool { return sp.Owns(int(u)) },
+			fmt.Sprintf("shard %s", sp), nil
+	}
+	ids := make(map[ratings.UserID]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil || id < 0 {
+			return nil, "", fmt.Errorf("bad user id %q in -users", part)
+		}
+		ids[ratings.UserID(id)] = true
+	}
+	if len(ids) == 0 {
+		return nil, "", fmt.Errorf("-users %q selects no users", spec)
+	}
+	return func(u ratings.UserID) bool { return ids[u] },
+		fmt.Sprintf("%d listed users", len(ids)), nil
+}
+
+// shardOpts appends WithShard to base when a -shard i/N flag was given.
+func shardOpts(spec string, base ...weboftrust.Option) ([]weboftrust.Option, error) {
+	if spec == "" {
+		return base, nil
+	}
+	sp, err := shard.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return append(base, weboftrust.WithShard(sp.Index, sp.Count)), nil
 }

@@ -3,11 +3,27 @@
 //
 // Usage:
 //
-//	trustd serve   -log events.log [-addr :8080] [-poll 500ms] [-cache-results 512] [-workers N]
-//	               [-checkpoint-dir DIR] [-checkpoint-interval 5m] [-checkpoint-keep 2]
+//	trustd serve   -log events.log [-addr :8080] [-shard i/N] [-poll 500ms] [-cache-results 512]
+//	               [-workers N] [-checkpoint-dir DIR] [-checkpoint-interval 5m] [-checkpoint-keep 2]
 //	               [-web-tau T] [-web-cold-generosity K]
 //	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
+//	trustd route   -shards URL,URL,... [-addr :8090] [-timeout 5s] [-retries 1] [-wait-ready 30s]
 //	trustd loadgen -addr http://localhost:8080 [-duration 10s] [-concurrency 8] [-k 10]
+//
+// With -shard i/N the daemon serves shard i of an N-way source-partitioned
+// cluster: it replays the same log as every other shard but retains dense
+// per-source state only for the users the cluster's consistent hash assigns
+// it, answering 421 for sources it does not own. `trustd route` fronts such
+// a cluster as one endpoint: a stateless proxy that hashes each request's
+// source user to its owning shard (replicas of one shard separated by '|',
+// shards separated by ','), retries transient failures on the next replica,
+// and is ready only once every shard is.
+//
+// The daemon binds its listen address BEFORE booting: while the replay or
+// checkpoint restore runs, /healthz answers 200 (liveness), /readyz answers
+// 503, and queries answer 503 — so orchestrators see a live, not-yet-ready
+// process instead of connection refused. /readyz flips to 200 once the boot
+// model is swapped in at the log offset observed at boot.
 //
 // In log mode the daemon boots warm when -checkpoint-dir holds a usable
 // checkpoint: the persisted model is restored and only the log suffix
@@ -33,7 +49,7 @@
 // Endpoints: /v1/topk?user=U&k=K, /v1/trust?from=I&to=J,
 // /v1/expertise?user=U, /v1/neighbors?user=U,
 // /v1/propagate?algo=appleseed|moletrust|tidaltrust&user=U&k=K,
-// /v1/graph/stats, /v1/stats, /healthz, /metrics (Prometheus text).
+// /v1/graph/stats, /v1/stats, /healthz, /readyz, /metrics (Prometheus text).
 package main
 
 import (
@@ -41,6 +57,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,7 +65,9 @@ import (
 	"time"
 
 	"weboftrust"
+	"weboftrust/internal/router"
 	"weboftrust/internal/server"
+	"weboftrust/internal/shard"
 	"weboftrust/internal/store"
 )
 
@@ -61,11 +80,13 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: trustd <serve|loadgen> [flags]")
+		return fmt.Errorf("usage: trustd <serve|route|loadgen> [flags]")
 	}
 	switch args[0] {
 	case "serve":
 		return cmdServe(args[1:])
+	case "route":
+		return cmdRoute(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
 	default:
@@ -88,6 +109,7 @@ func cmdServe(args []string) error {
 	ckptKeep := fs.Int("checkpoint-keep", server.DefaultCheckpointKeep, "recent checkpoints to retain")
 	webTau := fs.Float64("web-tau", -1, "binarise the web of trust with a global score threshold instead of per-user top-k generosity (-1 = per-user top-k)")
 	webColdK := fs.Float64("web-cold-generosity", 0, "generosity fallback for users whose history cannot calibrate one (per-user top-k policy; 0 = paper protocol)")
+	shardFlag := fs.String("shard", "", "serve shard i/N of a source-partitioned cluster (e.g. 1/3; empty = unsharded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,19 +136,42 @@ func cmdServe(args []string) error {
 	if *webColdK != 0 {
 		derive = append(derive, weboftrust.WithWebColdStartGenerosity(*webColdK))
 	}
+	if *shardFlag != "" {
+		sp, err := shard.Parse(*shardFlag)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		derive = append(derive, weboftrust.WithShard(sp.Index, sp.Count))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var srv *server.Server
+	// Bind and serve BEFORE booting: the pending server answers liveness
+	// 200 / readiness 503 / query 503 while the (possibly long) replay or
+	// restore runs, so routers and orchestrators see a live process, never
+	// connection refused.
+	srv := server.NewPending(opts)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "trustd: listening on %s (booting)\n", ln.Addr())
+
 	tailErr := make(chan error, 1)
 	var ckptDone chan error
 	if *logPath != "" {
-		s, tailer, info, err := server.OpenCheckpointed(*logPath, *ckptDir, *poll, opts, derive...)
+		_, tailer, info, err := server.OpenCheckpointedInto(srv, *logPath, *ckptDir, *poll, opts, derive...)
 		if err != nil {
+			httpSrv.Close()
 			return err
 		}
-		srv = s
+		// Readiness gates on the offset the boot reached: a shard still
+		// replaying backlog past this point reports catching-up, not ready.
+		srv.SetReadyTarget(info.Offset)
 		go func() { tailErr <- tailer.Run(ctx) }()
 		if info.Warm {
 			fmt.Fprintf(os.Stderr, "trustd: warm boot from %s (offset %d), tailed %d events to offset %d, tailing every %v\n",
@@ -137,6 +182,12 @@ func cmdServe(args []string) error {
 				fmt.Fprintf(os.Stderr, "trustd: cold boot: %s\n", info.FallbackReason)
 			}
 		}
+		if *shardFlag != "" {
+			model, _, _ := srv.Current()
+			idx, count := model.ShardSpec()
+			fmt.Fprintf(os.Stderr, "trustd: serving shard %d/%d (%d of %d users owned)\n",
+				idx, count, model.Artifacts().Trust.OwnedUsers(), model.Dataset().NumUsers())
+		}
 		if *ckptDir != "" {
 			ck := server.NewCheckpointer(srv, *ckptDir, *ckptInterval, *ckptKeep)
 			ckptDone = make(chan error, 1)
@@ -146,25 +197,23 @@ func cmdServe(args []string) error {
 	} else {
 		f, err := os.Open(*snapshot)
 		if err != nil {
+			httpSrv.Close()
 			return err
 		}
 		d, err := store.ReadSnapshot(f)
 		f.Close()
 		if err != nil {
+			httpSrv.Close()
 			return err
 		}
 		model, err := weboftrust.Derive(d, derive...)
 		if err != nil {
+			httpSrv.Close()
 			return err
 		}
-		srv = server.New(model, 0, opts)
+		srv.Swap(model, 0)
 		fmt.Fprintf(os.Stderr, "trustd: serving snapshot %s (%v)\n", *snapshot, d)
 	}
-
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "trustd: listening on %s\n", *addr)
 
 	// awaitCheckpointer waits for the shutdown flush so process death
 	// never costs the events ingested since the last periodic write.
@@ -203,6 +252,71 @@ func cmdServe(args []string) error {
 			return nil
 		}
 		return fmt.Errorf("tailer stopped: %w", err)
+	}
+}
+
+// cmdRoute runs the stateless cluster router: one address fronting every
+// shard of a source-partitioned deployment.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	shards := fs.String("shards", "", "shard map in hash order: shards separated by ',', replicas of one shard by '|' (e.g. http://a:1|http://a2:1,http://b:2)")
+	timeout := fs.Duration("timeout", router.DefaultTimeout, "end-to-end budget for one proxied request, across retries")
+	retries := fs.Int("retries", router.DefaultRetries, "extra replica attempts after a transport error or 502/503/504 (0 = no retries)")
+	maxIdle := fs.Int("max-idle-conns", router.DefaultMaxIdleConnsPerHost, "pooled connections kept per replica")
+	waitReady := fs.Duration("wait-ready", 0, "block until every shard reports ready before serving (0 = serve immediately)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards == "" {
+		return fmt.Errorf("route: -shards is required")
+	}
+	shardMap, err := router.ParseShards(*shards)
+	if err != nil {
+		return err
+	}
+	cfg := router.Config{
+		Shards:              shardMap,
+		Timeout:             *timeout,
+		MaxIdleConnsPerHost: *maxIdle,
+	}
+	// The flag says how many retries; the config's 0 means "default", so
+	// map an explicit 0 to the config's "disabled".
+	if *retries == 0 {
+		cfg.Retries = -1
+	} else {
+		cfg.Retries = *retries
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *waitReady > 0 {
+		wctx, cancel := context.WithTimeout(ctx, *waitReady)
+		err := rt.WaitReady(wctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trustd: all %d shards ready\n", rt.NumShards())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "trustd: routing %d shards on %s\n", rt.NumShards(), *addr)
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutdownCtx)
+	case err := <-serveErr:
+		return err
 	}
 }
 

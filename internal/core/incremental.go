@@ -61,6 +61,9 @@ func (c Config) UpdateScratch(oldArt *Artifacts, oldD, newD *ratings.Dataset, s 
 	if oldArt == nil || oldD == nil || newD == nil {
 		return nil, fmt.Errorf("core: Update requires non-nil artifacts and datasets")
 	}
+	if err := c.Shard.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if err := checkExtension(oldD, newD); err != nil {
 		return nil, err
 	}
@@ -157,13 +160,20 @@ func (c Config) UpdateScratch(oldArt *Artifacts, oldD, newD *ratings.Dataset, s 
 	if err != nil {
 		return nil, fmt.Errorf("core: update web of trust: %w", err)
 	}
-	return &Artifacts{
+	art := &Artifacts{
 		RiggsResults: results,
 		Expertise:    e,
 		Affinity:     a,
 		Trust:        dt,
 		Web:          web,
-	}, nil
+	}
+	// Like Run: the update computes the complete model (the full A is
+	// rebuilt every tick regardless), then a sharded config compacts the
+	// retained dense state down to the owned rows.
+	if c.Shard.IsSharded() {
+		art = shardArtifacts(art, c.Shard)
+	}
+	return art, nil
 }
 
 // checkExtension verifies that newD is oldD plus appended entities.

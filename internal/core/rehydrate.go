@@ -67,22 +67,8 @@ func RehydrateArtifacts(results []*riggs.CategoryResult, expertise, affinity *ma
 	if expertise == nil || affinity == nil {
 		return nil, fmt.Errorf("core: rehydrate: nil matrices")
 	}
-	if len(results) != expertise.Cols() {
-		return nil, fmt.Errorf("core: rehydrate: %d riggs results for %d expertise columns",
-			len(results), expertise.Cols())
-	}
-	for i, cr := range results {
-		if cr == nil {
-			return nil, fmt.Errorf("core: rehydrate: missing riggs result %d", i)
-		}
-		if int(cr.Category) != i {
-			return nil, fmt.Errorf("core: rehydrate: riggs result %d labelled category %d", i, cr.Category)
-		}
-		if len(cr.Quality) != len(cr.Reviews) ||
-			len(cr.RaterRep) != len(cr.Raters) || len(cr.RaterCount) != len(cr.Raters) {
-			return nil, fmt.Errorf("core: rehydrate: riggs result %d has mismatched parallel slices", i)
-		}
-		cr.Reindex()
+	if err := validateRiggsResults(results, expertise.Cols()); err != nil {
+		return nil, fmt.Errorf("core: rehydrate: %w", err)
 	}
 	dt, err := NewDerivedTrustWorkers(affinity, expertise, workers)
 	if err != nil {
@@ -94,4 +80,29 @@ func RehydrateArtifacts(results []*riggs.CategoryResult, expertise, affinity *ma
 		Affinity:     affinity,
 		Trust:        dt,
 	}, nil
+}
+
+// validateRiggsResults checks decoded per-category Riggs results against
+// the expertise matrix they must pair with — one result per column, each
+// labelled with its own index, parallel slices consistent — and reindexes
+// each (the lookup maps are derived state that does not survive
+// serialisation). Shared by the unsharded and sharded rehydrate paths.
+func validateRiggsResults(results []*riggs.CategoryResult, numCategories int) error {
+	if len(results) != numCategories {
+		return fmt.Errorf("%d riggs results for %d expertise columns", len(results), numCategories)
+	}
+	for i, cr := range results {
+		if cr == nil {
+			return fmt.Errorf("missing riggs result %d", i)
+		}
+		if int(cr.Category) != i {
+			return fmt.Errorf("riggs result %d labelled category %d", i, cr.Category)
+		}
+		if len(cr.Quality) != len(cr.Reviews) ||
+			len(cr.RaterRep) != len(cr.Raters) || len(cr.RaterCount) != len(cr.Raters) {
+			return fmt.Errorf("riggs result %d has mismatched parallel slices", i)
+		}
+		cr.Reindex()
+	}
+	return nil
 }

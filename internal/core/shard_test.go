@@ -1,0 +1,225 @@
+package core
+
+// Tests for the shard-by-source retention transform: every shard of an
+// N-way partition must answer for the sources it owns bitwise-identically
+// to an unsharded model — after a cold Run and after incremental Updates
+// — while retaining dense rows only for those sources. This is the
+// property the cluster's one-endpoint illusion rests on.
+
+import (
+	"bytes"
+	"testing"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/shard"
+	"weboftrust/internal/store"
+)
+
+// assertShardMatches checks one shard's artifacts against the unsharded
+// reference: replicated state identical, owned dense rows bitwise equal,
+// unowned web rows still served (from the graph) with identical content.
+func assertShardMatches(t *testing.T, sh, ref *Artifacts, spec shard.Spec) {
+	t.Helper()
+	numU := ref.Trust.NumUsers()
+	if got := sh.Trust.NumUsers(); got != numU {
+		t.Fatalf("shard %v: NumUsers %d, want %d", spec, got, numU)
+	}
+	if got, want := sh.Trust.OwnedUsers(), spec.CountOwned(numU); got != want {
+		t.Fatalf("shard %v: OwnedUsers %d, want %d", spec, got, want)
+	}
+	if sh.Affinity.Rows() != sh.Trust.OwnedUsers() {
+		t.Fatalf("shard %v: affinity has %d rows, owned %d", spec, sh.Affinity.Rows(), sh.Trust.OwnedUsers())
+	}
+	// Replicated artifacts are the complete ones.
+	if !sh.Expertise.Equal(ref.Expertise, 0) {
+		t.Fatalf("shard %v: expertise differs from unsharded", spec)
+	}
+	if len(sh.RiggsResults) != len(ref.RiggsResults) {
+		t.Fatalf("shard %v: %d riggs results, want %d", spec, len(sh.RiggsResults), len(ref.RiggsResults))
+	}
+	refG, shG := ref.Web.Graph(), sh.Web.Graph()
+	if shG.NumEdges() != refG.NumEdges() {
+		t.Fatalf("shard %v: graph has %d edges, want %d", spec, shG.NumEdges(), refG.NumEdges())
+	}
+	for u := 0; u < numU; u++ {
+		rt, rw := refG.Out(u)
+		st, sw := shG.Out(u)
+		if !equalRows(rt, rw, st, sw) {
+			t.Fatalf("shard %v: graph row %d differs", spec, u)
+		}
+	}
+	for u := 0; u < numU; u++ {
+		if sh.Web.Generosity(ratings.UserID(u)) != ref.Web.Generosity(ratings.UserID(u)) {
+			t.Fatalf("shard %v: generosity[%d] differs", spec, u)
+		}
+	}
+
+	for u := 0; u < numU; u++ {
+		uid := ratings.UserID(u)
+		owned := spec.Owns(u)
+		if got := sh.Trust.Owns(uid); got != owned {
+			t.Fatalf("shard %v: Owns(%d) = %v, want %v", spec, u, got, owned)
+		}
+		// The web row is readable regardless of ownership (unowned rows
+		// come from the replicated graph) and identical either way.
+		rr, sr := ref.Web.Row(uid), sh.Web.Row(uid)
+		if !equalRows(rr.To, rr.W, sr.To, sr.W) {
+			t.Fatalf("shard %v: web row %d differs (owned=%v)", spec, u, owned)
+		}
+		if !owned {
+			continue
+		}
+		// Owned dense state is bitwise the unsharded model's.
+		refRow := ref.Trust.AffinityRow(uid)
+		shRow := sh.Trust.AffinityRow(uid)
+		for c := range refRow {
+			if shRow[c] != refRow[c] {
+				t.Fatalf("shard %v: A[%d][%d] = %v, want %v", spec, u, c, shRow[c], refRow[c])
+			}
+		}
+		for j := 0; j < numU; j++ {
+			jid := ratings.UserID(j)
+			if got, want := sh.Trust.Value(uid, jid), ref.Trust.Value(uid, jid); got != want {
+				t.Fatalf("shard %v: T̂[%d][%d] = %v, want %v", spec, u, j, got, want)
+			}
+		}
+		if got, want := sh.Trust.RowSupport(uid), ref.Trust.RowSupport(uid); got != want {
+			t.Fatalf("shard %v: RowSupport(%d) = %d, want %d", spec, u, got, want)
+		}
+	}
+}
+
+func equalRows(at []int32, aw []float64, bt []int32, bw []float64) bool {
+	if len(at) != len(bt) || len(aw) != len(bw) {
+		return false
+	}
+	for i := range at {
+		if at[i] != bt[i] || aw[i] != bw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardEquivalence pins the tentpole property: for N ∈ {1, 2, 3} and
+// serial vs parallel builds, every shard serves its owned sources exactly
+// as the unsharded model does — from the cold Run and again after an
+// incremental Update folds in new events — and the shards' owned sets
+// partition the community.
+func TestShardEquivalence(t *testing.T) {
+	raw := logCommunity(t)
+	_, d0, off := replayAll(t, raw)
+
+	// Grow the log once so every variant updates over the same tail.
+	var buf bytes.Buffer
+	buf.Write(raw)
+	lw := store.NewLogWriter(&buf)
+	for _, ev := range growthEvents(d0, 11, true) {
+		if err := lw.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	grown := buf.Bytes()
+
+	refCfg := DefaultConfig()
+	ref0, err := refCfg.Run(d0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullD, _ := replayAll(t, grown)
+	ref1, err := refCfg.Update(ref0, d0, fullD)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 0} {
+		for _, count := range []int{1, 2, 3} {
+			ownedTotal := 0
+			for idx := 0; idx < count; idx++ {
+				spec := shard.Spec{Index: idx, Count: count}
+				cfg := DefaultConfig()
+				cfg.Workers = workers
+				cfg.Shard = spec
+
+				// Cold run equivalence.
+				b, shD0, off0 := replayAll(t, raw)
+				if off0 != off {
+					t.Fatalf("replay offset %d, want %d", off0, off)
+				}
+				art0, err := cfg.Run(shD0)
+				if err != nil {
+					t.Fatalf("shard %v run: %v", spec, err)
+				}
+				assertShardMatches(t, art0, ref0, spec)
+
+				// Incremental equivalence: tail-replay the growth events
+				// and fold them in, exactly as a sharded tailer would.
+				tail, _, err := store.ReadLogFrom(bytes.NewReader(grown), off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := store.Replay(tail, b); err != nil {
+					t.Fatal(err)
+				}
+				newD := b.Snapshot()
+				art1, err := cfg.Update(art0, shD0, newD)
+				if err != nil {
+					t.Fatalf("shard %v update: %v", spec, err)
+				}
+				assertShardMatches(t, art1, ref1, spec)
+
+				if workers == 1 {
+					ownedTotal += art1.Trust.OwnedUsers()
+				}
+			}
+			// The shards partition the community: owned sets are disjoint
+			// (assertShardMatches pins Owns against spec.Owns) and cover it.
+			if workers == 1 && ownedTotal != fullD.NumUsers() {
+				t.Fatalf("count %d: shards own %d users of %d", count, ownedTotal, fullD.NumUsers())
+			}
+		}
+	}
+}
+
+// TestShardMemoryCompaction pins the point of the exercise: a shard's
+// dense affinity matrix holds only its ~U/N owned rows, not all U.
+func TestShardMemoryCompaction(t *testing.T) {
+	raw := logCommunity(t)
+	_, d0, _ := replayAll(t, raw)
+	const count = 3
+	for idx := 0; idx < count; idx++ {
+		cfg := DefaultConfig()
+		cfg.Shard = shard.Spec{Index: idx, Count: count}
+		art, err := cfg.Run(d0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numU := d0.NumUsers()
+		owned := cfg.Shard.CountOwned(numU)
+		if art.Affinity.Rows() != owned {
+			t.Fatalf("shard %d: %d affinity rows, want %d", idx, art.Affinity.Rows(), owned)
+		}
+		if owned >= numU {
+			t.Fatalf("shard %d of %d owns %d of %d users — no compaction", idx, count, owned, numU)
+		}
+		// Unowned sources must not be silently answerable: the dense row
+		// accessor panics rather than returning someone else's row.
+		for u := 0; u < numU; u++ {
+			if cfg.Shard.Owns(u) {
+				continue
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("shard %d: AffinityRow(%d) served an unowned source", idx, u)
+					}
+				}()
+				art.Trust.AffinityRow(ratings.UserID(u))
+			}()
+			break
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"weboftrust/internal/mat"
 	"weboftrust/internal/par"
 	"weboftrust/internal/ratings"
+	"weboftrust/internal/shard"
 )
 
 // WebPolicy selects how the continuous derived matrix T̂ is binarised
@@ -103,12 +104,19 @@ type WebRow struct {
 // update recomputes rows only for users whose inputs could have changed
 // and shares every other row with the previous web by reference — the
 // same reuse discipline the derived-trust index applies to expert lists.
+// A sharded web (see Config.Shard) retains dense edge rows only for the
+// owned users; every other user's row lives solely in the replicated CSR
+// graph, which always holds the complete edge set (cross-shard
+// propagation traverses it, so it cannot be partial). Row reads fall back
+// to the graph transparently — the graph's packed rows are copies of the
+// same selections, so the content is identical either way.
 type Web struct {
 	policy     WebPolicy
 	generosity []float64
 	rows       []WebRow
 	g          *graph.Graph
 	numEdges   int
+	spec       shard.Spec
 }
 
 // Policy returns the binarize policy the web was built under.
@@ -132,12 +140,27 @@ func (w *Web) GenerosityVector() []float64 { return w.generosity }
 // the parallel T̂ weights. The returned slices are shared; do not modify
 // them.
 func (w *Web) Neighbors(u ratings.UserID) (to []int32, weights []float64) {
-	r := w.rows[u]
+	r := w.rowAt(int(u))
 	return r.To, r.W
 }
 
 // Row returns user u's edge row (shared; do not modify).
-func (w *Web) Row(u ratings.UserID) WebRow { return w.rows[u] }
+func (w *Web) Row(u ratings.UserID) WebRow { return w.rowAt(int(u)) }
+
+// rowAt resolves user u's edge row, serving unowned users of a sharded
+// web from the replicated CSR graph (whose packed row is a copy of the
+// same selection — identical targets and weights).
+func (w *Web) rowAt(u int) WebRow {
+	if w.spec.IsSharded() && !w.spec.Owns(u) {
+		to, wt := w.g.Out(u)
+		return WebRow{To: to, W: wt}
+	}
+	return w.rows[u]
+}
+
+// ShardSpec returns the shard whose users' rows are retained densely; the
+// unsharded spelling (0/1) means all of them.
+func (w *Web) ShardSpec() shard.Spec { return w.spec.Canon() }
 
 // Graph returns the CSR graph form the propagation algorithms traverse
 // (shared; do not modify).
@@ -180,7 +203,10 @@ func buildWeb(d *ratings.Dataset, dt *DerivedTrust, policy WebPolicy, workers in
 	bufs := make([]*selectScratch, n)
 	par.DoWorker(n, numU, func(wk, u int) {
 		if dirty != nil && !dirty[u] {
-			w.rows[u] = old.rows[u]
+			// rowAt, not rows[u]: a sharded predecessor holds non-owned
+			// rows only in its graph, and this full rebuild needs them all
+			// (the compaction, if any, happens after the pipeline).
+			w.rows[u] = old.rowAt(u)
 			w.generosity[u] = old.generosity[u]
 			return
 		}

@@ -1,0 +1,542 @@
+// Package router serves a shard-by-source trustd cluster behind one
+// address. It is a thin, stateless consistent-hash proxy: each per-source
+// query names a source user, the user's owning shard is computed with the
+// same jump hash the shards themselves retain state under
+// (internal/shard), and the request is forwarded to one of that shard's
+// replicas over a pooled connection. The router holds no model, no
+// cache and no cluster state beyond its static shard map, so any number
+// of router processes can front the same cluster.
+//
+// Because every shard answers its owned sources bitwise-identically to
+// an unsharded process (the core retention property), the router's
+// responses are byte-for-byte what a single trustd serving the whole
+// community would produce — including error bodies, which are proxied
+// from real shards rather than synthesised here. The cluster harness
+// test pins exactly that.
+//
+// Failure handling is bounded retry-on-next-replica: a transport error
+// or gateway-ish status (502/503/504) moves the request to the shard's
+// next replica, at most Config.Retries extra attempts, each attempt
+// bounded by Config.Timeout. A 421 (Misdirected Request) is NOT retried:
+// it means the shard map disagrees with the shard's own spec, which no
+// other replica of the same shard will fix.
+//
+// The proxy hot path is deliberately allocation-lean — the acceptance
+// bar is ≤2× a direct cached shard hit, which leaves almost no room on
+// top of the second network hop: query parameters are scanned without
+// materialising url.Values, upstream calls go straight to the pooled
+// Transport (no per-request timer; the transport enforces the header
+// timeout), and bodies stream through pooled copy buffers.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weboftrust/internal/shard"
+)
+
+// Config describes the cluster a Router fronts.
+type Config struct {
+	// Shards maps shard index -> replica base URLs (e.g.
+	// "http://10.0.0.7:7070"). Every shard needs at least one replica;
+	// the outer length IS the cluster's shard count and must match the
+	// -shard i/N the shards were started with.
+	Shards [][]string
+	// Timeout bounds each upstream attempt (time to response headers).
+	// 0 means DefaultTimeout.
+	Timeout time.Duration
+	// Retries caps the extra replica attempts after a transport error or
+	// 502/503/504. 0 means DefaultRetries; negative disables retrying.
+	Retries int
+	// MaxIdleConnsPerHost sizes the per-replica connection pool. 0 means
+	// DefaultMaxIdleConnsPerHost.
+	MaxIdleConnsPerHost int
+}
+
+// DefaultTimeout bounds each upstream attempt.
+const DefaultTimeout = 5 * time.Second
+
+// DefaultRetries is the extra replica attempts on retryable failures.
+const DefaultRetries = 1
+
+// DefaultMaxIdleConnsPerHost keeps a small warm pool per replica.
+const DefaultMaxIdleConnsPerHost = 16
+
+// Router proxies cluster queries to their owning shards. Create with
+// New, mount Handler. Safe for concurrent use.
+type Router struct {
+	shards [][]string
+	// parsed mirrors shards with pre-parsed URLs, so the per-request path
+	// never re-parses a base URL.
+	parsed  [][]url.URL
+	timeout time.Duration
+	retries int
+	// transport is the pooled upstream path; client wraps it for the
+	// non-hot fan-out and readiness surfaces.
+	transport *http.Transport
+	client    *http.Client
+	start     time.Time
+	// rr rotates unroutable requests (no parsable source user) across
+	// shards so their error responses still come from real shards.
+	rr      atomic.Uint64
+	metrics routerMetrics
+}
+
+type routerMetrics struct {
+	requests   atomic.Int64
+	proxied    atomic.Int64
+	retries    atomic.Int64
+	upstreamErrors atomic.Int64 // requests that exhausted every attempt
+	misdirected    atomic.Int64 // 421s from shards (shard-map skew alarm)
+}
+
+// New validates the shard map and builds the router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("router: no shards configured")
+	}
+	parsed := make([][]url.URL, len(cfg.Shards))
+	for i, replicas := range cfg.Shards {
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", i)
+		}
+		parsed[i] = make([]url.URL, len(replicas))
+		for j, base := range replicas {
+			u, err := url.Parse(base)
+			if err != nil || u.Scheme == "" || u.Host == "" {
+				return nil, fmt.Errorf("router: shard %d replica %q is not an absolute URL", i, base)
+			}
+			u.Path = strings.TrimSuffix(u.Path, "/")
+			parsed[i][j] = *u
+		}
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	retries := cfg.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	maxIdle := cfg.MaxIdleConnsPerHost
+	if maxIdle == 0 {
+		maxIdle = DefaultMaxIdleConnsPerHost
+	}
+	// The transport enforces the per-attempt timeout itself
+	// (ResponseHeaderTimeout), so the hot path never allocates a
+	// per-request timer.
+	transport := &http.Transport{
+		MaxIdleConnsPerHost:   maxIdle,
+		MaxIdleConns:          maxIdle * len(cfg.Shards) * 2,
+		ResponseHeaderTimeout: timeout,
+		// The shards serve small JSON bodies over the local network;
+		// transparent gzip would cost latency on every hop to save bytes
+		// nobody is short of — and the router must relay bodies verbatim.
+		DisableCompression: true,
+	}
+	return &Router{
+		shards:    cfg.Shards,
+		parsed:    parsed,
+		timeout:   timeout,
+		retries:   retries,
+		transport: transport,
+		client:    &http.Client{Transport: transport},
+		start:     time.Now(),
+	}, nil
+}
+
+// NumShards returns the cluster's shard count.
+func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// Owner returns the shard index owning a user id — the same jump hash
+// the shards retain state under.
+func (rt *Router) Owner(user int) int { return shard.Owner(user, len(rt.shards)) }
+
+// Handler returns the router's HTTP routes: the shard-routed query
+// endpoints plus the router's own health and metrics surfaces.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	byUser := func(param string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			rt.routeByParam(w, r, param)
+		}
+	}
+	mux.HandleFunc("GET /v1/topk", byUser("user"))
+	mux.HandleFunc("GET /v1/trust", byUser("from"))
+	mux.HandleFunc("GET /v1/expertise", byUser("user"))
+	mux.HandleFunc("GET /v1/neighbors", byUser("user"))
+	mux.HandleFunc("GET /v1/propagate", byUser("user"))
+	mux.HandleFunc("GET /v1/graph/stats", rt.handleGraphStats)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return mux
+}
+
+// routeByParam forwards the request to the shard owning the named source
+// user. Requests whose parameter is missing or unparsable are forwarded
+// to a rotating shard: any shard rejects them exactly as an unsharded
+// server would, so the error body stays byte-identical to single-process
+// serving (ids out of range hash to SOME shard and 404 there for the
+// same reason).
+func (rt *Router) routeByParam(w http.ResponseWriter, r *http.Request, param string) {
+	rt.metrics.requests.Add(1)
+	var idx int
+	if id, ok := queryInt(r.URL.RawQuery, param); ok {
+		idx = rt.Owner(id)
+	} else {
+		idx = int(rt.rr.Add(1)) % len(rt.shards)
+	}
+	rt.proxy(w, r, idx)
+}
+
+// queryInt scans rawQuery for name's first value and parses it as an
+// integer, without materialising url.Values (this runs per proxied
+// request). Escaped or malformed values report !ok — the caller falls
+// back to rotating, and the shard produces the authoritative error.
+func queryInt(rawQuery, name string) (int, bool) {
+	for q := rawQuery; q != ""; {
+		var pair string
+		pair, q = pair0(q)
+		k, v, _ := strings.Cut(pair, "=")
+		if k != name {
+			continue
+		}
+		id, err := strconv.Atoi(v)
+		return id, err == nil
+	}
+	return 0, false
+}
+
+// pair0 splits off the first &-separated pair of a raw query.
+func pair0(q string) (string, string) {
+	if i := strings.IndexByte(q, '&'); i >= 0 {
+		return q[:i], q[i+1:]
+	}
+	return q, ""
+}
+
+// proxy forwards the request to shard idx, walking its replicas on
+// retryable failures. The first non-retryable response is streamed back
+// verbatim (status, content type, body).
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
+	replicas := rt.parsed[idx]
+	attempts := min(1+rt.retries, len(replicas))
+	ctx := r.Context()
+
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			rt.metrics.retries.Add(1)
+		}
+		resp, err := rt.fetch(ctx, &replicas[a], r.URL)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && a+1 < attempts {
+			lastErr = fmt.Errorf("%s: %s", rt.shards[idx][a], resp.Status)
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			rt.metrics.misdirected.Add(1)
+		}
+		rt.metrics.proxied.Add(1)
+		copyResponse(w, resp)
+		return
+	}
+	rt.metrics.upstreamErrors.Add(1)
+	writeJSON(w, http.StatusBadGateway, map[string]string{
+		"error": fmt.Sprintf("shard %d unavailable after %d attempts: %v", idx, attempts, lastErr),
+	})
+}
+
+// fetch issues one upstream GET preserving the original path and query,
+// straight through the pooled transport (no client bookkeeping, no URL
+// re-parse; the transport's ResponseHeaderTimeout bounds the attempt).
+func (rt *Router) fetch(ctx context.Context, base *url.URL, orig *url.URL) (*http.Response, error) {
+	req := (&http.Request{
+		Method: http.MethodGet,
+		URL: &url.URL{
+			Scheme:   base.Scheme,
+			Host:     base.Host,
+			Path:     base.Path + orig.Path,
+			RawQuery: orig.RawQuery,
+		},
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{},
+		Host:       base.Host,
+	}).WithContext(ctx)
+	return rt.transport.RoundTrip(req)
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+// copyBufs pools the body-relay buffers so the hot path does not pay a
+// fresh io.Copy scratch allocation per proxied request.
+var copyBufs = sync.Pool{New: func() any {
+	b := make([]byte, 16<<10)
+	return &b
+}}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := copyBufs.Get().(*[]byte)
+	_, _ = io.CopyBuffer(w, resp.Body, *buf)
+	copyBufs.Put(buf)
+}
+
+// handleGraphStats fans /v1/graph/stats out to every shard and returns
+// the freshest body: the replicated graph is identical on every shard at
+// a given model version, so the response with the highest version (ties
+// to the lowest shard index) is THE cluster answer, byte-identical to an
+// unsharded server at that version.
+func (rt *Router) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.requests.Add(1)
+	type result struct {
+		idx     int
+		status  int
+		body    []byte
+		version uint64
+		ct      string
+	}
+	results := rt.fanOut(r, "/v1/graph/stats", func(idx, status int, ct string, body []byte) any {
+		var v struct {
+			Version uint64 `json:"version"`
+		}
+		if status == http.StatusOK {
+			_ = json.Unmarshal(body, &v)
+		}
+		return result{idx: idx, status: status, body: body, version: v.Version, ct: ct}
+	})
+	best := -1
+	var bestRes result
+	for _, a := range results {
+		res, ok := a.(result)
+		if !ok || res.status != http.StatusOK {
+			continue
+		}
+		if best == -1 || res.version > bestRes.version ||
+			(res.version == bestRes.version && res.idx < bestRes.idx) {
+			best, bestRes = res.idx, res
+		}
+	}
+	if best == -1 {
+		rt.metrics.upstreamErrors.Add(1)
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "no shard answered /v1/graph/stats"})
+		return
+	}
+	rt.metrics.proxied.Add(1)
+	if bestRes.ct != "" {
+		w.Header().Set("Content-Type", bestRes.ct)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(bestRes.body)
+}
+
+// handleStats aggregates every shard's /v1/stats under the router's own
+// envelope: per-shard bodies keyed by index, plus router-level counters.
+// (Unlike graph stats, per-shard stats genuinely differ — owned users,
+// cache fill — so they are reported side by side, not merged.)
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.requests.Add(1)
+	shards := rt.fanOut(r, "/v1/stats", func(idx, status int, ct string, body []byte) any {
+		if status != http.StatusOK {
+			return map[string]any{"shard": idx, "error": fmt.Sprintf("status %d", status)}
+		}
+		var v json.RawMessage = body
+		return map[string]any{"shard": idx, "stats": v}
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"router": map[string]any{
+			"shards":         len(rt.shards),
+			"requests":       rt.metrics.requests.Load(),
+			"proxied":        rt.metrics.proxied.Load(),
+			"retries":        rt.metrics.retries.Load(),
+			"upstreamErrors": rt.metrics.upstreamErrors.Load(),
+			"uptimeSeconds":  time.Since(rt.start).Seconds(),
+		},
+		"shards": shards,
+	})
+}
+
+// fanOut queries one replica chain per shard concurrently and maps each
+// shard's best response through fn (status 0 and nil body when no
+// replica answered). Results are indexed by shard.
+func (rt *Router) fanOut(r *http.Request, path string, fn func(idx, status int, ct string, body []byte) any) []any {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
+	defer cancel()
+	out := make([]any, len(rt.shards))
+	var wg sync.WaitGroup
+	for idx := range rt.shards {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			u := &url.URL{Path: path}
+			replicas := rt.parsed[idx]
+			attempts := min(1+rt.retries, len(replicas))
+			for a := 0; a < attempts; a++ {
+				resp, err := rt.fetch(ctx, &replicas[a], u)
+				if err != nil {
+					continue
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				ct := resp.Header.Get("Content-Type")
+				resp.Body.Close()
+				if rerr != nil || (retryableStatus(resp.StatusCode) && a+1 < attempts) {
+					continue
+				}
+				out[idx] = fn(idx, resp.StatusCode, ct, body)
+				return
+			}
+			out[idx] = fn(idx, 0, "", nil)
+		}(idx)
+	}
+	wg.Wait()
+	return out
+}
+
+// handleHealthz is the ROUTER's liveness: the proxy process is up. Shard
+// health is /readyz's business.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "router", "shards": len(rt.shards)})
+}
+
+// handleReadyz reports cluster readiness: 200 only when every shard has
+// at least one replica answering /readyz with 200. The per-shard
+// verdicts ride along so an operator can see which shard is lagging.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	verdicts := rt.fanOut(r, "/readyz", func(idx, status int, ct string, body []byte) any {
+		return status == http.StatusOK
+	})
+	ready := true
+	perShard := make([]bool, len(verdicts))
+	for i, v := range verdicts {
+		ok, _ := v.(bool)
+		perShard[i] = ok
+		if !ok {
+			ready = false
+		}
+	}
+	status := http.StatusOK
+	state := "ready"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		state = "waiting"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "shards": perShard})
+}
+
+// handleMetrics exposes the router's counters in Prometheus text format,
+// namespaced apart from the shards' trustd_* metrics.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("trustrouter_requests_total", "Requests received by the router.", rt.metrics.requests.Load())
+	counter("trustrouter_proxied_total", "Requests successfully proxied to a shard.", rt.metrics.proxied.Load())
+	counter("trustrouter_retries_total", "Replica retries after transport errors or gateway statuses.", rt.metrics.retries.Load())
+	counter("trustrouter_upstream_errors_total", "Requests that exhausted every replica attempt.", rt.metrics.upstreamErrors.Load())
+	counter("trustrouter_misdirected_total", "421 responses proxied from shards (shard-map skew alarm).", rt.metrics.misdirected.Load())
+	fmt.Fprintf(w, "# HELP trustrouter_shards Shards in the routed cluster.\n# TYPE trustrouter_shards gauge\ntrustrouter_shards %d\n", len(rt.shards))
+}
+
+// WaitReady polls every shard's /readyz until the whole cluster is ready
+// or the context expires — how `trustd route -wait-ready` gates its own
+// readiness on the shards it fronts.
+func (rt *Router) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if rt.allReady(ctx) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("router: cluster not ready: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+func (rt *Router) allReady(ctx context.Context) bool {
+	u := &url.URL{Path: "/readyz"}
+	for _, replicas := range rt.parsed {
+		shardReady := false
+		for i := range replicas {
+			cctx, cancel := context.WithTimeout(ctx, time.Second)
+			resp, err := rt.fetch(cctx, &replicas[i], u)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					shardReady = true
+				}
+			}
+			cancel()
+			if shardReady {
+				break
+			}
+		}
+		if !shardReady {
+			return false
+		}
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// ParseShards parses the -shards flag grammar: shards separated by
+// commas, replicas of one shard separated by "|".
+//
+//	http://a:1,http://b:2,http://c:3          three shards
+//	http://a:1|http://a2:1,http://b:2         shard 0 has two replicas
+func ParseShards(s string) ([][]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("router: empty shard list")
+	}
+	var shards [][]string
+	for _, part := range strings.Split(s, ",") {
+		var replicas []string
+		for _, rep := range strings.Split(part, "|") {
+			rep = strings.TrimSpace(rep)
+			if rep != "" {
+				replicas = append(replicas, rep)
+			}
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas in %q", len(shards), s)
+		}
+		shards = append(shards, replicas)
+	}
+	return shards, nil
+}

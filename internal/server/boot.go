@@ -44,8 +44,17 @@ type BootInfo struct {
 // The returned Tailer is positioned at the end of the log's intact
 // prefix, whichever path built the model.
 func OpenCheckpointed(logPath, ckptDir string, poll time.Duration, opts Options, derive ...weboftrust.Option) (*Server, *Tailer, *BootInfo, error) {
+	return OpenCheckpointedInto(nil, logPath, ckptDir, poll, opts, derive...)
+}
+
+// OpenCheckpointedInto is OpenCheckpointed, but publishes the booted
+// model into an existing pending server (NewPending) instead of creating
+// one — the early-listen shape: the daemon binds its address and serves
+// 503s/liveness first, boots, and the first Swap flips it live. A nil
+// into behaves exactly like OpenCheckpointed.
+func OpenCheckpointedInto(into *Server, logPath, ckptDir string, poll time.Duration, opts Options, derive ...weboftrust.Option) (*Server, *Tailer, *BootInfo, error) {
 	cold := func(reason string) (*Server, *Tailer, *BootInfo, error) {
-		srv, tailer, err := Open(logPath, poll, opts, derive...)
+		srv, tailer, err := openInto(into, logPath, poll, opts, derive...)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -67,7 +76,7 @@ func OpenCheckpointed(logPath, ckptDir string, poll time.Duration, opts Options,
 		return cold(err.Error())
 	}
 
-	srv, tailer, tailed, offset, err := resumeFrom(model, logPath, poll, opts, info)
+	srv, tailer, tailed, offset, err := resumeFrom(into, model, logPath, poll, opts, info)
 	if err != nil {
 		// The checkpoint restored but the log disagrees with it (swapped
 		// out from under the directory, or corrupt past the offset in a
@@ -98,7 +107,7 @@ func OpenCheckpointed(logPath, ckptDir string, poll time.Duration, opts Options,
 // the log from the checkpoint's (rebased) offset, fold the suffix in with
 // the incremental pipeline, and position the tailer at the end of the
 // intact prefix.
-func resumeFrom(model *weboftrust.TrustModel, logPath string, poll time.Duration, opts Options, info checkpoint.Info) (*Server, *Tailer, int, int64, error) {
+func resumeFrom(into *Server, model *weboftrust.TrustModel, logPath string, poll time.Duration, opts Options, info checkpoint.Info) (*Server, *Tailer, int, int64, error) {
 	st, err := os.Stat(logPath)
 	if err != nil {
 		return nil, nil, 0, 0, err
@@ -119,7 +128,7 @@ func resumeFrom(model *weboftrust.TrustModel, logPath string, poll time.Duration
 		// Nothing past the checkpoint: serve the restored model as-is and
 		// let the tailer materialise its builder lazily, keeping the
 		// dedup-map reconstruction off the time-to-serving path.
-		srv := New(model, offset, opts)
+		srv := adoptOrNew(into, model, offset, opts)
 		return srv, NewTailerFromDataset(srv, logPath, poll, model.Dataset(), offset), 0, offset, nil
 	}
 	builder := ratings.NewBuilderFrom(model.Dataset())
@@ -130,6 +139,17 @@ func resumeFrom(model *weboftrust.TrustModel, logPath string, poll time.Duration
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
-	srv := New(model, offset, opts)
+	srv := adoptOrNew(into, model, offset, opts)
 	return srv, NewTailer(srv, logPath, poll, builder, offset), len(events), offset, nil
+}
+
+// adoptOrNew publishes a freshly booted model: by the first Swap into an
+// early-bound pending server, or by constructing one. Both paths stamp
+// the state version 1.
+func adoptOrNew(into *Server, model *weboftrust.TrustModel, offset int64, opts Options) *Server {
+	if into == nil {
+		return New(model, offset, opts)
+	}
+	into.Swap(model, offset)
+	return into
 }

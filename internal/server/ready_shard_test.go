@@ -1,0 +1,152 @@
+package server
+
+// Tests for the serving tier's cluster surfaces: the pending-server
+// early-listen lifecycle (503 queries, liveness vs readiness split, the
+// ready-target flip) and sharded ownership answers (421 for unowned
+// sources, shard blocks in /healthz, /readyz and /v1/stats).
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"weboftrust"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/shard"
+)
+
+// TestPendingServerLifecycle pins the early-listen contract: before the
+// first Swap a pending server serves 503 queries but 200 liveness; the
+// readiness flip tracks the ready target against the served offset.
+func TestPendingServerLifecycle(t *testing.T) {
+	_, d := writeLogFile(t)
+	srv := NewPending(Options{})
+	h := srv.Handler()
+
+	if rec := get(t, h, "/v1/topk?user=0"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pending topk: %d %s, want 503", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/stats"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pending stats: %d, want 503", rec.Code)
+	}
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "starting") {
+		t.Fatalf("pending healthz: %d %s, want 200 starting", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pending readyz: %d, want 503", rec.Code)
+	}
+	// A scrape against a pending server must not panic and still serves
+	// the process counters.
+	if rec := get(t, h, "/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("pending metrics: %d", rec.Code)
+	}
+
+	model, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReadyTarget(500)
+	srv.Swap(model, 400)
+	if _, _, version := srv.Current(); version != 1 {
+		t.Fatalf("first swap version = %d, want 1 (same as New)", version)
+	}
+	if rec := get(t, h, "/v1/topk?user=0"); rec.Code != http.StatusOK {
+		t.Fatalf("swapped topk: %d %s", rec.Code, rec.Body.String())
+	}
+	// Loaded but behind the boot offset: live, not ready.
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "catching-up") {
+		t.Fatalf("behind target: readyz %d %s, want 503 catching-up", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("behind target: healthz %d, want 200 (liveness ignores readiness)", rec.Code)
+	}
+	srv.Swap(model, 500)
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ready") {
+		t.Fatalf("caught up: readyz %d %s, want 200 ready", rec.Code, rec.Body.String())
+	}
+}
+
+// TestShardedServerOwnership pins the partition surface: per-source
+// queries answer 421 for unowned users (after the 404 range check), the
+// target of /v1/trust may be anyone, and the shard spec shows up in
+// /healthz, /readyz and /v1/stats.
+func TestShardedServerOwnership(t *testing.T) {
+	_, d := writeLogFile(t)
+	spec := shard.Spec{Index: 1, Count: 3}
+	model, err := weboftrust.Derive(d, weboftrust.WithShard(spec.Index, spec.Count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(model, 0, Options{})
+	h := srv.Handler()
+
+	var owned, unowned ratings.UserID = 0, 0
+	foundOwned, foundUnowned := false, false
+	for u := 0; u < d.NumUsers(); u++ {
+		if spec.Owns(u) && !foundOwned {
+			owned, foundOwned = ratings.UserID(u), true
+		}
+		if !spec.Owns(u) && !foundUnowned {
+			unowned, foundUnowned = ratings.UserID(u), true
+		}
+	}
+	if !foundOwned || !foundUnowned {
+		t.Fatalf("dataset too small to find owned and unowned users")
+	}
+
+	if rec := get(t, h, "/v1/topk?user="+itoa(int(owned))); rec.Code != http.StatusOK {
+		t.Fatalf("owned topk: %d %s", rec.Code, rec.Body.String())
+	}
+	for _, p := range []string{"/v1/topk?user=", "/v1/expertise?user=", "/v1/neighbors?user=", "/v1/propagate?algo=appleseed&user="} {
+		rec := get(t, h, p+itoa(int(unowned)))
+		if rec.Code != http.StatusMisdirectedRequest {
+			t.Fatalf("unowned %s: %d %s, want 421", p, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "shard 1/3") {
+			t.Fatalf("421 body must name the shard spec: %s", rec.Body.String())
+		}
+	}
+	// Range check precedes ownership: out-of-range ids stay 404 on every
+	// shard, exactly like the unsharded server.
+	if rec := get(t, h, "/v1/topk?user="+itoa(d.NumUsers())); rec.Code != http.StatusNotFound {
+		t.Fatalf("out of range: %d, want 404", rec.Code)
+	}
+	// Trust: owned source + unowned target is fine (expertise is
+	// replicated); unowned source is misdirected.
+	if rec := get(t, h, "/v1/trust?from="+itoa(int(owned))+"&to="+itoa(int(unowned))); rec.Code != http.StatusOK {
+		t.Fatalf("trust owned->unowned: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/v1/trust?from="+itoa(int(unowned))+"&to="+itoa(int(owned))); rec.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("trust unowned source: %d, want 421", rec.Code)
+	}
+
+	stats := decode[StatsResponse](t, get(t, h, "/v1/stats"))
+	if stats.Shard == nil {
+		t.Fatal("sharded /v1/stats must carry the shard block")
+	}
+	if stats.Shard.Spec != "1/3" || stats.Shard.OwnedUsers != spec.CountOwned(d.NumUsers()) {
+		t.Fatalf("shard block = %+v, want spec 1/3 owning %d", stats.Shard, spec.CountOwned(d.NumUsers()))
+	}
+	for _, p := range []string{"/healthz", "/readyz"} {
+		rec := get(t, h, p)
+		if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"shard":"1/3"`) {
+			t.Fatalf("%s: %d %s, want 200 with shard spec", p, rec.Code, rec.Body.String())
+		}
+	}
+	if rec := get(t, h, "/metrics"); !strings.Contains(rec.Body.String(), "trustd_shard_owned_users") {
+		t.Fatal("/metrics must export shard gauges on a sharded server")
+	}
+
+	// The unsharded body must be byte-stable: no shard block anywhere.
+	um, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uh := New(um, 0, Options{}).Handler()
+	if body := get(t, uh, "/v1/stats").Body.String(); strings.Contains(body, `"shard"`) {
+		t.Fatalf("unsharded /v1/stats must omit the shard block: %s", body)
+	}
+	if body := get(t, uh, "/healthz").Body.String(); strings.Contains(body, `"shard"`) {
+		t.Fatalf("unsharded /healthz must omit the shard field: %s", body)
+	}
+}

@@ -77,12 +77,23 @@ const DefaultCacheResults = 512
 const DefaultCacheBytes = 1 << 20
 
 // Server serves trust queries over HTTP. Create with New, mount Handler,
-// and feed it fresh models via Swap (usually from a Tailer).
+// and feed it fresh models via Swap (usually from a Tailer). In a
+// sharded deployment (the model derived with WithShard) the server
+// serves its partition: per-source endpoints answer 421 Misdirected
+// Request for users the shard does not own, and /healthz, /readyz and
+// /v1/stats expose the shard spec so a router can verify its view of the
+// cluster.
 type Server struct {
 	opts    Options
 	cur     atomic.Pointer[state]
 	start   time.Time
 	metrics metrics
+	// readyTarget is the event-log offset the served state must reach
+	// before /readyz reports ready: the log size observed at boot, set by
+	// the daemon before serving so a router never routes to a shard still
+	// replaying its backlog. 0 (never set) means any loaded state is
+	// ready.
+	readyTarget atomic.Int64
 	// ckpt is the durability surface: the newest checkpoint the served
 	// model is covered by, published by a Checkpointer and read by
 	// /v1/stats and /metrics. Nil when no checkpointer runs.
@@ -116,6 +127,10 @@ type metrics struct {
 	lastSwapNanos    atomic.Int64
 	checkpointWrites atomic.Int64
 	checkpointErrors atomic.Int64
+	// misdirected counts per-source requests for users this shard does
+	// not own (answered 421): nonzero in steady state means a router is
+	// hashing against a different shard map than this process.
+	misdirected atomic.Int64
 	// Propagation serving instrumentation: per-algorithm request
 	// counters, the graph traversals actually performed (cache misses
 	// minus coalesced flights), cumulative wall-clock spent in the
@@ -158,6 +173,26 @@ func New(model *weboftrust.TrustModel, offset int64, opts Options) *Server {
 	return s
 }
 
+// NewPending creates a server with no model yet: every query answers 503
+// until the first Swap publishes one. It lets the daemon bind its listen
+// address before the (possibly long) boot replay, so load balancers and
+// routers can health-check the process and watch /readyz flip instead of
+// getting connection refused.
+func NewPending(opts Options) *Server {
+	if opts.CacheResults == 0 {
+		opts.CacheResults = DefaultCacheResults
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	return &Server{opts: opts, start: time.Now()}
+}
+
+// SetReadyTarget sets the event-log offset the served state must reach
+// before /readyz reports ready (the log size observed at boot). Call
+// before serving; 0 means any loaded state is ready.
+func (s *Server) SetReadyTarget(offset int64) { s.readyTarget.Store(offset) }
+
 func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version uint64) *state {
 	return &state{
 		model:   model,
@@ -172,16 +207,27 @@ func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version ui
 // Swap atomically replaces the served model. Readers in flight keep the
 // state they loaded; new requests see the new model with a fresh (empty)
 // result cache and a pool sized to the new user count. Safe for one
-// writer; queries never block on it.
+// writer; queries never block on it. The first Swap into a pending
+// server publishes version 1 — the same version New stamps — so a
+// boot-then-swap daemon and a New-constructed one number their states
+// identically.
 func (s *Server) Swap(model *weboftrust.TrustModel, offset int64) {
-	s.cur.Store(s.newState(model, offset, s.cur.Load().version+1))
+	var version uint64 = 1
+	if cur := s.cur.Load(); cur != nil {
+		version = cur.version + 1
+	}
+	s.cur.Store(s.newState(model, offset, version))
 	s.metrics.swaps.Add(1)
 	s.metrics.lastSwapNanos.Store(time.Now().UnixNano())
 }
 
-// Current returns the served model, its event-log offset and version.
+// Current returns the served model, its event-log offset and version —
+// (nil, 0, 0) while a pending server awaits its first Swap.
 func (s *Server) Current() (*weboftrust.TrustModel, int64, uint64) {
 	st := s.cur.Load()
+	if st == nil {
+		return nil, 0, 0
+	}
 	return st.model, st.offset, st.version
 }
 
@@ -333,8 +379,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// loadState returns the served state, answering 503 when the server is
+// still pending its first model (NewPending before the boot completes).
+func (s *Server) loadState(w http.ResponseWriter) (*state, bool) {
+	st := s.cur.Load()
+	if st == nil {
+		s.fail(w, http.StatusServiceUnavailable, "starting up: no model loaded yet")
+		return nil, false
+	}
+	return st, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -370,6 +428,26 @@ func (s *Server) userParam(w http.ResponseWriter, r *http.Request, st *state, na
 	return ratings.UserID(id), true
 }
 
+// sourceParam is userParam for the SOURCE user of a per-source query: on
+// a sharded server it additionally answers 421 Misdirected Request for
+// users the shard does not own, telling a misconfigured client (or a
+// router with a skewed shard map) which spec this process serves. The
+// range check runs first, so out-of-range ids stay 404 on every shard —
+// identical to the unsharded server.
+func (s *Server) sourceParam(w http.ResponseWriter, r *http.Request, st *state, name string) (ratings.UserID, bool) {
+	u, ok := s.userParam(w, r, st, name)
+	if !ok {
+		return 0, false
+	}
+	if !st.model.Owns(u) {
+		idx, count := st.model.ShardSpec()
+		s.metrics.misdirected.Add(1)
+		s.fail(w, http.StatusMisdirectedRequest, "user %d is not owned by shard %d/%d", u, idx, count)
+		return 0, false
+	}
+	return u, true
+}
+
 // kParam parses the optional "k" query parameter (default 10).
 func (s *Server) kParam(w http.ResponseWriter, r *http.Request) (int, bool) {
 	k := 10
@@ -400,8 +478,11 @@ type TopKResponse struct {
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epTopK].Add(1)
-	st := s.cur.Load()
-	u, ok := s.userParam(w, r, st, "user")
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
+	u, ok := s.sourceParam(w, r, st, "user")
 	if !ok {
 		return
 	}
@@ -428,8 +509,13 @@ type TrustResponse struct {
 
 func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epTrust].Add(1)
-	st := s.cur.Load()
-	from, ok := s.userParam(w, r, st, "from")
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
+	// The source must be owned (the trust row is partitioned state); the
+	// target can be anyone (expertise is replicated).
+	from, ok := s.sourceParam(w, r, st, "from")
 	if !ok {
 		return
 	}
@@ -461,8 +547,11 @@ type ExpertiseResponse struct {
 
 func (s *Server) handleExpertise(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epExpertise].Add(1)
-	st := s.cur.Load()
-	u, ok := s.userParam(w, r, st, "user")
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
+	u, ok := s.sourceParam(w, r, st, "user")
 	if !ok {
 		return
 	}
@@ -504,8 +593,11 @@ type NeighborsResponse struct {
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epNeighbors].Add(1)
-	st := s.cur.Load()
-	u, ok := s.userParam(w, r, st, "user")
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
+	u, ok := s.sourceParam(w, r, st, "user")
 	if !ok {
 		return
 	}
@@ -535,13 +627,16 @@ type PropagateResponse struct {
 
 func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epPropagate].Add(1)
-	st := s.cur.Load()
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
 	algo, err := weboftrust.ParsePropagationAlgo(r.URL.Query().Get("algo"))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "bad \"algo\" parameter: %v", err)
 		return
 	}
-	u, ok := s.userParam(w, r, st, "user")
+	u, ok := s.sourceParam(w, r, st, "user")
 	if !ok {
 		return
 	}
@@ -582,7 +677,10 @@ type GraphStatsResponse struct {
 
 func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epGraphStats].Add(1)
-	st := s.cur.Load()
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
 	web := st.model.WebOfTrust()
 	deg := web.Graph().Degrees()
 	var kSum float64
@@ -619,6 +717,34 @@ type StatsResponse struct {
 	// Checkpoint reports the newest durable copy of the served model;
 	// absent when the daemon runs without a checkpoint directory.
 	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+	// Shard reports this server's slice of a sharded deployment; absent
+	// when unsharded, so single-process deployments see the historical
+	// body unchanged.
+	Shard *ShardStats `json:"shard,omitempty"`
+}
+
+// ShardStats is the partition block of /v1/stats: the spec this process
+// serves and how many of the community's users it owns dense state for.
+type ShardStats struct {
+	Index      int    `json:"index"`
+	Count      int    `json:"count"`
+	Spec       string `json:"spec"`
+	OwnedUsers int    `json:"owned_users"`
+}
+
+// shardStats builds the /v1/stats and /healthz shard block, nil when the
+// served model is unsharded.
+func shardStats(m *weboftrust.TrustModel) *ShardStats {
+	idx, count := m.ShardSpec()
+	if count <= 1 {
+		return nil
+	}
+	return &ShardStats{
+		Index:      idx,
+		Count:      count,
+		Spec:       fmt.Sprintf("%d/%d", idx, count),
+		OwnedUsers: m.Artifacts().Trust.OwnedUsers(),
+	}
 }
 
 // CheckpointStats is the durability block of /v1/stats. AgeSeconds and
@@ -633,7 +759,10 @@ type CheckpointStats struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epStats].Add(1)
-	st := s.cur.Load()
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
 	resp := StatsResponse{
 		Dataset:       st.model.Dataset().Stats(),
 		Version:       st.version,
@@ -642,6 +771,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheBytes:    st.results.approxBytes(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
+	resp.Shard = shardStats(st.model)
 	if ck := s.checkpointStatus(); ck != nil {
 		resp.Checkpoint = &CheckpointStats{
 			Path:       ck.Path,
@@ -653,18 +783,59 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is LIVENESS: it answers 200 as soon as the process can
+// serve HTTP at all, model or not — restart the process if this fails.
+// Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.cur.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	if st == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "starting"})
+		return
+	}
+	body := map[string]any{
 		"status":  "ok",
 		"version": st.version,
 		"offset":  st.offset,
-	})
+	}
+	if sh := shardStats(st.model); sh != nil {
+		body["shard"] = sh.Spec
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is READINESS: 200 only once a model is loaded AND its
+// event-log offset has reached the ready target (the log size observed
+// at boot), so a router never sends traffic to a shard still replaying
+// the backlog it booted behind. A server never asked to wait (target 0)
+// is ready as soon as it has a model.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.cur.Load()
+	target := s.readyTarget.Load()
+	if st == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting", "target": target,
+		})
+		return
+	}
+	body := map[string]any{
+		"version": st.version,
+		"offset":  st.offset,
+		"target":  target,
+	}
+	if sh := shardStats(st.model); sh != nil {
+		body["shard"] = sh.Spec
+	}
+	if st.offset < target {
+		body["status"] = "catching-up"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ready"
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.cur.Load()
-	d := st.model.Dataset()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -677,16 +848,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "trustd_requests_total{endpoint=%q} %d\n", ep, s.metrics.requests[i].Load())
 	}
 	counter("trustd_bad_requests_total", "Requests rejected with a client error.", s.metrics.badRequests.Load())
+	counter("trustd_misdirected_requests_total", "Per-source requests for users this shard does not own (answered 421).", s.metrics.misdirected.Load())
 	counter("trustd_result_cache_hits_total", "Ranked-result cache hits.", s.metrics.cacheHits.Load())
 	counter("trustd_result_cache_misses_total", "Ranked-result cache misses.", s.metrics.cacheMisses.Load())
 	counter("trustd_row_computes_total", "Trust rows actually evaluated (misses minus coalesced flights).", s.metrics.rowComputes.Load())
 	counter("trustd_swaps_total", "Model swaps performed by ingest.", s.metrics.swaps.Load())
 	counter("trustd_events_ingested_total", "Event-log records ingested since start.", s.metrics.eventsIngested.Load())
 	counter("trustd_log_truncated_reads_total", "Tail reads that hit a torn final record.", s.metrics.truncatedReads.Load())
-	gauge("trustd_model_version", "Version of the served model (increments per swap).", int64(st.version))
-	gauge("trustd_log_offset_bytes", "Event-log offset the served model reflects.", st.offset)
-	gauge("trustd_result_cache_entries", "Ranked results currently cached.", int64(st.results.len()))
-	gauge("trustd_result_cache_bytes", "Approximate memory retained by the result cache.", st.results.approxBytes())
+	// State-derived gauges are absent while a pending server awaits its
+	// first model (counters above still scrape).
+	if st != nil {
+		gauge("trustd_model_version", "Version of the served model (increments per swap).", int64(st.version))
+		gauge("trustd_log_offset_bytes", "Event-log offset the served model reflects.", st.offset)
+		gauge("trustd_result_cache_entries", "Ranked results currently cached.", int64(st.results.len()))
+		gauge("trustd_result_cache_bytes", "Approximate memory retained by the result cache.", st.results.approxBytes())
+		if sh := shardStats(st.model); sh != nil {
+			gauge("trustd_shard_index", "This server's shard index.", int64(sh.Index))
+			gauge("trustd_shard_count", "Total shards in the deployment.", int64(sh.Count))
+			gauge("trustd_shard_owned_users", "Users this shard owns dense state for.", int64(sh.OwnedUsers))
+		}
+	}
 	counter("trustd_checkpoint_writes_total", "Checkpoints successfully written.", s.metrics.checkpointWrites.Load())
 	counter("trustd_checkpoint_errors_total", "Checkpoint write or prune failures.", s.metrics.checkpointErrors.Load())
 	if ck := s.checkpointStatus(); ck != nil {
@@ -698,9 +879,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Peek only: a scrape must never force the lazily rebuilt web of a
 	// freshly restored model (the gauges appear once a graph consumer
 	// has built it, or immediately after a pipeline-built swap).
-	if web, ok := st.model.WebOfTrustBuilt(); ok {
-		gauge("trustd_web_nodes", "Nodes in the served web of trust.", int64(web.NumUsers()))
-		gauge("trustd_web_edges", "Directed trust edges in the served web of trust.", int64(web.NumEdges()))
+	if st != nil {
+		if web, ok := st.model.WebOfTrustBuilt(); ok {
+			gauge("trustd_web_nodes", "Nodes in the served web of trust.", int64(web.NumUsers()))
+			gauge("trustd_web_edges", "Directed trust edges in the served web of trust.", int64(web.NumEdges()))
+		}
 	}
 	fmt.Fprintf(w, "# HELP trustd_propagate_requests_total Propagation queries served, by algorithm.\n# TYPE trustd_propagate_requests_total counter\n")
 	for i, algo := range []string{"appleseed", "moletrust", "tidaltrust"} {
@@ -711,9 +894,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		float64(s.metrics.propagateNanos.Load())/1e9)
 	fmt.Fprintf(w, "# HELP trustd_propagate_last_seconds Latency of the most recent propagation query.\n# TYPE trustd_propagate_last_seconds gauge\ntrustd_propagate_last_seconds %g\n",
 		float64(s.metrics.propagateLastNanos.Load())/1e9)
-	gauge("trustd_dataset_users", "Users in the served dataset.", int64(d.NumUsers()))
-	gauge("trustd_dataset_categories", "Categories in the served dataset.", int64(d.NumCategories()))
-	gauge("trustd_dataset_reviews", "Reviews in the served dataset.", int64(d.NumReviews()))
-	gauge("trustd_dataset_ratings", "Ratings in the served dataset.", int64(d.NumRatings()))
+	if st != nil {
+		d := st.model.Dataset()
+		gauge("trustd_dataset_users", "Users in the served dataset.", int64(d.NumUsers()))
+		gauge("trustd_dataset_categories", "Categories in the served dataset.", int64(d.NumCategories()))
+		gauge("trustd_dataset_reviews", "Reviews in the served dataset.", int64(d.NumReviews()))
+		gauge("trustd_dataset_ratings", "Ratings in the served dataset.", int64(d.NumRatings()))
+	}
 	gauge("trustd_last_swap_timestamp_nanos", "Unix time of the last model swap, 0 before any.", s.metrics.lastSwapNanos.Load())
 }

@@ -143,6 +143,12 @@ func (t *Tailer) Run(ctx context.Context) error {
 // Server plus a Tailer checkpointed at the end of the intact prefix. Start
 // the tailer with go tailer.Run(ctx).
 func Open(path string, poll time.Duration, opts Options, derive ...weboftrust.Option) (*Server, *Tailer, error) {
+	return openInto(nil, path, poll, opts, derive...)
+}
+
+// openInto is Open publishing into an existing pending server when into
+// is non-nil (the early-listen boot path; see OpenCheckpointedInto).
+func openInto(into *Server, path string, poll time.Duration, opts Options, derive ...weboftrust.Option) (*Server, *Tailer, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: open log: %w", err)
@@ -160,6 +166,6 @@ func Open(path string, poll time.Duration, opts Options, derive ...weboftrust.Op
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := New(model, offset, opts)
+	srv := adoptOrNew(into, model, offset, opts)
 	return srv, NewTailer(srv, path, poll, builder, offset), nil
 }

@@ -1,0 +1,29 @@
+package store
+
+import "weboftrust/internal/ratings"
+
+// FilterBySource returns the subsequence of a log's events that a
+// source-filtered export keeps. Structural events — categories, users,
+// objects, reviews — always survive: they define the dense ID spaces
+// (user i, review j) that every later event and every consumer indexes
+// by, so dropping any of them would renumber the world. Only the
+// per-source ACTION events are filtered: a rating goes with its rater, a
+// trust edge with its origin. The result is a log whose replay yields
+// the same users/objects/reviews but only the chosen sources' opinions —
+// the physical-split counterpart of a shard's retained dense state.
+//
+// The returned slice shares the input's backing array when everything is
+// kept; callers must treat the input as consumed.
+func FilterBySource(events []Event, keep func(ratings.UserID) bool) []Event {
+	out := events[:0]
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvAddRating, EvAddTrust:
+			if !keep(ev.User) {
+				continue
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"testing"
+
+	"weboftrust/internal/ratings"
+)
+
+// TestFilterBySource pins the split rule: structural events always
+// survive (they define the dense ID spaces), per-source actions only for
+// kept sources — so a filtered log replays into a world with the same
+// users, objects and reviews but only the kept sources' opinions.
+func TestFilterBySource(t *testing.T) {
+	events := []Event{
+		{Kind: EvAddCategory, Name: "books"},
+		{Kind: EvAddUser, Name: "u0"},
+		{Kind: EvAddUser, Name: "u1"},
+		{Kind: EvAddUser, Name: "u2"},
+		{Kind: EvAddObject, Category: 0, Name: "o0"},
+		{Kind: EvAddReview, User: 1, Object: 0},
+		{Kind: EvAddRating, User: 0, Review: 0, Level: 4},
+		{Kind: EvAddRating, User: 2, Review: 0, Level: 2},
+		{Kind: EvAddTrust, User: 0, To: 1},
+		{Kind: EvAddTrust, User: 2, To: 1},
+	}
+	filtered := FilterBySource(append([]Event(nil), events...), func(u ratings.UserID) bool { return u == 2 })
+
+	var ratingsKept, trustKept, structural int
+	for _, ev := range filtered {
+		switch ev.Kind {
+		case EvAddRating:
+			ratingsKept++
+			if ev.User != 2 {
+				t.Fatalf("kept rating by %d, want only source 2", ev.User)
+			}
+		case EvAddTrust:
+			trustKept++
+			if ev.User != 2 {
+				t.Fatalf("kept trust by %d, want only source 2", ev.User)
+			}
+		default:
+			structural++
+		}
+	}
+	if structural != 6 {
+		t.Fatalf("structural events: %d, want all 6 kept", structural)
+	}
+	if ratingsKept != 1 || trustKept != 1 {
+		t.Fatalf("kept %d ratings and %d trust edges, want 1 each", ratingsKept, trustKept)
+	}
+
+	// The review written by the filtered-out user 1 must still exist after
+	// replay: review IDs are dense and later events index them.
+	b := ratings.NewBuilder()
+	if err := Replay(filtered, b); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	if d.NumUsers() != 3 || d.NumReviews() != 1 {
+		t.Fatalf("replayed %d users, %d reviews; want 3 users, 1 review", d.NumUsers(), d.NumReviews())
+	}
+	if d.NumRatings() != 1 {
+		t.Fatalf("replayed %d ratings, want 1", d.NumRatings())
+	}
+}

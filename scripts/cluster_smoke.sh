@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh boots a real 3-shard trustd cluster behind the
+# consistent-hash router, next to an unsharded reference process over the
+# same event log, and proves end to end that:
+#
+#   1. every shard and the router come up and report ready,
+#   2. routed responses are byte-identical to the unsharded server for a
+#      sample of users across /v1/topk, /v1/trust, /v1/neighbors and
+#      /v1/propagate (plus the merged /v1/graph/stats),
+#   3. the cluster survives a loadgen burst through the router,
+#
+# then tears everything down. This is the out-of-process complement to
+# the in-process harness in internal/router/cluster_test.go: real
+# binaries, real TCP, real flags.
+#
+# Usage: scripts/cluster_smoke.sh
+#   CLUSTER_SMOKE_PORT  base port (default 8300; uses base..base+4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_port="${CLUSTER_SMOKE_PORT:-8300}"
+ref_port=$base_port
+s0_port=$((base_port + 1))
+s1_port=$((base_port + 2))
+s2_port=$((base_port + 3))
+router_port=$((base_port + 4))
+
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/trustd" ./cmd/trustd
+go build -o "$workdir/trustctl" ./cmd/trustctl
+
+echo "== generating community and event log"
+"$workdir/trustctl" generate -preset small -out "$workdir/data.wot" >/dev/null
+"$workdir/trustctl" exportlog -in "$workdir/data.wot" -log "$workdir/events.log" >/dev/null
+users=300 # synth.Small community size
+
+echo "== starting unsharded reference on :$ref_port"
+"$workdir/trustd" serve -log "$workdir/events.log" -addr "127.0.0.1:$ref_port" 2>"$workdir/ref.log" &
+pids+=($!)
+
+echo "== starting 3 shards on :$s0_port :$s1_port :$s2_port"
+"$workdir/trustd" serve -log "$workdir/events.log" -addr "127.0.0.1:$s0_port" -shard 0/3 2>"$workdir/shard0.log" &
+pids+=($!)
+"$workdir/trustd" serve -log "$workdir/events.log" -addr "127.0.0.1:$s1_port" -shard 1/3 2>"$workdir/shard1.log" &
+pids+=($!)
+"$workdir/trustd" serve -log "$workdir/events.log" -addr "127.0.0.1:$s2_port" -shard 2/3 2>"$workdir/shard2.log" &
+pids+=($!)
+
+echo "== starting router on :$router_port (waits for shard readiness)"
+"$workdir/trustd" route -addr "127.0.0.1:$router_port" \
+    -shards "http://127.0.0.1:$s0_port,http://127.0.0.1:$s1_port,http://127.0.0.1:$s2_port" \
+    -wait-ready 30s 2>"$workdir/router.log" &
+pids+=($!)
+
+wait_ready() {
+    local url=$1 name=$2
+    for _ in $(seq 1 150); do
+        if curl -sf "$url/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "FAIL: $name never became ready" >&2
+    tail -n 20 "$workdir"/*.log >&2 || true
+    return 1
+}
+wait_ready "http://127.0.0.1:$ref_port" "reference"
+wait_ready "http://127.0.0.1:$router_port" "router (all shards)"
+
+echo "== equivalence: routed responses vs unsharded reference"
+checked=0
+for u in 0 7 42 99 123 201 299; do
+    to=$(((u + 1) % users))
+    for path in \
+        "/v1/topk?user=$u&k=7" \
+        "/v1/trust?from=$u&to=$to" \
+        "/v1/neighbors?user=$u" \
+        "/v1/propagate?algo=appleseed&user=$u&k=5"; do
+        ref_body="$(curl -s "http://127.0.0.1:$ref_port$path")"
+        routed_body="$(curl -s "http://127.0.0.1:$router_port$path")"
+        if [ "$ref_body" != "$routed_body" ]; then
+            echo "FAIL: $path differs through the router" >&2
+            echo "  ref:    $ref_body" >&2
+            echo "  router: $routed_body" >&2
+            exit 1
+        fi
+        checked=$((checked + 1))
+    done
+done
+ref_body="$(curl -s "http://127.0.0.1:$ref_port/v1/graph/stats")"
+routed_body="$(curl -s "http://127.0.0.1:$router_port/v1/graph/stats")"
+if [ "$ref_body" != "$routed_body" ]; then
+    echo "FAIL: merged /v1/graph/stats differs" >&2
+    exit 1
+fi
+checked=$((checked + 1))
+echo "   $checked responses byte-identical"
+
+echo "== loadgen burst through the router"
+"$workdir/trustd" loadgen -addr "http://127.0.0.1:$router_port" -duration 2s -concurrency 4 -users "$users"
+
+echo "== misdirected check: no shard saw a wrongly routed source"
+for port in $s0_port $s1_port $s2_port; do
+    mis="$(curl -s "http://127.0.0.1:$port/metrics" | awk '/^trustd_misdirected_requests_total/ {print $2}')"
+    if [ "${mis:-0}" != "0" ]; then
+        echo "FAIL: shard on :$port answered $mis misdirected requests" >&2
+        exit 1
+    fi
+done
+
+echo "cluster smoke OK"
