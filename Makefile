@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 BENCH_COUNT ?= 5
 FUZZTIME ?= 10s
 

@@ -2,12 +2,14 @@ package weboftrust
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"weboftrust/internal/affinity"
 	"weboftrust/internal/core"
+	"weboftrust/internal/graph"
 	"weboftrust/internal/propagation"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/shard"
@@ -115,6 +117,27 @@ func WithWebColdStartGenerosity(k float64) Option {
 	}
 }
 
+// WithPropagatePruneTau maintains a percolation-pruned companion of the
+// web-of-trust graph — every edge whose T̂ weight falls below tau is
+// dropped — and routes the propagation queries (PropagateInto, Propagate)
+// over it. Trust transitivity undergoes a percolation transition
+// (Richters & Peixoto): sub-threshold edges cannot carry trust through a
+// chain, so pruning them trades a small, bounded score error for a
+// proportionally smaller traversal. The web artifact itself — rows,
+// generosity, neighbor queries, the complete graph — is unchanged, and
+// PropagateExactInto always traverses the complete graph. tau 0 (the
+// default) disables pruning: propagation is exact. Like the rest of the
+// web policy, the knob is excluded from the configuration fingerprint.
+func WithPropagatePruneTau(tau float64) Option {
+	return func(c *core.Config) error {
+		if math.IsNaN(tau) || tau < 0 || tau > 1 {
+			return fmt.Errorf("weboftrust: propagate prune tau %v outside [0,1]", tau)
+		}
+		c.Web.PruneTau = tau
+		return nil
+	}
+}
+
 // WithShard makes the model shard index of count in an N-way
 // shard-by-source deployment: the pipeline still computes the complete
 // model (global artifacts and the replicated web graph need every user's
@@ -162,6 +185,13 @@ type TrustModel struct {
 	cfg       core.Config
 	dataset   *ratings.Dataset
 	artifacts *core.Artifacts
+	// id is a process-unique identity for this model; parentID links an
+	// Update result to the model it was incrementally derived from (0 for
+	// models built or restored from scratch). Serving layers use the pair
+	// to decide whether delta-aware state (cache carry-over, warm-started
+	// rank vectors) may migrate across an atomic swap.
+	id       uint64
+	parentID uint64
 	// scratch carries the reusable Update buffers down the chain of
 	// models an ingest loop produces; core.Scratch serialises concurrent
 	// use internally.
@@ -188,8 +218,14 @@ func Derive(d *Dataset, opts ...Option) (*TrustModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch)}, nil
+	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch), id: nextModelID()}, nil
 }
+
+// modelIDs hands out process-unique model identities; 0 is reserved for
+// "no parent".
+var modelIDs atomic.Uint64
+
+func nextModelID() uint64 { return modelIDs.Add(1) }
 
 func resolveConfig(opts []Option) (core.Config, error) {
 	cfg := core.DefaultConfig()
@@ -262,7 +298,7 @@ func Restore(d *Dataset, art *core.Artifacts, opts ...Option) (*TrustModel, erro
 	} else if got, want := art.Trust.ShardSpec(), cfg.Shard.Canon(); got != want {
 		return nil, fmt.Errorf("weboftrust: Restore: artifacts are shard %v, configuration says %v", got, want)
 	}
-	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch)}, nil
+	return &TrustModel{cfg: cfg, dataset: d, artifacts: art, scratch: new(core.Scratch), id: nextModelID()}, nil
 }
 
 // Update derives a new model for a dataset that extends this model's —
@@ -290,7 +326,27 @@ func (m *TrustModel) Update(newD *Dataset) (*TrustModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TrustModel{cfg: m.cfg, dataset: newD, artifacts: art, scratch: m.scratch}, nil
+	return &TrustModel{cfg: m.cfg, dataset: newD, artifacts: art, scratch: m.scratch, id: nextModelID(), parentID: m.id}, nil
+}
+
+// ID returns this model's process-unique identity.
+func (m *TrustModel) ID() uint64 { return m.id }
+
+// ParentID returns the identity of the model this one was incrementally
+// updated from, or 0 when it was derived or restored from scratch.
+func (m *TrustModel) ParentID() uint64 { return m.parentID }
+
+// DirtyUsers returns, for a model produced by Update, the conservative
+// set of users whose derived web row (and so any per-source result) may
+// differ from the parent model's; users not marked are provably
+// unchanged — their rows are shared with the parent by reference. It
+// returns nil for models with no parent. The slice is shared; do not
+// modify it.
+func (m *TrustModel) DirtyUsers() []bool {
+	if web, ok := m.WebOfTrustBuilt(); ok {
+		return web.DirtyUsers()
+	}
+	return nil
 }
 
 // Score returns the degree of trust T̂_ij user i holds for user j, in
@@ -477,8 +533,22 @@ func ParsePropagationAlgo(s string) (PropagationAlgo, error) {
 // from source's viewpoint over the web of trust, with the source's own
 // entry zeroed (it does not rank itself). Every entry of dst is
 // overwritten, so serving layers can hand in pooled, dirty buffers. The
-// result is deterministic for a given model and algorithm.
+// result is deterministic for a given model and algorithm. Under
+// WithPropagatePruneTau the traversal runs over the percolation-pruned
+// companion graph (a bounded approximation); otherwise — and always via
+// PropagateExactInto — it runs over the complete graph.
 func (m *TrustModel) PropagateInto(algo PropagationAlgo, source UserID, dst []float64) error {
+	return m.propagateOnto(m.WebOfTrust().PropagationGraph(), algo, source, dst)
+}
+
+// PropagateExactInto is PropagateInto over the complete web graph,
+// regardless of any pruning policy — the exact-mode fallback, and the
+// reference the pruning error bound is measured against.
+func (m *TrustModel) PropagateExactInto(algo PropagationAlgo, source UserID, dst []float64) error {
+	return m.propagateOnto(m.WebOfTrust().Graph(), algo, source, dst)
+}
+
+func (m *TrustModel) propagateOnto(g *graph.Graph, algo PropagationAlgo, source UserID, dst []float64) error {
 	numU := m.dataset.NumUsers()
 	if len(dst) != numU {
 		return fmt.Errorf("weboftrust: PropagateInto dst length %d, want %d", len(dst), numU)
@@ -486,7 +556,6 @@ func (m *TrustModel) PropagateInto(algo PropagationAlgo, source UserID, dst []fl
 	if int(source) < 0 || int(source) >= numU {
 		return fmt.Errorf("weboftrust: propagate source %d out of range (%d users)", source, numU)
 	}
-	g := m.WebOfTrust().Graph()
 	switch algo {
 	case PropagateAppleseed:
 		ranks, err := propagation.DefaultAppleseed().Rank(g, int(source))
@@ -528,4 +597,34 @@ func (m *TrustModel) Propagate(algo PropagationAlgo, source UserID, k int) ([]Ra
 		return nil, err
 	}
 	return core.RankRow(dst, k), nil
+}
+
+// GlobalRanks computes the EigenTrust global trust vector over the
+// complete web graph (never the pruned companion), run to convergence —
+// the cold path a serving layer takes when it has no predecessor vector.
+// It reports the power iterations used. The vector is a probability
+// distribution: scores sum to 1.
+func (m *TrustModel) GlobalRanks() ([]float64, int, error) {
+	ranks, iters, err := propagation.DefaultEigenTrust().RanksFrom(m.WebOfTrust().Graph(), nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("weboftrust: global ranks: %w", err)
+	}
+	return ranks, iters, nil
+}
+
+// GlobalRanksFrom refreshes the EigenTrust vector across an incremental
+// update: prev is the parent model's vector (new users pad with the
+// uniform prior), and maxIter caps the refresh — the swap delta is small,
+// so a handful of warm iterations recovers the ranking where a cold solve
+// needs dozens (GlobalRanks). maxIter <= 0 runs to full convergence.
+func (m *TrustModel) GlobalRanksFrom(prev []float64, maxIter int) ([]float64, int, error) {
+	et := propagation.DefaultEigenTrust()
+	if maxIter > 0 {
+		et.MaxIter = maxIter
+	}
+	ranks, iters, err := et.RanksFrom(m.WebOfTrust().Graph(), prev)
+	if err != nil {
+		return nil, 0, fmt.Errorf("weboftrust: global ranks: %w", err)
+	}
+	return ranks, iters, nil
 }

@@ -23,6 +23,7 @@ import (
 	"weboftrust/internal/checkpoint"
 	"weboftrust/internal/core"
 	"weboftrust/internal/experiments"
+	"weboftrust/internal/graph"
 	"weboftrust/internal/mat"
 	"weboftrust/internal/ratings"
 	"weboftrust/internal/router"
@@ -958,4 +959,161 @@ func BenchmarkUpdateCategoryScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Incremental serving benchmarks (PR 7) --------------------------------
+
+// webRows materialises a web's adjacency as the row-slices the graph
+// constructors take, outside any benchmark timer.
+func webRows(w *core.Web) (n int, to [][]int32, wt [][]float64) {
+	n = w.NumUsers()
+	to = make([][]int32, n)
+	wt = make([][]float64, n)
+	for u := 0; u < n; u++ {
+		to[u], wt[u] = w.Neighbors(ratings.UserID(u))
+	}
+	return n, to, wt
+}
+
+// growInCategory extends d with one new user writing one rated review in
+// the single given category.
+func growInCategory(b *testing.B, d *ratings.Dataset, cat ratings.CategoryID) *ratings.Dataset {
+	b.Helper()
+	bld := rebuildBuilder(b, d)
+	writer := bld.AddUser("bench-writer")
+	rater := bld.AddUser("bench-rater")
+	oid, err := bld.AddObject(cat, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rid, err := bld.AddReview(writer, oid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bld.AddRating(rater, rid, ratings.QuantizeRating(0.7)); err != nil {
+		b.Fatal(err)
+	}
+	return bld.Build()
+}
+
+// BenchmarkSwapDelta compares the two ways to build the post-ingest CSR
+// graph after a one-category tick on the Medium community: the delta
+// constructor (graph.UpdateRows — per-edge work only on dirty rows and
+// their targets' in-lists) against a full rebuild (graph.FromRows —
+// O(U+E) validation and scatter). The delta's advantage tracks the dirty
+// fraction, so the tick lands in the heaviest category (~37% of users
+// dirty) and the lightest (~8%).
+func BenchmarkSwapDelta(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := model.WebOfTrust().Graph()
+	for _, tc := range []struct {
+		name string
+		cat  ratings.CategoryID
+	}{
+		{"heavy", 0},
+		{"light", ratings.CategoryID(e.Dataset.NumCategories() - 1)},
+	} {
+		upd, err := model.Update(growInCategory(b, e.Dataset, tc.cat))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirty := upd.DirtyUsers()
+		if dirty == nil {
+			b.Fatal("update produced no dirty set")
+		}
+		n, to, wt := webRows(upd.WebOfTrust())
+		b.Run(tc.name+"/delta", func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.UpdateRows(prev, n, dirty, to, wt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/rebuild", func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.FromRows(n, to, wt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPropagatePruned measures a propagation cache miss on the
+// Medium community with a tau=0.10 percolation-pruned traversal graph
+// against the exact traversal over the complete graph, per algorithm.
+func BenchmarkPropagatePruned(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset, weboftrust.WithPropagatePruneTau(0.10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, e.Dataset.NumUsers())
+	for _, tc := range []struct {
+		name string
+		algo weboftrust.PropagationAlgo
+	}{
+		{"appleseed", weboftrust.PropagateAppleseed},
+		{"moletrust", weboftrust.PropagateMoleTrust},
+		{"tidaltrust", weboftrust.PropagateTidalTrust},
+	} {
+		b.Run(tc.name+"/pruned", func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := model.PropagateInto(tc.algo, weboftrust.UserID(i%100), dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/exact", func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := model.PropagateExactInto(tc.algo, weboftrust.UserID(i%100), dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRankWarm compares the /v1/rank maintenance strategies after a
+// one-category tick on the Medium community: the budgeted warm refresh
+// an incremental swap runs (GlobalRanksFrom with the parent's vector)
+// against a cold converged solve.
+func BenchmarkRankWarm(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, _, err := model.GlobalRanks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	upd, err := model.Update(growTouching(b, e.Dataset, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := upd.GlobalRanksFrom(prev, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := upd.GlobalRanks(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

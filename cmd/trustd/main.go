@@ -44,12 +44,16 @@
 // -web-cold-generosity gives users who cannot calibrate a k_i a fallback),
 // or -web-tau switches to a global score threshold. /v1/neighbors lists a
 // user's predicted-trust edges, /v1/propagate ranks transitive trust over
-// the graph, /v1/graph/stats reports its shape.
+// the graph (with -propagate-prune-tau T weak edges are percolation-pruned
+// from the traversal; ?exact=1 forces the complete graph), /v1/rank serves
+// the global EigenTrust leaderboard (warm-refreshed across ingest swaps),
+// and /v1/graph/stats reports the graph's shape.
 //
 // Endpoints: /v1/topk?user=U&k=K, /v1/trust?from=I&to=J,
 // /v1/expertise?user=U, /v1/neighbors?user=U,
-// /v1/propagate?algo=appleseed|moletrust|tidaltrust&user=U&k=K,
-// /v1/graph/stats, /v1/stats, /healthz, /readyz, /metrics (Prometheus text).
+// /v1/propagate?algo=appleseed|moletrust|tidaltrust&user=U&k=K[&exact=1],
+// /v1/rank[?k=K | ?user=U], /v1/graph/stats, /v1/stats, /healthz, /readyz,
+// /metrics (Prometheus text).
 package main
 
 import (
@@ -109,6 +113,7 @@ func cmdServe(args []string) error {
 	ckptKeep := fs.Int("checkpoint-keep", server.DefaultCheckpointKeep, "recent checkpoints to retain")
 	webTau := fs.Float64("web-tau", -1, "binarise the web of trust with a global score threshold instead of per-user top-k generosity (-1 = per-user top-k)")
 	webColdK := fs.Float64("web-cold-generosity", 0, "generosity fallback for users whose history cannot calibrate one (per-user top-k policy; 0 = paper protocol)")
+	pruneTau := fs.Float64("propagate-prune-tau", 0, "percolation-prune the propagation graph: drop edges with trust weight below tau for /v1/propagate traversals (0 = exact; ?exact=1 always bypasses)")
 	shardFlag := fs.String("shard", "", "serve shard i/N of a source-partitioned cluster (e.g. 1/3; empty = unsharded)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +140,9 @@ func cmdServe(args []string) error {
 	}
 	if *webColdK != 0 {
 		derive = append(derive, weboftrust.WithWebColdStartGenerosity(*webColdK))
+	}
+	if *pruneTau != 0 {
+		derive = append(derive, weboftrust.WithPropagatePruneTau(*pruneTau))
 	}
 	if *shardFlag != "" {
 		sp, err := shard.Parse(*shardFlag)

@@ -34,6 +34,15 @@ type WebPolicy struct {
 	// along. 0 (the default) is the paper's protocol exactly: k_i = 0
 	// selects nothing. Must be in [0, 1].
 	ColdGenerosity float64
+	// PruneTau, when positive, additionally maintains a pruned companion
+	// graph that drops edges whose T̂ weight falls below it. Trust
+	// transitivity undergoes a percolation transition (Richters &
+	// Peixoto): sub-threshold edges cannot carry trust through a long
+	// chain, so the propagation algorithms may traverse the pruned graph
+	// as a principled approximation of the exact one — the web itself
+	// (rows, generosity, the full graph) is unchanged. 0 disables
+	// pruning. Must be in [0, 1].
+	PruneTau float64
 }
 
 // DefaultWebPolicy returns the paper's protocol: per-user top-k by
@@ -42,6 +51,9 @@ func DefaultWebPolicy() WebPolicy { return WebPolicy{Policy: PerUserTopK} }
 
 // Validate rejects out-of-range parameters and unknown policies.
 func (p WebPolicy) Validate() error {
+	if math.IsNaN(p.PruneTau) || p.PruneTau < 0 || p.PruneTau > 1 {
+		return fmt.Errorf("core: prune tau %v outside [0,1]", p.PruneTau)
+	}
 	switch p.Policy {
 	case PerUserTopK:
 		if p.ColdGenerosity < 0 || p.ColdGenerosity > 1 {
@@ -63,17 +75,23 @@ func (p WebPolicy) Validate() error {
 
 // String renders the policy for stats surfaces and logs.
 func (p WebPolicy) String() string {
+	var s string
 	switch p.Policy {
 	case PerUserTopK:
 		if p.ColdGenerosity > 0 {
-			return fmt.Sprintf("per-user-topk(cold-k=%g)", p.ColdGenerosity)
+			s = fmt.Sprintf("per-user-topk(cold-k=%g)", p.ColdGenerosity)
+		} else {
+			s = "per-user-topk"
 		}
-		return "per-user-topk"
 	case GlobalThreshold:
-		return fmt.Sprintf("threshold(tau=%g)", p.Tau)
+		s = fmt.Sprintf("threshold(tau=%g)", p.Tau)
 	default:
-		return p.Policy.String()
+		s = p.Policy.String()
 	}
+	if p.PruneTau > 0 {
+		s += fmt.Sprintf("+prune(tau=%g)", p.PruneTau)
+	}
+	return s
 }
 
 // effectiveGenerosity applies the cold-start fallback to a raw k_i.
@@ -117,6 +135,15 @@ type Web struct {
 	g          *graph.Graph
 	numEdges   int
 	spec       shard.Spec
+	// pruned is the percolation-pruned companion graph (policy.PruneTau
+	// > 0 only): the same nodes with every edge of weight < PruneTau
+	// dropped. nil when pruning is disabled.
+	pruned *graph.Graph
+	// dirty marks, for a web produced by the incremental path, the users
+	// whose row or generosity may differ from the predecessor's — the
+	// exact set buildWeb recomputed; every other row is shared by
+	// reference and therefore provably unchanged. nil for full builds.
+	dirty []bool
 }
 
 // Policy returns the binarize policy the web was built under.
@@ -162,9 +189,30 @@ func (w *Web) rowAt(u int) WebRow {
 // unsharded spelling (0/1) means all of them.
 func (w *Web) ShardSpec() shard.Spec { return w.spec.Canon() }
 
-// Graph returns the CSR graph form the propagation algorithms traverse
-// (shared; do not modify).
+// Graph returns the complete CSR graph form (shared; do not modify).
 func (w *Web) Graph() *graph.Graph { return w.g }
+
+// PrunedGraph returns the percolation-pruned companion graph, or nil when
+// the policy does not prune (PruneTau == 0).
+func (w *Web) PrunedGraph() *graph.Graph { return w.pruned }
+
+// PropagationGraph returns the graph the propagation algorithms should
+// traverse: the pruned companion when the policy maintains one, otherwise
+// the complete graph.
+func (w *Web) PropagationGraph() *graph.Graph {
+	if w.pruned != nil {
+		return w.pruned
+	}
+	return w.g
+}
+
+// DirtyUsers returns the users whose row or generosity may differ from
+// the predecessor web this one was incrementally built from — a
+// conservative superset of the actually-changed rows; every user not
+// marked shares their row with the predecessor by reference and is
+// provably unchanged. It returns nil for webs built from scratch (no
+// predecessor to compare against). The slice is shared; do not modify.
+func (w *Web) DirtyUsers() []bool { return w.dirty }
 
 // BuildWeb binarises the derived matrix into a web of trust under the
 // given policy. workers caps the row-selection fan-out (<= 0 means one
@@ -218,17 +266,24 @@ func buildWeb(d *ratings.Dataset, dt *DerivedTrust, policy WebPolicy, workers in
 		w.rows[u] = policyRowInto(dt, ratings.UserID(u), policy, k, bufs[wk], true)
 	})
 
-	// The CSR graph is rebuilt wholesale — one O(E) validate-and-copy
-	// pass over rows that are already sorted and unique, with no map or
-	// sort (graph.FromRows) — while the rows themselves, the expensive
-	// part, are what the incremental path reuses.
+	// The CSR graph: a full build packs the rows wholesale — one O(E)
+	// validate-and-copy pass over rows that are already sorted and unique
+	// (graph.FromRows). The incremental path instead splices only the
+	// dirty rows into the predecessor's packed arrays (graph.UpdateRows),
+	// so all per-edge swap work tracks the delta, not the graph.
 	to := make([][]int32, numU)
 	weights := make([][]float64, numU)
 	for u, r := range w.rows {
 		to[u] = r.To
 		weights[u] = r.W
 	}
-	g, err := graph.FromRows(numU, to, weights)
+	var g *graph.Graph
+	var err error
+	if dirty != nil && old.g != nil {
+		g, err = graph.UpdateRows(old.g, numU, dirty, to, weights)
+	} else {
+		g, err = graph.FromRows(numU, to, weights)
+	}
 	if err != nil {
 		// policyRowInto emits ascending in-range unique ids; reaching
 		// here means the selection invariant broke.
@@ -236,7 +291,68 @@ func buildWeb(d *ratings.Dataset, dt *DerivedTrust, policy WebPolicy, workers in
 	}
 	w.g = g
 	w.numEdges = g.NumEdges()
+	w.dirty = dirty
+	if policy.PruneTau > 0 {
+		var oldPruned *graph.Graph
+		if dirty != nil {
+			oldPruned = old.pruned
+		}
+		w.pruned, err = buildPruned(g, oldPruned, dirty, policy.PruneTau)
+		if err != nil {
+			return nil, fmt.Errorf("core: web build: pruned graph: %w", err)
+		}
+	}
 	return w, nil
+}
+
+// buildPruned derives the percolation-pruned companion of g: every edge
+// of weight < tau dropped. Rows that survive intact share g's packed
+// slices. When the incremental path supplies the predecessor's pruned
+// graph and the dirty set, clean users' pruned rows are taken from it by
+// reference and only dirty rows are refiltered and spliced.
+func buildPruned(g *graph.Graph, oldPruned *graph.Graph, dirty []bool, tau float64) (*graph.Graph, error) {
+	n := g.NumNodes()
+	to := make([][]int32, n)
+	w := make([][]float64, n)
+	delta := oldPruned != nil && dirty != nil && oldPruned.NumNodes() <= n
+	for u := 0; u < n; u++ {
+		if delta && u < oldPruned.NumNodes() && !dirty[u] {
+			to[u], w[u] = oldPruned.Out(u)
+			continue
+		}
+		to[u], w[u] = pruneRow(g, u, tau)
+	}
+	if delta {
+		return graph.UpdateRows(oldPruned, n, dirty, to, w)
+	}
+	return graph.FromRows(n, to, w)
+}
+
+// pruneRow filters node u's out-row of g to edges with weight >= tau,
+// sharing g's slices when nothing is dropped.
+func pruneRow(g *graph.Graph, u int, tau float64) ([]int32, []float64) {
+	to, w := g.Out(u)
+	kept := 0
+	for _, x := range w {
+		if x >= tau {
+			kept++
+		}
+	}
+	if kept == len(to) {
+		return to, w
+	}
+	if kept == 0 {
+		return nil, nil
+	}
+	ft := make([]int32, 0, kept)
+	fw := make([]float64, 0, kept)
+	for i, x := range w {
+		if x >= tau {
+			ft = append(ft, to[i])
+			fw = append(fw, x)
+		}
+	}
+	return ft, fw
 }
 
 // dirtyUsers marks the users whose web row or generosity may differ from

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UpdateRows builds the graph for a new set of adjacency rows by reusing
+// prev's packed arrays for every row the caller marks clean. It is the
+// incremental companion to FromRows: rows follow the same shape (to[v]
+// strictly ascending, w[v] matching), but clean rows are trusted to hold
+// exactly prev's adjacency (they are length-checked) and move as bulk
+// copies of whole runs. Dirty rows that turn out bitwise-unchanged are
+// demoted to clean by a sequential compare; rows that truly changed are
+// validated and scattered, and their edge diffs drive the in-side: only
+// targets that gain or lose an edge have their in-lists rebuilt, while
+// weight-only changes are patched into bulk-copied lists in place. All
+// per-edge work therefore scales with the rows that actually differ and
+// the edges that structurally move; the remaining cost is O(n) offset
+// arrays and sequential memcpy of the clean regions.
+//
+// n may exceed prev.NumNodes(); appended rows are implicitly dirty.
+// Shrinking the node count is not supported. The result is structurally
+// identical to FromRows(n, to, w) — same arrays, same ordering — so
+// callers may use the two interchangeably.
+func UpdateRows(prev *Graph, n int, dirty []bool, to [][]int32, w [][]float64) (*Graph, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("graph: UpdateRows requires a previous graph")
+	}
+	prevN := prev.n
+	if n < prevN {
+		return nil, fmt.Errorf("graph: UpdateRows cannot shrink node count %d -> %d", prevN, n)
+	}
+	if len(to) != n || len(w) != n || len(dirty) != n {
+		return nil, fmt.Errorf("graph: %d target rows / %d weight rows / %d dirty flags for %d nodes",
+			len(to), len(w), len(dirty), n)
+	}
+	// The caller's dirty set is a conservative superset of the rows that
+	// actually changed (the core layer taints whole categories); a row
+	// that is bitwise what prev already holds needs no validation (prev
+	// was valid) and no in-list rebuild of its targets. Demote such rows
+	// to clean so all per-edge work below scales with the rows that truly
+	// differ — `changed` replaces the caller's flags from here on.
+	changed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if v >= prevN {
+			changed[v] = true
+			continue
+		}
+		if !dirty[v] {
+			continue
+		}
+		pt, pw := prev.Out(v)
+		if len(to[v]) != len(pt) || len(w[v]) != len(pt) {
+			changed[v] = true
+			continue
+		}
+		for i := range pt {
+			if to[v][i] != pt[i] || w[v][i] != pw[i] {
+				changed[v] = true
+				break
+			}
+		}
+	}
+	isDirty := func(v int) bool { return changed[v] }
+
+	// Size the edge arrays and validate changed rows under FromRows' rules.
+	nnz := prev.NumEdges()
+	for v := 0; v < n; v++ {
+		if !isDirty(v) {
+			if len(to[v]) != prev.OutDegree(v) || len(w[v]) != len(to[v]) {
+				return nil, fmt.Errorf("graph: clean row %d does not match previous graph (%d targets, %d weights, had %d)",
+					v, len(to[v]), len(w[v]), prev.OutDegree(v))
+			}
+			continue
+		}
+		if len(to[v]) != len(w[v]) {
+			return nil, fmt.Errorf("graph: row %d has %d targets but %d weights", v, len(to[v]), len(w[v]))
+		}
+		for i, t := range to[v] {
+			if t < 0 || int(t) >= n {
+				return nil, fmt.Errorf("graph: edge (%d, %d) out of range %d", v, t, n)
+			}
+			if i > 0 && to[v][i-1] >= t {
+				return nil, fmt.Errorf("graph: row %d targets not strictly ascending at %d", v, t)
+			}
+		}
+		if v < prevN {
+			nnz -= prev.OutDegree(v)
+		}
+		nnz += len(to[v])
+	}
+
+	g := &Graph{
+		n:      n,
+		outOff: make([]int32, n+1),
+		outTo:  make([]int32, nnz),
+		outW:   make([]float64, nnz),
+		inOff:  make([]int32, n+1),
+		inFrom: make([]int32, nnz),
+		inW:    make([]float64, nnz),
+	}
+
+	// Out-adjacency: maximal runs of consecutive clean rows copy straight
+	// out of prev's packed arrays with a single offset shift.
+	pos := int32(0)
+	for v := 0; v < n; {
+		if !isDirty(v) {
+			run := v
+			for run < n && !isDirty(run) {
+				run++
+			}
+			lo, hi := prev.outOff[v], prev.outOff[run]
+			copy(g.outTo[pos:], prev.outTo[lo:hi])
+			copy(g.outW[pos:], prev.outW[lo:hi])
+			shift := pos - lo
+			for u := v; u < run; u++ {
+				g.outOff[u+1] = prev.outOff[u+1] + shift
+			}
+			pos += hi - lo
+			v = run
+			continue
+		}
+		copy(g.outTo[pos:], to[v])
+		copy(g.outW[pos:], w[v])
+		pos += int32(len(to[v]))
+		g.outOff[v+1] = pos
+		v++
+	}
+
+	// In-adjacency: diff each changed row against its previous self with a
+	// two-pointer walk (both are source-sorted). An edge that appears or
+	// disappears makes its target STRUCTURAL — that in-list is rebuilt by
+	// merge below. A weight-only change leaves the target's source list
+	// intact, so the list moves as a bulk copy and the weight is patched
+	// in place afterwards. In a typical ingest tick almost every changed
+	// row is a re-normalisation (same targets, shifted weights), so this
+	// keeps per-edge merge work proportional to the handful of edges that
+	// truly appear or disappear, not to the changed rows' full fan-out.
+	structural := make([]bool, n)
+	inDeg := make([]int32, n)
+	type wpatch struct {
+		t, from int32
+		w       float64
+	}
+	var patches []wpatch
+	for t := 0; t < prevN; t++ {
+		inDeg[t] = prev.inOff[t+1] - prev.inOff[t]
+	}
+	for v := 0; v < n; v++ {
+		if !isDirty(v) {
+			continue
+		}
+		var pt []int32
+		var pw []float64
+		if v < prevN {
+			pt, pw = prev.Out(v)
+		}
+		nt, nw := to[v], w[v]
+		i, j := 0, 0
+		for i < len(pt) || j < len(nt) {
+			switch {
+			case j >= len(nt) || (i < len(pt) && pt[i] < nt[j]):
+				inDeg[pt[i]]--
+				structural[pt[i]] = true
+				i++
+			case i >= len(pt) || pt[i] > nt[j]:
+				inDeg[nt[j]]++
+				structural[nt[j]] = true
+				j++
+			default:
+				if pw[i] != nw[j] {
+					patches = append(patches, wpatch{t: nt[j], from: int32(v), w: nw[j]})
+				}
+				i++
+				j++
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		g.inOff[t+1] = g.inOff[t] + inDeg[t]
+	}
+
+	// Gather the changed rows' edges into structural targets as a
+	// per-target additions index, filled in ascending source order so each
+	// list stays source-sorted.
+	addOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		if !isDirty(v) {
+			continue
+		}
+		for _, t := range to[v] {
+			if structural[t] {
+				addOff[t+1]++
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		addOff[t+1] += addOff[t]
+	}
+	addFrom := make([]int32, addOff[n])
+	addW := make([]float64, addOff[n])
+	next := make([]int32, n)
+	copy(next, addOff[:n])
+	for v := 0; v < n; v++ {
+		if !isDirty(v) {
+			continue
+		}
+		for i, t := range to[v] {
+			if !structural[t] {
+				continue
+			}
+			p := next[t]
+			addFrom[p] = int32(v)
+			addW[p] = w[v][i]
+			next[t]++
+		}
+	}
+
+	// Non-structural targets bulk-copy in maximal runs; structural targets
+	// merge prev's in-list (minus changed sources — their surviving edges
+	// arrive through the additions index) with the additions.
+	for t := 0; t < n; {
+		if t < prevN && !structural[t] {
+			run := t
+			for run < prevN && !structural[run] {
+				run++
+			}
+			lo, hi := prev.inOff[t], prev.inOff[run]
+			dpos := g.inOff[t]
+			copy(g.inFrom[dpos:], prev.inFrom[lo:hi])
+			copy(g.inW[dpos:], prev.inW[lo:hi])
+			t = run
+			continue
+		}
+		dpos := g.inOff[t]
+		var pi, phi int32
+		if t < prevN {
+			pi, phi = prev.inOff[t], prev.inOff[t+1]
+		}
+		ai, aend := addOff[t], addOff[t+1]
+		for {
+			for pi < phi && isDirty(int(prev.inFrom[pi])) {
+				pi++
+			}
+			if pi >= phi {
+				copy(g.inFrom[dpos:], addFrom[ai:aend])
+				copy(g.inW[dpos:], addW[ai:aend])
+				break
+			}
+			if ai < aend && addFrom[ai] < prev.inFrom[pi] {
+				g.inFrom[dpos] = addFrom[ai]
+				g.inW[dpos] = addW[ai]
+				dpos++
+				ai++
+				continue
+			}
+			g.inFrom[dpos] = prev.inFrom[pi]
+			g.inW[dpos] = prev.inW[pi]
+			dpos++
+			pi++
+		}
+		t++
+	}
+
+	// Weight-only changes: the copied in-lists hold prev's weights at the
+	// right positions; overwrite each patched edge by binary search for
+	// its source. (Patches whose target turned structural are redundant —
+	// the merge already wrote the new weight — but rewriting it is
+	// harmless and cheaper than filtering.)
+	for _, p := range patches {
+		lo, hi := g.inOff[p.t], g.inOff[p.t+1]
+		k := int32(sort.Search(int(hi-lo), func(k int) bool { return g.inFrom[lo+int32(k)] >= p.from }))
+		g.inW[lo+k] = p.w
+	}
+	return g, nil
+}

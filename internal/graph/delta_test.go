@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRows generates random sorted adjacency for n nodes with edge
+// probability p.
+func randomRows(rng *rand.Rand, n int, p float64) (to [][]int32, w [][]float64) {
+	to = make([][]int32, n)
+	w = make([][]float64, n)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if rng.Float64() < p {
+				to[v] = append(to[v], int32(u))
+				w[v] = append(w[v], rng.Float64())
+			}
+		}
+	}
+	return to, w
+}
+
+func requireSameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape: %d/%d vs %d/%d", got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for v := 0; v < want.NumNodes(); v++ {
+		gt, gw := got.Out(v)
+		wt, ww := want.Out(v)
+		if len(gt) != len(wt) {
+			t.Fatalf("node %d out: %d vs %d", v, len(gt), len(wt))
+		}
+		for i := range gt {
+			if gt[i] != wt[i] || gw[i] != ww[i] {
+				t.Fatalf("node %d out edge %d: (%d,%v) vs (%d,%v)", v, i, gt[i], gw[i], wt[i], ww[i])
+			}
+		}
+		gf, gwi := got.In(v)
+		wf, wwi := want.In(v)
+		if len(gf) != len(wf) {
+			t.Fatalf("node %d in: %d vs %d", v, len(gf), len(wf))
+		}
+		for i := range gf {
+			if gf[i] != wf[i] || gwi[i] != wwi[i] {
+				t.Fatalf("node %d in edge %d: (%d,%v) vs (%d,%v)", v, i, gf[i], gwi[i], wf[i], wwi[i])
+			}
+		}
+	}
+}
+
+// TestUpdateRowsMatchesFromRows: for random base graphs and random dirty
+// sets (rewrites, emptied rows, appended nodes), UpdateRows produces a
+// graph structurally identical to a full FromRows rebuild of the new rows.
+func TestUpdateRowsMatchesFromRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(25)
+		to, w := randomRows(rng, n, 0.15+rng.Float64()*0.25)
+		prev, err := FromRows(n, to, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Grow by up to 3 nodes on some trials; appended rows are dirty.
+		newN := n
+		if rng.Intn(2) == 0 {
+			newN += rng.Intn(4)
+		}
+		dirty := make([]bool, newN)
+		newTo := make([][]int32, newN)
+		newW := make([][]float64, newN)
+		for v := 0; v < n; v++ {
+			switch {
+			case rng.Float64() < 0.25: // rewrite the row from scratch
+				dirty[v] = true
+				for u := 0; u < newN; u++ {
+					if rng.Float64() < 0.2 {
+						newTo[v] = append(newTo[v], int32(u))
+						newW[v] = append(newW[v], rng.Float64())
+					}
+				}
+			case rng.Float64() < 0.1: // dirty but unchanged content
+				dirty[v] = true
+				newTo[v] = append([]int32(nil), to[v]...)
+				newW[v] = append([]float64(nil), w[v]...)
+			default: // clean: share the old row
+				newTo[v] = to[v]
+				newW[v] = w[v]
+			}
+		}
+		for v := n; v < newN; v++ {
+			dirty[v] = true
+			for u := 0; u < newN; u++ {
+				if rng.Float64() < 0.2 {
+					newTo[v] = append(newTo[v], int32(u))
+					newW[v] = append(newW[v], rng.Float64())
+				}
+			}
+		}
+
+		delta, err := UpdateRows(prev, newN, dirty, newTo, newW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := FromRows(newN, newTo, newW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, delta, full)
+	}
+}
+
+func TestUpdateRowsAllCleanSharesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	to, w := randomRows(rng, 12, 0.3)
+	prev, err := FromRows(12, to, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UpdateRows(prev, 12, make([]bool, 12), to, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g, prev)
+}
+
+func TestUpdateRowsRejectsInvalid(t *testing.T) {
+	prev, err := FromRows(3, [][]int32{{1, 2}, {2}, nil}, [][]float64{{1, 1}, {1}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		n     int
+		dirty []bool
+		to    [][]int32
+		w     [][]float64
+	}{
+		{"shrink", 2, []bool{false, false}, [][]int32{{1}, nil}, [][]float64{{1}, nil}},
+		{"dirty flag count", 3, []bool{false, false}, [][]int32{{1, 2}, {2}, nil}, [][]float64{{1, 1}, {1}, nil}},
+		{"clean row mismatch", 3, []bool{false, false, false}, [][]int32{{1}, {2}, nil}, [][]float64{{1}, {1}, nil}},
+		{"dirty out of range", 3, []bool{true, false, false}, [][]int32{{3}, {2}, nil}, [][]float64{{1}, {1}, nil}},
+		{"dirty unsorted", 3, []bool{true, false, false}, [][]int32{{2, 1}, {2}, nil}, [][]float64{{1, 1}, {1}, nil}},
+		{"dirty ragged", 3, []bool{true, false, false}, [][]int32{{1, 2}, {2}, nil}, [][]float64{{1}, {1}, nil}},
+	}
+	for _, tc := range cases {
+		if _, err := UpdateRows(prev, tc.n, tc.dirty, tc.to, tc.w); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := UpdateRows(nil, 3, make([]bool, 3), make([][]int32, 3), make([][]float64, 3)); err == nil {
+		t.Error("nil prev: accepted")
+	}
+}

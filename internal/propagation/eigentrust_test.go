@@ -1,0 +1,147 @@
+package propagation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"weboftrust/internal/graph"
+)
+
+func randomTrustGraph(t *testing.T, rng *rand.Rand, n int, p float64) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if v != u && rng.Float64() < p {
+				edges = append(edges, graph.Edge{From: v, To: u, Weight: 0.1 + 0.9*rng.Float64()})
+			}
+		}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRanksFromColdMatchesRanks: a nil warm-start vector must reproduce
+// the historical Ranks output bit for bit.
+func TestRanksFromColdMatchesRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomTrustGraph(t, rng, 40, 0.1)
+	et := DefaultEigenTrust()
+	want, err := et.Ranks(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, iters, err := et.RanksFrom(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters < 1 {
+		t.Fatalf("cold start reported %d iterations", iters)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d]: cold RanksFrom %v != Ranks %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRanksFromWarmConverges: warm-starting from the converged vector of
+// a slightly perturbed graph re-converges in far fewer iterations and to
+// the same fixed point (within tolerance of the cold solve).
+func TestRanksFromWarmConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := randomTrustGraph(t, rng, 60, 0.08)
+	et := DefaultEigenTrust()
+	base, coldIters, err := et.RanksFrom(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb a single edge weight slightly — the kind of drift one
+	// incremental tick produces. Power iteration converges geometrically,
+	// so the warm start's head start (L1 error ~ the perturbation) buys
+	// iterations proportional to log of the error ratio.
+	n := g.NumNodes()
+	to := make([][]int32, n)
+	w := make([][]float64, n)
+	var touched bool
+	for v := 0; v < n; v++ {
+		tt, ww := g.Out(v)
+		to[v] = tt
+		if !touched && len(ww) > 0 {
+			w[v] = append([]float64(nil), ww...)
+			w[v][0] *= 1 + 1e-8
+			touched = true
+		} else {
+			w[v] = ww
+		}
+	}
+	if !touched {
+		t.Fatal("graph has no edges to perturb")
+	}
+	g2, err := graph.FromRows(n, to, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldV, cold2, err := et.RanksFrom(g2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmV, warm, err := et.RanksFrom(g2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm*2 > cold2 {
+		t.Fatalf("warm start took %d iterations vs %d cold", warm, cold2)
+	}
+	var l1 float64
+	for i := range warmV {
+		l1 += math.Abs(warmV[i] - coldV[i])
+	}
+	if l1 > 1e-8 {
+		t.Fatalf("warm and cold solves disagree: L1 %g", l1)
+	}
+	_ = coldIters
+}
+
+// TestRanksFromScratchReuse: repeated scratch solves return the same
+// vector as allocating solves.
+func TestRanksFromScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	et := DefaultEigenTrust()
+	var s RankScratch
+	for trial := 0; trial < 5; trial++ {
+		g := randomTrustGraph(t, rng, 10+trial*7, 0.15)
+		want, _, err := et.RanksFrom(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := et.RanksFromScratch(g, nil, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scratch solve has %d entries, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank[%d]: %v != %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRanksFromRejectsOversizedPrev(t *testing.T) {
+	g, err := graph.New(2, []graph.Edge{{From: 0, To: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DefaultEigenTrust().RanksFrom(g, make([]float64, 5)); err == nil {
+		t.Fatal("oversized warm-start vector accepted")
+	}
+}

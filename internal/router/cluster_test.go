@@ -175,10 +175,17 @@ func TestClusterMatchesUnsharded(t *testing.T) {
 						fmt.Sprintf("/v1/trust?from=%d&to=%d", u, (u+1)%numU),
 						fmt.Sprintf("/v1/neighbors?user=%d", u),
 						fmt.Sprintf("/v1/propagate?algo=%s&user=%d&k=5", algos[(u/101)%3], u),
+						fmt.Sprintf("/v1/rank?user=%d", u),
 					)
 				}
 				paths = append(paths,
 					"/v1/graph/stats",
+					// The global EigenTrust ranking is replicated state: any
+					// shard at the served version answers it, and its
+					// deterministic warm chain must match the unsharded
+					// reference byte for byte — before and after ingest.
+					"/v1/rank?k=5",
+					"/v1/propagate?algo=appleseed&user=0&k=5&exact=1",
 					// Error paths must proxy byte-identically too: out of
 					// range (404 from whichever shard it hashes to) and
 					// unparsable (400 from the rotating fallback shard).

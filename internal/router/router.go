@@ -178,6 +178,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/expertise", byUser("user"))
 	mux.HandleFunc("GET /v1/neighbors", byUser("user"))
 	mux.HandleFunc("GET /v1/propagate", byUser("user"))
+	mux.HandleFunc("GET /v1/rank", rt.handleRank)
 	mux.HandleFunc("GET /v1/graph/stats", rt.handleGraphStats)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -314,6 +315,26 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 // to the lowest shard index) is THE cluster answer, byte-identical to an
 // unsharded server at that version.
 func (rt *Router) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	rt.proxyFreshest(w, r, "/v1/graph/stats")
+}
+
+// handleRank serves the global EigenTrust ranking the same way: the rank
+// vector is derived from the replicated graph through a deterministic
+// warm chain, so every shard at a given version serves byte-identical
+// bodies and the freshest one is the cluster answer. The query string
+// (k= or user=) rides along on the fan-out; first non-OK freshest body
+// (e.g. a 404 for an out-of-range user) is relayed verbatim.
+func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request) {
+	rt.proxyFreshest(w, r, "/v1/rank")
+}
+
+// proxyFreshest fans a replicated-state endpoint out to every shard and
+// relays the highest-version OK body (ties to the lowest shard index),
+// preserving the request's query string. When no shard answers 200, the
+// first real non-OK shard response is relayed instead (the shards agree
+// on parameter validation), and only transport-level silence on every
+// shard produces a router-synthesised 502.
+func (rt *Router) proxyFreshest(w http.ResponseWriter, r *http.Request, path string) {
 	rt.metrics.requests.Add(1)
 	type result struct {
 		idx     int
@@ -322,7 +343,7 @@ func (rt *Router) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 		version uint64
 		ct      string
 	}
-	results := rt.fanOut(r, "/v1/graph/stats", func(idx, status int, ct string, body []byte) any {
+	results := rt.fanOut(r, path, func(idx, status int, ct string, body []byte) any {
 		var v struct {
 			Version uint64 `json:"version"`
 		}
@@ -344,8 +365,24 @@ func (rt *Router) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if best == -1 {
+		// No shard answered 200: relay the lowest-index real response so
+		// error bodies stay shard-authored (all shards validate parameters
+		// identically).
+		for _, a := range results {
+			res, ok := a.(result)
+			if !ok || res.status == 0 {
+				continue
+			}
+			rt.metrics.proxied.Add(1)
+			if res.ct != "" {
+				w.Header().Set("Content-Type", res.ct)
+			}
+			w.WriteHeader(res.status)
+			_, _ = w.Write(res.body)
+			return
+		}
 		rt.metrics.upstreamErrors.Add(1)
-		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "no shard answered /v1/graph/stats"})
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "no shard answered " + path})
 		return
 	}
 	rt.metrics.proxied.Add(1)
@@ -384,7 +421,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // fanOut queries one replica chain per shard concurrently and maps each
 // shard's best response through fn (status 0 and nil body when no
-// replica answered). Results are indexed by shard.
+// replica answered). The original request's query string is preserved on
+// every upstream call. Results are indexed by shard.
 func (rt *Router) fanOut(r *http.Request, path string, fn func(idx, status int, ct string, body []byte) any) []any {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
 	defer cancel()
@@ -394,7 +432,7 @@ func (rt *Router) fanOut(r *http.Request, path string, fn func(idx, status int, 
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			u := &url.URL{Path: path}
+			u := &url.URL{Path: path, RawQuery: r.URL.RawQuery}
 			replicas := rt.parsed[idx]
 			attempts := min(1+rt.retries, len(replicas))
 			for a := 0; a < attempts; a++ {

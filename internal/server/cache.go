@@ -19,6 +19,13 @@ const (
 	kindAppleseed
 	kindMoleTrust
 	kindTidalTrust
+	// The exact-mode propagate kinds answer ?exact=1: the same algorithms
+	// forced over the complete graph when the server prunes (without
+	// pruning they compute the same values as their plain kinds, cached
+	// separately). Keep them contiguous and in the same algorithm order.
+	kindAppleseedExact
+	kindMoleTrustExact
+	kindTidalTrustExact
 )
 
 // resultKey identifies one ranked answer: the result family, the source
@@ -127,6 +134,19 @@ func (c *resultCache) evictOver(keep *list.Element) {
 		delete(c.m, e.key)
 		c.bytes -= entryBytes(e.ranked)
 	}
+}
+
+// snapshot returns the cache's entries from least to most recently used.
+// Entries are shared (immutable once inserted); the caller may re-insert
+// them into another cache in this order to preserve recency.
+func (c *resultCache) snapshot() []resultEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]resultEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*resultEntry))
+	}
+	return out
 }
 
 // len returns the number of cached results.

@@ -121,17 +121,41 @@ func TestPropagateCachedAndInvalidatedOnSwap(t *testing.T) {
 		t.Fatalf("computes after algo change = %d, want 2", got)
 	}
 
-	// Swap: the new state's cache starts empty, so the same query
-	// recomputes against the fresh graph.
-	appendEvents(t, path, growBatch(srv.cur.Load().model.Dataset(), 0))
+	// Swap: a propagate entry carries over only when its source provably
+	// cannot reach a dirty row in the predecessor graph; otherwise the
+	// same query recomputes against the fresh graph. Either way the
+	// answer must equal a fresh propagation on the new model.
+	prevModel := srv.cur.Load().model
+	appendEvents(t, path, growBatch(prevModel.Dataset(), 0))
 	if n, err := tailer.Poll(); err != nil || n == 0 {
 		t.Fatalf("poll: n=%d err=%v", n, err)
 	}
-	if rec := get(t, h, url); rec.Code != 200 {
+	newModel, _, _ := srv.Current()
+	tainted := taintedUsers(prevModel.WebOfTrust().Graph(), newModel.DirtyUsers())
+	before := srv.metrics.propagateComputes.Load()
+	rec := get(t, h, url)
+	if rec.Code != 200 {
 		t.Fatalf("post-swap: %d", rec.Code)
 	}
-	if got := srv.metrics.propagateComputes.Load(); got != 3 {
-		t.Fatalf("computes after swap = %d, want 3", got)
+	got := srv.metrics.propagateComputes.Load()
+	if tainted[3] && got != before+1 {
+		t.Fatalf("computes after swap = %d, want %d (tainted source must recompute)", got, before+1)
+	}
+	if !tainted[3] && got != before {
+		t.Fatalf("computes after swap = %d, want %d (untainted source must carry over)", got, before)
+	}
+	resp := decode[PropagateResponse](t, rec)
+	want, err := newModel.Propagate(weboftrust.PropagateAppleseed, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(want) {
+		t.Fatalf("post-swap propagate has %d results, want %d", len(resp.Results), len(want))
+	}
+	for i, rk := range want {
+		if resp.Results[i].User != int(rk.User) || resp.Results[i].Score != rk.Score {
+			t.Errorf("post-swap propagate[%d] = %+v, want {%d %v}", i, resp.Results[i], rk.User, rk.Score)
+		}
 	}
 }
 
@@ -321,13 +345,19 @@ func TestPropagateKindAlgoMapping(t *testing.T) {
 		kindTidalTrust: "tidaltrust",
 	}
 	for kind, name := range want {
-		algo := propagateAlgo(kind)
-		if algo.String() != name {
-			t.Errorf("kind %d maps to algo %q, want %q", kind, algo, name)
+		algo, exact := propagateAlgo(kind)
+		if algo.String() != name || exact {
+			t.Errorf("kind %d maps to algo %q exact=%v, want %q exact=false", kind, algo, exact, name)
 		}
 		parsed, err := weboftrust.ParsePropagationAlgo(name)
 		if err != nil || kindAppleseed+resultKind(parsed) != kind {
 			t.Errorf("round trip for %q: parsed %v err %v", name, parsed, err)
+		}
+		// The exact-mode kinds mirror the plain ones in the same order.
+		exKind := kindAppleseedExact + (kind - kindAppleseed)
+		algo, exact = propagateAlgo(exKind)
+		if algo.String() != name || !exact {
+			t.Errorf("kind %d maps to algo %q exact=%v, want %q exact=true", exKind, algo, exact, name)
 		}
 	}
 }

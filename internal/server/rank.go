@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"weboftrust"
+	"weboftrust/internal/core"
+	"weboftrust/internal/graph"
+	"weboftrust/internal/ratings"
+)
+
+// rankRefreshIters is the power-iteration budget a parent-matched swap
+// spends refreshing the global EigenTrust vector from its predecessor.
+// One ingest tick shifts the fixed point by a small s (the dirty rows are
+// a sliver of the graph), and power iteration contracts L1 error by
+// rho = (1 - alpha) per step, so a B-iteration refresh leaves steady-state
+// drift bounded by s·rho^B/(1 - rho^B) — at B = 3 about 3% of the
+// per-tick shift, invisible at ranking granularity — while costing ~3
+// iterations per swap where a cold solve pays dozens. The chain is
+// deterministic given the swap history, so every replica of a cluster
+// (same log, same swaps) serves byte-identical rank vectors.
+const rankRefreshIters = 3
+
+// rankState is a state's global EigenTrust vector. Root states (boot,
+// restore, non-incremental swaps) compute lazily on first use — keeping
+// the cold solve off the boot path preserves the warm-restart win —
+// while parent-matched swaps install an eagerly refreshed vector (see
+// Server.newState). vec and iters are immutable once done reports true.
+type rankState struct {
+	once    sync.Once
+	done    atomic.Bool
+	compute func() ([]float64, int)
+	vec     []float64
+	iters   int
+}
+
+// lazyRank defers the cold converged solve until the first /v1/rank (or
+// metrics peek never forces it).
+func lazyRank(model *weboftrust.TrustModel) *rankState {
+	return &rankState{compute: func() ([]float64, int) {
+		vec, iters, err := model.GlobalRanks()
+		if err != nil {
+			// DefaultEigenTrust is statically valid and the graph is the
+			// model's own; an error here is a broken invariant.
+			panic(fmt.Sprintf("server: global ranks: %v", err))
+		}
+		return vec, iters
+	}}
+}
+
+// eagerRank wraps an already-computed vector (the warm-refresh path).
+func eagerRank(vec []float64, iters int) *rankState {
+	r := &rankState{vec: vec, iters: iters}
+	r.done.Store(true)
+	return r
+}
+
+// get returns the vector and the iterations spent producing it, computing
+// once on first use. Concurrent callers coalesce on the sync.Once.
+func (r *rankState) get() ([]float64, int) {
+	r.once.Do(func() {
+		if r.compute != nil {
+			r.vec, r.iters = r.compute()
+			r.compute = nil
+		}
+		r.done.Store(true)
+	})
+	return r.vec, r.iters
+}
+
+// peek returns the vector only if it has already been computed — the
+// metrics scrape must never force a solve.
+func (r *rankState) peek() ([]float64, int, bool) {
+	if !r.done.Load() {
+		return nil, 0, false
+	}
+	return r.vec, r.iters, true
+}
+
+// taintedUsers marks every user whose propagation result may have changed
+// across an incremental swap: a source's multi-hop view depends only on
+// the rows of nodes it can reach, so a result is stale only if the source
+// reaches a dirty row. Reverse BFS over the predecessor graph's in-edges
+// from the dirty seeds marks exactly the sources that can; everyone else
+// provably reaches only unchanged rows (the pruned companion's edges are
+// a subset of the full graph's, so the full-graph taint is conservative
+// for pruned traversals too).
+func taintedUsers(g *graph.Graph, dirty []bool) []bool {
+	n := g.NumNodes()
+	tainted := make([]bool, n)
+	queue := make([]int32, 0, 64)
+	for u := 0; u < n && u < len(dirty); u++ {
+		if dirty[u] {
+			tainted[u] = true
+			queue = append(queue, int32(u))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		from, _ := g.In(int(v))
+		for _, u := range from {
+			if !tainted[u] {
+				tainted[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return tainted
+}
+
+// migrateCache carries result-cache entries whose answers provably cannot
+// have changed from the predecessor state into the fresh one. A top-k
+// entry survives when its source row is clean (non-dirty rows are shared
+// with the parent by reference, and new users only ever append
+// zero-valued cells a ranking truncates anyway); a propagate entry
+// survives when its source is untainted under taintedUsers. Entries are
+// re-inserted oldest-first so the new cache preserves the old recency
+// order, and the migrated slices are shared — both caches treat entries
+// as immutable.
+func (s *Server) migrateCache(st, prev *state, dirty []bool) {
+	entries := prev.results.snapshot()
+	if len(entries) == 0 {
+		return
+	}
+	var tainted []bool
+	if prevWeb, ok := prev.model.WebOfTrustBuilt(); ok {
+		tainted = taintedUsers(prevWeb.Graph(), dirty)
+	}
+	kept := 0
+	for _, e := range entries {
+		u := int(e.key.user)
+		var keep bool
+		if e.key.kind == kindTopK {
+			keep = u < len(dirty) && !dirty[u]
+		} else {
+			keep = tainted != nil && u < len(tainted) && !tainted[u]
+		}
+		if keep {
+			st.results.put(e.key, e.ranked)
+			kept++
+		}
+	}
+	s.metrics.cacheCarryover.Add(int64(kept))
+	s.metrics.cacheCarryoverDropped.Add(int64(len(entries) - kept))
+}
+
+// RankEntry is one /v1/rank leaderboard row.
+type RankEntry struct {
+	Rank  int     `json:"rank"`
+	User  int     `json:"user"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// RankResponse is the /v1/rank leaderboard body: the k globally
+// highest-ranked users under EigenTrust over the served web of trust.
+type RankResponse struct {
+	K          int         `json:"k"`
+	Version    uint64      `json:"version"`
+	Users      int         `json:"users"`
+	Iterations int         `json:"iterations"`
+	Results    []RankEntry `json:"results"`
+}
+
+// RankUserResponse is the /v1/rank?user= body: one user's global rank
+// (1-based; ties broken by ascending user id) and EigenTrust score.
+type RankUserResponse struct {
+	User       int     `json:"user"`
+	Name       string  `json:"name"`
+	Version    uint64  `json:"version"`
+	Users      int     `json:"users"`
+	Rank       int     `json:"rank"`
+	Score      float64 `json:"score"`
+	Iterations int     `json:"iterations"`
+}
+
+// handleRank serves the global EigenTrust ranking. The vector is global,
+// replicated state — every shard computes it over the same complete
+// graph through the same deterministic warm chain — so any replica can
+// answer for any user; there is no ownership check.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epRank].Add(1)
+	st, ok := s.loadState(w)
+	if !ok {
+		return
+	}
+	vec, iters := st.rank.get()
+	if raw := r.URL.Query().Get("user"); raw != "" {
+		u, ok := s.userParam(w, r, st, "user")
+		if !ok {
+			return
+		}
+		score := vec[u]
+		rank := 1
+		for j, v := range vec {
+			if v > score || (v == score && ratings.UserID(j) < u) {
+				rank++
+			}
+		}
+		d := st.model.Dataset()
+		writeJSON(w, http.StatusOK, RankUserResponse{
+			User: int(u), Name: d.UserName(u), Version: st.version,
+			Users: len(vec), Rank: rank, Score: score, Iterations: iters,
+		})
+		return
+	}
+	k, ok := s.kParam(w, r)
+	if !ok {
+		return
+	}
+	ranked := core.RankRow(vec, k)
+	d := st.model.Dataset()
+	results := make([]RankEntry, len(ranked))
+	for i, rk := range ranked {
+		results[i] = RankEntry{Rank: i + 1, User: int(rk.User), Name: d.UserName(rk.User), Score: rk.Score}
+	}
+	writeJSON(w, http.StatusOK, RankResponse{
+		K: k, Version: st.version, Users: len(vec), Iterations: iters, Results: results,
+	})
+}

@@ -51,6 +51,9 @@ type state struct {
 	results *resultCache
 	rows    *rowPool
 	flights *flightGroup
+	// rank is the state's global EigenTrust vector: lazy cold solve for
+	// root states, eagerly warm-refreshed across parent-matched swaps.
+	rank *rankState
 }
 
 // Options tunes a Server. The zero value uses the defaults.
@@ -136,10 +139,17 @@ type metrics struct {
 	// minus coalesced flights), cumulative wall-clock spent in the
 	// propagate handler (nanoseconds; rate() gives mean latency), and
 	// the latency of the most recent request.
-	propagateRequests  [3]atomic.Int64 // indexed by resultKind - kindAppleseed
+	propagateRequests  [3]atomic.Int64 // indexed by PropagationAlgo (exact and pruned share)
 	propagateComputes  atomic.Int64
 	propagateNanos     atomic.Int64
 	propagateLastNanos atomic.Int64
+	// Incremental-swap instrumentation: result-cache entries migrated
+	// across swaps (and the ones dropped as possibly stale), the dirty-row
+	// count of the last swap (-1 when the swap was a full rebuild), and
+	// the power iterations behind the served rank vector.
+	cacheCarryover        atomic.Int64
+	cacheCarryoverDropped atomic.Int64
+	graphDeltaRows        atomic.Int64
 }
 
 const (
@@ -150,13 +160,14 @@ const (
 	epNeighbors
 	epPropagate
 	epGraphStats
+	epRank
 	numEndpoints
 )
 
 // endpointNames labels the requests counter in /metrics, indexed by the
 // endpoint constants.
 var endpointNames = [numEndpoints]string{
-	"topk", "trust", "expertise", "stats", "neighbors", "propagate", "graph_stats",
+	"topk", "trust", "expertise", "stats", "neighbors", "propagate", "graph_stats", "rank",
 }
 
 // New wraps a derived model for serving. offset is the event-log position
@@ -169,7 +180,7 @@ func New(model *weboftrust.TrustModel, offset int64, opts Options) *Server {
 		opts.CacheBytes = DefaultCacheBytes
 	}
 	s := &Server{opts: opts, start: time.Now()}
-	s.cur.Store(s.newState(model, offset, 1))
+	s.cur.Store(s.newState(model, offset, 1, nil))
 	return s
 }
 
@@ -193,30 +204,68 @@ func NewPending(opts Options) *Server {
 // before serving; 0 means any loaded state is ready.
 func (s *Server) SetReadyTarget(offset int64) { s.readyTarget.Store(offset) }
 
-func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version uint64) *state {
-	return &state{
+// newState builds the immutable serving state for a model. When prev is
+// the state being replaced AND the model was produced by core.Update
+// FROM prev's model (parent id match), the swap is incremental: the new
+// state inherits every result-cache entry the dirty set proves unchanged
+// (see migrateCache) and an eagerly warm-refreshed rank vector instead
+// of a lazy cold solve. Root states (boot, restore, full rebuilds) start
+// empty and solve ranks lazily.
+func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version uint64, prev *state) *state {
+	st := &state{
 		model:   model,
 		offset:  offset,
 		version: version,
 		results: newResultCache(s.opts.CacheResults, s.opts.CacheBytes),
 		rows:    newRowPool(model.Dataset().NumUsers()),
 		flights: newFlightGroup(),
+		rank:    lazyRank(model),
 	}
+	if prev == nil || prev.model == nil ||
+		model.ParentID() == 0 || model.ParentID() != prev.model.ID() {
+		s.metrics.graphDeltaRows.Store(-1)
+		return st
+	}
+	dirty := model.DirtyUsers()
+	if dirty == nil {
+		s.metrics.graphDeltaRows.Store(-1)
+		return st
+	}
+	var deltaRows int64
+	for _, d := range dirty {
+		if d {
+			deltaRows++
+		}
+	}
+	s.metrics.graphDeltaRows.Store(deltaRows)
+	// Warm rank refresh: a bounded number of power iterations from the
+	// predecessor's vector, on the ingest goroutine (the query path never
+	// pays it). Forcing prev's rank here starts the chain: the first
+	// incremental tick pays one cold solve, every later tick pays
+	// rankRefreshIters.
+	prevVec, _ := prev.rank.get()
+	if vec, iters, err := model.GlobalRanksFrom(prevVec, rankRefreshIters); err == nil {
+		st.rank = eagerRank(vec, iters)
+	}
+	s.migrateCache(st, prev, dirty)
+	return st
 }
 
 // Swap atomically replaces the served model. Readers in flight keep the
-// state they loaded; new requests see the new model with a fresh (empty)
-// result cache and a pool sized to the new user count. Safe for one
-// writer; queries never block on it. The first Swap into a pending
-// server publishes version 1 — the same version New stamps — so a
-// boot-then-swap daemon and a New-constructed one number their states
-// identically.
+// state they loaded; new requests see the new model with a result cache
+// holding the predecessor entries the update provably left unchanged
+// (empty on non-incremental swaps) and a pool sized to the new user
+// count. Safe for one writer; queries never block on it. The first Swap
+// into a pending server publishes version 1 — the same version New
+// stamps — so a boot-then-swap daemon and a New-constructed one number
+// their states identically.
 func (s *Server) Swap(model *weboftrust.TrustModel, offset int64) {
 	var version uint64 = 1
-	if cur := s.cur.Load(); cur != nil {
-		version = cur.version + 1
+	prev := s.cur.Load()
+	if prev != nil {
+		version = prev.version + 1
 	}
-	s.cur.Store(s.newState(model, offset, version))
+	s.cur.Store(s.newState(model, offset, version, prev))
 	s.metrics.swaps.Add(1)
 	s.metrics.lastSwapNanos.Store(time.Now().UnixNano())
 }
@@ -267,19 +316,31 @@ func (s *Server) fillScore(st *state, kind resultKind, u ratings.UserID, dst []f
 		s.metrics.rowComputes.Add(1)
 	default:
 		// The source is range-checked by the handler and the algorithm
-		// fixed by the route, so the only error PropagateInto can return
-		// is an impossible one; panic like any other broken invariant
-		// (the flight protocol below recovers followers either way).
-		if err := st.model.PropagateInto(propagateAlgo(kind), u, dst); err != nil {
+		// fixed by the route, so the only error the propagation facade can
+		// return is an impossible one; panic like any other broken
+		// invariant (the flight protocol below recovers followers either
+		// way).
+		algo, exact := propagateAlgo(kind)
+		var err error
+		if exact {
+			err = st.model.PropagateExactInto(algo, u, dst)
+		} else {
+			err = st.model.PropagateInto(algo, u, dst)
+		}
+		if err != nil {
 			panic(fmt.Sprintf("server: propagate %v for user %d: %v", kind, u, err))
 		}
 		s.metrics.propagateComputes.Add(1)
 	}
 }
 
-// propagateAlgo maps a propagate result kind to its facade algorithm.
-func propagateAlgo(kind resultKind) weboftrust.PropagationAlgo {
-	return weboftrust.PropagationAlgo(kind - kindAppleseed)
+// propagateAlgo maps a propagate result kind to its facade algorithm and
+// whether it is an exact-mode (complete-graph) variant.
+func propagateAlgo(kind resultKind) (weboftrust.PropagationAlgo, bool) {
+	if kind >= kindAppleseedExact {
+		return weboftrust.PropagationAlgo(kind - kindAppleseedExact), true
+	}
+	return weboftrust.PropagationAlgo(kind - kindAppleseed), false
 }
 
 // ranked returns user u's top-k result for one result family from the
@@ -376,6 +437,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/expertise", s.handleExpertise)
 	mux.HandleFunc("GET /v1/neighbors", s.handleNeighbors)
 	mux.HandleFunc("GET /v1/propagate", s.handlePropagate)
+	mux.HandleFunc("GET /v1/rank", s.handleRank)
 	mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -636,6 +698,15 @@ func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad \"algo\" parameter: %v", err)
 		return
 	}
+	exact := false
+	switch raw := r.URL.Query().Get("exact"); raw {
+	case "", "0", "false":
+	case "1", "true":
+		exact = true
+	default:
+		s.fail(w, http.StatusBadRequest, "bad \"exact\" parameter %q", raw)
+		return
+	}
 	u, ok := s.sourceParam(w, r, st, "user")
 	if !ok {
 		return
@@ -646,7 +717,10 @@ func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	kind := kindAppleseed + resultKind(algo)
-	s.metrics.propagateRequests[kind-kindAppleseed].Add(1)
+	if exact {
+		kind = kindAppleseedExact + resultKind(algo)
+	}
+	s.metrics.propagateRequests[algo].Add(1)
 	ranked := s.ranked(st, kind, u, k)
 	elapsed := time.Since(start).Nanoseconds()
 	s.metrics.propagateNanos.Add(elapsed)
@@ -673,6 +747,11 @@ type GraphStatsResponse struct {
 	MeanOutDegree  float64 `json:"mean_out_degree"`
 	Isolated       int     `json:"isolated"`
 	MeanGenerosity float64 `json:"mean_generosity"`
+	// PrunedEdges and PruneTau describe the percolation-pruned companion
+	// graph the propagation endpoints traverse; absent when the server
+	// runs without pruning (tau 0), keeping the historical body unchanged.
+	PrunedEdges *int    `json:"pruned_edges,omitempty"`
+	PruneTau    float64 `json:"prune_tau,omitempty"`
 }
 
 func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
@@ -691,7 +770,7 @@ func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 	if web.NumUsers() > 0 {
 		meanK = kSum / float64(web.NumUsers())
 	}
-	writeJSON(w, http.StatusOK, GraphStatsResponse{
+	resp := GraphStatsResponse{
 		Version:        st.version,
 		Policy:         web.Policy().String(),
 		Nodes:          deg.Nodes,
@@ -701,7 +780,13 @@ func (s *Server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 		MeanOutDegree:  deg.MeanOutDegree,
 		Isolated:       deg.Isolated,
 		MeanGenerosity: meanK,
-	})
+	}
+	if pg := web.PrunedGraph(); pg != nil {
+		e := pg.NumEdges()
+		resp.PrunedEdges = &e
+		resp.PruneTau = web.Policy().PruneTau
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // StatsResponse is the /v1/stats body: dataset shape plus serving state.
@@ -853,6 +938,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("trustd_result_cache_misses_total", "Ranked-result cache misses.", s.metrics.cacheMisses.Load())
 	counter("trustd_row_computes_total", "Trust rows actually evaluated (misses minus coalesced flights).", s.metrics.rowComputes.Load())
 	counter("trustd_swaps_total", "Model swaps performed by ingest.", s.metrics.swaps.Load())
+	counter("trustd_cache_carryover_total", "Result-cache entries migrated across incremental swaps (provably unchanged).", s.metrics.cacheCarryover.Load())
+	counter("trustd_cache_carryover_dropped_total", "Result-cache entries dropped at swaps as possibly stale.", s.metrics.cacheCarryoverDropped.Load())
+	gauge("trustd_graph_delta_rows", "Dirty rows rebuilt by the last swap's delta graph update; -1 when the last swap was a full rebuild.", s.metrics.graphDeltaRows.Load())
 	counter("trustd_events_ingested_total", "Event-log records ingested since start.", s.metrics.eventsIngested.Load())
 	counter("trustd_log_truncated_reads_total", "Tail reads that hit a torn final record.", s.metrics.truncatedReads.Load())
 	// State-derived gauges are absent while a pending server awaits its
@@ -883,6 +971,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if web, ok := st.model.WebOfTrustBuilt(); ok {
 			gauge("trustd_web_nodes", "Nodes in the served web of trust.", int64(web.NumUsers()))
 			gauge("trustd_web_edges", "Directed trust edges in the served web of trust.", int64(web.NumEdges()))
+			if pg := web.PrunedGraph(); pg != nil {
+				gauge("trustd_web_pruned_edges", "Edges surviving percolation pruning in the propagation graph.", int64(pg.NumEdges()))
+			}
+		}
+		// Peek only: the scrape must not force the cold rank solve of a
+		// state nobody has queried /v1/rank on.
+		if _, iters, ok := st.rank.peek(); ok {
+			gauge("trustd_rank_iterations", "Power iterations behind the served global rank vector.", int64(iters))
 		}
 	}
 	fmt.Fprintf(w, "# HELP trustd_propagate_requests_total Propagation queries served, by algorithm.\n# TYPE trustd_propagate_requests_total counter\n")

@@ -229,7 +229,10 @@ func TestResultCacheHitsAndSwapInvalidation(t *testing.T) {
 		}
 	}
 
-	// Append one event and swap; the fresh state must start cold.
+	// Append one event and swap. The swap is incremental, so cached
+	// results for users the update provably left unchanged carry over into
+	// the fresh state; entries for dirty users are dropped. Either way the
+	// served answer must match a fresh compute against the NEW model.
 	appendEvents(t, tailer.path, growBatch(d, 0))
 	if n, err := tailer.Poll(); err != nil || n == 0 {
 		t.Fatalf("poll: n=%d err=%v", n, err)
@@ -237,9 +240,28 @@ func TestResultCacheHitsAndSwapInvalidation(t *testing.T) {
 	if _, _, version := srv.Current(); version != 2 {
 		t.Fatalf("version = %d after swap", version)
 	}
-	get(t, h, "/v1/topk?user=5")
-	if misses := srv.metrics.cacheMisses.Load(); misses != 3 {
-		t.Errorf("post-swap misses = %d, want 3 (swap must invalidate)", misses)
+	newModel, _, _ := srv.Current()
+	dirty := newModel.DirtyUsers()
+	if dirty == nil {
+		t.Fatal("incremental swap reported no dirty set")
+	}
+	missesBefore := srv.metrics.cacheMisses.Load()
+	resp = decode[TopKResponse](t, get(t, h, "/v1/topk?user=5"))
+	misses := srv.metrics.cacheMisses.Load()
+	if dirty[5] && misses != missesBefore+1 {
+		t.Errorf("post-swap misses = %d, want %d (dirty user must be dropped at swap)", misses, missesBefore+1)
+	}
+	if !dirty[5] && misses != missesBefore {
+		t.Errorf("post-swap misses = %d, want %d (clean user's entry must carry over)", misses, missesBefore)
+	}
+	want = newModel.TopTrusted(5, 10)
+	if len(resp.Results) != len(want) {
+		t.Fatalf("post-swap topk has %d results, want %d", len(resp.Results), len(want))
+	}
+	for i, rk := range want {
+		if resp.Results[i].User != int(rk.User) || resp.Results[i].Score != rk.Score {
+			t.Errorf("post-swap topk[%d] = %+v, want {%d %v}", i, resp.Results[i], rk.User, rk.Score)
+		}
 	}
 }
 

@@ -86,7 +86,8 @@ for u in 0 7 42 99 123 201 299; do
         "/v1/topk?user=$u&k=7" \
         "/v1/trust?from=$u&to=$to" \
         "/v1/neighbors?user=$u" \
-        "/v1/propagate?algo=appleseed&user=$u&k=5"; do
+        "/v1/propagate?algo=appleseed&user=$u&k=5" \
+        "/v1/rank?user=$u"; do
         ref_body="$(curl -s "http://127.0.0.1:$ref_port$path")"
         routed_body="$(curl -s "http://127.0.0.1:$router_port$path")"
         if [ "$ref_body" != "$routed_body" ]; then
@@ -98,13 +99,15 @@ for u in 0 7 42 99 123 201 299; do
         checked=$((checked + 1))
     done
 done
-ref_body="$(curl -s "http://127.0.0.1:$ref_port/v1/graph/stats")"
-routed_body="$(curl -s "http://127.0.0.1:$router_port/v1/graph/stats")"
-if [ "$ref_body" != "$routed_body" ]; then
-    echo "FAIL: merged /v1/graph/stats differs" >&2
-    exit 1
-fi
-checked=$((checked + 1))
+for path in "/v1/graph/stats" "/v1/rank?k=5"; do
+    ref_body="$(curl -s "http://127.0.0.1:$ref_port$path")"
+    routed_body="$(curl -s "http://127.0.0.1:$router_port$path")"
+    if [ "$ref_body" != "$routed_body" ]; then
+        echo "FAIL: global $path differs through the router" >&2
+        exit 1
+    fi
+    checked=$((checked + 1))
+done
 echo "   $checked responses byte-identical"
 
 echo "== loadgen burst through the router"
