@@ -3,7 +3,7 @@ BENCH_OUT ?= BENCH_pr7.json
 BENCH_COUNT ?= 5
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-smoke bench-guard cluster-smoke fuzz-smoke
+.PHONY: build test race bench bench-smoke bench-guard cluster-smoke chaos-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ bench-guard:
 # cluster down.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# chaos-smoke drives the in-process chaos harness under the race
+# detector: a 2-shard × 2-replica cluster with per-replica fault
+# injection (kill/restart, slow replica, flapping replica, total shard
+# death) where every response must be byte-identical to the unsharded
+# reference or explicitly labeled degraded. Includes the fault
+# injector's and failure-layer unit tests.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos|TestBreaker|TestAdmission|TestTailer' ./internal/router ./internal/server
+	$(GO) test -race -count=1 ./internal/faulty
 
 # fuzz-smoke gives each binary-decoder fuzz target (plus the graph
 # constructor's edge validation) a short adversarial run ($(FUZZTIME)

@@ -5,10 +5,13 @@
 //
 //	trustd serve   -log events.log [-addr :8080] [-shard i/N] [-poll 500ms] [-cache-results 512]
 //	               [-workers N] [-checkpoint-dir DIR] [-checkpoint-interval 5m] [-checkpoint-keep 2]
-//	               [-web-tau T] [-web-cold-generosity K]
+//	               [-web-tau T] [-web-cold-generosity K] [-max-inflight N]
 //	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
 //	trustd route   -shards URL,URL,... [-addr :8090] [-timeout 5s] [-retries 1] [-wait-ready 30s]
+//	               [-retry-backoff 25ms] [-breaker-threshold 5] [-breaker-cooldown 1s]
+//	               [-hedge-after D] [-stale-entries N]
 //	trustd loadgen -addr http://localhost:8080 [-duration 10s] [-concurrency 8] [-k 10]
+//	trustd chaosproxy -target URL [-addr :8095] [-latency-p P] [-error-p P] [-blackhole-p P] [-reset-p P]
 //
 // With -shard i/N the daemon serves shard i of an N-way source-partitioned
 // cluster: it replays the same log as every other shard but retains dense
@@ -16,8 +19,20 @@
 // it, answering 421 for sources it does not own. `trustd route` fronts such
 // a cluster as one endpoint: a stateless proxy that hashes each request's
 // source user to its owning shard (replicas of one shard separated by '|',
-// shards separated by ','), retries transient failures on the next replica,
-// and is ready only once every shard is.
+// shards separated by ','), and is ready only once every shard is.
+//
+// The route tier fails gracefully (DESIGN.md §12): first attempts rotate
+// across a shard's replicas skipping tripped circuit breakers
+// (-breaker-threshold consecutive failures open a replica for
+// -breaker-cooldown, then one half-open probe), transient failures retry
+// with jittered exponential backoff (-retry-backoff base), slow GETs can
+// hedge on the next replica (-hedge-after), and with -stale-entries set a
+// fully unreachable shard serves its last known good responses marked
+// X-Trustd-Degraded: stale instead of 502. On the shard side -max-inflight
+// bounds concurrently served compute queries, shedding the excess with 429
+// + Retry-After. `trustd chaosproxy` fronts any shard with a deterministic
+// fault injector (latency, error statuses, blackholes, connection resets)
+// so all of the above can be rehearsed against a real cluster.
 //
 // The daemon binds its listen address BEFORE booting: while the replay or
 // checkpoint restore runs, /healthz answers 200 (liveness), /readyz answers
@@ -63,12 +78,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"weboftrust"
+	"weboftrust/internal/faulty"
 	"weboftrust/internal/router"
 	"weboftrust/internal/server"
 	"weboftrust/internal/shard"
@@ -93,6 +111,8 @@ func run(args []string) error {
 		return cmdRoute(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
+	case "chaosproxy":
+		return cmdChaosProxy(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -115,6 +135,7 @@ func cmdServe(args []string) error {
 	webColdK := fs.Float64("web-cold-generosity", 0, "generosity fallback for users whose history cannot calibrate one (per-user top-k policy; 0 = paper protocol)")
 	pruneTau := fs.Float64("propagate-prune-tau", 0, "percolation-prune the propagation graph: drop edges with trust weight below tau for /v1/propagate traversals (0 = exact; ?exact=1 always bypasses)")
 	shardFlag := fs.String("shard", "", "serve shard i/N of a source-partitioned cluster (e.g. 1/3; empty = unsharded)")
+	maxInFlight := fs.Int("max-inflight", 0, "bound concurrently served compute queries; excess is shed with 429 + Retry-After (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,7 +154,10 @@ func cmdServe(args []string) error {
 	if *ckptKeep < 1 {
 		return fmt.Errorf("serve: -checkpoint-keep %d < 1", *ckptKeep)
 	}
-	opts := server.Options{CacheResults: *cacheResults, CacheBytes: *cacheBytes}
+	if *maxInFlight < 0 {
+		return fmt.Errorf("serve: -max-inflight %d < 0", *maxInFlight)
+	}
+	opts := server.Options{CacheResults: *cacheResults, CacheBytes: *cacheBytes, MaxInFlight: *maxInFlight}
 	derive := []weboftrust.Option{weboftrust.WithWorkers(*workers)}
 	if *webTau >= 0 {
 		derive = append(derive, weboftrust.WithWebThreshold(*webTau))
@@ -273,6 +297,11 @@ func cmdRoute(args []string) error {
 	retries := fs.Int("retries", router.DefaultRetries, "extra replica attempts after a transport error or 502/503/504 (0 = no retries)")
 	maxIdle := fs.Int("max-idle-conns", router.DefaultMaxIdleConnsPerHost, "pooled connections kept per replica")
 	waitReady := fs.Duration("wait-ready", 0, "block until every shard reports ready before serving (0 = serve immediately)")
+	retryBackoff := fs.Duration("retry-backoff", router.DefaultRetryBackoff, "base pause before a retry, doubled per attempt with jitter (0 = retry immediately)")
+	breakerThreshold := fs.Int("breaker-threshold", router.DefaultBreakerThreshold, "consecutive failures that trip a replica's circuit breaker (0 = disable breakers)")
+	breakerCooldown := fs.Duration("breaker-cooldown", router.DefaultBreakerCooldown, "rest before a tripped replica gets a half-open probe")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge slow GETs on the shard's next replica after this long (0 = no hedging)")
+	staleEntries := fs.Int("stale-entries", 0, "last-known-good responses to cache for degraded serving when a whole shard is down, marked "+router.DegradedHeader+" (0 = disabled, serve 502)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -287,13 +316,26 @@ func cmdRoute(args []string) error {
 		Shards:              shardMap,
 		Timeout:             *timeout,
 		MaxIdleConnsPerHost: *maxIdle,
+		BreakerCooldown:     *breakerCooldown,
+		HedgeAfter:          *hedgeAfter,
+		StaleEntries:        *staleEntries,
 	}
-	// The flag says how many retries; the config's 0 means "default", so
-	// map an explicit 0 to the config's "disabled".
+	// These flags say the literal value; the configs' 0 means "default",
+	// so map an explicit 0 to the configs' "disabled".
 	if *retries == 0 {
 		cfg.Retries = -1
 	} else {
 		cfg.Retries = *retries
+	}
+	if *retryBackoff == 0 {
+		cfg.RetryBackoff = -1
+	} else {
+		cfg.RetryBackoff = *retryBackoff
+	}
+	if *breakerThreshold == 0 {
+		cfg.BreakerThreshold = -1
+	} else {
+		cfg.BreakerThreshold = *breakerThreshold
 	}
 	rt, err := router.New(cfg)
 	if err != nil {
@@ -352,4 +394,76 @@ func cmdLoadgen(args []string) error {
 	}
 	fmt.Println(report)
 	return nil
+}
+
+// cmdChaosProxy runs a fault-injecting reverse proxy in front of one
+// trustd process: point a router replica at the proxy instead of the
+// shard and the cluster's failure handling can be exercised against a
+// real deployment — added latency, injected gateway errors, blackholed
+// requests and abrupt connection resets, each with its own probability,
+// drawn from a deterministic seeded sequence.
+func cmdChaosProxy(args []string) error {
+	fs := flag.NewFlagSet("chaosproxy", flag.ContinueOnError)
+	addr := fs.String("addr", ":8095", "listen address")
+	target := fs.String("target", "", "base URL of the trustd process to front (required)")
+	match := fs.String("match", "", "restrict faults to request paths with this prefix (empty = all)")
+	seed := fs.Uint64("seed", 1, "deterministic fault-draw seed")
+	latency := fs.Duration("latency", 50*time.Millisecond, "latency added by a drawn latency fault")
+	latencyP := fs.Float64("latency-p", 0, "probability a request draws the latency fault")
+	errStatus := fs.Int("error-status", http.StatusServiceUnavailable, "status served by a drawn error fault")
+	errP := fs.Float64("error-p", 0, "probability a request draws the error fault")
+	blackholeP := fs.Float64("blackhole-p", 0, "probability a request is accepted and never answered")
+	resetP := fs.Float64("reset-p", 0, "probability a request's connection is reset abruptly")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("chaosproxy: -target is required")
+	}
+	tu, err := url.Parse(*target)
+	if err != nil || tu.Scheme == "" || tu.Host == "" {
+		return fmt.Errorf("chaosproxy: -target %q is not an absolute URL", *target)
+	}
+	for name, p := range map[string]float64{"latency-p": *latencyP, "error-p": *errP, "blackhole-p": *blackholeP, "reset-p": *resetP} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("chaosproxy: -%s %g outside [0, 1]", name, p)
+		}
+	}
+	// Destructive faults first so the latency fault cannot shadow them;
+	// each request draws at most one fault.
+	var faults []faulty.Fault
+	if *resetP > 0 {
+		faults = append(faults, faulty.Fault{PathPrefix: *match, Probability: *resetP, Reset: true})
+	}
+	if *blackholeP > 0 {
+		faults = append(faults, faulty.Fault{PathPrefix: *match, Probability: *blackholeP, Blackhole: true})
+	}
+	if *errP > 0 {
+		faults = append(faults, faulty.Fault{PathPrefix: *match, Probability: *errP, Status: *errStatus})
+	}
+	if *latencyP > 0 {
+		faults = append(faults, faulty.Fault{PathPrefix: *match, Probability: *latencyP, Latency: *latency})
+	}
+	injector := faulty.New(*seed, faults...)
+	proxy := httputil.NewSingleHostReverseProxy(tu)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: injector.Wrap(proxy)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "trustd: chaosproxy %s -> %s (%d fault rules, seed %d)\n", *addr, *target, len(faults), *seed)
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := httpSrv.Shutdown(shutdownCtx)
+		c := injector.Counts()
+		fmt.Fprintf(os.Stderr, "trustd: chaosproxy injected: %d delayed, %d errored, %d blackholed, %d reset (%d passed)\n",
+			c.Delayed, c.Errored, c.Blackholed, c.Resets, c.Passed)
+		return err
+	case err := <-serveErr:
+		return err
+	}
 }

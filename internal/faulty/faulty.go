@@ -1,0 +1,196 @@
+// Package faulty injects faults into an HTTP serving path so the
+// cluster's failure handling can be exercised deterministically: added
+// latency, synthetic error statuses, blackholed requests (accepted,
+// never answered) and abrupt connection resets, each scoped to a path
+// prefix and fired with a configured probability.
+//
+// The injector is a plain middleware — wrap any http.Handler (an
+// in-process httptest server in the chaos harness, a reverse proxy in
+// `trustd chaosproxy`) — and its coin flips come from a seeded
+// splitmix64 counter, so a serial request stream sees the same fault
+// sequence on every run. The fault set is swappable at runtime
+// (SetFaults), which is how the harness kills, flaps and revives a
+// replica mid-traffic without restarting anything.
+package faulty
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one injection rule. A request matches when its URL path has
+// PathPrefix as a prefix (empty matches everything); a matching request
+// draws one coin and, with probability Probability, suffers the fault.
+// Within one fault the actions compose in order: Latency (if any) is
+// served first, then exactly one of Reset, Blackhole or Status ends the
+// request (Status 0 with neither flag means delay-only — the request
+// proceeds to the wrapped handler after the pause).
+type Fault struct {
+	// PathPrefix scopes the fault to matching request paths ("" = all).
+	PathPrefix string
+	// Probability in [0, 1] that a matching request draws the fault.
+	Probability float64
+	// Latency is added before any other action (and before forwarding,
+	// for delay-only faults).
+	Latency time.Duration
+	// Status, when non-zero, ends the request with this status code and
+	// a small JSON error body.
+	Status int
+	// Blackhole accepts the request and never answers: the handler parks
+	// until the client gives up (its timeout or disconnect), the shape of
+	// a hung process.
+	Blackhole bool
+	// Reset tears the TCP connection down abruptly (SO_LINGER 0 where the
+	// platform allows, so the peer sees a reset rather than a clean
+	// close), the shape of a killed process.
+	Reset bool
+}
+
+// Counts reports what an Injector actually did, by action.
+type Counts struct {
+	Passed     int64 // requests forwarded untouched
+	Delayed    int64 // latency injections (including delay-only)
+	Errored    int64 // synthetic status responses
+	Blackholed int64
+	Resets     int64
+}
+
+// Injector applies a swappable fault set to requests. Create with New;
+// safe for concurrent use.
+type Injector struct {
+	seed   uint64
+	seq    atomic.Uint64
+	faults atomic.Pointer[[]Fault]
+
+	passed     atomic.Int64
+	delayed    atomic.Int64
+	errored    atomic.Int64
+	blackholed atomic.Int64
+	resets     atomic.Int64
+}
+
+// New builds an injector with a deterministic coin sequence: request i's
+// draw is splitmix64(seed + i), so two runs over the same serial request
+// stream inject identically.
+func New(seed uint64, faults ...Fault) *Injector {
+	in := &Injector{seed: seed}
+	in.SetFaults(faults...)
+	return in
+}
+
+// SetFaults atomically replaces the fault set. An empty set makes the
+// injector a passthrough — how the chaos harness "restarts" a replica it
+// previously killed.
+func (in *Injector) SetFaults(faults ...Fault) {
+	fs := make([]Fault, len(faults))
+	copy(fs, faults)
+	in.faults.Store(&fs)
+}
+
+// Counts returns a snapshot of the injector's action counters.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Passed:     in.passed.Load(),
+		Delayed:    in.delayed.Load(),
+		Errored:    in.errored.Load(),
+		Blackholed: in.blackholed.Load(),
+		Resets:     in.resets.Load(),
+	}
+}
+
+// coin returns true with the given probability, consuming one draw from
+// the deterministic sequence.
+func (in *Injector) coin(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		in.seq.Add(1) // still consume a draw: fault edits don't shift the tail
+		return true
+	}
+	u := splitmix64(in.seed + in.seq.Add(1))
+	return float64(u>>11)/(1<<53) < p
+}
+
+// Wrap returns next behind the injector. The first matching fault that
+// wins its coin applies; a delay-only fault pauses and then forwards
+// (without drawing further faults), every other action ends the request.
+func (in *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, f := range *in.faults.Load() {
+			if f.PathPrefix != "" && !strings.HasPrefix(r.URL.Path, f.PathPrefix) {
+				continue
+			}
+			if !in.coin(f.Probability) {
+				continue
+			}
+			if in.apply(f, w, r) {
+				return
+			}
+			break // delay-only: fall through to the handler
+		}
+		in.passed.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// apply serves one drawn fault, reporting whether it ended the request.
+// false means delay-only: the pause was served and the caller should
+// forward to the wrapped handler.
+func (in *Injector) apply(f Fault, w http.ResponseWriter, r *http.Request) bool {
+	if f.Latency > 0 {
+		in.delayed.Add(1)
+		t := time.NewTimer(f.Latency)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return true // client is gone; nothing to forward to
+		}
+	}
+	switch {
+	case f.Reset:
+		in.resets.Add(1)
+		abortConn(w)
+	case f.Blackhole:
+		in.blackholed.Add(1)
+		<-r.Context().Done()
+	case f.Status != 0:
+		in.errored.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(f.Status)
+		_, _ = w.Write([]byte(`{"error":"injected fault"}` + "\n"))
+	default:
+		return false
+	}
+	return true
+}
+
+// abortConn kills the client connection as abruptly as the stack allows:
+// hijack and linger-0 close where possible, otherwise panic with
+// http.ErrAbortHandler (net/http swallows it and drops the connection).
+func abortConn(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetLinger(0)
+			}
+			_ = conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// splitmix64 is the same finalising mixer the shard layer hashes ids
+// with: full-avalanche, so consecutive sequence numbers draw independent
+// coins.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

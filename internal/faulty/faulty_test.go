@@ -1,0 +1,230 @@
+package faulty
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok")
+	})
+}
+
+// drawSequence records which of n serial requests drew the fault.
+func drawSequence(seed uint64, p float64, n int) []bool {
+	in := New(seed, Fault{Probability: p, Status: http.StatusServiceUnavailable})
+	h := in.Wrap(okHandler())
+	out := make([]bool, n)
+	for i := range out {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/topk", nil))
+		out[i] = rec.Code == http.StatusServiceUnavailable
+	}
+	return out
+}
+
+// TestDeterministicSequence pins the injector's core contract: the same
+// seed yields the same fault sequence over a serial request stream, and
+// a different seed yields a different one.
+func TestDeterministicSequence(t *testing.T) {
+	a := drawSequence(42, 0.5, 64)
+	b := drawSequence(42, 0.5, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	hitsA, hitsC := 0, 0
+	c := drawSequence(43, 0.5, 64)
+	same := true
+	for i := range a {
+		if a[i] {
+			hitsA++
+		}
+		if c[i] {
+			hitsC++
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical 64-draw sequences")
+	}
+	// p=0.5 over 64 draws: both should be far from 0 and 64.
+	for _, hits := range []int{hitsA, hitsC} {
+		if hits < 10 || hits > 54 {
+			t.Fatalf("p=0.5 drew %d/64 faults — coin is biased", hits)
+		}
+	}
+}
+
+// TestProbabilityExtremes: p=0 never fires, p=1 always fires — and a
+// p>=1 fault still consumes a draw so editing it doesn't shift the tail
+// of the sequence.
+func TestProbabilityExtremes(t *testing.T) {
+	for _, hit := range drawSequence(7, 0, 16) {
+		if hit {
+			t.Fatalf("p=0 fault fired")
+		}
+	}
+	for i, hit := range drawSequence(7, 1, 16) {
+		if !hit {
+			t.Fatalf("p=1 fault missed at request %d", i)
+		}
+	}
+}
+
+// TestPathPrefixScope: a fault scoped to /v1/topk must not touch
+// /v1/stats.
+func TestPathPrefixScope(t *testing.T) {
+	in := New(1, Fault{PathPrefix: "/v1/topk", Probability: 1, Status: 500})
+	h := in.Wrap(okHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/stats got %d, want 200 (fault scoped to /v1/topk)", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/topk?user=1", nil))
+	if rec.Code != 500 {
+		t.Fatalf("/v1/topk got %d, want injected 500", rec.Code)
+	}
+	c := in.Counts()
+	if c.Passed != 1 || c.Errored != 1 {
+		t.Fatalf("counts = %+v, want Passed 1 Errored 1", c)
+	}
+}
+
+// TestStatusFaultBody: the synthetic error is JSON with an error key, so
+// upstream retry logic sees the same shape as a real shard error.
+func TestStatusFaultBody(t *testing.T) {
+	in := New(1, Fault{Probability: 1, Status: http.StatusBadGateway})
+	h := in.Wrap(okHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("code %d, want 502", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "injected fault") {
+		t.Fatalf("body %q lacks injected-fault marker", rec.Body.String())
+	}
+}
+
+// TestLatencyOnlyForwards: a delay-only fault pauses, then the request
+// reaches the wrapped handler and succeeds.
+func TestLatencyOnlyForwards(t *testing.T) {
+	in := New(1, Fault{Probability: 1, Latency: 10 * time.Millisecond})
+	ts := httptest.NewServer(in.Wrap(okHandler()))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("delayed request: %d %q", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("no delay observed: %v", elapsed)
+	}
+	c := in.Counts()
+	if c.Delayed != 1 || c.Passed != 1 {
+		t.Fatalf("counts = %+v, want Delayed 1 Passed 1", c)
+	}
+}
+
+// TestResetFaultKillsConnection: the client must see a transport error,
+// not an HTTP response — the shape the router's breakers feed on.
+func TestResetFaultKillsConnection(t *testing.T) {
+	in := New(1, Fault{Probability: 1, Reset: true})
+	ts := httptest.NewServer(in.Wrap(okHandler()))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset fault produced a response: %d", resp.StatusCode)
+	}
+	if in.Counts().Resets != 1 {
+		t.Fatalf("counts = %+v, want Resets 1", in.Counts())
+	}
+}
+
+// TestBlackholeHangsUntilClientTimeout: the request is accepted and
+// never answered; a client with a timeout gets a timeout error.
+func TestBlackholeHangsUntilClientTimeout(t *testing.T) {
+	in := New(1, Fault{Probability: 1, Blackhole: true})
+	ts := httptest.NewServer(in.Wrap(okHandler()))
+	defer ts.Close()
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	resp, err := client.Get(ts.URL + "/")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("blackholed request got a response: %d", resp.StatusCode)
+	}
+	var ne interface{ Timeout() bool }
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackhole error not a timeout: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("client gave up before its timeout: %v", elapsed)
+	}
+	if in.Counts().Blackholed != 1 {
+		t.Fatalf("counts = %+v, want Blackholed 1", in.Counts())
+	}
+}
+
+// TestSetFaultsSwap is the kill/revive lifecycle the chaos harness
+// leans on: healthy → SetFaults(error) kills → SetFaults() revives.
+func TestSetFaultsSwap(t *testing.T) {
+	in := New(1)
+	h := in.Wrap(okHandler())
+	probe := func() int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		return rec.Code
+	}
+	if code := probe(); code != http.StatusOK {
+		t.Fatalf("fresh injector: %d, want 200", code)
+	}
+	in.SetFaults(Fault{Probability: 1, Status: 503})
+	if code := probe(); code != 503 {
+		t.Fatalf("after kill: %d, want 503", code)
+	}
+	in.SetFaults()
+	if code := probe(); code != http.StatusOK {
+		t.Fatalf("after revive: %d, want 200", code)
+	}
+}
+
+// TestFirstMatchWins: with two matching p=1 faults, only the first
+// applies — fault order is precedence.
+func TestFirstMatchWins(t *testing.T) {
+	in := New(1,
+		Fault{Probability: 1, Status: 503},
+		Fault{Probability: 1, Status: 500},
+	)
+	h := in.Wrap(okHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 503 {
+		t.Fatalf("got %d, want first fault's 503", rec.Code)
+	}
+	c := in.Counts()
+	if c.Errored != 1 {
+		t.Fatalf("counts = %+v, want exactly one errored", c)
+	}
+}

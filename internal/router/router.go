@@ -14,12 +14,22 @@
 // from real shards rather than synthesised here. The cluster harness
 // test pins exactly that.
 //
-// Failure handling is bounded retry-on-next-replica: a transport error
-// or gateway-ish status (502/503/504) moves the request to the shard's
-// next replica, at most Config.Retries extra attempts, each attempt
-// bounded by Config.Timeout. A 421 (Misdirected Request) is NOT retried:
-// it means the shard map disagrees with the shard's own spec, which no
-// other replica of the same shard will fix.
+// Failure handling is layered (see DESIGN.md §12). First attempts
+// rotate across a shard's replicas, skipping replicas whose per-replica
+// circuit breaker is open (consecutive-failure trip, cooldown, single
+// half-open probe), so no replica absorbs every first attempt and a dead
+// replica is probed, not hammered. A transport error or gateway-ish
+// status (502/503/504) costs an exponential-backoff-with-jitter pause
+// and moves the request to the next allowed replica, at most
+// Config.Retries extra attempts, each attempt bounded by Config.Timeout.
+// With Config.HedgeAfter set, a slow attempt is hedged: a second copy of
+// the (idempotent, GET-only) request races on the next allowed replica
+// and the first response wins. A 421 (Misdirected Request) is NOT
+// retried: it means the shard map disagrees with the shard's own spec,
+// which no other replica of the same shard will fix. When every attempt
+// at a shard is exhausted and Config.StaleEntries is set, the router
+// serves the last known good body for that exact request URI, marked
+// X-Trustd-Degraded: stale — honest staleness instead of a 502.
 //
 // The proxy hot path is deliberately allocation-lean — the acceptance
 // bar is ≤2× a direct cached shard hit, which leaves almost no room on
@@ -61,6 +71,30 @@ type Config struct {
 	// MaxIdleConnsPerHost sizes the per-replica connection pool. 0 means
 	// DefaultMaxIdleConnsPerHost.
 	MaxIdleConnsPerHost int
+	// RetryBackoff is the base pause before the first retry attempt,
+	// doubled per further attempt and jittered ±50% so synchronized
+	// routers don't stampede a recovering shard. 0 means
+	// DefaultRetryBackoff; negative retries immediately (the tests' knob).
+	RetryBackoff time.Duration
+	// BreakerThreshold trips a replica's circuit breaker after this many
+	// consecutive failures. 0 means DefaultBreakerThreshold; negative
+	// disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped replica rests before a single
+	// half-open probe is allowed through. 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// HedgeAfter, when positive, hedges slow attempts on per-source GET
+	// endpoints: if a replica has not answered within HedgeAfter, a
+	// second copy of the request races on the shard's next allowed
+	// replica and the first response wins. 0 disables hedging (the
+	// default: it costs a goroutine + context per hedged attempt).
+	HedgeAfter time.Duration
+	// StaleEntries, when positive, bounds a last-known-good response
+	// cache: per-source requests that exhaust every replica serve their
+	// most recent 200 body marked X-Trustd-Degraded: stale instead of a
+	// 502. 0 disables degraded serving (the default: it costs one body
+	// copy per proxied success).
+	StaleEntries int
 }
 
 // DefaultTimeout bounds each upstream attempt.
@@ -71,6 +105,18 @@ const DefaultRetries = 1
 
 // DefaultMaxIdleConnsPerHost keeps a small warm pool per replica.
 const DefaultMaxIdleConnsPerHost = 16
+
+// DefaultRetryBackoff is the base retry pause (doubled per attempt,
+// jittered ±50%).
+const DefaultRetryBackoff = 25 * time.Millisecond
+
+// maxRetryBackoff caps the exponential retry pause.
+const maxRetryBackoff = 250 * time.Millisecond
+
+// DegradedHeader marks responses the router served from its
+// last-known-good cache because the owning shard was unreachable. Its
+// value names the degradation mode (currently always "stale").
+const DegradedHeader = "X-Trustd-Degraded"
 
 // Router proxies cluster queries to their owning shards. Create with
 // New, mount Handler. Safe for concurrent use.
@@ -88,16 +134,37 @@ type Router struct {
 	start     time.Time
 	// rr rotates unroutable requests (no parsable source user) across
 	// shards so their error responses still come from real shards.
-	rr      atomic.Uint64
-	metrics routerMetrics
+	rr atomic.Uint64
+	// replicaRR rotates each shard's first-attempt replica so replica 0
+	// stops absorbing every request (health-aware: open breakers are
+	// skipped on top of the rotation). Indexed by shard.
+	replicaRR []atomic.Uint64
+	// breakers holds one circuit breaker per replica, mirroring parsed.
+	// breakerThreshold < 0 disables them (every acquire passes).
+	breakers         [][]breaker
+	breakerThreshold int32
+	breakerCooldown  int64 // nanos
+	retryBackoff     time.Duration
+	hedgeAfter       time.Duration
+	// stale is the flag-gated last-known-good cache; nil when disabled.
+	stale *staleCache
+	// jitterSeq feeds the cheap backoff-jitter mixer (no rand state, no
+	// allocation).
+	jitterSeq atomic.Uint64
+	metrics   routerMetrics
 }
 
 type routerMetrics struct {
-	requests   atomic.Int64
-	proxied    atomic.Int64
-	retries    atomic.Int64
-	upstreamErrors atomic.Int64 // requests that exhausted every attempt
-	misdirected    atomic.Int64 // 421s from shards (shard-map skew alarm)
+	requests          atomic.Int64
+	proxied           atomic.Int64
+	retries           atomic.Int64
+	upstreamErrors    atomic.Int64 // requests that exhausted every attempt
+	misdirected       atomic.Int64 // 421s from shards (shard-map skew alarm)
+	breakerTrips      atomic.Int64 // replica breakers tripped closed→open
+	breakerRecoveries atomic.Int64 // half-open probes that closed a breaker
+	hedges            atomic.Int64 // hedge requests launched
+	hedgeWins         atomic.Int64 // hedges whose response was served
+	staleServed       atomic.Int64 // degraded last-known-good responses
 }
 
 // New validates the shard map and builds the router.
@@ -146,15 +213,45 @@ func New(cfg Config) (*Router, error) {
 		// nobody is short of — and the router must relay bodies verbatim.
 		DisableCompression: true,
 	}
-	return &Router{
-		shards:    cfg.Shards,
-		parsed:    parsed,
-		timeout:   timeout,
-		retries:   retries,
-		transport: transport,
-		client:    &http.Client{Transport: transport},
-		start:     time.Now(),
-	}, nil
+	backoff := cfg.RetryBackoff
+	if backoff == 0 {
+		backoff = DefaultRetryBackoff
+	} else if backoff < 0 {
+		backoff = 0
+	}
+	threshold := int32(cfg.BreakerThreshold)
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	} else if threshold < 0 {
+		threshold = -1
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown == 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	breakers := make([][]breaker, len(cfg.Shards))
+	for i, replicas := range cfg.Shards {
+		breakers[i] = make([]breaker, len(replicas))
+	}
+	rt := &Router{
+		shards:           cfg.Shards,
+		parsed:           parsed,
+		timeout:          timeout,
+		retries:          retries,
+		transport:        transport,
+		client:           &http.Client{Transport: transport},
+		start:            time.Now(),
+		replicaRR:        make([]atomic.Uint64, len(cfg.Shards)),
+		breakers:         breakers,
+		breakerThreshold: threshold,
+		breakerCooldown:  int64(cooldown),
+		retryBackoff:     backoff,
+		hedgeAfter:       cfg.HedgeAfter,
+	}
+	if cfg.StaleEntries > 0 {
+		rt.stale = newStaleCache(cfg.StaleEntries)
+	}
+	return rt, nil
 }
 
 // NumShards returns the cluster's shard count.
@@ -230,40 +327,314 @@ func pair0(q string) (string, string) {
 	return q, ""
 }
 
-// proxy forwards the request to shard idx, walking its replicas on
-// retryable failures. The first non-retryable response is streamed back
-// verbatim (status, content type, body).
+// proxy forwards the request to shard idx. The attempt loop rotates over
+// the shard's replicas from a per-shard round-robin start, skipping
+// replicas whose circuit breaker is open; a transport error or retryable
+// gateway status records a breaker failure and costs a jittered
+// exponential backoff before the next attempt (up to Config.Retries
+// extra attempts — same-replica retries are meaningful now that they are
+// spaced, so single-replica shards retry too). The first non-retryable
+// response is streamed back verbatim (status, content type, body). When
+// every attempt fails and degraded serving is enabled, the last known
+// good body for this exact request URI is served marked
+// X-Trustd-Degraded: stale; otherwise the per-replica failures are
+// aggregated into the 502 body.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 	replicas := rt.parsed[idx]
-	attempts := min(1+rt.retries, len(replicas))
+	n := len(replicas)
+	attempts := 1 + rt.retries
 	ctx := r.Context()
+	var staleKey string
+	if rt.stale != nil {
+		staleKey = r.URL.Path + "?" + r.URL.RawQuery
+	}
 
-	var lastErr error
-	for a := 0; a < attempts; a++ {
-		if a > 0 {
+	// errs aggregates every failed attempt for the 502 body — earlier
+	// replicas can fail differently than the last one, and the operator
+	// debugging an outage wants all of them. Allocated only off the
+	// success path.
+	var errs []string
+	now := time.Now().UnixNano()
+	start := 0
+	if n > 1 {
+		start = int(rt.replicaRR[idx].Add(1) % uint64(n))
+	}
+	fetched, consecSkips := 0, 0
+	for step := 0; fetched < attempts; step++ {
+		ri := (start + step) % n
+		if !rt.acquireReplica(idx, ri, now) {
+			consecSkips++
+			if consecSkips >= n {
+				// Every replica is tripped and cooling down: fail fast
+				// into stale serving (or the 502) — that is the point of
+				// the breaker.
+				errs = append(errs, "all replica circuit breakers open")
+				break
+			}
+			continue
+		}
+		consecSkips = 0
+		if fetched > 0 {
 			rt.metrics.retries.Add(1)
+			if !rt.backoffSleep(ctx, fetched) {
+				errs = append(errs, "request ended during retry backoff")
+				break
+			}
+			now = time.Now().UnixNano()
 		}
-		resp, err := rt.fetch(ctx, &replicas[a], r.URL)
+		fetched++
+		resp, winRi, err := rt.fetchMaybeHedged(ctx, idx, ri, r.URL)
 		if err != nil {
-			lastErr = err
+			rt.recordFailure(idx, winRi)
+			errs = append(errs, rt.shards[idx][winRi]+": "+err.Error())
 			continue
 		}
-		if retryableStatus(resp.StatusCode) && a+1 < attempts {
-			lastErr = fmt.Errorf("%s: %s", rt.shards[idx][a], resp.Status)
-			resp.Body.Close()
-			continue
+		if retryableStatus(resp.StatusCode) {
+			rt.recordFailure(idx, winRi)
+			if fetched < attempts {
+				errs = append(errs, rt.shards[idx][winRi]+": "+resp.Status)
+				resp.Body.Close()
+				continue
+			}
+			// Out of attempts on a gateway-ish status: labeled stale beats
+			// relaying an unavailable shard's error, when we have it.
+			if rt.serveStale(w, staleKey) {
+				resp.Body.Close()
+				return
+			}
+		} else {
+			rt.recordSuccess(idx, winRi)
 		}
 		if resp.StatusCode == http.StatusMisdirectedRequest {
 			rt.metrics.misdirected.Add(1)
 		}
 		rt.metrics.proxied.Add(1)
-		copyResponse(w, resp)
+		rt.relay(w, resp, staleKey)
+		return
+	}
+	if rt.serveStale(w, staleKey) {
 		return
 	}
 	rt.metrics.upstreamErrors.Add(1)
-	writeJSON(w, http.StatusBadGateway, map[string]string{
-		"error": fmt.Sprintf("shard %d unavailable after %d attempts: %v", idx, attempts, lastErr),
+	writeJSON(w, http.StatusBadGateway, map[string]any{
+		"error":    fmt.Sprintf("shard %d unavailable after %d attempts", idx, fetched),
+		"attempts": errs,
 	})
+}
+
+// acquireReplica asks replica ri's breaker for permission to attempt.
+func (rt *Router) acquireReplica(idx, ri int, now int64) bool {
+	if rt.breakerThreshold < 0 {
+		return true
+	}
+	return rt.breakers[idx][ri].acquire(now, rt.breakerCooldown)
+}
+
+// recordSuccess closes the replica's breaker (any real response, even an
+// application error, proves the replica alive).
+func (rt *Router) recordSuccess(idx, ri int) {
+	if rt.breakerThreshold < 0 {
+		return
+	}
+	if rt.breakers[idx][ri].onSuccess() {
+		rt.metrics.breakerRecoveries.Add(1)
+	}
+}
+
+// recordFailure feeds the replica's breaker a transport error or
+// gateway-ish status.
+func (rt *Router) recordFailure(idx, ri int) {
+	if rt.breakerThreshold < 0 {
+		return
+	}
+	if rt.breakers[idx][ri].onFailure(time.Now().UnixNano(), rt.breakerThreshold) {
+		rt.metrics.breakerTrips.Add(1)
+	}
+}
+
+// backoffSleep pauses before extra attempt k (1-based): base·2^(k-1)
+// capped at maxRetryBackoff, jittered to 50–150% so synchronized routers
+// spread their retries. Returns false when the request context ended
+// first.
+func (rt *Router) backoffSleep(ctx context.Context, k int) bool {
+	if rt.retryBackoff <= 0 {
+		return ctx.Err() == nil
+	}
+	d := rt.retryBackoff << (k - 1)
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	u := splitmix64(rt.jitterSeq.Add(1))
+	d = time.Duration(float64(d) * (0.5 + float64(u>>11)/(1<<53)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// hedgeTarget picks the hedge replica: the first replica other than
+// exclude whose breaker is closed (hedges are a latency optimisation —
+// they never probe tripped replicas).
+func (rt *Router) hedgeTarget(idx, exclude int) (int, bool) {
+	reps := rt.breakers[idx]
+	for ri := range reps {
+		if ri == exclude {
+			continue
+		}
+		if rt.breakerThreshold < 0 || reps[ri].state.Load() == bClosed {
+			return ri, true
+		}
+	}
+	return 0, false
+}
+
+// cancelBody ties a hedged attempt's context to its response body: the
+// context is released when the body is closed, never before the relay
+// finished reading it.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// fetchMaybeHedged issues one attempt against replica ri, racing a hedge
+// copy on the shard's next closed-breaker replica if the first has not
+// answered within hedgeAfter. It returns the winning response and the
+// replica it came from; the caller records the winner's breaker outcome.
+// With hedging disabled (or a single-replica shard) this is exactly
+// rt.fetch — zero extra cost on that path.
+func (rt *Router) fetchMaybeHedged(ctx context.Context, idx, ri int, orig *url.URL) (*http.Response, int, error) {
+	if rt.hedgeAfter <= 0 || len(rt.parsed[idx]) < 2 {
+		resp, err := rt.fetch(ctx, &rt.parsed[idx][ri], orig)
+		return resp, ri, err
+	}
+	type hres struct {
+		resp *http.Response
+		err  error
+		ri   int
+		slot int
+	}
+	ch := make(chan hres, 2)
+	var cancels [2]context.CancelFunc
+	launch := func(slot, ri int) {
+		cctx, cancel := context.WithCancel(ctx)
+		cancels[slot] = cancel
+		go func() {
+			resp, err := rt.fetch(cctx, &rt.parsed[idx][ri], orig)
+			if err != nil {
+				cancel()
+			} else {
+				resp.Body = cancelBody{resp.Body, cancel}
+			}
+			ch <- hres{resp, err, ri, slot}
+		}()
+	}
+	launch(0, ri)
+	launched := 1
+	timer := time.NewTimer(rt.hedgeAfter)
+	var res hres
+	select {
+	case res = <-ch:
+		timer.Stop()
+	case <-timer.C:
+		if hi, ok := rt.hedgeTarget(idx, ri); ok {
+			rt.metrics.hedges.Add(1)
+			launch(1, hi)
+			launched = 2
+		}
+		res = <-ch
+	}
+	consumed := 1
+	if launched == 2 && consumed == 1 && (res.err != nil || retryableStatus(res.resp.StatusCode)) {
+		// The first finisher failed; the racer may still save the
+		// request. The failure is recorded here because only the final
+		// result reaches the caller.
+		rt.recordFailure(idx, res.ri)
+		if res.resp != nil {
+			resp := res.resp
+			go func() { resp.Body.Close() }() // may block on the hijacked conn; reap off-path
+		}
+		res = <-ch
+		consumed = 2
+	}
+	if launched > consumed {
+		// A racer is still in flight: abort it and reap it off-path. Its
+		// abort is self-inflicted, so it feeds no breaker bookkeeping —
+		// except a genuine success, which proves the replica healthy.
+		cancels[1-res.slot]()
+		go func() {
+			lr := <-ch
+			if lr.resp != nil {
+				if !retryableStatus(lr.resp.StatusCode) {
+					rt.recordSuccess(idx, lr.ri)
+				}
+				lr.resp.Body.Close()
+			}
+		}()
+	}
+	if res.err == nil && res.slot == 1 {
+		rt.metrics.hedgeWins.Add(1)
+	}
+	return res.resp, res.ri, res.err
+}
+
+// relay streams a shard response back verbatim. With degraded serving
+// enabled the body is captured en route and, if it was a 200, becomes
+// the last known good answer for this request URI.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, staleKey string) {
+	if rt.stale == nil || staleKey == "" {
+		copyResponse(w, resp)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+	if err == nil && resp.StatusCode == http.StatusOK {
+		rt.stale.put(staleKey, resp.Header.Get("Content-Type"), body)
+	}
+}
+
+// serveStale answers from the last-known-good cache, honestly labeled:
+// X-Trustd-Degraded: stale on a 200 with the cached body. Reports false
+// when degraded serving is disabled or this URI was never served.
+func (rt *Router) serveStale(w http.ResponseWriter, staleKey string) bool {
+	if rt.stale == nil || staleKey == "" {
+		return false
+	}
+	ct, body, ok := rt.stale.get(staleKey)
+	if !ok {
+		return false
+	}
+	if ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set(DegradedHeader, "stale")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	rt.metrics.staleServed.Add(1)
+	return true
+}
+
+// splitmix64 feeds the backoff jitter: a full-avalanche mix of a plain
+// counter, no rand state and no allocation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // fetch issues one upstream GET preserving the original path and query,
@@ -406,15 +777,35 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		var v json.RawMessage = body
 		return map[string]any{"shard": idx, "stats": v}
 	})
+	// breakers reports every replica's circuit state so an operator can
+	// see which replica of which shard is tripped at a glance.
+	breakers := make([][]string, len(rt.breakers))
+	for i := range rt.breakers {
+		breakers[i] = make([]string, len(rt.breakers[i]))
+		for j := range rt.breakers[i] {
+			breakers[i][j] = rt.breakers[i][j].stateName()
+		}
+	}
+	routerBlock := map[string]any{
+		"shards":            len(rt.shards),
+		"requests":          rt.metrics.requests.Load(),
+		"proxied":           rt.metrics.proxied.Load(),
+		"retries":           rt.metrics.retries.Load(),
+		"upstreamErrors":    rt.metrics.upstreamErrors.Load(),
+		"misdirected":       rt.metrics.misdirected.Load(),
+		"breakerTrips":      rt.metrics.breakerTrips.Load(),
+		"breakerRecoveries": rt.metrics.breakerRecoveries.Load(),
+		"breakers":          breakers,
+		"hedges":            rt.metrics.hedges.Load(),
+		"hedgeWins":         rt.metrics.hedgeWins.Load(),
+		"staleServed":       rt.metrics.staleServed.Load(),
+		"uptimeSeconds":     time.Since(rt.start).Seconds(),
+	}
+	if rt.stale != nil {
+		routerBlock["staleEntries"] = rt.stale.len()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"router": map[string]any{
-			"shards":         len(rt.shards),
-			"requests":       rt.metrics.requests.Load(),
-			"proxied":        rt.metrics.proxied.Load(),
-			"retries":        rt.metrics.retries.Load(),
-			"upstreamErrors": rt.metrics.upstreamErrors.Load(),
-			"uptimeSeconds":  time.Since(rt.start).Seconds(),
-		},
+		"router": routerBlock,
 		"shards": shards,
 	})
 }
@@ -462,9 +853,13 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "router", "shards": len(rt.shards)})
 }
 
-// handleReadyz reports cluster readiness: 200 only when every shard has
-// at least one replica answering /readyz with 200. The per-shard
-// verdicts ride along so an operator can see which shard is lagging.
+// handleReadyz reports cluster readiness: 200 "ready" only when every
+// shard has at least one replica answering /readyz with 200. With
+// degraded serving enabled an unready shard demotes the verdict to 200
+// "degraded" instead of 503 — the router can still answer from its
+// last-known-good cache, so taking it out of rotation would only turn
+// partial degradation into total unavailability. The per-shard verdicts
+// ride along so an operator can see which shard is lagging.
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	verdicts := rt.fanOut(r, "/readyz", func(idx, status int, ct string, body []byte) any {
 		return status == http.StatusOK
@@ -481,8 +876,12 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ready"
 	if !ready {
-		status = http.StatusServiceUnavailable
-		state = "waiting"
+		if rt.stale != nil {
+			state = "degraded"
+		} else {
+			status = http.StatusServiceUnavailable
+			state = "waiting"
+		}
 	}
 	writeJSON(w, status, map[string]any{"status": state, "shards": perShard})
 }
@@ -499,43 +898,71 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("trustrouter_retries_total", "Replica retries after transport errors or gateway statuses.", rt.metrics.retries.Load())
 	counter("trustrouter_upstream_errors_total", "Requests that exhausted every replica attempt.", rt.metrics.upstreamErrors.Load())
 	counter("trustrouter_misdirected_total", "421 responses proxied from shards (shard-map skew alarm).", rt.metrics.misdirected.Load())
+	counter("trustrouter_breaker_trips_total", "Replica circuit breakers tripped open by consecutive failures.", rt.metrics.breakerTrips.Load())
+	counter("trustrouter_breaker_recoveries_total", "Replica circuit breakers closed by a successful half-open probe.", rt.metrics.breakerRecoveries.Load())
+	counter("trustrouter_hedges_total", "Hedge requests launched against slow replicas.", rt.metrics.hedges.Load())
+	counter("trustrouter_hedge_wins_total", "Requests answered by the hedge instead of the primary attempt.", rt.metrics.hedgeWins.Load())
+	counter("trustrouter_stale_served_total", "Degraded responses served from the last-known-good cache.", rt.metrics.staleServed.Load())
+	var open int64
+	for i := range rt.breakers {
+		for j := range rt.breakers[i] {
+			if rt.breakers[i][j].state.Load() != bClosed {
+				open++
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP trustrouter_breaker_open Replica circuit breakers currently open or half-open.\n# TYPE trustrouter_breaker_open gauge\ntrustrouter_breaker_open %d\n", open)
+	if rt.stale != nil {
+		fmt.Fprintf(w, "# HELP trustrouter_stale_entries Last-known-good responses currently cached for degraded serving.\n# TYPE trustrouter_stale_entries gauge\ntrustrouter_stale_entries %d\n", rt.stale.len())
+	}
 	fmt.Fprintf(w, "# HELP trustrouter_shards Shards in the routed cluster.\n# TYPE trustrouter_shards gauge\ntrustrouter_shards %d\n", len(rt.shards))
 }
 
 // WaitReady polls every shard's /readyz until the whole cluster is ready
 // or the context expires — how `trustd route -wait-ready` gates its own
-// readiness on the shards it fronts.
+// readiness on the shards it fronts. Sweeps are spaced by jittered
+// exponential backoff (25ms doubling to a 1s cap, 50–150% jitter)
+// instead of a fixed 50ms hammer: a slow-booting cluster gets probed
+// gently, and N routers waiting on the same shards don't synchronize.
 func (rt *Router) WaitReady(ctx context.Context) error {
-	tick := time.NewTicker(50 * time.Millisecond)
-	defer tick.Stop()
+	backoff := 25 * time.Millisecond
+	const maxBackoff = time.Second
 	for {
 		if rt.allReady(ctx) {
 			return nil
 		}
+		u := splitmix64(rt.jitterSeq.Add(1))
+		d := time.Duration(float64(backoff) * (0.5 + float64(u>>11)/(1<<53)))
+		t := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return fmt.Errorf("router: cluster not ready: %w", ctx.Err())
-		case <-tick.C:
+		case <-t.C:
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
 		}
 	}
 }
 
+// allReady sweeps every shard's replicas under ONE per-sweep deadline
+// (a replica that hangs cannot stall the sweep longer than the shared
+// budget, and the sweep doesn't pay a context allocation per replica).
 func (rt *Router) allReady(ctx context.Context) bool {
+	sctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
 	u := &url.URL{Path: "/readyz"}
 	for _, replicas := range rt.parsed {
 		shardReady := false
 		for i := range replicas {
-			cctx, cancel := context.WithTimeout(ctx, time.Second)
-			resp, err := rt.fetch(cctx, &replicas[i], u)
+			resp, err := rt.fetch(sctx, &replicas[i], u)
 			if err == nil {
 				resp.Body.Close()
 				if resp.StatusCode == http.StatusOK {
 					shardReady = true
+					break
 				}
-			}
-			cancel()
-			if shardReady {
-				break
 			}
 		}
 		if !shardReady {

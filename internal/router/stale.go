@@ -1,0 +1,70 @@
+package router
+
+import (
+	"container/list"
+	"sync"
+)
+
+// staleCache is the router's flag-gated last-known-good store: the most
+// recent 200 body for each per-source request URI, served with an
+// explicit degraded marking when every replica of the owning shard is
+// unreachable. It is a plain mutex-guarded LRU bounded by entry count —
+// it sits off the success hot path only when disabled, so enabling
+// degraded serving is an explicit trade of one lock and one body copy
+// per proxied success for availability under total shard loss.
+type staleCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recent
+}
+
+type staleEntry struct {
+	key  string
+	ct   string
+	body []byte
+}
+
+func newStaleCache(max int) *staleCache {
+	return &staleCache{max: max, m: make(map[string]*list.Element), ll: list.New()}
+}
+
+// put records the latest good body for a request URI. body is retained;
+// callers must pass an unshared copy.
+func (c *staleCache) put(key, ct string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*staleEntry)
+		e.ct, e.body = ct, body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&staleEntry{key: key, ct: ct, body: body})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*staleEntry).key)
+	}
+}
+
+// get returns the last known good body for a request URI, refreshing its
+// recency. The returned slice is shared: serve it, don't mutate it.
+func (c *staleCache) get(key string) (ct string, body []byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		return "", nil, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*staleEntry)
+	return e.ct, e.body, true
+}
+
+// len reports the resident entry count (stats surface).
+func (c *staleCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

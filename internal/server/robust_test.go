@@ -1,0 +1,211 @@
+package server
+
+// Robustness-layer tests: bounded in-flight admission (shed with 429
+// under overload) and tail-ingest survival of transient log failures.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"weboftrust/internal/ratings"
+)
+
+// TestAdmissionShedsOverload pins the in-flight bound end to end: with
+// MaxInFlight=1 and the only admitted request parked inside its row
+// computation, a second compute query is shed with 429 + Retry-After,
+// the shed counter reaches both stats surfaces, and — crucially — the
+// observability endpoints stay reachable while the server is "full".
+func TestAdmissionShedsOverload(t *testing.T) {
+	srv, _, _ := openServer(t)
+	srv.opts.MaxInFlight = 1
+	gate := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.computeGate = func(u ratings.UserID) {
+		once.Do(func() { close(gate) })
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/topk?user=1&k=5")
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	<-gate // the admitted request is now parked mid-compute
+
+	resp, err := http.Get(ts.URL + "/v1/topk?user=2&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request while full: got %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatalf("429 without Retry-After")
+	}
+
+	// Observability must not be shed: operators need to see INTO an
+	// overloaded server.
+	for _, p := range []string{"/v1/stats", "/healthz", "/readyz", "/metrics"} {
+		r2, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatalf("GET %s while full: %v", p, err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s while full: %d, want 200", p, r2.StatusCode)
+		}
+	}
+
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("admitted request: got %d, want 200", code)
+	}
+
+	if got := srv.metrics.shed.Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	rec := get(t, srv.Handler(), "/v1/stats")
+	stats := decode[StatsResponse](t, rec)
+	if stats.ShedRequests != 1 {
+		t.Fatalf("/v1/stats shed_requests = %d, want 1", stats.ShedRequests)
+	}
+	mrec := get(t, srv.Handler(), "/metrics")
+	if !strings.Contains(mrec.Body.String(), "trustd_shed_total 1") {
+		t.Fatalf("/metrics missing trustd_shed_total 1")
+	}
+	// Admission released its slot: a fresh compute query is served.
+	r3 := get(t, srv.Handler(), "/v1/topk?user=3&k=5")
+	if r3.Code != http.StatusOK {
+		t.Fatalf("after release: %d, want 200", r3.Code)
+	}
+}
+
+// TestAdmissionDisabledByDefault pins that the zero value keeps the old
+// behavior: no bound, nothing shed.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	srv, _, _ := openServer(t)
+	h := srv.Handler()
+	for i := 0; i < 5; i++ {
+		if rec := get(t, h, "/v1/topk?user=1&k=5"); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d, want 200", i, rec.Code)
+		}
+	}
+	if got := srv.metrics.shed.Load(); got != 0 {
+		t.Fatalf("shed counter = %d, want 0", got)
+	}
+}
+
+// TestTailerSurvivesTransientLogErrors pins the transient/poison split:
+// a momentarily unreadable log yields a TransientPollError (builder
+// untouched, counter bumped), and once the log is back the SAME tailer
+// resumes ingesting — transient failures must not poison it.
+func TestTailerSurvivesTransientLogErrors(t *testing.T) {
+	path, d := writeLogFile(t)
+	srv, tailer, err := Open(path, time.Hour, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hide the log: the poll must fail transiently, not poison.
+	hidden := path + ".hidden"
+	if err := os.Rename(path, hidden); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, perr := tailer.Poll()
+		var transient *TransientPollError
+		if !errors.As(perr, &transient) {
+			t.Fatalf("poll %d with missing log: %v, want TransientPollError", i, perr)
+		}
+	}
+	if got := srv.metrics.tailTransient.Load(); got != 2 {
+		t.Fatalf("tailTransient = %d, want 2", got)
+	}
+
+	// Restore the log with appended growth: the tailer must ingest it.
+	if err := os.Rename(hidden, path); err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, path, growBatch(d, 1))
+	n, err := tailer.Poll()
+	if err != nil {
+		t.Fatalf("poll after restore: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("poll after restore ingested nothing")
+	}
+	if _, _, version := srv.Current(); version != 2 {
+		t.Fatalf("version after recovery = %d, want 2", version)
+	}
+	rec := get(t, srv.Handler(), "/v1/stats")
+	stats := decode[StatsResponse](t, rec)
+	if stats.TailTransientErrors != 2 {
+		t.Fatalf("/v1/stats tail_transient_errors = %d, want 2", stats.TailTransientErrors)
+	}
+}
+
+// TestTailerRunBacksOffOnTransient drives Run with a missing log and a
+// tiny poll: the loop must keep running (backing off) rather than
+// return, then ingest promptly once the log reappears.
+func TestTailerRunBacksOffOnTransient(t *testing.T) {
+	path, d := writeLogFile(t)
+	srv, tailer, err := Open(path, 2*time.Millisecond, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := path + ".hidden"
+	if err := os.Rename(path, hidden); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- tailer.Run(ctx) }()
+
+	// Let a few transient polls fail, then restore the log with growth.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.metrics.tailTransient.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no transient polls observed")
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("Run returned during transient failures: %v", err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := os.Rename(hidden, path); err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, path, growBatch(d, 1))
+	for {
+		if _, _, version := srv.Current(); version >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tailer never recovered after log restore")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-runErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run: %v, want context.Canceled", err)
+	}
+}

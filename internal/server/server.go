@@ -66,6 +66,14 @@ type Options struct {
 	// O(U), bytes) filling every entry slot. Zero means
 	// DefaultCacheBytes; negative disables the byte bound.
 	CacheBytes int64
+	// MaxInFlight bounds concurrently served compute queries (the /v1
+	// per-source and rank endpoints). Requests over the bound are shed
+	// with 429 + Retry-After instead of queueing without limit — bounded
+	// latency under overload beats unbounded goroutine pileup. 0 (the
+	// default) disables admission control; the observability surfaces
+	// (/v1/stats, /v1/graph/stats, /healthz, /readyz, /metrics) are never
+	// shed, so operators can see INTO an overloaded server.
+	MaxInFlight int
 }
 
 // DefaultCacheResults is the result-cache bound when Options.CacheResults
@@ -101,6 +109,9 @@ type Server struct {
 	// model is covered by, published by a Checkpointer and read by
 	// /v1/stats and /metrics. Nil when no checkpointer runs.
 	ckpt atomic.Pointer[CheckpointStatus]
+	// inflight tracks admitted compute queries for the MaxInFlight bound
+	// (and the trustd_inflight gauge).
+	inflight atomic.Int64
 	// computeGate, when non-nil, runs on the leader goroutine right
 	// before a row computation. Test hook: the singleflight test parks
 	// the leader here until every concurrent request has registered.
@@ -150,6 +161,12 @@ type metrics struct {
 	cacheCarryover        atomic.Int64
 	cacheCarryoverDropped atomic.Int64
 	graphDeltaRows        atomic.Int64
+	// Robustness instrumentation: compute queries shed with 429 under the
+	// in-flight bound, and tail polls that failed transiently (log
+	// temporarily unreadable) and were retried with backoff instead of
+	// killing ingest.
+	shed          atomic.Int64
+	tailTransient atomic.Int64
 }
 
 const (
@@ -429,21 +446,48 @@ func trimRanked(r []core.Ranked, k int) []core.Ranked {
 	return r
 }
 
-// Handler returns the daemon's HTTP routes.
+// Handler returns the daemon's HTTP routes. The compute endpoints sit
+// behind the in-flight admission bound (when Options.MaxInFlight is
+// set); the observability surfaces are deliberately outside it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	mux.HandleFunc("GET /v1/trust", s.handleTrust)
-	mux.HandleFunc("GET /v1/expertise", s.handleExpertise)
-	mux.HandleFunc("GET /v1/neighbors", s.handleNeighbors)
-	mux.HandleFunc("GET /v1/propagate", s.handlePropagate)
-	mux.HandleFunc("GET /v1/rank", s.handleRank)
+	mux.HandleFunc("GET /v1/topk", s.admit(s.handleTopK))
+	mux.HandleFunc("GET /v1/trust", s.admit(s.handleTrust))
+	mux.HandleFunc("GET /v1/expertise", s.admit(s.handleExpertise))
+	mux.HandleFunc("GET /v1/neighbors", s.admit(s.handleNeighbors))
+	mux.HandleFunc("GET /v1/propagate", s.admit(s.handlePropagate))
+	mux.HandleFunc("GET /v1/rank", s.admit(s.handleRank))
 	mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// admit enforces the bounded in-flight admission gate: a compute query
+// arriving while MaxInFlight are already being served is shed
+// immediately with 429 + Retry-After (and counted in trustd_shed_total)
+// rather than queued — under overload, fast honest rejection keeps the
+// admitted requests' latency bounded and tells well-behaved clients
+// (and the router's retry layer) to back off. Disabled (the default)
+// it adds nothing to the hot path but one branch.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if max := int64(s.opts.MaxInFlight); max > 0 {
+			if s.inflight.Add(1) > max {
+				s.inflight.Add(-1)
+				s.metrics.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, map[string]string{
+					"error": fmt.Sprintf("overloaded: %d requests in flight", max),
+				})
+				return
+			}
+			defer s.inflight.Add(-1)
+		}
+		h(w, r)
+	}
 }
 
 // loadState returns the served state, answering 503 when the server is
@@ -799,6 +843,12 @@ type StatsResponse struct {
 	CacheEntries  int                  `json:"cache_entries"`
 	CacheBytes    int64                `json:"cache_bytes"`
 	UptimeSeconds float64              `json:"uptime_seconds"`
+	// ShedRequests counts compute queries rejected 429 by the in-flight
+	// admission bound; TailTransientErrors counts tail polls that failed
+	// transiently and were retried with backoff. Both also appear in
+	// /metrics (trustd_shed_total, trustd_tail_transient_errors_total).
+	ShedRequests        int64 `json:"shed_requests"`
+	TailTransientErrors int64 `json:"tail_transient_errors"`
 	// Checkpoint reports the newest durable copy of the served model;
 	// absent when the daemon runs without a checkpoint directory.
 	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
@@ -849,12 +899,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := StatsResponse{
-		Dataset:       st.model.Dataset().Stats(),
-		Version:       st.version,
-		LogOffset:     st.offset,
-		CacheEntries:  st.results.len(),
-		CacheBytes:    st.results.approxBytes(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Dataset:             st.model.Dataset().Stats(),
+		Version:             st.version,
+		LogOffset:           st.offset,
+		CacheEntries:        st.results.len(),
+		CacheBytes:          st.results.approxBytes(),
+		UptimeSeconds:       time.Since(s.start).Seconds(),
+		ShedRequests:        s.metrics.shed.Load(),
+		TailTransientErrors: s.metrics.tailTransient.Load(),
 	}
 	resp.Shard = shardStats(st.model)
 	if ck := s.checkpointStatus(); ck != nil {
@@ -933,6 +985,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "trustd_requests_total{endpoint=%q} %d\n", ep, s.metrics.requests[i].Load())
 	}
 	counter("trustd_bad_requests_total", "Requests rejected with a client error.", s.metrics.badRequests.Load())
+	counter("trustd_shed_total", "Compute queries shed with 429 by the in-flight admission bound.", s.metrics.shed.Load())
+	gauge("trustd_inflight", "Compute queries currently being served.", s.inflight.Load())
+	counter("trustd_tail_transient_errors_total", "Tail polls that failed transiently (log unreadable) and were retried with backoff.", s.metrics.tailTransient.Load())
 	counter("trustd_misdirected_requests_total", "Per-source requests for users this shard does not own (answered 421).", s.metrics.misdirected.Load())
 	counter("trustd_result_cache_hits_total", "Ranked-result cache hits.", s.metrics.cacheHits.Load())
 	counter("trustd_result_cache_misses_total", "Ranked-result cache misses.", s.metrics.cacheMisses.Load())

@@ -47,6 +47,21 @@ type Tailer struct {
 // DefaultPoll is the tail polling interval when none is given.
 const DefaultPoll = 500 * time.Millisecond
 
+// maxTailBackoff caps the exponential backoff between retries of a
+// transiently failing poll.
+const maxTailBackoff = 30 * time.Second
+
+// TransientPollError marks a poll failure that did NOT touch the
+// builder — the log was momentarily unreadable (rotated away, a stalled
+// mount, a permission flap) but no state diverged, so retrying is safe
+// and Run does exactly that with capped exponential backoff instead of
+// killing ingest. Contrast the poisoning errors (replay or update
+// failures after the builder mutated), which stay fatal.
+type TransientPollError struct{ Err error }
+
+func (e *TransientPollError) Error() string { return "server: transient poll failure: " + e.Err.Error() }
+func (e *TransientPollError) Unwrap() error { return e.Err }
+
 // NewTailer resumes tailing path from offset. builder must hold exactly
 // the events in [0, offset) — the builder used to construct the server's
 // current model. The Tailer takes ownership of it.
@@ -83,13 +98,23 @@ func (t *Tailer) Poll() (int, error) {
 	}
 	f, err := os.Open(t.path)
 	if err != nil {
-		return 0, fmt.Errorf("server: open log: %w", err)
+		// Nothing was mutated: the log being momentarily unopenable
+		// (rotation, a flapping mount) must not kill ingest.
+		t.srv.metrics.tailTransient.Add(1)
+		return 0, &TransientPollError{Err: fmt.Errorf("open log: %w", err)}
 	}
 	defer f.Close()
 	events, newOffset, err := store.ReadLogFrom(f, t.offset)
 	if err != nil {
 		if !errors.Is(err, store.ErrTruncated) {
-			return 0, fmt.Errorf("server: tail log: %w", err)
+			// Also pre-mutation: a read error (IO fault, a half-written
+			// region that is not the torn-tail shape) leaves the builder
+			// exactly at its checkpoint, so the retry is safe. A genuinely
+			// corrupt log keeps failing here — visible as a climbing
+			// trustd_tail_transient_errors_total while the server serves
+			// its last good state, which is the honest degraded behavior.
+			t.srv.metrics.tailTransient.Add(1)
+			return 0, &TransientPollError{Err: fmt.Errorf("tail log: %w", err)}
 		}
 		// Torn tail: ingest the intact prefix, re-read the rest later.
 		t.srv.metrics.truncatedReads.Add(1)
@@ -120,21 +145,38 @@ func (t *Tailer) Poll() (int, error) {
 	return len(events), nil
 }
 
-// Run polls until ctx is cancelled. A failed poll stops the loop and
-// returns the error — the server keeps serving its last good model, and
-// the operator decides whether to restart.
+// Run polls until ctx is cancelled. Transient poll failures (the log
+// momentarily unreadable, nothing mutated) are retried with capped
+// exponential backoff — poll interval doubling per consecutive failure
+// up to maxTailBackoff — so a log rotation or IO blip costs delayed
+// freshness, not a dead ingest loop. A poisoning failure (replay or
+// update error after the builder mutated) stops the loop and returns
+// the error — the server keeps serving its last good model, and the
+// operator decides whether to restart.
 func (t *Tailer) Run(ctx context.Context) error {
-	ticker := time.NewTicker(t.poll)
-	defer ticker.Stop()
+	delay := t.poll
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
-			if _, err := t.Poll(); err != nil {
-				return err
-			}
+		case <-timer.C:
 		}
+		_, err := t.Poll()
+		var transient *TransientPollError
+		switch {
+		case err == nil:
+			delay = t.poll
+		case errors.As(err, &transient):
+			delay *= 2
+			if cap := max(maxTailBackoff, t.poll); delay > cap {
+				delay = cap
+			}
+		default:
+			return err
+		}
+		timer.Reset(delay)
 	}
 }
 
