@@ -37,18 +37,22 @@ const DefaultBreakerCooldown = time.Second
 // acquire reports whether an attempt may be sent to this replica now.
 // While open it returns false until the cooldown elapses, then grants
 // exactly one caller the half-open probe (CAS-arbitrated); while
-// half-open every non-probe caller keeps skipping.
-func (b *breaker) acquire(now int64, cooldown int64) bool {
+// half-open every non-probe caller keeps skipping. probe reports that
+// THIS caller holds the half-open probe: it then owes the breaker an
+// outcome — onSuccess, or onFailure on every abandonment path — or the
+// breaker wedges half-open and blacklists the replica forever.
+func (b *breaker) acquire(now int64, cooldown int64) (ok, probe bool) {
 	switch b.state.Load() {
 	case bClosed:
-		return true
+		return true, false
 	case bOpen:
 		if now-b.openedAt.Load() < cooldown {
-			return false
+			return false, false
 		}
-		return b.state.CompareAndSwap(bOpen, bHalfOpen)
+		ok = b.state.CompareAndSwap(bOpen, bHalfOpen)
+		return ok, ok
 	default: // half-open: the probe is in flight
-		return false
+		return false, false
 	}
 }
 

@@ -12,6 +12,7 @@ package router_test
 // labeled-degraded path exists. Run with -race (make chaos-smoke).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -378,6 +379,136 @@ func TestChaosFlappingReplica(t *testing.T) {
 				t.Fatalf("%s: flap-absorbed response labeled degraded", p)
 			}
 		}
+	}
+}
+
+// TestChaosWaitReadyWithHungReplica blackholes one replica of shard 0's
+// /readyz (accepts, never answers — the shape of a hung process) and
+// asserts WaitReady still converges: every shard has a healthy replica,
+// and readiness probes run concurrently, so the hung replica burns only
+// its own goroutine's wait, never the sweep budget of the replicas
+// behind it.
+func TestChaosWaitReadyWithHungReplica(t *testing.T) {
+	c := getChaosCluster(t)
+	t.Cleanup(c.clearFaults)
+	c.reps[0][0].inj.SetFaults(faulty.Fault{PathPrefix: "/readyz", Probability: 1, Blackhole: true})
+
+	rt, err := router.New(router.Config{Shards: c.shardMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady with one hung replica: %v (every shard has a healthy replica)", err)
+	}
+}
+
+// TestChaosHedgedProbeLoserReleasesBreaker pins the probe-abandonment
+// regression: with hedging enabled, a half-open probe granted to a
+// pathologically slow replica loses the hedge race and is canceled —
+// the reaper must resolve the probe (recording a failure, reopening the
+// breaker) so that once the replica heals a later probe can still close
+// it. A wedged half-open breaker would blacklist the replica until
+// restart: recoveries would never move and the open gauge never drain.
+func TestChaosHedgedProbeLoserReleasesBreaker(t *testing.T) {
+	c := getChaosCluster(t)
+	t.Cleanup(c.clearFaults)
+	rts := newChaosRouter(t, c, func(cfg *router.Config) {
+		cfg.HedgeAfter = 20 * time.Millisecond
+	})
+
+	// Trip replica 0's breaker (connection resets, default threshold).
+	c.reps[0][0].inj.SetFaults(faulty.Fault{Probability: 1, Reset: true})
+	paths := chaosPaths(c.users[0])
+	deadline := time.Now().Add(5 * time.Second)
+	for metricValue(t, rts.URL, "trustrouter_breaker_trips_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped for the reset replica")
+		}
+		for _, p := range paths {
+			chaosGet(t, rts.URL, p)
+		}
+	}
+
+	// The replica now answers, but slower than the hedge trigger: every
+	// half-open probe it is granted loses the race and is canceled.
+	c.reps[0][0].inj.SetFaults(faulty.Fault{Probability: 1, Latency: 150 * time.Millisecond})
+	time.Sleep(2 * chaosCooldown)
+	for i := 0; i < 10; i++ {
+		for _, p := range paths {
+			if code, body, _ := chaosGet(t, rts.URL, p); code != http.StatusOK {
+				t.Fatalf("%s during slow half-open probes: %d %s", p, code, body)
+			}
+		}
+		time.Sleep(chaosCooldown / 2)
+	}
+
+	// Heal the replica: a later probe must still be granted and close
+	// the breaker — impossible if an abandoned race-loser probe wedged
+	// it half-open.
+	c.reps[0][0].inj.SetFaults()
+	deadline = time.Now().Add(5 * time.Second)
+	for metricValue(t, rts.URL, "trustrouter_breaker_recoveries_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered after heal: an abandoned hedge-race probe wedged it half-open")
+		}
+		for _, p := range paths {
+			chaosGet(t, rts.URL, p)
+		}
+		time.Sleep(chaosCooldown)
+	}
+	if open := metricValue(t, rts.URL, "trustrouter_breaker_open"); open != 0 {
+		t.Fatalf("breaker_open gauge = %d after recovery, want 0", open)
+	}
+}
+
+// TestChaosColdStaleReadyzWaiting kills a whole shard behind a router
+// with degraded serving enabled but a COLD last-known-good cache:
+// /readyz must stay 503 "waiting", because demoting to 200 "degraded"
+// is only honest when the cache can actually answer something — an
+// empty cache would keep the router in the LB rotation while every
+// dead-shard request 502s.
+func TestChaosColdStaleReadyzWaiting(t *testing.T) {
+	c := getChaosCluster(t)
+	t.Cleanup(c.clearFaults)
+	rts := newChaosRouter(t, c, func(cfg *router.Config) {
+		cfg.StaleEntries = 64
+	})
+
+	c.reps[0][0].inj.SetFaults(faulty.Fault{Probability: 1, Reset: true})
+	c.reps[0][1].inj.SetFaults(faulty.Fault{Probability: 1, Reset: true})
+
+	code, body, _ := chaosGet(t, rts.URL, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "waiting") {
+		t.Fatalf("/readyz with dead shard + empty stale cache = %d %s, want 503 waiting", code, body)
+	}
+}
+
+// TestChaosExhaustedRetryableCountsUpstreamError pins the metrics
+// contract on the terminal-retryable path: when every attempt returns a
+// gateway-ish status and no stale fallback exists, the relayed shard
+// error is an upstream error, not a proxied success — otherwise
+// exhausted requests are invisible in trustrouter_upstream_errors_total
+// whenever the dying shard still manages to emit 503s.
+func TestChaosExhaustedRetryableCountsUpstreamError(t *testing.T) {
+	c := getChaosCluster(t)
+	t.Cleanup(c.clearFaults)
+	rts := newChaosRouter(t, c, nil)
+
+	c.reps[0][0].inj.SetFaults(faulty.Fault{Probability: 1, Status: http.StatusServiceUnavailable})
+	c.reps[0][1].inj.SetFaults(faulty.Fault{Probability: 1, Status: http.StatusServiceUnavailable})
+
+	p := fmt.Sprintf("/v1/topk?user=%d&k=7", c.users[0][0])
+	code, body, _ := chaosGet(t, rts.URL, p)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted retryable attempts: %d (%s), want the shard's own 503 relayed", code, body)
+	}
+	if v := metricValue(t, rts.URL, "trustrouter_upstream_errors_total"); v < 1 {
+		t.Fatalf("upstream_errors_total = %d after exhausting attempts on a 503-only shard, want >= 1", v)
+	}
+	if v := metricValue(t, rts.URL, "trustrouter_proxied_total"); v != 0 {
+		t.Fatalf("proxied_total = %d, want 0 (an exhausted-attempts relay is not a proxied success)", v)
 	}
 }
 

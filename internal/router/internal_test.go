@@ -14,8 +14,8 @@ func TestBreakerTripCooldownProbeRecover(t *testing.T) {
 	now := time.Now().UnixNano()
 	cooldown := int64(time.Second)
 
-	if !b.acquire(now, cooldown) {
-		t.Fatalf("fresh breaker refused an attempt")
+	if ok, probe := b.acquire(now, cooldown); !ok || probe {
+		t.Fatalf("fresh breaker: acquire = (%v, %v), want plain admission", ok, probe)
 	}
 	// threshold-1 failures: still closed.
 	for i := 0; i < DefaultBreakerThreshold-1; i++ {
@@ -23,7 +23,7 @@ func TestBreakerTripCooldownProbeRecover(t *testing.T) {
 			t.Fatalf("tripped after %d failures, threshold %d", i+1, DefaultBreakerThreshold)
 		}
 	}
-	if !b.acquire(now, cooldown) {
+	if ok, _ := b.acquire(now, cooldown); !ok {
 		t.Fatalf("breaker under threshold refused an attempt")
 	}
 	if tripped := b.onFailure(now, DefaultBreakerThreshold); !tripped {
@@ -33,18 +33,18 @@ func TestBreakerTripCooldownProbeRecover(t *testing.T) {
 		t.Fatalf("state after trip = %q, want open", b.stateName())
 	}
 	// Open + cooldown not elapsed: everyone is refused.
-	if b.acquire(now+cooldown/2, cooldown) {
+	if ok, _ := b.acquire(now+cooldown/2, cooldown); ok {
 		t.Fatalf("open breaker admitted before cooldown")
 	}
 	// Cooldown elapsed: exactly one caller wins the half-open probe.
 	probeAt := now + cooldown + 1
-	if !b.acquire(probeAt, cooldown) {
-		t.Fatalf("cooldown elapsed but probe refused")
+	if ok, probe := b.acquire(probeAt, cooldown); !ok || !probe {
+		t.Fatalf("cooldown elapsed: acquire = (%v, %v), want the probe grant", ok, probe)
 	}
 	if b.stateName() != "half-open" {
 		t.Fatalf("state during probe = %q, want half-open", b.stateName())
 	}
-	if b.acquire(probeAt, cooldown) {
+	if ok, _ := b.acquire(probeAt, cooldown); ok {
 		t.Fatalf("second caller also got the half-open probe")
 	}
 	// Probe succeeds: recovered, closed, failure count reset.
@@ -54,8 +54,8 @@ func TestBreakerTripCooldownProbeRecover(t *testing.T) {
 	if b.stateName() != "closed" {
 		t.Fatalf("state after recovery = %q, want closed", b.stateName())
 	}
-	if !b.acquire(probeAt, cooldown) {
-		t.Fatalf("recovered breaker refused an attempt")
+	if ok, probe := b.acquire(probeAt, cooldown); !ok || probe {
+		t.Fatalf("recovered breaker: acquire = (%v, %v), want plain admission", ok, probe)
 	}
 	// The consecutive counter was reset: threshold-1 new failures must
 	// not trip.
@@ -74,8 +74,8 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 		b.onFailure(now, DefaultBreakerThreshold)
 	}
 	probeAt := now + cooldown + 1
-	if !b.acquire(probeAt, cooldown) {
-		t.Fatalf("probe refused after cooldown")
+	if ok, probe := b.acquire(probeAt, cooldown); !ok || !probe {
+		t.Fatalf("probe refused after cooldown: (%v, %v)", ok, probe)
 	}
 	// Probe fails: reopen silently (no second trip), fresh cooldown from
 	// the probe failure's timestamp.
@@ -85,11 +85,49 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	if b.stateName() != "open" {
 		t.Fatalf("state after failed probe = %q, want open", b.stateName())
 	}
-	if b.acquire(probeAt+cooldown/2, cooldown) {
+	if ok, _ := b.acquire(probeAt+cooldown/2, cooldown); ok {
 		t.Fatalf("reopened breaker admitted before the fresh cooldown")
 	}
-	if !b.acquire(probeAt+cooldown+1, cooldown) {
+	if ok, _ := b.acquire(probeAt+cooldown+1, cooldown); !ok {
 		t.Fatalf("reopened breaker refused the next probe")
+	}
+}
+
+// TestBreakerAbandonedProbeReleases pins the wedge regression: a granted
+// half-open probe that is abandoned (request gone during backoff, hedge
+// race canceled the probe) must be resolved via onFailure — the breaker
+// reopens for a fresh cooldown and a LATER caller gets to probe, instead
+// of the breaker sticking half-open and blacklisting the replica until
+// restart.
+func TestBreakerAbandonedProbeReleases(t *testing.T) {
+	var b breaker
+	cooldown := int64(time.Second)
+	now := int64(1)
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		b.onFailure(now, DefaultBreakerThreshold)
+	}
+	probeAt := now + cooldown + 1
+	if ok, probe := b.acquire(probeAt, cooldown); !ok || !probe {
+		t.Fatalf("probe refused after cooldown: (%v, %v)", ok, probe)
+	}
+	// The probe is abandoned: the holder records a failure in lieu of an
+	// outcome. The breaker must be open (not half-open) with the cooldown
+	// restarted at the abandonment time.
+	abandonAt := probeAt + 7
+	if tripped := b.onFailure(abandonAt, DefaultBreakerThreshold); tripped {
+		t.Fatalf("abandoning the probe double-counted as a trip")
+	}
+	if b.stateName() != "open" {
+		t.Fatalf("state after abandoned probe = %q, want open", b.stateName())
+	}
+	if ok, _ := b.acquire(abandonAt+cooldown/2, cooldown); ok {
+		t.Fatalf("admitted before the refreshed cooldown elapsed")
+	}
+	if ok, probe := b.acquire(abandonAt+cooldown+1, cooldown); !ok || !probe {
+		t.Fatalf("breaker wedged after an abandoned probe: (%v, %v)", ok, probe)
+	}
+	if recovered := b.onSuccess(); !recovered {
+		t.Fatalf("successful re-probe did not recover the breaker")
 	}
 }
 

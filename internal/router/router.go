@@ -40,6 +40,7 @@
 package router
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -92,8 +93,10 @@ type Config struct {
 	// StaleEntries, when positive, bounds a last-known-good response
 	// cache: per-source requests that exhaust every replica serve their
 	// most recent 200 body marked X-Trustd-Degraded: stale instead of a
-	// 502. 0 disables degraded serving (the default: it costs one body
-	// copy per proxied success).
+	// 502. Bodies over maxStaleBody are streamed but never cached, so
+	// the cache is bounded at StaleEntries × maxStaleBody bytes. 0
+	// disables degraded serving (the default: it costs one body copy per
+	// proxied success).
 	StaleEntries int
 }
 
@@ -362,7 +365,8 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 	fetched, consecSkips := 0, 0
 	for step := 0; fetched < attempts; step++ {
 		ri := (start + step) % n
-		if !rt.acquireReplica(idx, ri, now) {
+		ok, probe := rt.acquireReplica(idx, ri, now)
+		if !ok {
 			consecSkips++
 			if consecSkips >= n {
 				// Every replica is tripped and cooling down: fail fast
@@ -377,13 +381,19 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 		if fetched > 0 {
 			rt.metrics.retries.Add(1)
 			if !rt.backoffSleep(ctx, fetched) {
+				if probe {
+					// The granted half-open probe was never issued: give the
+					// outcome back (reopen, fresh cooldown) or the breaker
+					// wedges half-open forever.
+					rt.recordFailure(idx, ri)
+				}
 				errs = append(errs, "request ended during retry backoff")
 				break
 			}
 			now = time.Now().UnixNano()
 		}
 		fetched++
-		resp, winRi, err := rt.fetchMaybeHedged(ctx, idx, ri, r.URL)
+		resp, winRi, err := rt.fetchMaybeHedged(ctx, idx, ri, probe, r.URL)
 		if err != nil {
 			rt.recordFailure(idx, winRi)
 			errs = append(errs, rt.shards[idx][winRi]+": "+err.Error())
@@ -402,9 +412,15 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 				resp.Body.Close()
 				return
 			}
-		} else {
-			rt.recordSuccess(idx, winRi)
+			// No stale fallback: the shard's own error body is still the
+			// most honest answer, but this request DID exhaust its
+			// attempts — count it as an upstream error, not a proxied
+			// success.
+			rt.metrics.upstreamErrors.Add(1)
+			rt.relay(w, resp, "")
+			return
 		}
+		rt.recordSuccess(idx, winRi)
 		if resp.StatusCode == http.StatusMisdirectedRequest {
 			rt.metrics.misdirected.Add(1)
 		}
@@ -423,9 +439,12 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 }
 
 // acquireReplica asks replica ri's breaker for permission to attempt.
-func (rt *Router) acquireReplica(idx, ri int, now int64) bool {
+// probe reports that the caller was granted the replica's single
+// half-open probe and MUST resolve it (recordSuccess or recordFailure)
+// on every path, including abandonment.
+func (rt *Router) acquireReplica(idx, ri int, now int64) (ok, probe bool) {
 	if rt.breakerThreshold < 0 {
-		return true
+		return true, false
 	}
 	return rt.breakers[idx][ri].acquire(now, rt.breakerCooldown)
 }
@@ -510,9 +529,12 @@ func (b cancelBody) Close() error {
 // copy on the shard's next closed-breaker replica if the first has not
 // answered within hedgeAfter. It returns the winning response and the
 // replica it came from; the caller records the winner's breaker outcome.
-// With hedging disabled (or a single-replica shard) this is exactly
-// rt.fetch — zero extra cost on that path.
-func (rt *Router) fetchMaybeHedged(ctx context.Context, idx, ri int, orig *url.URL) (*http.Response, int, error) {
+// probe means ri holds its breaker's half-open probe — if ri loses the
+// race and its reaped outcome is not a genuine success, the reaper must
+// record the failure (reopening the breaker) so the probe is never left
+// dangling half-open. With hedging disabled (or a single-replica shard)
+// this is exactly rt.fetch — zero extra cost on that path.
+func (rt *Router) fetchMaybeHedged(ctx context.Context, idx, ri int, probe bool, orig *url.URL) (*http.Response, int, error) {
 	if rt.hedgeAfter <= 0 || len(rt.parsed[idx]) < 2 {
 		resp, err := rt.fetch(ctx, &rt.parsed[idx][ri], orig)
 		return resp, ri, err
@@ -569,14 +591,20 @@ func (rt *Router) fetchMaybeHedged(ctx context.Context, idx, ri int, orig *url.U
 	if launched > consumed {
 		// A racer is still in flight: abort it and reap it off-path. Its
 		// abort is self-inflicted, so it feeds no breaker bookkeeping —
-		// except a genuine success, which proves the replica healthy.
+		// except a genuine success, which proves the replica healthy, and
+		// except when the loser is the primary holding its breaker's
+		// half-open probe: the probe owes the breaker an outcome, so a
+		// canceled or retryable-status probe records a failure (reopen,
+		// fresh cooldown) instead of wedging the breaker half-open.
 		cancels[1-res.slot]()
 		go func() {
 			lr := <-ch
+			if lr.resp != nil && !retryableStatus(lr.resp.StatusCode) {
+				rt.recordSuccess(idx, lr.ri)
+			} else if probe && lr.ri == ri {
+				rt.recordFailure(idx, lr.ri)
+			}
 			if lr.resp != nil {
-				if !retryableStatus(lr.resp.StatusCode) {
-					rt.recordSuccess(idx, lr.ri)
-				}
 				lr.resp.Body.Close()
 			}
 		}()
@@ -587,23 +615,56 @@ func (rt *Router) fetchMaybeHedged(ctx context.Context, idx, ri int, orig *url.U
 	return res.resp, res.ri, res.err
 }
 
+// maxStaleBody caps how large a response body the stale cache will
+// retain, bounding the cache at StaleEntries × maxStaleBody bytes.
+// Oversized bodies still stream through to the client — they are just
+// not cacheable for degraded serving.
+const maxStaleBody = 1 << 20
+
 // relay streams a shard response back verbatim. With degraded serving
-// enabled the body is captured en route and, if it was a 200, becomes
-// the last known good answer for this request URI.
+// enabled a 200 body is captured en route (up to maxStaleBody, still
+// streaming chunk by chunk, never buffered whole) and becomes the last
+// known good answer for this request URI.
 func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, staleKey string) {
-	if rt.stale == nil || staleKey == "" {
+	if rt.stale == nil || staleKey == "" || resp.StatusCode != http.StatusOK {
 		copyResponse(w, resp)
 		return
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	w.WriteHeader(resp.StatusCode)
-	_, _ = w.Write(body)
-	if err == nil && resp.StatusCode == http.StatusOK {
-		rt.stale.put(staleKey, resp.Header.Get("Content-Type"), body)
+	var capture bytes.Buffer
+	oversize := false
+	buf := copyBufs.Get().(*[]byte)
+	defer copyBufs.Put(buf)
+	for {
+		n, rerr := resp.Body.Read(*buf)
+		if n > 0 {
+			if _, werr := w.Write((*buf)[:n]); werr != nil {
+				// Client gone mid-body: the capture is incomplete, so it
+				// must not become the last known good answer.
+				return
+			}
+			if !oversize {
+				if capture.Len()+n > maxStaleBody {
+					oversize = true
+					capture = bytes.Buffer{}
+				} else {
+					capture.Write((*buf)[:n])
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return // truncated upstream body: relay what we sent, cache nothing
+		}
+	}
+	if !oversize {
+		rt.stale.put(staleKey, resp.Header.Get("Content-Type"), capture.Bytes())
 	}
 }
 
@@ -855,10 +916,12 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz reports cluster readiness: 200 "ready" only when every
 // shard has at least one replica answering /readyz with 200. With
-// degraded serving enabled an unready shard demotes the verdict to 200
-// "degraded" instead of 503 — the router can still answer from its
-// last-known-good cache, so taking it out of rotation would only turn
-// partial degradation into total unavailability. The per-shard verdicts
+// degraded serving enabled AND something in the last-known-good cache,
+// an unready shard demotes the verdict to 200 "degraded" instead of
+// 503 — the router can still answer from the cache, so taking it out of
+// rotation would only turn partial degradation into total
+// unavailability. An empty cache (cold start) stays 503 "waiting":
+// degraded serving cannot answer anything yet. The per-shard verdicts
 // ride along so an operator can see which shard is lagging.
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	verdicts := rt.fanOut(r, "/readyz", func(idx, status int, ct string, body []byte) any {
@@ -876,7 +939,7 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ready"
 	if !ready {
-		if rt.stale != nil {
+		if rt.stale != nil && rt.stale.len() > 0 {
 			state = "degraded"
 		} else {
 			status = http.StatusServiceUnavailable
@@ -946,30 +1009,39 @@ func (rt *Router) WaitReady(ctx context.Context) error {
 	}
 }
 
-// allReady sweeps every shard's replicas under ONE per-sweep deadline
-// (a replica that hangs cannot stall the sweep longer than the shared
-// budget, and the sweep doesn't pay a context allocation per replica).
+// allReady probes every replica concurrently under ONE per-sweep 1s
+// deadline: a hung or blackholed replica burns only its own goroutine's
+// wait, never another replica's budget, so a cluster whose every shard
+// has a healthy replica passes even while some replica hangs. The sweep
+// is cancelled early once every shard has reported a ready replica.
 func (rt *Router) allReady(ctx context.Context) bool {
 	sctx, cancel := context.WithTimeout(ctx, time.Second)
 	defer cancel()
 	u := &url.URL{Path: "/readyz"}
-	for _, replicas := range rt.parsed {
-		shardReady := false
-		for i := range replicas {
-			resp, err := rt.fetch(sctx, &replicas[i], u)
-			if err == nil {
-				resp.Body.Close()
-				if resp.StatusCode == http.StatusOK {
-					shardReady = true
-					break
+	ready := make([]atomic.Bool, len(rt.parsed))
+	var unreadyShards atomic.Int32
+	unreadyShards.Store(int32(len(rt.parsed)))
+	var wg sync.WaitGroup
+	for si := range rt.parsed {
+		for ri := range rt.parsed[si] {
+			wg.Add(1)
+			go func(si, ri int) {
+				defer wg.Done()
+				resp, err := rt.fetch(sctx, &rt.parsed[si][ri], u)
+				if err != nil {
+					return
 				}
-			}
-		}
-		if !shardReady {
-			return false
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK && ready[si].CompareAndSwap(false, true) {
+					if unreadyShards.Add(-1) == 0 {
+						cancel() // all shards ready: release hung probes
+					}
+				}
+			}(si, ri)
 		}
 	}
-	return true
+	wg.Wait()
+	return unreadyShards.Load() == 0
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
