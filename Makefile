@@ -1,9 +1,9 @@
 GO ?= go
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr9.json
 BENCH_COUNT ?= 5
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-smoke bench-guard cluster-smoke chaos-smoke fuzz-smoke
+.PHONY: build test race bench bench-smoke bench-guard attack-smoke cluster-smoke chaos-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,22 @@ bench:
 # bench-smoke is the CI guard: every benchmark must still compile and
 # complete one iteration.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart|RouterTopK' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'PipelineRun$$|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart|RouterTopK|AnomalySwap|ServerAnomaly' -benchtime 1x .
 
 # bench-guard fails if the serving hot path's allocs/op regress above the
 # BENCH_pr2.json baseline.
 bench-guard:
 	./scripts/check_allocs.sh
+
+# attack-smoke runs the adversarial seed scenario corpus: the Go harness
+# under the race detector (pinned resistance assertions in
+# internal/adversary), then the trustctl attack CLI over scenarios/ to
+# render the resistance tables and emit attack-report.json — the
+# artifact CI archives for trend tracking. Either failing assertion path
+# fails the target.
+attack-smoke:
+	$(GO) test -race -count=1 -run 'TestSeedCorpus' ./internal/adversary
+	$(GO) run ./cmd/trustctl attack -dir scenarios -json attack-report.json
 
 # cluster-smoke boots a real 3-shard cluster behind the consistent-hash
 # router next to an unsharded reference, checks routed responses are

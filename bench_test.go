@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"weboftrust"
+	"weboftrust/internal/anomaly"
 	"weboftrust/internal/checkpoint"
 	"weboftrust/internal/core"
 	"weboftrust/internal/experiments"
@@ -1116,4 +1117,68 @@ func BenchmarkRankWarm(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAnomalySwap measures the incremental suspicion-score refresh
+// a parent-matched swap pays (anomaly.Update over a one-category ingest
+// tick, O(dirty closure)) against the cold full pass (anomaly.Compute,
+// O(users)) the refresh replaces — the same warm-vs-cold split as
+// BenchmarkRankWarm, for the anomaly vector.
+func BenchmarkAnomalySwap(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grown := growTouching(b, e.Dataset, 1)
+	upd, err := model.Update(grown)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oldG := model.WebOfTrust().Graph()
+	newG := upd.WebOfTrust().Graph()
+	prev := anomaly.Compute(e.Dataset, oldG)
+	dirty := upd.DirtyUsers()
+	b.Run("warm", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			anomaly.Update(prev, e.Dataset, grown, oldG, newG, dirty)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			anomaly.Compute(grown, newG)
+		}
+	})
+}
+
+// BenchmarkServerAnomaly measures trustd's full /v1/anomaly handler path
+// — routing, parameter validation, the per-user rank scan over the
+// scored vector and JSON encoding — cycling through every user against
+// an already-computed score vector (the steady state after a swap's
+// eager refresh).
+func BenchmarkServerAnomaly(b *testing.B) {
+	e := env(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(model, 0, server.Options{}).Handler()
+	numU := e.Dataset.NumUsers()
+	// Force the lazy scoring pass outside the timer.
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/v1/anomaly?user=0", nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup: %d %s", warm.Code, warm.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/v1/anomaly?user=%d", i%numU), nil)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("anomaly: %d %s", rec.Code, rec.Body.String())
+		}
+	}
 }

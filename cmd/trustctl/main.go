@@ -15,6 +15,8 @@
 //	trustctl exportgraph (-in data.wot | -log events.log | -checkpoint FILE)
 //	                     [-format csv|json] [-out FILE] [-tau T] [-cold-generosity K]
 //	                     [-workers N] [-allow-truncated]
+//	trustctl attack   (-scenario FILE | -dir DIR) [-json OUT]
+//	                  [-export-log FILE [-users i/N | -users 1,2,3]]
 //
 // Datasets are stored in the snapshot format of internal/store (CRC-32
 // checked); "ingest" replays an append-only event log into a snapshot.
@@ -34,6 +36,15 @@
 // explicit comma-separated id list or a shard spec i/N selecting the
 // users the cluster's consistent hash assigns shard i.
 //
+// "attack" runs adversarial scenarios (internal/adversary, seed corpus
+// in scenarios/): each JSON file names a synth baseline, a set of seeded
+// attack cohorts to inject, and pinned resistance assertions. The
+// command renders the resistance metrics as tables, optionally writes
+// the JSON report CI archives, exits non-zero when any assertion fails,
+// and with -export-log renders the attacked dataset as an event log —
+// filtered per shard through the same source-filter path as
+// "exportlog -users" when -users is given.
+//
 // "exportgraph" dumps the binarised web of trust — the same graph trustd
 // serves at /v1/neighbors and propagates at /v1/propagate — as a
 // from,to,weight edge list (CSV or JSON) for offline analysis, built from
@@ -48,8 +59,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
 	"weboftrust"
 	"weboftrust/internal/checkpoint"
@@ -69,7 +78,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest|exportlog|exportgraph|checkpoint|compact> [flags]")
+		return fmt.Errorf("usage: trustctl <generate|stats|topk|expertise|export|ingest|exportlog|exportgraph|checkpoint|compact|attack> [flags]")
 	}
 	switch args[0] {
 	case "generate":
@@ -92,6 +101,8 @@ func run(args []string) error {
 		return cmdExport(args[1:])
 	case "ingest":
 		return cmdIngest(args[1:])
+	case "attack":
+		return cmdAttack(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -543,7 +554,7 @@ func cmdExportLog(args []string) error {
 		return nil
 	}
 
-	keep, desc, err := parseUserFilter(*users)
+	keep, desc, err := store.ParseUserFilter(*users)
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("exportlog: %w", err)
@@ -551,7 +562,7 @@ func cmdExportLog(args []string) error {
 	// Materialise the full event stream, filter the per-source action
 	// events (structural events always survive; see store.FilterBySource),
 	// and write the remainder.
-	events, err := datasetEvents(d)
+	events, err := store.DatasetEvents(d)
 	if err != nil {
 		f.Close()
 		return err
@@ -573,50 +584,6 @@ func cmdExportLog(args []string) error {
 	}
 	fmt.Printf("wrote %s from %s: kept %d of %d events for %s\n", *logPath, *in, len(events), total, desc)
 	return nil
-}
-
-// datasetEvents renders a dataset as its event stream by appending it to
-// an in-memory log and reading that back — one serialisation path, no
-// second enumeration of the dataset's contents to drift from it.
-func datasetEvents(d *ratings.Dataset) ([]store.Event, error) {
-	var buf strings.Builder
-	lw := store.NewLogWriter(&buf)
-	if err := store.AppendDataset(lw, d); err != nil {
-		return nil, err
-	}
-	events, _, err := store.ReadLogFrom(strings.NewReader(buf.String()), 0)
-	return events, err
-}
-
-// parseUserFilter interprets the -users spec: "i/N" selects the sources
-// the cluster's consistent hash assigns shard i; otherwise a
-// comma-separated list of explicit user ids.
-func parseUserFilter(spec string) (func(ratings.UserID) bool, string, error) {
-	if strings.Contains(spec, "/") {
-		sp, err := shard.Parse(spec)
-		if err != nil {
-			return nil, "", err
-		}
-		return func(u ratings.UserID) bool { return sp.Owns(int(u)) },
-			fmt.Sprintf("shard %s", sp), nil
-	}
-	ids := make(map[ratings.UserID]bool)
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		id, err := strconv.Atoi(part)
-		if err != nil || id < 0 {
-			return nil, "", fmt.Errorf("bad user id %q in -users", part)
-		}
-		ids[ratings.UserID(id)] = true
-	}
-	if len(ids) == 0 {
-		return nil, "", fmt.Errorf("-users %q selects no users", spec)
-	}
-	return func(u ratings.UserID) bool { return ids[u] },
-		fmt.Sprintf("%d listed users", len(ids)), nil
 }
 
 // shardOpts appends WithShard to base when a -shard i/N flag was given.

@@ -1,0 +1,406 @@
+// Package adversary generates adversarial cohorts inside synthetic
+// review communities and measures how the derived web of trust and its
+// serving tier resist them (DESIGN.md §13).
+//
+// The package has two layers: attack generators (this file) inject
+// seeded, deterministic attacker cohorts — collusion rings, ballot-
+// stuffing sybil farms, slandering cliques, self-promoting experts —
+// into any existing dataset, composably; the scenario runner
+// (scenario.go, runner.go) loads declarative scenario suites, replays
+// them against a clean baseline and emits resistance metrics.
+package adversary
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/stats"
+)
+
+// Kind names an attack family.
+type Kind string
+
+// The attack families (the classic recommendation-trust gaming moves,
+// instantiated on the paper's rating substrate).
+const (
+	// CollusionRing: a clique of new accounts that review prolifically
+	// and rate each other's reviews 5-star, with mutual explicit-trust
+	// edges — manufactured reciprocal expertise.
+	CollusionRing Kind = "collusion-ring"
+	// SybilFarm: disposable accounts that each spend their whole rating
+	// budget 5-starring one existing beneficiary's reviews (ballot
+	// stuffing) and trust-listing them.
+	SybilFarm Kind = "sybil-farm"
+	// SlanderClique: coordinated accounts that 1-star one existing
+	// victim's reviews to destroy their derived expertise.
+	SlanderClique Kind = "slander-clique"
+	// SelfPromotion: one "expert" account mass-produces low-effort
+	// reviews while its sock puppets 5-star and trust-list it.
+	SelfPromotion Kind = "self-promotion"
+)
+
+// Spec parameterises one attack. Attacks are composable: Inject applies
+// a list of specs to one dataset, each with its own derived seed.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// Size is the cohort size: accounts injected by this attack.
+	Size int `json:"size"`
+	// Activity scales per-attacker effort: reviews written per ring
+	// member or promoter, ratings fired per sybil or slanderer.
+	Activity int `json:"activity"`
+	// Camouflage in [0, 1) is the fraction of each attacker's actions
+	// spent mimicking honest behavior (rating random honest reviews near
+	// the category mean, trusting random honest users) to dilute their
+	// signal.
+	Camouflage float64 `json:"camouflage"`
+	// Target pins the beneficiary (sybil-farm) or victim
+	// (slander-clique) to an explicit user id; nil auto-picks the most
+	// prolific honest writer not already auto-picked.
+	Target *int `json:"target,omitempty"`
+}
+
+// Validate rejects malformed specs.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case CollusionRing, SelfPromotion:
+		if s.Size < 2 {
+			return fmt.Errorf("adversary: %s needs size >= 2, got %d", s.Kind, s.Size)
+		}
+	case SybilFarm, SlanderClique:
+		if s.Size < 1 {
+			return fmt.Errorf("adversary: %s needs size >= 1, got %d", s.Kind, s.Size)
+		}
+	default:
+		return fmt.Errorf("adversary: unknown attack kind %q", s.Kind)
+	}
+	if s.Activity < 1 {
+		return fmt.Errorf("adversary: %s needs activity >= 1, got %d", s.Kind, s.Activity)
+	}
+	if s.Camouflage < 0 || s.Camouflage >= 1 {
+		return fmt.Errorf("adversary: camouflage %v outside [0, 1)", s.Camouflage)
+	}
+	return nil
+}
+
+// Cohort records one injected attack's membership, for assertions and
+// anomaly evaluation.
+type Cohort struct {
+	Spec      Spec
+	Attackers []ratings.UserID // accounts this attack created
+	// Beneficiary is the user the attack boosts (the sybil farm's
+	// target, the ring's first member, the self-promoter);
+	// ratings.NoUser when the attack has none.
+	Beneficiary ratings.UserID
+	// Victim is the user the attack suppresses; ratings.NoUser when none.
+	Victim ratings.UserID
+}
+
+// Inject applies the attacks to d in order and returns the attacked
+// dataset plus one cohort per spec. The input dataset is not modified.
+// Injection is seed-deterministic: the same (dataset, specs, seed)
+// produce a byte-identical dataset; each spec derives an independent
+// sub-seed so one attack's randomness does not perturb the others'.
+func Inject(d *ratings.Dataset, specs []Spec, seed uint64) (*ratings.Dataset, []Cohort, error) {
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("attack %d: %w", i, err)
+		}
+	}
+	inj := &injector{
+		base:    d,
+		b:       ratings.NewBuilderFrom(d),
+		catMean: categoryMeans(d),
+	}
+	cohorts := make([]Cohort, 0, len(specs))
+	for i, s := range specs {
+		rng := stats.NewRand(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))
+		var c Cohort
+		var err error
+		switch s.Kind {
+		case CollusionRing:
+			c, err = inj.collusionRing(rng, s)
+		case SybilFarm:
+			c, err = inj.sybilFarm(rng, s)
+		case SlanderClique:
+			c, err = inj.slanderClique(rng, s)
+		case SelfPromotion:
+			c, err = inj.selfPromotion(rng, s)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("attack %d (%s): %w", i, s.Kind, err)
+		}
+		cohorts = append(cohorts, c)
+	}
+	return inj.b.Snapshot(), cohorts, nil
+}
+
+// injector carries the shared state of one Inject call.
+type injector struct {
+	base    *ratings.Dataset // the clean community; honest ids < base.NumUsers()
+	b       *ratings.Builder
+	catMean []float64
+	// autoPicks counts targets chosen automatically, so composed attacks
+	// pick distinct honest targets deterministically.
+	autoPicks int
+}
+
+// categoryMeans returns each category's mean rating in d (the value
+// camouflage ratings imitate), defaulting to mid-scale.
+func categoryMeans(d *ratings.Dataset) []float64 {
+	count := make([]int, d.NumCategories())
+	sum := make([]float64, d.NumCategories())
+	for _, rt := range d.Ratings() {
+		c := d.Review(rt.Review).Category
+		count[c]++
+		sum[c] += rt.Value
+	}
+	means := make([]float64, d.NumCategories())
+	for c := range means {
+		if count[c] > 0 {
+			means[c] = sum[c] / float64(count[c])
+		} else {
+			means[c] = 0.6
+		}
+	}
+	return means
+}
+
+// pickTarget resolves an attack's honest target: the explicit id when
+// pinned, else the (autoPicks+1)-th most prolific honest writer (review
+// count desc, id asc).
+func (inj *injector) pickTarget(s Spec) (ratings.UserID, error) {
+	if s.Target != nil {
+		id := *s.Target
+		if id < 0 || id >= inj.base.NumUsers() {
+			return 0, fmt.Errorf("target %d outside the honest community [0, %d)", id, inj.base.NumUsers())
+		}
+		u := ratings.UserID(id)
+		if len(inj.base.ReviewsByWriter(u)) == 0 {
+			return 0, fmt.Errorf("target %d has no reviews to attack", id)
+		}
+		return u, nil
+	}
+	u, reviews := inj.nthWriter(inj.autoPicks)
+	if reviews == 0 {
+		return 0, fmt.Errorf("no honest writer with reviews left to target")
+	}
+	inj.autoPicks++
+	return u, nil
+}
+
+// nthWriter returns the honest writer with the (n+1)-th most reviews
+// (ties by ascending id) and that review count, or (0, 0) when fewer
+// than n+1 writers exist.
+func (inj *injector) nthWriter(n int) (ratings.UserID, int) {
+	type wc struct {
+		u ratings.UserID
+		c int
+	}
+	// Top-(n+1) by insertion; n is one per composed attack, so tiny.
+	top := make([]wc, 0, n+1)
+	for u := 0; u < inj.base.NumUsers(); u++ {
+		c := len(inj.base.ReviewsByWriter(ratings.UserID(u)))
+		if c == 0 {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && top[pos-1].c < c {
+			pos--
+		}
+		if pos > n {
+			continue
+		}
+		top = append(top, wc{})
+		copy(top[pos+1:], top[pos:])
+		top[pos] = wc{u: ratings.UserID(u), c: c}
+		if len(top) > n+1 {
+			top = top[:n+1]
+		}
+	}
+	if n >= len(top) {
+		return 0, 0
+	}
+	return top[n].u, top[n].c
+}
+
+// addAttackers registers size new accounts with a deterministic name
+// prefix and returns their ids.
+func (inj *injector) addAttackers(prefix string, size int) []ratings.UserID {
+	ids := make([]ratings.UserID, size)
+	for j := range ids {
+		ids[j] = inj.b.AddUser(fmt.Sprintf("%s%d", prefix, inj.b.NumUsers()))
+	}
+	return ids
+}
+
+// attackCategory picks the category the attack concentrates in: the one
+// with the most reviews (expertise there is worth the most).
+func (inj *injector) attackCategory() ratings.CategoryID {
+	best, bestN := ratings.CategoryID(0), -1
+	for c := 0; c < inj.base.NumCategories(); c++ {
+		if n := len(inj.base.ReviewsInCategory(ratings.CategoryID(c))); n > bestN {
+			best, bestN = ratings.CategoryID(c), n
+		}
+	}
+	return best
+}
+
+// writeReviews has writer author n low-effort reviews (one fresh object
+// each) in category c, returning the review ids.
+func (inj *injector) writeReviews(writer ratings.UserID, c ratings.CategoryID, n int) ([]ratings.ReviewID, error) {
+	out := make([]ratings.ReviewID, 0, n)
+	for i := 0; i < n; i++ {
+		obj, err := inj.b.AddObject(c, "")
+		if err != nil {
+			return nil, err
+		}
+		rid, err := inj.b.AddReview(writer, obj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rid)
+	}
+	return out, nil
+}
+
+// camouflage spends mimicry actions for one attacker: after the
+// attacker performed attackActs attack ratings and attackTrust attack
+// trust edges, it adds enough honest-looking ratings (random honest
+// reviews, valued near the category mean) to make camouflage the q
+// fraction of total rating actions, plus proportionally many trust
+// edges toward random honest users.
+func (inj *injector) camouflage(rng *rand.Rand, attacker ratings.UserID, attackActs, attackTrust int, q float64) error {
+	if q <= 0 {
+		return nil
+	}
+	camoRatings := int(q*float64(attackActs)/(1-q) + 0.5)
+	for i, guard := 0, 0; i < camoRatings && guard < camoRatings*20; guard++ {
+		rid := ratings.ReviewID(rng.IntN(inj.base.NumReviews()))
+		if inj.base.Review(rid).Writer == attacker || inj.b.HasRating(attacker, rid) {
+			continue
+		}
+		c := inj.base.Review(rid).Category
+		v := ratings.QuantizeRating(stats.NormalClamped01(rng, inj.catMean[c], 0.15))
+		if err := inj.b.AddRating(attacker, rid, v); err != nil {
+			return err
+		}
+		i++
+	}
+	camoTrust := int(q*float64(attackTrust) + 0.5)
+	for i, guard := 0, 0; i < camoTrust && guard < camoTrust*20; guard++ {
+		to := ratings.UserID(rng.IntN(inj.base.NumUsers()))
+		if to == attacker || inj.b.HasTrust(attacker, to) {
+			continue
+		}
+		if err := inj.b.AddTrust(attacker, to); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+func (inj *injector) collusionRing(rng *rand.Rand, s Spec) (Cohort, error) {
+	members := inj.addAttackers("ring", s.Size)
+	cat := inj.attackCategory()
+	reviews := make([][]ratings.ReviewID, s.Size)
+	for j, m := range members {
+		rs, err := inj.writeReviews(m, cat, s.Activity)
+		if err != nil {
+			return Cohort{}, err
+		}
+		reviews[j] = rs
+	}
+	for j, m := range members {
+		acts := 0
+		for k, peer := range members {
+			if k == j {
+				continue
+			}
+			if err := inj.b.AddTrust(m, peer); err != nil {
+				return Cohort{}, err
+			}
+			for _, rid := range reviews[k] {
+				if err := inj.b.AddRating(m, rid, ratings.MaxRating); err != nil {
+					return Cohort{}, err
+				}
+				acts++
+			}
+		}
+		if err := inj.camouflage(rng, m, acts, s.Size-1, s.Camouflage); err != nil {
+			return Cohort{}, err
+		}
+	}
+	return Cohort{Spec: s, Attackers: members, Beneficiary: members[0], Victim: ratings.NoUser}, nil
+}
+
+func (inj *injector) sybilFarm(rng *rand.Rand, s Spec) (Cohort, error) {
+	target, err := inj.pickTarget(s)
+	if err != nil {
+		return Cohort{}, err
+	}
+	sybils := inj.addAttackers("sybil", s.Size)
+	targetReviews := inj.base.ReviewsByWriter(target)
+	for _, sy := range sybils {
+		acts := 0
+		for i := 0; i < len(targetReviews) && acts < s.Activity; i++ {
+			if err := inj.b.AddRating(sy, targetReviews[i], ratings.MaxRating); err != nil {
+				return Cohort{}, err
+			}
+			acts++
+		}
+		if err := inj.b.AddTrust(sy, target); err != nil {
+			return Cohort{}, err
+		}
+		if err := inj.camouflage(rng, sy, acts, 1, s.Camouflage); err != nil {
+			return Cohort{}, err
+		}
+	}
+	return Cohort{Spec: s, Attackers: sybils, Beneficiary: target, Victim: ratings.NoUser}, nil
+}
+
+func (inj *injector) slanderClique(rng *rand.Rand, s Spec) (Cohort, error) {
+	victim, err := inj.pickTarget(s)
+	if err != nil {
+		return Cohort{}, err
+	}
+	clique := inj.addAttackers("slander", s.Size)
+	victimReviews := inj.base.ReviewsByWriter(victim)
+	for _, a := range clique {
+		acts := 0
+		for i := 0; i < len(victimReviews) && acts < s.Activity; i++ {
+			if err := inj.b.AddRating(a, victimReviews[i], ratings.MinRating); err != nil {
+				return Cohort{}, err
+			}
+			acts++
+		}
+		if err := inj.camouflage(rng, a, acts, 0, s.Camouflage); err != nil {
+			return Cohort{}, err
+		}
+	}
+	return Cohort{Spec: s, Attackers: clique, Beneficiary: ratings.NoUser, Victim: victim}, nil
+}
+
+func (inj *injector) selfPromotion(rng *rand.Rand, s Spec) (Cohort, error) {
+	cohort := inj.addAttackers("promo", s.Size)
+	promoter, puppets := cohort[0], cohort[1:]
+	reviews, err := inj.writeReviews(promoter, inj.attackCategory(), s.Activity)
+	if err != nil {
+		return Cohort{}, err
+	}
+	for _, p := range puppets {
+		for _, rid := range reviews {
+			if err := inj.b.AddRating(p, rid, ratings.MaxRating); err != nil {
+				return Cohort{}, err
+			}
+		}
+		if err := inj.b.AddTrust(p, promoter); err != nil {
+			return Cohort{}, err
+		}
+		if err := inj.camouflage(rng, p, len(reviews), 1, s.Camouflage); err != nil {
+			return Cohort{}, err
+		}
+	}
+	return Cohort{Spec: s, Attackers: cohort, Beneficiary: promoter, Victim: ratings.NoUser}, nil
+}

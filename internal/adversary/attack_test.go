@@ -1,0 +1,156 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+)
+
+func smallBase(t testing.TB) *ratings.Dataset {
+	t.Helper()
+	d, _, err := synth.Generate(synth.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func allSpecs() []Spec {
+	return []Spec{
+		{Kind: CollusionRing, Size: 8, Activity: 3, Camouflage: 0.2},
+		{Kind: SybilFarm, Size: 12, Activity: 4, Camouflage: 0.1},
+		{Kind: SlanderClique, Size: 6, Activity: 5},
+		{Kind: SelfPromotion, Size: 7, Activity: 6, Camouflage: 0.3},
+	}
+}
+
+// serialize renders a dataset to its event-log bytes — the byte-identity
+// notion the acceptance criteria pin.
+func serialize(t testing.TB, d *ratings.Dataset) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := store.AppendDataset(store.NewLogWriter(&buf), d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestInjectDeterministic: same (dataset, specs, seed) must produce a
+// byte-identical dataset and identical cohorts.
+func TestInjectDeterministic(t *testing.T) {
+	base := smallBase(t)
+	d1, c1, err := Inject(base, allSpecs(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, c2, err := Inject(base, allSpecs(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := serialize(t, d1), serialize(t, d2); a != b {
+		t.Fatal("same specs + seed produced different datasets")
+	}
+	for i := range c1 {
+		if len(c1[i].Attackers) != len(c2[i].Attackers) ||
+			c1[i].Beneficiary != c2[i].Beneficiary || c1[i].Victim != c2[i].Victim {
+			t.Fatalf("cohort %d differs across identical injections", i)
+		}
+	}
+}
+
+// TestInjectSeedSensitive: camouflaged attacks draw randomness, so a
+// different seed must change the dataset.
+func TestInjectSeedSensitive(t *testing.T) {
+	base := smallBase(t)
+	specs := []Spec{{Kind: SybilFarm, Size: 10, Activity: 4, Camouflage: 0.4}}
+	d1, _, err := Inject(base, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := Inject(base, specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialize(t, d1) == serialize(t, d2) {
+		t.Fatal("different seeds produced identical camouflage")
+	}
+}
+
+// TestInjectExtendsBase: the attacked dataset must extend the clean one
+// element for element — honest history is never rewritten.
+func TestInjectExtendsBase(t *testing.T) {
+	base := smallBase(t)
+	d, cohorts, err := Inject(base, allSpecs(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rt := range base.Ratings() {
+		if d.Ratings()[i] != rt {
+			t.Fatalf("honest rating %d rewritten", i)
+		}
+	}
+	for i, rv := range base.Reviews() {
+		if d.Review(ratings.ReviewID(i)) != rv {
+			t.Fatalf("honest review %d rewritten", i)
+		}
+	}
+	for i, e := range base.TrustEdges() {
+		if d.TrustEdges()[i] != e {
+			t.Fatalf("honest trust edge %d rewritten", i)
+		}
+	}
+	if d.NumUsers() <= base.NumUsers() {
+		t.Fatalf("no attackers injected: %d users before and after", d.NumUsers())
+	}
+	// Every attacker is a new account; targets are honest.
+	for _, c := range cohorts {
+		for _, a := range c.Attackers {
+			if int(a) < base.NumUsers() {
+				t.Fatalf("%s attacker %d is an honest user", c.Spec.Kind, a)
+			}
+		}
+		if c.Victim != ratings.NoUser && int(c.Victim) >= base.NumUsers() {
+			t.Fatalf("victim %d is not an honest user", c.Victim)
+		}
+	}
+}
+
+// TestInjectComposable: composed attacks with auto-picked targets must
+// choose distinct honest targets.
+func TestInjectComposable(t *testing.T) {
+	base := smallBase(t)
+	specs := []Spec{
+		{Kind: SybilFarm, Size: 5, Activity: 3},
+		{Kind: SlanderClique, Size: 5, Activity: 3},
+	}
+	_, cohorts, err := Inject(base, specs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cohorts[0].Beneficiary == cohorts[1].Victim {
+		t.Fatalf("composed attacks auto-picked the same target %d", cohorts[0].Beneficiary)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: "bogus", Size: 5, Activity: 1},
+		{Kind: CollusionRing, Size: 1, Activity: 1},
+		{Kind: SybilFarm, Size: 0, Activity: 1},
+		{Kind: SybilFarm, Size: 5, Activity: 0},
+		{Kind: SybilFarm, Size: 5, Activity: 1, Camouflage: 1.0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) passed validation", i, s)
+		}
+	}
+	target := 3
+	good := Spec{Kind: SlanderClique, Size: 2, Activity: 2, Camouflage: 0.5, Target: &target}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

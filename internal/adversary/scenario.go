@@ -1,0 +1,153 @@
+package adversary
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"weboftrust/internal/synth"
+)
+
+// Scenario is one declarative attack experiment: a clean baseline
+// community, a set of attacks to inject, and the resistance assertions
+// the system must uphold. Scenarios are stored as JSON files in
+// scenarios/ (the repo carries no YAML dependency) and loaded by
+// `trustctl attack` and the Go harness.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Base names the synth preset of the clean community: "small",
+	// "medium" or "paper".
+	Base string `json:"base"`
+	// Seed drives attack injection (synth presets carry their own seeds).
+	Seed    uint64     `json:"seed"`
+	Attacks []Spec     `json:"attacks"`
+	Assert  Assertions `json:"assert"`
+}
+
+// Assertions are the scenario's pinned resistance bounds. Nil fields are
+// not checked. Rank bounds are in EigenTrust leaderboard positions
+// (1 = most trusted, as served by /v1/rank); fractions are in [0, 1].
+type Assertions struct {
+	// MinBeneficiaryRankLift: every cohort boosting an *existing* user
+	// must lift that user at least this many positions vs the clean run.
+	MinBeneficiaryRankLift *int `json:"min_beneficiary_rank_lift,omitempty"`
+	// MaxBeneficiaryRank: every beneficiary (including injected accounts,
+	// which have no clean rank) must reach at least this position — the
+	// "did the attack actually work" bound that keeps scenarios honest.
+	MaxBeneficiaryRank *int `json:"max_beneficiary_rank,omitempty"`
+	// MinVictimRankDrop: every victim must fall at least this many
+	// positions vs the clean run.
+	MinVictimRankDrop *int `json:"min_victim_rank_drop,omitempty"`
+	// MinTopKExposureGain: every beneficiary's appearance frequency in
+	// honest users' /v1/topk lists must grow by at least this much.
+	MinTopKExposureGain *float64 `json:"min_topk_exposure_gain,omitempty"`
+	// MinPropagationInflation: per algorithm ("appleseed", "moletrust",
+	// "tidaltrust"), the mean personalised trust honest sources assign a
+	// beneficiary must inflate by at least this much vs clean.
+	MinPropagationInflation map[string]float64 `json:"min_propagation_inflation,omitempty"`
+	// MaxVictimPropagationChange: per algorithm, the mean personalised
+	// trust honest sources assign a victim must change by at most this
+	// much vs clean (negative bounds pin an actual deflation).
+	MaxVictimPropagationChange map[string]float64 `json:"max_victim_propagation_change,omitempty"`
+	// MinAnomalySeparation: the attacker cohort's median anomaly score
+	// must exceed the honest median by at least this much.
+	MinAnomalySeparation *float64 `json:"min_anomaly_separation,omitempty"`
+	// MinAttackersAboveHonestMedian: at least this fraction of injected
+	// attackers must score above the honest median — the acceptance
+	// criterion's per-scenario detection bound.
+	MinAttackersAboveHonestMedian *float64 `json:"min_attackers_above_honest_median,omitempty"`
+}
+
+// BaseConfig resolves the scenario's synth preset.
+func (sc *Scenario) BaseConfig() (synth.Config, error) {
+	switch strings.ToLower(sc.Base) {
+	case "", "small":
+		return synth.Small(), nil
+	case "medium":
+		return synth.Medium(), nil
+	case "large":
+		return synth.Large(), nil
+	case "paper":
+		return synth.PaperScale(), nil
+	default:
+		return synth.Config{}, fmt.Errorf("adversary: unknown base preset %q (small, medium, large, paper)", sc.Base)
+	}
+}
+
+// Validate checks the scenario is well-formed without running it.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("adversary: scenario has no name")
+	}
+	if len(sc.Attacks) == 0 {
+		return fmt.Errorf("adversary: scenario %q has no attacks", sc.Name)
+	}
+	if _, err := sc.BaseConfig(); err != nil {
+		return err
+	}
+	for i, a := range sc.Attacks {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("scenario %q attack %d: %w", sc.Name, i, err)
+		}
+	}
+	for _, bounds := range []map[string]float64{sc.Assert.MinPropagationInflation, sc.Assert.MaxVictimPropagationChange} {
+		for algo := range bounds {
+			switch strings.ToLower(algo) {
+			case "appleseed", "moletrust", "tidaltrust":
+			default:
+				return fmt.Errorf("adversary: scenario %q asserts on unknown algorithm %q", sc.Name, algo)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadScenario reads and validates one scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc Scenario
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("adversary: %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("adversary: %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// LoadDir loads every *.json scenario in dir, sorted by file name so
+// suite order (and therefore report order) is stable.
+func LoadDir(dir string) ([]*Scenario, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("adversary: no *.json scenarios in %s", dir)
+	}
+	out := make([]*Scenario, 0, len(paths))
+	for _, p := range paths {
+		sc, err := LoadScenario(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package anomaly_test
+
+import (
+	"strings"
+	"testing"
+
+	"weboftrust"
+	"weboftrust/internal/anomaly"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+)
+
+func smallDataset(t testing.TB) *ratings.Dataset {
+	t.Helper()
+	d, _, err := synth.Generate(synth.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func derive(t testing.TB, d *ratings.Dataset) *weboftrust.TrustModel {
+	t.Helper()
+	m, err := weboftrust.Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	d := smallDataset(t)
+	g := derive(t, d).WebOfTrust().Graph()
+	a, b := anomaly.Compute(d, g), anomaly.Compute(d, g)
+	if len(a.Total()) != d.NumUsers() {
+		t.Fatalf("scored %d users, want %d", len(a.Total()), d.NumUsers())
+	}
+	for u, v := range a.Total() {
+		if b.Total()[u] != v {
+			t.Fatalf("user %d: %v != %v across identical computes", u, v, b.Total()[u])
+		}
+	}
+}
+
+func TestScoresInRange(t *testing.T) {
+	d := smallDataset(t)
+	g := derive(t, d).WebOfTrust().Graph()
+	s := anomaly.Compute(d, g)
+	for u := 0; u < d.NumUsers(); u++ {
+		r, gs, bu := s.Signals(ratings.UserID(u))
+		total := s.Score(ratings.UserID(u))
+		for _, v := range []float64{r, gs, bu, total} {
+			if v < 0 || v > 1 {
+				t.Fatalf("user %d: signal out of [0,1]: rating=%v graph=%v burst=%v total=%v", u, r, gs, bu, total)
+			}
+		}
+	}
+}
+
+func TestNilGraphZerosGraphSignal(t *testing.T) {
+	d := smallDataset(t)
+	s := anomaly.Compute(d, nil)
+	for u := 0; u < d.NumUsers(); u++ {
+		if _, gs, _ := s.Signals(ratings.UserID(u)); gs != 0 {
+			t.Fatalf("user %d: graph signal %v with nil graph", u, gs)
+		}
+	}
+}
+
+// TestUpdateMatchesCompute pins the property the sharded router depends
+// on: an incremental Update across an ingest tick is bit-identical to a
+// from-scratch Compute on the new dataset, so scores are a pure function
+// of dataset version regardless of swap cadence.
+func TestUpdateMatchesCompute(t *testing.T) {
+	full := smallDataset(t)
+	var buf strings.Builder
+	lw := store.NewLogWriter(&buf)
+	if err := store.AppendDataset(lw, full); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := store.ReadLogFrom(strings.NewReader(buf.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay a prefix, snapshot, replay the rest — the tailer shape.
+	cut := len(events) * 9 / 10
+	b := ratings.NewBuilder()
+	if err := store.Replay(events[:cut], b); err != nil {
+		t.Fatal(err)
+	}
+	oldD := b.Snapshot()
+	if err := store.Replay(events[cut:], b); err != nil {
+		t.Fatal(err)
+	}
+	newD := b.Snapshot()
+
+	oldModel := derive(t, oldD)
+	newModel, err := oldModel.Update(newD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldG := oldModel.WebOfTrust().Graph()
+	newG := newModel.WebOfTrust().Graph()
+
+	prev := anomaly.Compute(oldD, oldG)
+	inc := anomaly.Update(prev, oldD, newD, oldG, newG, newModel.DirtyUsers())
+	fresh := anomaly.Compute(newD, newG)
+	if inc.NumUsers() != fresh.NumUsers() {
+		t.Fatalf("incremental scored %d users, fresh %d", inc.NumUsers(), fresh.NumUsers())
+	}
+	for u := 0; u < fresh.NumUsers(); u++ {
+		ir, ig, ib := inc.Signals(ratings.UserID(u))
+		fr, fg, fb := fresh.Signals(ratings.UserID(u))
+		if ir != fr || ig != fg || ib != fb || inc.Total()[u] != fresh.Total()[u] {
+			t.Fatalf("user %d: incremental (%v,%v,%v,%v) != fresh (%v,%v,%v,%v)",
+				u, ir, ig, ib, inc.Total()[u], fr, fg, fb, fresh.Total()[u])
+		}
+	}
+}
+
+// TestUpdateNilDirtyFallsBack: with no dirty information the update must
+// still be exact (it rescores everyone).
+func TestUpdateNilDirtyFallsBack(t *testing.T) {
+	d := smallDataset(t)
+	g := derive(t, d).WebOfTrust().Graph()
+	prev := anomaly.Compute(d, nil)
+	upd := anomaly.Update(prev, d, d, nil, g, nil)
+	fresh := anomaly.Compute(d, g)
+	for u, v := range fresh.Total() {
+		if upd.Total()[u] != v {
+			t.Fatalf("user %d: nil-dirty update %v != fresh %v", u, upd.Total()[u], v)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package router_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"weboftrust"
+	"weboftrust/internal/adversary"
+	"weboftrust/internal/ratings"
+	"weboftrust/internal/router"
+	"weboftrust/internal/server"
+	"weboftrust/internal/store"
+	"weboftrust/internal/synth"
+)
+
+// TestClusterAnomalyUnderAttack is the sharded form of the adversarial
+// acceptance criterion: inject a seeded attack into a synth community,
+// serve it from a 3-shard cluster behind the router, and require that
+// (a) every anomaly response — per-attacker, per-honest-user and the
+// leaderboard — comes back byte-identical to an unsharded reference
+// server over the same log, and (b) the routed scores still separate the
+// attacker cohort from the honest median, i.e. detection quality
+// survives sharding untouched.
+func TestClusterAnomalyUnderAttack(t *testing.T) {
+	cfg := synth.Small()
+	clean, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := clean.NumUsers()
+	attacked, cohorts, err := adversary.Inject(clean, []adversary.Spec{
+		{Kind: adversary.CollusionRing, Size: 8, Activity: 3},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logPath := filepath.Join(t.TempDir(), "events.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := store.NewLogWriter(f)
+	if err := store.AppendDataset(lw, attacked); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := startNode(t, logPath)
+	const n = 3
+	shardMap := make([][]string, n)
+	for i := 0; i < n; i++ {
+		nd := startNode(t, logPath, weboftrust.WithShard(i, n))
+		shardMap[i] = []string{nd.ts.URL}
+	}
+	rt, err := router.New(router.Config{Shards: shardMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	// Byte-identity: attackers, a sweep of honest users, the leaderboard.
+	paths := []string{fmt.Sprintf("/v1/anomaly/top?k=%d", attacked.NumUsers())}
+	for _, c := range cohorts {
+		for _, a := range c.Attackers {
+			paths = append(paths, fmt.Sprintf("/v1/anomaly?user=%d", a))
+		}
+	}
+	for u := 0; u < honest; u += 37 {
+		paths = append(paths, fmt.Sprintf("/v1/anomaly?user=%d", u))
+	}
+	for _, p := range paths {
+		wantCode, wantCT, wantBody := fetch(t, ref.ts.URL, p)
+		gotCode, gotCT, gotBody := fetch(t, rts.URL, p)
+		if wantCode != http.StatusOK {
+			t.Fatalf("reference %s = %d %s", p, wantCode, wantBody)
+		}
+		if gotCode != wantCode || gotCT != wantCT || string(gotBody) != string(wantBody) {
+			t.Fatalf("%s:\nrouter: %d %s %s\nref:    %d %s %s",
+				p, gotCode, gotCT, gotBody, wantCode, wantCT, wantBody)
+		}
+	}
+
+	// Detection through the router: the attacker cohort's median suspicion
+	// beats the honest median, read entirely from routed responses.
+	score := func(u ratings.UserID) float64 {
+		_, _, body := fetch(t, rts.URL, fmt.Sprintf("/v1/anomaly?user=%d", u))
+		var resp server.AnomalyResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("anomaly(%d): %v", u, err)
+		}
+		return resp.Score
+	}
+	var honestScores, attackerScores []float64
+	for u := 0; u < honest; u += 3 {
+		honestScores = append(honestScores, score(ratings.UserID(u)))
+	}
+	for _, c := range cohorts {
+		for _, a := range c.Attackers {
+			attackerScores = append(attackerScores, score(a))
+		}
+	}
+	median := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	if hm, am := median(honestScores), median(attackerScores); am <= hm {
+		t.Errorf("routed attacker median %v <= honest median %v", am, hm)
+	}
+}

@@ -176,6 +176,7 @@ func TestClusterMatchesUnsharded(t *testing.T) {
 						fmt.Sprintf("/v1/neighbors?user=%d", u),
 						fmt.Sprintf("/v1/propagate?algo=%s&user=%d&k=5", algos[(u/101)%3], u),
 						fmt.Sprintf("/v1/rank?user=%d", u),
+						fmt.Sprintf("/v1/anomaly?user=%d", u),
 					)
 				}
 				paths = append(paths,
@@ -185,6 +186,10 @@ func TestClusterMatchesUnsharded(t *testing.T) {
 					// deterministic warm chain must match the unsharded
 					// reference byte for byte — before and after ingest.
 					"/v1/rank?k=5",
+					// The anomaly leaderboard is replicated the same way: the
+					// suspicion vector is a pure function of (dataset, web),
+					// refreshed bit-identically across swaps on every shard.
+					"/v1/anomaly/top?k=10",
 					"/v1/propagate?algo=appleseed&user=0&k=5&exact=1",
 					// Error paths must proxy byte-identically too: out of
 					// range (404 from whichever shard it hashes to) and

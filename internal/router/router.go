@@ -279,6 +279,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/neighbors", byUser("user"))
 	mux.HandleFunc("GET /v1/propagate", byUser("user"))
 	mux.HandleFunc("GET /v1/rank", rt.handleRank)
+	mux.HandleFunc("GET /v1/anomaly", rt.handleAnomaly)
+	mux.HandleFunc("GET /v1/anomaly/top", rt.handleAnomalyTop)
 	mux.HandleFunc("GET /v1/graph/stats", rt.handleGraphStats)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -758,6 +760,19 @@ func (rt *Router) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 // (e.g. a 404 for an out-of-range user) is relayed verbatim.
 func (rt *Router) handleRank(w http.ResponseWriter, r *http.Request) {
 	rt.proxyFreshest(w, r, "/v1/rank")
+}
+
+// handleAnomaly and handleAnomalyTop relay the suspicion scores the same
+// way: internal/anomaly is a pure function of the replicated (dataset,
+// web) pair and its incremental refresh is bit-identical to a cold pass,
+// so every shard at a version serves byte-identical bodies and any one
+// of them is the cluster answer.
+func (rt *Router) handleAnomaly(w http.ResponseWriter, r *http.Request) {
+	rt.proxyFreshest(w, r, "/v1/anomaly")
+}
+
+func (rt *Router) handleAnomalyTop(w http.ResponseWriter, r *http.Request) {
+	rt.proxyFreshest(w, r, "/v1/anomaly/top")
 }
 
 // proxyFreshest fans a replicated-state endpoint out to every shard and

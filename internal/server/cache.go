@@ -26,6 +26,11 @@ const (
 	kindAppleseedExact
 	kindMoleTrustExact
 	kindTidalTrustExact
+	// kindAnomalyTop is the /v1/anomaly/top leaderboard (always user 0:
+	// the suspicion vector is global, not per-source). It must stay after
+	// the exact propagate kinds — propagateAlgo's arithmetic never sees it
+	// because fillScore handles it explicitly.
+	kindAnomalyTop
 )
 
 // resultKey identifies one ranked answer: the result family, the source

@@ -134,9 +134,15 @@ func (s *Server) migrateCache(st, prev *state, dirty []bool) {
 	for _, e := range entries {
 		u := int(e.key.user)
 		var keep bool
-		if e.key.kind == kindTopK {
+		switch e.key.kind {
+		case kindTopK:
 			keep = u < len(dirty) && !dirty[u]
-		} else {
+		case kindAnomalyTop:
+			// Anomaly scores move with any delta (new ratings shift category
+			// means community-wide); the leaderboard is recut from the eagerly
+			// refreshed vector on the next query instead of proven stable.
+			keep = false
+		default:
 			keep = tainted != nil && u < len(tainted) && !tainted[u]
 		}
 		if keep {

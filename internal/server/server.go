@@ -54,6 +54,9 @@ type state struct {
 	// rank is the state's global EigenTrust vector: lazy cold solve for
 	// root states, eagerly warm-refreshed across parent-matched swaps.
 	rank *rankState
+	// anomaly is the state's per-user suspicion scores, with the same
+	// lazy-cold / eager-incremental lifecycle as rank.
+	anomaly *anomalyState
 }
 
 // Options tunes a Server. The zero value uses the defaults.
@@ -161,6 +164,10 @@ type metrics struct {
 	cacheCarryover        atomic.Int64
 	cacheCarryoverDropped atomic.Int64
 	graphDeltaRows        atomic.Int64
+	// Anomaly-scoring instrumentation: full cold scoring passes vs
+	// incremental swap-time refreshes.
+	anomalyComputes  atomic.Int64
+	anomalyRefreshes atomic.Int64
 	// Robustness instrumentation: compute queries shed with 429 under the
 	// in-flight bound, and tail polls that failed transiently (log
 	// temporarily unreadable) and were retried with backoff instead of
@@ -178,6 +185,8 @@ const (
 	epPropagate
 	epGraphStats
 	epRank
+	epAnomaly
+	epAnomalyTop
 	numEndpoints
 )
 
@@ -185,6 +194,7 @@ const (
 // endpoint constants.
 var endpointNames = [numEndpoints]string{
 	"topk", "trust", "expertise", "stats", "neighbors", "propagate", "graph_stats", "rank",
+	"anomaly", "anomaly_top",
 }
 
 // New wraps a derived model for serving. offset is the event-log position
@@ -238,6 +248,7 @@ func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version ui
 		flights: newFlightGroup(),
 		rank:    lazyRank(model),
 	}
+	st.anomaly = s.lazyAnomaly(model)
 	if prev == nil || prev.model == nil ||
 		model.ParentID() == 0 || model.ParentID() != prev.model.ID() {
 		s.metrics.graphDeltaRows.Store(-1)
@@ -264,6 +275,9 @@ func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version ui
 	if vec, iters, err := model.GlobalRanksFrom(prevVec, rankRefreshIters); err == nil {
 		st.rank = eagerRank(vec, iters)
 	}
+	// Same chain for anomaly scores: force the predecessor's, advance
+	// them over the delta (bit-identical to a cold pass).
+	st.anomaly = s.refreshAnomaly(model, prev, dirty)
 	s.migrateCache(st, prev, dirty)
 	return st
 }
@@ -331,6 +345,10 @@ func (s *Server) fillScore(st *state, kind resultKind, u ratings.UserID, dst []f
 		st.model.Artifacts().Trust.RowAuto(u, dst)
 		dst[u] = 0 // exclude self, matching TopTrusted
 		s.metrics.rowComputes.Add(1)
+	case kindAnomalyTop:
+		// One global vector (u is always 0); no self-exclusion — user 0's
+		// score is as rankable as anyone's.
+		fillAnomaly(st, dst)
 	default:
 		// The source is range-checked by the handler and the algorithm
 		// fixed by the route, so the only error the propagation facade can
@@ -457,6 +475,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/neighbors", s.admit(s.handleNeighbors))
 	mux.HandleFunc("GET /v1/propagate", s.admit(s.handlePropagate))
 	mux.HandleFunc("GET /v1/rank", s.admit(s.handleRank))
+	mux.HandleFunc("GET /v1/anomaly", s.admit(s.handleAnomaly))
+	mux.HandleFunc("GET /v1/anomaly/top", s.admit(s.handleAnomalyTop))
 	mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -1035,7 +1055,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if _, iters, ok := st.rank.peek(); ok {
 			gauge("trustd_rank_iterations", "Power iterations behind the served global rank vector.", int64(iters))
 		}
+		// Peek only, same reason, for the anomaly scoring pass.
+		if sc, ok := st.anomaly.peek(); ok && sc != nil {
+			gauge("trustd_anomaly_scored_users", "Users covered by the served anomaly score vector.", int64(sc.NumUsers()))
+			fmt.Fprintf(w, "# HELP trustd_anomaly_max_score Largest served per-user suspicion score.\n# TYPE trustd_anomaly_max_score gauge\ntrustd_anomaly_max_score %g\n",
+				sc.MaxScore())
+		}
 	}
+	counter("trustd_anomaly_computes_total", "Full anomaly scoring passes (cold states).", s.metrics.anomalyComputes.Load())
+	counter("trustd_anomaly_refreshes_total", "Incremental anomaly refreshes performed at swap time.", s.metrics.anomalyRefreshes.Load())
 	fmt.Fprintf(w, "# HELP trustd_propagate_requests_total Propagation queries served, by algorithm.\n# TYPE trustd_propagate_requests_total counter\n")
 	for i, algo := range []string{"appleseed", "moletrust", "tidaltrust"} {
 		fmt.Fprintf(w, "trustd_propagate_requests_total{algo=%q} %d\n", algo, s.metrics.propagateRequests[i].Load())

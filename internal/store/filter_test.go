@@ -63,3 +63,76 @@ func TestFilterBySource(t *testing.T) {
 		t.Fatalf("replayed %d ratings, want 1", d.NumRatings())
 	}
 }
+
+// TestParseUserFilter pins the shared -users spec grammar: shard specs
+// select exactly the consistent hash's owned set, id lists select
+// exactly the listed ids, and malformed specs are rejected — one code
+// path for `trustctl exportlog` and `trustctl attack -export-log`.
+func TestParseUserFilter(t *testing.T) {
+	keep, desc, err := ParseUserFilter("3,1, 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep(1) || !keep(3) || keep(0) || keep(2) {
+		t.Errorf("id list filter wrong: %s", desc)
+	}
+
+	keep0, _, err := ParseUserFilter("0/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep1, _, err := ParseUserFilter("1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two shards partition the id space.
+	for u := ratings.UserID(0); u < 200; u++ {
+		if keep0(u) == keep1(u) {
+			t.Fatalf("user %d owned by %v shards, want exactly one", u, keep0(u))
+		}
+	}
+
+	for _, bad := range []string{"", "x", "-1", "2/2", "1,-3"} {
+		if _, _, err := ParseUserFilter(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestDatasetEvents pins the render-as-events path: replaying the
+// returned stream rebuilds the identical dataset (same serialisation
+// path as AppendDataset, by construction).
+func TestDatasetEvents(t *testing.T) {
+	b := ratings.NewBuilder()
+	b.AddCategory("books")
+	u0, u1 := b.AddUser("a"), b.AddUser("b")
+	oid, err := b.AddObject(0, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := b.AddReview(u0, oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRating(u1, rid, ratings.QuantizeRating(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTrust(u1, u0); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Snapshot()
+
+	events, err := DatasetEvents(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := ratings.NewBuilder()
+	if err := Replay(events, nb); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := nb.Snapshot()
+	if rebuilt.NumUsers() != d.NumUsers() || rebuilt.NumRatings() != d.NumRatings() ||
+		rebuilt.NumTrustEdges() != d.NumTrustEdges() || rebuilt.NumReviews() != d.NumReviews() {
+		t.Fatalf("replayed %v, want %v", rebuilt, d)
+	}
+}
