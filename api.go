@@ -138,6 +138,43 @@ func WithPropagatePruneTau(tau float64) Option {
 	}
 }
 
+// WithPropagateMaxDepth truncates the propagation traversals
+// (PropagateInto, Propagate) to the BFS depth-ball of radius d around
+// the source — the depth half of the truncated-walk approximation.
+// Trust mass decays multiplicatively along a chain (Richters &
+// Peixoto), so mass that must travel beyond a short horizon cannot move
+// a ranking, and a traversal that never visits it trades a small,
+// test-pinned score error for a proportionally smaller walk. Each
+// algorithm composes the bound with its own horizon (the tighter wins);
+// PropagateExactInto always ignores it. d 0 (the default) disables the
+// bound. Like the rest of the web policy, the knob is excluded from the
+// configuration fingerprint.
+func WithPropagateMaxDepth(d int) Option {
+	return func(c *core.Config) error {
+		if d < 0 {
+			return fmt.Errorf("weboftrust: propagate max depth %d < 0", d)
+		}
+		c.Web.WalkDepth = d
+		return nil
+	}
+}
+
+// WithPropagateMassEps drops propagation walk tails whose carried trust
+// mass has decayed to eps or below — the mass half of the truncated
+// walk: Appleseed stops spreading parcels that weak, MoleTrust and
+// TidalTrust floor predicted values at or below it to zero.
+// PropagateExactInto always ignores it. eps 0 (the default) disables
+// the bound. Excluded from the configuration fingerprint.
+func WithPropagateMassEps(eps float64) Option {
+	return func(c *core.Config) error {
+		if math.IsNaN(eps) || eps < 0 {
+			return fmt.Errorf("weboftrust: propagate mass eps %v invalid", eps)
+		}
+		c.Web.WalkMassEps = eps
+		return nil
+	}
+}
+
 // WithShard makes the model shard index of count in an N-way
 // shard-by-source deployment: the pipeline still computes the complete
 // model (global artifacts and the replicated web graph need every user's
@@ -535,20 +572,29 @@ func ParsePropagationAlgo(s string) (PropagationAlgo, error) {
 // overwritten, so serving layers can hand in pooled, dirty buffers. The
 // result is deterministic for a given model and algorithm. Under
 // WithPropagatePruneTau the traversal runs over the percolation-pruned
-// companion graph (a bounded approximation); otherwise — and always via
-// PropagateExactInto — it runs over the complete graph.
+// companion graph, and under WithPropagateMaxDepth /
+// WithPropagateMassEps it is additionally truncated (both bounded
+// approximations); otherwise — and always via PropagateExactInto — it
+// runs complete and exact.
 func (m *TrustModel) PropagateInto(algo PropagationAlgo, source UserID, dst []float64) error {
-	return m.propagateOnto(m.WebOfTrust().PropagationGraph(), algo, source, dst)
+	return m.propagateOnto(m.WebOfTrust().PropagationGraph(), algo, source, m.truncation(), dst)
 }
 
-// PropagateExactInto is PropagateInto over the complete web graph,
-// regardless of any pruning policy — the exact-mode fallback, and the
-// reference the pruning error bound is measured against.
+// PropagateExactInto is PropagateInto over the complete web graph with
+// no truncation, regardless of any pruning or truncated-walk policy —
+// the exact-mode fallback, and the reference every approximation's
+// error bound is measured against.
 func (m *TrustModel) PropagateExactInto(algo PropagationAlgo, source UserID, dst []float64) error {
-	return m.propagateOnto(m.WebOfTrust().Graph(), algo, source, dst)
+	return m.propagateOnto(m.WebOfTrust().Graph(), algo, source, propagation.Truncate{}, dst)
 }
 
-func (m *TrustModel) propagateOnto(g *graph.Graph, algo PropagationAlgo, source UserID, dst []float64) error {
+// truncation returns the walk truncation the model's policy configures
+// for the approximate propagation path (the zero value when disabled).
+func (m *TrustModel) truncation() propagation.Truncate {
+	return propagation.Truncate{MaxDepth: m.cfg.Web.WalkDepth, MassEps: m.cfg.Web.WalkMassEps}
+}
+
+func (m *TrustModel) propagateOnto(g *graph.Graph, algo PropagationAlgo, source UserID, tr propagation.Truncate, dst []float64) error {
 	numU := m.dataset.NumUsers()
 	if len(dst) != numU {
 		return fmt.Errorf("weboftrust: PropagateInto dst length %d, want %d", len(dst), numU)
@@ -558,19 +604,19 @@ func (m *TrustModel) propagateOnto(g *graph.Graph, algo PropagationAlgo, source 
 	}
 	switch algo {
 	case PropagateAppleseed:
-		ranks, err := propagation.DefaultAppleseed().Rank(g, int(source))
+		ranks, err := propagation.DefaultAppleseed().RankTruncated(g, int(source), tr)
 		if err != nil {
 			return err
 		}
 		copy(dst, ranks)
 	case PropagateMoleTrust:
-		ranks, err := propagation.DefaultMoleTrust().Rank(g, int(source))
+		ranks, err := propagation.DefaultMoleTrust().RankTruncated(g, int(source), tr)
 		if err != nil {
 			return err
 		}
 		copy(dst, ranks)
 	case PropagateTidalTrust:
-		res := propagation.TidalTrust{MaxDepth: propagateDepth}.InferAll(g, int(source))
+		res := propagation.TidalTrust{MaxDepth: propagateDepth}.InferAllTruncated(g, int(source), tr)
 		for j, r := range res {
 			if r.OK && r.Value > 0 {
 				dst[j] = r.Value

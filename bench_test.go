@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"weboftrust"
 	"weboftrust/internal/anomaly"
@@ -1181,4 +1182,110 @@ func BenchmarkServerAnomaly(b *testing.B) {
 			b.Fatalf("anomaly: %d %s", rec.Code, rec.Body.String())
 		}
 	}
+}
+
+// benchTaintSource extends d with one explicit trust edge out of source
+// (to the first user the pair is new for), marking exactly that row
+// dirty — the smallest growth that taints a hot source across a swap.
+func benchTaintSource(b *testing.B, d *ratings.Dataset, source ratings.UserID) *ratings.Dataset {
+	b.Helper()
+	bld := rebuildBuilder(b, d)
+	for to := 0; to < d.NumUsers(); to++ {
+		if ratings.UserID(to) == source {
+			continue
+		}
+		if err := bld.AddTrust(source, ratings.UserID(to)); err == nil {
+			return bld.Build()
+		}
+	}
+	b.Fatal("no free trust edge out of the source")
+	return nil
+}
+
+// BenchmarkPropagatePrecompute measures the propagation precompute
+// engine's serving win at Medium: after an incremental swap taints a hot
+// source, PrewarmedHit serves /v1/propagate from the cache entry the
+// swap-time engine inserted, while ColdMiss (caching disabled) pays the
+// full traversal the engine saved. The PR 10 acceptance bar is
+// PrewarmedHit at least 3x faster than ColdMiss.
+func BenchmarkPropagatePrecompute(b *testing.B) {
+	e := env(b)
+	const path = "/v1/propagate?algo=appleseed&user=17&k=10"
+	setup := func(b *testing.B, opts server.Options) http.Handler {
+		b.Helper()
+		model, err := weboftrust.Derive(e.Dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(model, 0, opts)
+		h := srv.Handler()
+		// Heat the source, then taint it and swap: with a budget the
+		// engine re-warms the dropped entry on the ingest path.
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm: %d %s", rec.Code, rec.Body.String())
+		}
+		m2, err := model.Update(benchTaintSource(b, e.Dataset, 17))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Swap(m2, 1)
+		return h
+	}
+	bench := func(b *testing.B, h http.Handler) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("propagate: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("PrewarmedHit", func(b *testing.B) {
+		bench(b, setup(b, server.Options{PrecomputeBudget: 10 * time.Second}))
+	})
+	b.Run("ColdMiss", func(b *testing.B) {
+		bench(b, setup(b, server.Options{CacheResults: -1}))
+	})
+}
+
+// BenchmarkLandmarkApprox measures the `?approx=landmark` serving mode
+// against the exact traversal at the Large preset, both with caching
+// disabled so every request pays its compute: Landmark composes the
+// source's frontier with 16 landmark vectors (O(L·U)), Exact walks the
+// graph. The PR 10 acceptance bar is Landmark at most 1/3 of Exact.
+func BenchmarkLandmarkApprox(b *testing.B) {
+	e := envLarge(b)
+	model, err := weboftrust.Derive(e.Dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := server.New(model, 0, server.Options{CacheResults: -1}).Handler()
+	// Prime the landmark selection and the appleseed sketch (a lazy
+	// one-time build) outside the timer.
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/v1/propagate?algo=appleseed&user=17&k=10&approx=landmark", nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm: %d %s", warm.Code, warm.Body.String())
+	}
+	bench := func(b *testing.B, path string) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("propagate: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("Exact", func(b *testing.B) {
+		bench(b, "/v1/propagate?algo=appleseed&user=17&k=10")
+	})
+	b.Run("Landmark", func(b *testing.B) {
+		bench(b, "/v1/propagate?algo=appleseed&user=17&k=10&approx=landmark")
+	})
 }

@@ -6,6 +6,8 @@
 //	trustd serve   -log events.log [-addr :8080] [-shard i/N] [-poll 500ms] [-cache-results 512]
 //	               [-workers N] [-checkpoint-dir DIR] [-checkpoint-interval 5m] [-checkpoint-keep 2]
 //	               [-web-tau T] [-web-cold-generosity K] [-max-inflight N]
+//	               [-propagate-prune-tau T] [-propagate-max-depth D] [-propagate-mass-eps E]
+//	               [-propagate-precompute-budget D] [-landmarks L] [-pprof-addr :6060]
 //	trustd serve   -snapshot data.wot [-addr :8080]            (static serving)
 //	trustd route   -shards URL,URL,... [-addr :8090] [-timeout 5s] [-retries 1] [-wait-ready 30s]
 //	               [-retry-backoff 25ms] [-breaker-threshold 5] [-breaker-cooldown 1s]
@@ -60,13 +62,18 @@
 // or -web-tau switches to a global score threshold. /v1/neighbors lists a
 // user's predicted-trust edges, /v1/propagate ranks transitive trust over
 // the graph (with -propagate-prune-tau T weak edges are percolation-pruned
-// from the traversal; ?exact=1 forces the complete graph), /v1/rank serves
-// the global EigenTrust leaderboard (warm-refreshed across ingest swaps),
-// and /v1/graph/stats reports the graph's shape.
+// from the traversal, -propagate-max-depth / -propagate-mass-eps truncate
+// the walks themselves, and ?approx=landmark answers from the landmark-hub
+// sketches; ?exact=1 forces the complete, untruncated graph), /v1/rank
+// serves the global EigenTrust leaderboard (warm-refreshed across ingest
+// swaps), and /v1/graph/stats reports the graph's shape. With
+// -propagate-precompute-budget set, each incremental swap spends up to
+// that wall-clock pre-warming the result cache with hot tainted sources'
+// propagation vectors — bitwise-identical to on-demand compute.
 //
 // Endpoints: /v1/topk?user=U&k=K, /v1/trust?from=I&to=J,
 // /v1/expertise?user=U, /v1/neighbors?user=U,
-// /v1/propagate?algo=appleseed|moletrust|tidaltrust&user=U&k=K[&exact=1],
+// /v1/propagate?algo=appleseed|moletrust|tidaltrust&user=U&k=K[&exact=1|&approx=landmark],
 // /v1/rank[?k=K | ?user=U], /v1/graph/stats, /v1/stats, /healthz, /readyz,
 // /metrics (Prometheus text).
 package main
@@ -79,6 +86,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httputil"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -134,8 +142,13 @@ func cmdServe(args []string) error {
 	webTau := fs.Float64("web-tau", -1, "binarise the web of trust with a global score threshold instead of per-user top-k generosity (-1 = per-user top-k)")
 	webColdK := fs.Float64("web-cold-generosity", 0, "generosity fallback for users whose history cannot calibrate one (per-user top-k policy; 0 = paper protocol)")
 	pruneTau := fs.Float64("propagate-prune-tau", 0, "percolation-prune the propagation graph: drop edges with trust weight below tau for /v1/propagate traversals (0 = exact; ?exact=1 always bypasses)")
+	walkDepth := fs.Int("propagate-max-depth", 0, "truncate /v1/propagate traversals to this BFS depth around the source (0 = unbounded; ?exact=1 always bypasses)")
+	walkEps := fs.Float64("propagate-mass-eps", 0, "drop propagation walk tails whose carried trust mass decays to this or below (0 = keep everything; ?exact=1 always bypasses)")
+	precomputeBudget := fs.Duration("propagate-precompute-budget", 0, "wall-clock budget per incremental swap for pre-warming hot tainted sources' propagation results (0 = disabled)")
+	landmarks := fs.Int("landmarks", 0, "landmark hubs for the ?approx=landmark propagation mode (0 = default 16; negative disables)")
 	shardFlag := fs.String("shard", "", "serve shard i/N of a source-partitioned cluster (e.g. 1/3; empty = unsharded)")
 	maxInFlight := fs.Int("max-inflight", 0, "bound concurrently served compute queries; excess is shed with 429 + Retry-After (0 = unbounded)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (own listener, never the serving mux; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -157,7 +170,10 @@ func cmdServe(args []string) error {
 	if *maxInFlight < 0 {
 		return fmt.Errorf("serve: -max-inflight %d < 0", *maxInFlight)
 	}
-	opts := server.Options{CacheResults: *cacheResults, CacheBytes: *cacheBytes, MaxInFlight: *maxInFlight}
+	opts := server.Options{
+		CacheResults: *cacheResults, CacheBytes: *cacheBytes, MaxInFlight: *maxInFlight,
+		PrecomputeBudget: *precomputeBudget, Landmarks: *landmarks,
+	}
 	derive := []weboftrust.Option{weboftrust.WithWorkers(*workers)}
 	if *webTau >= 0 {
 		derive = append(derive, weboftrust.WithWebThreshold(*webTau))
@@ -167,6 +183,12 @@ func cmdServe(args []string) error {
 	}
 	if *pruneTau != 0 {
 		derive = append(derive, weboftrust.WithPropagatePruneTau(*pruneTau))
+	}
+	if *walkDepth != 0 {
+		derive = append(derive, weboftrust.WithPropagateMaxDepth(*walkDepth))
+	}
+	if *walkEps != 0 {
+		derive = append(derive, weboftrust.WithPropagateMassEps(*walkEps))
 	}
 	if *shardFlag != "" {
 		sp, err := shard.Parse(*shardFlag)
@@ -178,6 +200,28 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The profiling surface gets its OWN mux and listener, explicitly
+	// gated behind -pprof-addr: the serving mux must never expose
+	// /debug/pprof (heap dumps and CPU profiles are not for the query
+	// port), and the default off keeps production surfaces minimal. With
+	// it on, swap-time precompute cost can be profiled in situ
+	// (`go tool pprof http://host:port/debug/pprof/profile`).
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("serve: pprof listen: %w", err)
+		}
+		defer pln.Close()
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(pln, pprofMux) }()
+		fmt.Fprintf(os.Stderr, "trustd: pprof on %s\n", pln.Addr())
+	}
 
 	// Bind and serve BEFORE booting: the pending server answers liveness
 	// 200 / readiness 503 / query 503 while the (possibly long) replay or

@@ -28,6 +28,15 @@ type Runner struct {
 	// PropSources is how many honest sources the per-algorithm
 	// propagation-inflation metric averages over.
 	PropSources int
+	// DeriveOpts are applied to every Derive (clean baseline and attacked
+	// model alike), so scenarios can be replayed against the serving
+	// tier's configuration — percolation pruning, truncated walks.
+	DeriveOpts []weboftrust.Option
+	// Landmarks, when positive, measures propagation inflation through
+	// the landmark-sketch composition (`?approx=landmark` serving mode)
+	// with this many landmarks instead of exact traversals — pinning that
+	// attack signals survive the approximation.
+	Landmarks int
 
 	baselines map[string]*baseline
 }
@@ -121,7 +130,7 @@ func (r *Runner) baseline(sc *Scenario) (*baseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := weboftrust.Derive(d)
+	model, err := weboftrust.Derive(d, r.DeriveOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +156,7 @@ func (r *Runner) Run(sc *Scenario) (*ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	attacked, err := weboftrust.Derive(attackedD)
+	attacked, err := weboftrust.Derive(attackedD, r.DeriveOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -190,8 +199,8 @@ func (r *Runner) Run(sc *Scenario) (*ScenarioResult, error) {
 
 	// Per-algorithm propagation vectors from sampled honest sources are
 	// shared by every cohort, so compute them once per model.
-	cleanProp := r.propagationMeans(base.model, base.d.NumUsers())
-	attackedProp := r.propagationMeans(attacked, base.d.NumUsers())
+	cleanProp := r.propagationMeans(base.model, base.ranks, base.d.NumUsers())
+	attackedProp := r.propagationMeans(attacked, attackedRanks, base.d.NumUsers())
 
 	for _, c := range cohorts {
 		ar := AttackResult{
@@ -298,16 +307,36 @@ func (r *Runner) topKExposure(m *weboftrust.TrustModel, b ratings.UserID, honest
 
 // propagationMeans computes, per algorithm, the mean personalised trust
 // vector over the first PropSources honest sources — one propagation per
-// (algo, source), shared across cohorts.
-func (r *Runner) propagationMeans(m *weboftrust.TrustModel, honestUsers int) map[weboftrust.PropagationAlgo][]float64 {
+// (algo, source), shared across cohorts. In landmark mode (Landmarks > 0)
+// each source's vector is the landmark-sketch composition over the
+// model's rank vector — the `?approx=landmark` serving mode — so the
+// inflation assertions measure what an approximating cluster would see.
+func (r *Runner) propagationMeans(m *weboftrust.TrustModel, ranks []float64, honestUsers int) map[weboftrust.PropagationAlgo][]float64 {
 	n := min(r.PropSources, honestUsers)
 	numU := m.Dataset().NumUsers()
+	var ids []int32
+	if r.Landmarks > 0 {
+		ids = weboftrust.SelectLandmarkIDs(ranks, r.Landmarks)
+	}
 	out := make(map[weboftrust.PropagationAlgo][]float64, len(measuredAlgos))
 	dst := make([]float64, numU)
 	for _, algo := range measuredAlgos {
+		var sk *weboftrust.LandmarkSketch
+		if r.Landmarks > 0 {
+			var err error
+			if sk, err = m.BuildLandmarkSketch(algo, ids); err != nil {
+				continue
+			}
+		}
 		mean := make([]float64, numU)
 		for src := 0; src < n; src++ {
-			if err := m.PropagateExactInto(algo, ratings.UserID(src), dst); err != nil {
+			var err error
+			if sk != nil {
+				err = m.ComposeLandmarks(sk, ratings.UserID(src), dst)
+			} else {
+				err = m.PropagateExactInto(algo, ratings.UserID(src), dst)
+			}
+			if err != nil {
 				continue
 			}
 			for i, v := range dst {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"weboftrust"
 )
 
 const corpusDir = "../../scenarios"
@@ -73,5 +75,48 @@ func TestScenarioLoading(t *testing.T) {
 		Assert:  Assertions{MinPropagationInflation: map[string]float64{"pagerank": 0}}}
 	if err := bad.Validate(); err == nil {
 		t.Error("unknown algorithm in assertions passed validation")
+	}
+}
+
+// TestApproximateModeScenario pins that attack signals survive the
+// serving-tier approximations: the collusion-ring scenario still passes
+// its assertions when the models derive with percolation pruning and the
+// propagation-inflation metric is measured through 16-landmark sketch
+// composition (the `?approx=landmark` serving mode) — the same
+// configuration `make attack-smoke` replays.
+func TestApproximateModeScenario(t *testing.T) {
+	sc, err := LoadScenario(corpusDir + "/collusion-ring.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	r.DeriveOpts = append(r.DeriveOpts, weboftrust.WithPropagatePruneTau(0.10))
+	r.Landmarks = 16
+	res, err := r.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("approximate mode: %s", f)
+	}
+	if !res.Passed {
+		t.Error("collusion-ring fails under prune tau 0.10 + landmark measurement")
+	}
+	// The landmark-mode measurement must actually differ from the exact
+	// one somewhere — otherwise the mode flag is dead.
+	exact, err := NewRunner().Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, ar := range res.Attacks {
+		for algo, v := range ar.PropagationInflation {
+			if exact.Attacks[i].PropagationInflation[algo] != v {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("landmark-mode inflation identical to exact mode — approximation not exercised")
 	}
 }

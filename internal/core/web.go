@@ -43,6 +43,18 @@ type WebPolicy struct {
 	// (rows, generosity, the full graph) is unchanged. 0 disables
 	// pruning. Must be in [0, 1].
 	PruneTau float64
+	// WalkDepth, when positive, truncates propagation traversals to the
+	// BFS depth-ball of that radius around the source — the depth half
+	// of the truncated-walk approximation (Richters & Peixoto's
+	// percolation argument again: mass travelling beyond a short horizon
+	// has decayed too far to move a ranking). Like PruneTau it only
+	// shapes how the propagation algorithms traverse; the web artifact
+	// itself is unchanged. 0 disables the bound.
+	WalkDepth int
+	// WalkMassEps, when positive, drops walk tails whose carried trust
+	// mass has decayed to it or below — the mass half of the truncated
+	// walk. 0 disables the bound. Must not be negative or NaN.
+	WalkMassEps float64
 }
 
 // DefaultWebPolicy returns the paper's protocol: per-user top-k by
@@ -53,6 +65,9 @@ func DefaultWebPolicy() WebPolicy { return WebPolicy{Policy: PerUserTopK} }
 func (p WebPolicy) Validate() error {
 	if math.IsNaN(p.PruneTau) || p.PruneTau < 0 || p.PruneTau > 1 {
 		return fmt.Errorf("core: prune tau %v outside [0,1]", p.PruneTau)
+	}
+	if math.IsNaN(p.WalkMassEps) || p.WalkMassEps < 0 {
+		return fmt.Errorf("core: walk mass eps %v invalid", p.WalkMassEps)
 	}
 	switch p.Policy {
 	case PerUserTopK:
@@ -90,6 +105,12 @@ func (p WebPolicy) String() string {
 	}
 	if p.PruneTau > 0 {
 		s += fmt.Sprintf("+prune(tau=%g)", p.PruneTau)
+	}
+	if p.WalkDepth > 0 {
+		s += fmt.Sprintf("+walk(depth=%d)", p.WalkDepth)
+	}
+	if p.WalkMassEps > 0 {
+		s += fmt.Sprintf("+walk(eps=%g)", p.WalkMassEps)
 	}
 	return s
 }

@@ -1,0 +1,62 @@
+package propagation
+
+import "fmt"
+
+// Truncate bounds a propagation traversal: MaxDepth confines it to the
+// BFS depth-ball around the source (0 = unbounded) and MassEps drops
+// walk tails whose carried trust mass has decayed to MassEps or below
+// (0 = keep everything). Richters & Peixoto's percolation analysis is
+// the license for both: trust transitivity decays multiplicatively
+// along a chain, so mass that has decayed below a threshold — or that
+// must travel beyond a depth horizon to arrive — cannot move a ranking,
+// and a traversal that never generates it trades a small, test-pinned
+// score error for a proportionally smaller walk. The zero value
+// disables truncation entirely, and every algorithm's truncated
+// entry point takes the bitwise-identical code path in that case.
+type Truncate struct {
+	// MaxDepth confines the walk to nodes within this BFS depth of the
+	// source. 0 (or negative) means unbounded.
+	MaxDepth int
+	// MassEps drops trust parcels at or below this mass: Appleseed stops
+	// spreading energy parcels that have decayed to MassEps, MoleTrust
+	// and TidalTrust floor predicted values at or below it to zero. 0
+	// disables the bound. Must not be negative or NaN.
+	MassEps float64
+}
+
+// Enabled reports whether the truncation bounds anything.
+func (tr Truncate) Enabled() bool { return tr.MaxDepth > 0 || tr.MassEps > 0 }
+
+// Validate rejects a malformed truncation.
+func (tr Truncate) Validate() error {
+	if tr.MassEps != tr.MassEps || tr.MassEps < 0 {
+		return fmt.Errorf("%w: mass eps %v", ErrBadConfig, tr.MassEps)
+	}
+	return nil
+}
+
+// depthCap returns the effective horizon when an algorithm with its own
+// depth bound base (<= 0 = unbounded) composes with the truncation: the
+// tighter of the two.
+func (tr Truncate) depthCap(base int) int {
+	if tr.MaxDepth <= 0 {
+		return base
+	}
+	if base <= 0 || tr.MaxDepth < base {
+		return tr.MaxDepth
+	}
+	return base
+}
+
+// floorInPlace zeroes entries at or below eps — the shared mass floor of
+// the [0,1]-scaled algorithms. eps <= 0 leaves vec untouched.
+func floorInPlace(vec []float64, eps float64) {
+	if eps <= 0 {
+		return
+	}
+	for i, v := range vec {
+		if v <= eps {
+			vec[i] = 0
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package propagation
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"weboftrust/internal/graph"
+)
+
+// truncGraph builds a deterministic ~3-out-degree digraph large enough
+// for multi-hop walks to carry mass past any small depth horizon.
+func truncGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, 3*n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= 3; j++ {
+			v := (u*7 + j*j + 1) % n
+			if v == u {
+				continue
+			}
+			w := 0.2 + float64((u+5*j)%8)/10
+			edges = append(edges, graph.Edge{From: u, To: v, Weight: w})
+		}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTruncateValidate(t *testing.T) {
+	for _, tr := range []Truncate{{}, {MaxDepth: 3}, {MassEps: 0.01}, {MaxDepth: 1, MassEps: 1}} {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", tr, err)
+		}
+	}
+	for _, tr := range []Truncate{{MassEps: -0.1}, {MassEps: math.NaN()}} {
+		if err := tr.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadConfig", tr, err)
+		}
+	}
+}
+
+func TestTruncateDepthCap(t *testing.T) {
+	cases := []struct {
+		trDepth, base, want int
+	}{
+		{0, 0, 0},  // both unbounded
+		{0, 4, 4},  // truncation unbounded: algorithm's own bound wins
+		{3, 0, 3},  // algorithm unbounded: truncation wins
+		{3, 5, 3},  // tighter truncation wins
+		{5, 3, 3},  // tighter native bound wins
+		{-1, 4, 4}, // negative = unbounded
+	}
+	for _, c := range cases {
+		if got := (Truncate{MaxDepth: c.trDepth}).depthCap(c.base); got != c.want {
+			t.Errorf("Truncate{MaxDepth:%d}.depthCap(%d) = %d, want %d", c.trDepth, c.base, got, c.want)
+		}
+	}
+}
+
+// TestZeroTruncateBitwise pins the contract that the zero Truncate takes
+// the bitwise-identical code path: every algorithm's truncated entry
+// point with Truncate{} returns exactly what the plain entry point does.
+func TestZeroTruncateBitwise(t *testing.T) {
+	g := truncGraph(t, 40)
+	as, mt, tt := DefaultAppleseed(), DefaultMoleTrust(), TidalTrust{MaxDepth: 4}
+	for src := 0; src < 40; src += 7 {
+		plain, err := as.Rank(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc, err := as.RankTruncated(g, src, Truncate{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain {
+			if plain[i] != trunc[i] {
+				t.Fatalf("appleseed(%d)[%d]: %v != %v with zero Truncate", src, i, plain[i], trunc[i])
+			}
+		}
+		plain, err = mt.Rank(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc, err = mt.RankTruncated(g, src, Truncate{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain {
+			if plain[i] != trunc[i] {
+				t.Fatalf("moletrust(%d)[%d]: %v != %v with zero Truncate", src, i, plain[i], trunc[i])
+			}
+		}
+		pr := tt.InferAll(g, src)
+		tr := tt.InferAllTruncated(g, src, Truncate{})
+		for i := range pr {
+			if pr[i] != tr[i] {
+				t.Fatalf("tidaltrust(%d)[%d]: %+v != %+v with zero Truncate", src, i, pr[i], tr[i])
+			}
+		}
+	}
+}
+
+// TestTruncateDepthConfinesWalk pins the depth bound: with MaxDepth d,
+// no node beyond BFS depth d of the source scores nonzero, under any of
+// the three algorithms.
+func TestTruncateDepthConfinesWalk(t *testing.T) {
+	g := truncGraph(t, 40)
+	const d = 2
+	tr := Truncate{MaxDepth: d}
+	depth := g.BFSDepths(3, -1)
+	check := func(algo string, vec []float64) {
+		t.Helper()
+		for v, s := range vec {
+			if s != 0 && v != 3 && (depth[v] < 0 || depth[v] > d) {
+				t.Errorf("%s: node %v at depth %d scored %v beyond horizon %d", algo, v, depth[v], s, d)
+			}
+		}
+	}
+	asv, err := DefaultAppleseed().RankTruncated(g, 3, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("appleseed", asv)
+	mtv, err := (MoleTrust{MaxDepth: 10, Threshold: 0.1}).RankTruncated(g, 3, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("moletrust", mtv)
+	ttv := (TidalTrust{}).InferAllTruncated(g, 3, tr)
+	for v, r := range ttv {
+		if r.OK && v != 3 && (depth[v] < 0 || depth[v] > d) {
+			t.Errorf("tidaltrust: node %v at depth %d answered %v beyond horizon %d", v, depth[v], r.Value, d)
+		}
+	}
+}
+
+// TestTruncateMassEpsFloors pins the mass bound: no served score lands
+// in (0, eps] — tails at or below the floor are exactly zero — and the
+// source keeps its self-trust entry where the algorithm defines one.
+func TestTruncateMassEpsFloors(t *testing.T) {
+	g := truncGraph(t, 40)
+	const eps = 0.05
+	tr := Truncate{MassEps: eps}
+	mtv, err := DefaultMoleTrust().RankTruncated(g, 3, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtv[3] != 1 {
+		t.Errorf("moletrust floored the source's self-trust: %v", mtv[3])
+	}
+	for v, s := range mtv {
+		if v != 3 && s > 0 && s <= eps {
+			t.Errorf("moletrust[%d] = %v inside (0, %v]", v, s, eps)
+		}
+	}
+	ttv := (TidalTrust{MaxDepth: 4}).InferAllTruncated(g, 3, tr)
+	for v, r := range ttv {
+		if r.OK && r.Value <= eps {
+			t.Errorf("tidaltrust[%d] = %v OK inside (0, %v]", v, r.Value, eps)
+		}
+		if !r.OK && r.Value != 0 {
+			t.Errorf("tidaltrust[%d] floored to not-OK but kept value %v", v, r.Value)
+		}
+	}
+	// Appleseed's eps drops parcels, not output scores, so just pin that
+	// the truncated walk deposits no more total energy than the exact one
+	// and stays nonnegative.
+	asv, err := DefaultAppleseed().RankTruncated(g, 3, Truncate{MassEps: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := DefaultAppleseed().Rank(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumT, sumE float64
+	for v := range asv {
+		if asv[v] < 0 {
+			t.Fatalf("appleseed[%d] = %v negative under truncation", v, asv[v])
+		}
+		sumT += asv[v]
+		sumE += exact[v]
+	}
+	if sumT > sumE+1e-9 {
+		t.Errorf("appleseed truncated deposited %v energy, exact %v — truncation created mass", sumT, sumE)
+	}
+}
+
+func TestSelectLandmarks(t *testing.T) {
+	rank := []float64{0.1, 0.5, 0, 0.5, 0.9, 0.05}
+	got := SelectLandmarks(rank, 4)
+	want := []int32{4, 1, 3, 0} // score desc, id asc on the 0.5 tie
+	if len(got) != len(want) {
+		t.Fatalf("SelectLandmarks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelectLandmarks = %v, want %v", got, want)
+		}
+	}
+	// Zero-rank nodes are never selected even when l exceeds the supply.
+	if got := SelectLandmarks(rank, 10); len(got) != 5 {
+		t.Errorf("SelectLandmarks over-asked = %v, want the 5 nonzero-rank nodes", got)
+	}
+	if got := SelectLandmarks(rank, 0); got != nil {
+		t.Errorf("SelectLandmarks(_, 0) = %v, want nil", got)
+	}
+}
+
+// TestSketchComposeBasics pins the composition contract on a graph small
+// enough to reason about: the direct frontier appears, a landmark's
+// vector is gated by the source's best path into it, and the source
+// never ranks itself.
+func TestSketchComposeBasics(t *testing.T) {
+	// 0 -> 1 (0.8), 1 -> 2 (0.5), 2 -> 3 (0.9). Landmark: node 1.
+	g := mustGraph(t, 4, []graph.Edge{
+		{From: 0, To: 1, Weight: 0.8},
+		{From: 1, To: 2, Weight: 0.5},
+		{From: 2, To: 3, Weight: 0.9},
+	})
+	lvec, err := DefaultMoleTrust().Rank(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvec[1] = 0
+	sk := Sketch{IDs: []int32{1}, Vecs: [][]float64{lvec}}
+	dst := make([]float64, 4)
+	if err := sk.Compose(g, 0, UnitFrontier, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0 {
+		t.Errorf("compose ranked the source itself: %v", dst[0])
+	}
+	if dst[1] != 0.8 {
+		t.Errorf("direct frontier dst[1] = %v, want 0.8", dst[1])
+	}
+	// Node 2 is visible only through the landmark: gate (direct edge 0.8)
+	// times the landmark's trust in 2.
+	if want := 0.8 * lvec[2]; math.Abs(dst[2]-want) > 1e-12 {
+		t.Errorf("through-landmark dst[2] = %v, want %v", dst[2], want)
+	}
+	// A landmark the source cannot reach within 2 hops contributes nothing.
+	sk2 := Sketch{IDs: []int32{3}, Vecs: [][]float64{{0.1, 0.2, 0.3, 0}}}
+	dst2 := make([]float64, 4)
+	if err := sk2.Compose(g, 0, UnitFrontier, dst2); err != nil {
+		t.Fatal(err)
+	}
+	for v := 2; v < 4; v++ {
+		if dst2[v] != 0 {
+			t.Errorf("unreachable landmark leaked mass: dst[%d] = %v", v, dst2[v])
+		}
+	}
+	if err := sk.Compose(g, 0, UnitFrontier, make([]float64, 3)); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := sk.Compose(g, 9, UnitFrontier, dst); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

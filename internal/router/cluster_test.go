@@ -175,6 +175,11 @@ func TestClusterMatchesUnsharded(t *testing.T) {
 						fmt.Sprintf("/v1/trust?from=%d&to=%d", u, (u+1)%numU),
 						fmt.Sprintf("/v1/neighbors?user=%d", u),
 						fmt.Sprintf("/v1/propagate?algo=%s&user=%d&k=5", algos[(u/101)%3], u),
+						// The landmark approximation must route byte-identically
+						// too: the selection derives from the replicated rank
+						// chain and the sketches from the shared global graph, so
+						// shard and reference compose the same answer.
+						fmt.Sprintf("/v1/propagate?algo=%s&user=%d&k=5&approx=landmark", algos[(u/101+1)%3], u),
 						fmt.Sprintf("/v1/rank?user=%d", u),
 						fmt.Sprintf("/v1/anomaly?user=%d", u),
 					)
@@ -191,6 +196,11 @@ func TestClusterMatchesUnsharded(t *testing.T) {
 					// refreshed bit-identically across swaps on every shard.
 					"/v1/anomaly/top?k=10",
 					"/v1/propagate?algo=appleseed&user=0&k=5&exact=1",
+					// Approximation-mode error paths proxy byte-identically:
+					// unknown mode and the exact/approx conflict are both 400s
+					// from the owning shard.
+					"/v1/propagate?algo=appleseed&user=0&k=5&approx=bogus",
+					"/v1/propagate?algo=appleseed&user=0&k=5&approx=landmark&exact=1",
 					// Error paths must proxy byte-identically too: out of
 					// range (404 from whichever shard it hashes to) and
 					// unparsable (400 from the rotating fallback shard).

@@ -31,7 +31,24 @@ const (
 	// the exact propagate kinds — propagateAlgo's arithmetic never sees it
 	// because fillScore handles it explicitly.
 	kindAnomalyTop
+	// The landmark propagate kinds answer ?approx=landmark: the O(L·U)
+	// sketch composition instead of a traversal. Keep them contiguous and
+	// in the same algorithm order; like kindAnomalyTop they are handled
+	// explicitly by fillScore, never by propagateAlgo's arithmetic, and
+	// migrateCache always drops them (the landmark selection itself moves
+	// with the rank vector, so no taint argument proves them stable).
+	kindAppleseedLandmark
+	kindMoleTrustLandmark
+	kindTidalTrustLandmark
 )
+
+// isPropagateKind reports whether the kind is a propagation family —
+// pruned, exact or landmark — the families heat tracking and swap-time
+// precompute apply to.
+func isPropagateKind(k resultKind) bool {
+	return (k >= kindAppleseed && k <= kindTidalTrustExact) ||
+		(k >= kindAppleseedLandmark && k <= kindTidalTrustLandmark)
+}
 
 // resultKey identifies one ranked answer: the result family, the source
 // user and the k it was ranked at.
@@ -62,6 +79,10 @@ type resultCache struct {
 type resultEntry struct {
 	key    resultKey
 	ranked []core.Ranked
+	// prewarmed marks an entry inserted by the swap-time precompute
+	// engine rather than a served miss; the first hit on one is a query
+	// that skipped a traversal it would otherwise have paid.
+	prewarmed bool
 }
 
 // rankedSize is the in-memory size of one core.Ranked (a 4-byte UserID
@@ -87,16 +108,21 @@ func newResultCache(capacity int, maxBytes int64) *resultCache {
 }
 
 // get returns the cached ranked result for key, marking it most recently
-// used.
-func (c *resultCache) get(key resultKey) ([]core.Ranked, bool) {
+// used. prewarmed reports that this hit is the FIRST on an entry the
+// swap-time precompute engine inserted — a traversal the query skipped —
+// and is consumed: later hits on the same entry are ordinary cache hits.
+func (c *resultCache) get(key resultKey) (ranked []core.Ranked, prewarmed, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.m[key]
-	if !ok {
-		return nil, false
+	el, found := c.m[key]
+	if !found {
+		return nil, false, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*resultEntry).ranked, true
+	e := el.Value.(*resultEntry)
+	prewarmed = e.prewarmed
+	e.prewarmed = false
+	return e.ranked, prewarmed, true
 }
 
 // put inserts a ranked result for key, evicting least recently used
@@ -106,6 +132,16 @@ func (c *resultCache) get(key resultKey) ([]core.Ranked, bool) {
 // the result cache exists to remove. The caller must not modify ranked
 // afterwards.
 func (c *resultCache) put(key resultKey, ranked []core.Ranked) {
+	c.insert(key, ranked, false)
+}
+
+// putPrewarmed is put for the swap-time precompute engine: the entry is
+// marked so its first hit can be attributed to pre-warming.
+func (c *resultCache) putPrewarmed(key resultKey, ranked []core.Ranked) {
+	c.insert(key, ranked, true)
+}
+
+func (c *resultCache) insert(key resultKey, ranked []core.Ranked, prewarmed bool) {
 	if c.cap <= 0 {
 		return
 	}
@@ -116,10 +152,11 @@ func (c *resultCache) put(key resultKey, ranked []core.Ranked) {
 		e := el.Value.(*resultEntry)
 		c.bytes += entryBytes(ranked) - entryBytes(e.ranked)
 		e.ranked = ranked
+		e.prewarmed = prewarmed
 		c.evictOver(el)
 		return
 	}
-	el := c.ll.PushFront(&resultEntry{key: key, ranked: ranked})
+	el := c.ll.PushFront(&resultEntry{key: key, ranked: ranked, prewarmed: prewarmed})
 	c.m[key] = el
 	c.bytes += entryBytes(ranked)
 	c.evictOver(el)

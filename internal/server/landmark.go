@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weboftrust"
+)
+
+// DefaultLandmarks is the landmark-hub count when Options.Landmarks is 0.
+// Sketches cost one full propagation per landmark per algorithm to build
+// and O(L·U) memory to hold, so the default stays small; selection takes
+// the top warm-rank hubs, which carry most propagation mass (Pavlovic),
+// so returns diminish quickly beyond a handful.
+const DefaultLandmarks = 16
+
+// landmarkState is a state's landmark sketches: the L top-ranked hubs'
+// full propagation vectors, one set per algorithm, backing the
+// `?approx=landmark` serving mode. Like rankState and anomalyState, root
+// states build lazily on first use — the L full traversals stay off the
+// boot path — while parent-matched swaps eagerly refresh any sketch the
+// predecessor had built, carrying every landmark vector the taint
+// invariant proves unchanged (see Server.refreshLandmarks). The landmark
+// selection re-derives from the new state's warm rank vector at every
+// swap, so it — and therefore every served sketch — is a pure function
+// of the swap history, byte-identical across replicas with the same
+// cadence.
+type landmarkState struct {
+	// count is the configured landmark count; 0 disables the mode (the
+	// `?approx=landmark` queries answer 400).
+	count   int
+	idsOnce sync.Once
+	idsDone atomic.Bool
+	idsFn   func() []int32
+	ids     []int32
+	// algos holds one lazily-or-eagerly built sketch per PropagationAlgo.
+	algos [3]algoSketch
+}
+
+// algoSketch is one algorithm's sketch with the shared lazy/eager
+// lifecycle: compute runs at most once; done lets peek observe without
+// forcing.
+type algoSketch struct {
+	once    sync.Once
+	done    atomic.Bool
+	compute func() *weboftrust.LandmarkSketch
+	sk      *weboftrust.LandmarkSketch
+}
+
+func (as *algoSketch) get() *weboftrust.LandmarkSketch {
+	as.once.Do(func() {
+		if as.compute != nil {
+			as.sk = as.compute()
+			as.compute = nil
+		}
+		as.done.Store(true)
+	})
+	return as.sk
+}
+
+// peek returns the sketch only if already built — swaps refresh built
+// sketches but never force unbuilt ones, and the metrics scrape forces
+// nothing.
+func (as *algoSketch) peek() (*weboftrust.LandmarkSketch, bool) {
+	if !as.done.Load() {
+		return nil, false
+	}
+	return as.sk, true
+}
+
+// landmarkIDs returns the state's landmark selection, deriving it from
+// the state's rank vector on first use.
+func (ls *landmarkState) landmarkIDs() []int32 {
+	ls.idsOnce.Do(func() {
+		if ls.idsFn != nil {
+			ls.ids = ls.idsFn()
+			ls.idsFn = nil
+		}
+		ls.idsDone.Store(true)
+	})
+	return ls.ids
+}
+
+// peekIDs returns the selection only if something has already derived it.
+func (ls *landmarkState) peekIDs() ([]int32, bool) {
+	if !ls.idsDone.Load() {
+		return nil, false
+	}
+	return ls.ids, true
+}
+
+// landmarkCount resolves Options.Landmarks: 0 means the default,
+// negative disables.
+func (s *Server) landmarkCount() int {
+	if s.opts.Landmarks < 0 {
+		return 0
+	}
+	if s.opts.Landmarks == 0 {
+		return DefaultLandmarks
+	}
+	return s.opts.Landmarks
+}
+
+// lazyLandmarks builds the cold-path landmark state for st: the
+// selection derives from st's rank vector on first use (forcing the
+// cold rank solve if nobody has), and each algorithm's sketch builds on
+// its first `?approx=landmark` query.
+func (s *Server) lazyLandmarks(st *state) *landmarkState {
+	ls := &landmarkState{count: s.landmarkCount()}
+	if ls.count == 0 {
+		return ls
+	}
+	model := st.model
+	ls.idsFn = func() []int32 {
+		vec, _ := st.rank.get()
+		return weboftrust.SelectLandmarkIDs(vec, ls.count)
+	}
+	for a := range ls.algos {
+		algo := weboftrust.PropagationAlgo(a)
+		as := &ls.algos[a]
+		as.compute = func() *weboftrust.LandmarkSketch {
+			start := time.Now()
+			sk, err := model.BuildLandmarkSketch(algo, ls.landmarkIDs())
+			if err != nil {
+				// The ids are range-checked by selection and the algo is
+				// one of ours; an error is a broken invariant.
+				panic(fmt.Sprintf("server: landmark sketch %v: %v", algo, err))
+			}
+			s.metrics.landmarkBuilds.Add(1)
+			s.metrics.landmarkRefreshNanos.Add(time.Since(start).Nanoseconds())
+			return sk
+		}
+	}
+	return ls
+}
+
+// refreshLandmarks eagerly advances the predecessor's built sketches
+// into st across a parent-matched swap, on the ingest goroutine: the
+// selection re-derives from st's (already warm-refreshed) rank vector,
+// untainted still-selected landmark vectors carry over by reference, and
+// only the rest recompute. Sketches the predecessor never built stay
+// lazy — a swap must not force traversals nobody asked for. A refresh
+// failure just leaves that sketch lazy (the query path rebuilds cold).
+func (s *Server) refreshLandmarks(st, prev *state, tainted []bool) {
+	ls := st.landmarks
+	if ls.count == 0 || prev.landmarks == nil {
+		return
+	}
+	for a := range ls.algos {
+		prevSk, ok := prev.landmarks.algos[a].peek()
+		if !ok || prevSk == nil {
+			continue
+		}
+		start := time.Now()
+		sk, err := st.model.RefreshLandmarkSketch(prevSk, weboftrust.PropagationAlgo(a), ls.landmarkIDs(), tainted)
+		if err != nil {
+			continue
+		}
+		as := &ls.algos[a]
+		as.sk = sk
+		as.compute = nil
+		as.once.Do(func() {})
+		as.done.Store(true)
+		s.metrics.landmarkRefreshes.Add(1)
+		s.metrics.landmarkRefreshNanos.Add(time.Since(start).Nanoseconds())
+	}
+}

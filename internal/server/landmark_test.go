@@ -1,0 +1,197 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"weboftrust"
+	"weboftrust/internal/core"
+)
+
+func TestPropagateApproxParamValidation(t *testing.T) {
+	srv, _, _ := openServer(t)
+	h := srv.Handler()
+	for _, url := range []string{
+		"/v1/propagate?algo=appleseed&user=3&approx=bogus",
+		"/v1/propagate?algo=appleseed&user=3&approx=landmark&exact=1",
+	} {
+		if rec := get(t, h, url); rec.Code != 400 {
+			t.Errorf("%s: %d, want 400 (%s)", url, rec.Code, rec.Body.String())
+		}
+	}
+	// A server with landmarks disabled rejects the mode outright.
+	path, _ := writeLogFile(t)
+	off, _, err := Open(path, time.Hour, Options{Landmarks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, off.Handler(), "/v1/propagate?algo=appleseed&user=3&approx=landmark")
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "disabled") {
+		t.Errorf("disabled server: %d %s, want 400 disabled", rec.Code, rec.Body.String())
+	}
+}
+
+// TestLandmarkApproxMatchesFacade pins the serving contract of
+// `?approx=landmark`: the response is exactly the ranked head of the
+// model facade's ComposeLandmarks over the state's own sketch, the body
+// names the mode, and repeats are cache hits.
+func TestLandmarkApproxMatchesFacade(t *testing.T) {
+	srv, _, d := openServer(t)
+	h := srv.Handler()
+	model, _, _ := srv.Current()
+	st := srv.cur.Load()
+	for _, tc := range []struct {
+		algoName string
+		algo     weboftrust.PropagationAlgo
+	}{
+		{"appleseed", weboftrust.PropagateAppleseed},
+		{"moletrust", weboftrust.PropagateMoleTrust},
+		{"tidaltrust", weboftrust.PropagateTidalTrust},
+	} {
+		rec := get(t, h, "/v1/propagate?algo="+tc.algoName+"&user=3&k=8&approx=landmark")
+		if rec.Code != 200 {
+			t.Fatalf("%s: %d %s", tc.algoName, rec.Code, rec.Body.String())
+		}
+		resp := decode[PropagateResponse](t, rec)
+		if resp.Approx != "landmark" {
+			t.Errorf("%s: approx field %q, want landmark", tc.algoName, resp.Approx)
+		}
+		sk := st.landmarks.algos[tc.algo].get()
+		dst := make([]float64, d.NumUsers())
+		if err := model.ComposeLandmarks(sk, 3, dst); err != nil {
+			t.Fatal(err)
+		}
+		want := core.RankRow(dst, 8)
+		if len(resp.Results) != len(want) {
+			t.Fatalf("%s: served %d results, facade %d", tc.algoName, len(resp.Results), len(want))
+		}
+		for i, rk := range want {
+			if resp.Results[i].User != int(rk.User) || resp.Results[i].Score != rk.Score {
+				t.Errorf("%s[%d] = %+v, want {%d %v}", tc.algoName, i, resp.Results[i], rk.User, rk.Score)
+			}
+		}
+	}
+	// The landmark selection is the deterministic rule over the state's
+	// rank vector.
+	vec, _ := st.rank.get()
+	want := weboftrust.SelectLandmarkIDs(vec, DefaultLandmarks)
+	got := st.landmarks.landmarkIDs()
+	if len(got) != len(want) {
+		t.Fatalf("selection %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selection %v, want %v", got, want)
+		}
+	}
+	// Repeats of a landmark query hit the cache, not the composition.
+	before := srv.metrics.propagateComputes.Load()
+	if rec := get(t, h, "/v1/propagate?algo=appleseed&user=3&k=8&approx=landmark"); rec.Code != 200 {
+		t.Fatal("repeat failed")
+	}
+	if got := srv.metrics.propagateComputes.Load(); got != before {
+		t.Errorf("repeat landmark query recomputed: %d -> %d", before, got)
+	}
+}
+
+// TestLandmarkRefreshAcrossSwap pins the sketch lifecycle: a sketch the
+// predecessor built is eagerly refreshed at an incremental swap (no
+// query-path rebuild), sketches nobody asked for stay lazy, cached
+// landmark answers are dropped, and the refreshed sketch serves exactly
+// what a fresh facade composition over the new model produces.
+func TestLandmarkRefreshAcrossSwap(t *testing.T) {
+	path, d := writeLogFile(t)
+	srv, tailer, err := Open(path, time.Hour, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	const url = "/v1/propagate?algo=appleseed&user=3&k=8&approx=landmark"
+	if rec := get(t, h, url); rec.Code != 200 {
+		t.Fatalf("cold landmark query: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := srv.metrics.landmarkBuilds.Load(); got != 1 {
+		t.Fatalf("landmark builds = %d, want 1", got)
+	}
+
+	appendEvents(t, path, taintBatch(d, 0))
+	if n, err := tailer.Poll(); err != nil || n == 0 {
+		t.Fatalf("poll: n=%d err=%v", n, err)
+	}
+	if got := srv.metrics.landmarkRefreshes.Load(); got != 1 {
+		t.Fatalf("landmark refreshes = %d, want 1 (appleseed was built)", got)
+	}
+	st := srv.cur.Load()
+	if _, ok := st.landmarks.algos[weboftrust.PropagateAppleseed].peek(); !ok {
+		t.Fatal("refreshed appleseed sketch not installed eagerly")
+	}
+	for _, algo := range []weboftrust.PropagationAlgo{weboftrust.PropagateMoleTrust, weboftrust.PropagateTidalTrust} {
+		if _, ok := st.landmarks.algos[algo].peek(); ok {
+			t.Errorf("swap force-built the %v sketch nobody queried", algo)
+		}
+	}
+	// Landmark cache entries never carry across a swap: the selection
+	// moved with the rank vector, so the post-swap query recomputes the
+	// composition (one compute, not a traversalful).
+	numU := srv.cur.Load().model.Dataset().NumUsers()
+	if _, _, ok := st.results.get(resultKey{kind: kindAppleseedLandmark, user: 3, k: cacheK(8, numU)}); ok {
+		t.Error("landmark cache entry survived the swap")
+	}
+	builds := srv.metrics.landmarkBuilds.Load()
+	rec := get(t, h, url)
+	if rec.Code != 200 {
+		t.Fatalf("post-swap landmark query: %d %s", rec.Code, rec.Body.String())
+	}
+	if got := srv.metrics.landmarkBuilds.Load(); got != builds {
+		t.Errorf("post-swap query rebuilt the sketch: builds %d -> %d", builds, got)
+	}
+	resp := decode[PropagateResponse](t, rec)
+	newModel, _, _ := srv.Current()
+	sk := st.landmarks.algos[weboftrust.PropagateAppleseed].get()
+	dst := make([]float64, numU)
+	if err := newModel.ComposeLandmarks(sk, 3, dst); err != nil {
+		t.Fatal(err)
+	}
+	want := core.RankRow(dst, 8)
+	for i, rk := range want {
+		if resp.Results[i].User != int(rk.User) || resp.Results[i].Score != rk.Score {
+			t.Errorf("post-swap[%d] = %+v, want {%d %v}", i, resp.Results[i], rk.User, rk.Score)
+		}
+	}
+	// The refreshed sketch agrees with a from-scratch build on the new
+	// model under the new selection — the taint carry changed nothing.
+	fresh, err := newModel.BuildLandmarkSketch(weboftrust.PropagateAppleseed, st.landmarks.landmarkIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.Landmarks() {
+		fv, rv := fresh.Vector(i), sk.Vector(i)
+		if len(fv) != len(rv) {
+			t.Fatalf("landmark %d: refreshed len %d, fresh len %d", i, len(rv), len(fv))
+		}
+		for v := range fv {
+			if fv[v] != rv[v] {
+				t.Fatalf("landmark %d vec[%d]: refreshed %v, fresh %v — carry broke bitwise identity",
+					i, v, rv[v], fv[v])
+			}
+		}
+	}
+
+	// Metrics: the gauge reports the derived selection size.
+	body := get(t, h, "/metrics").Body.String()
+	for _, name := range []string{
+		"trustd_landmark_builds_total",
+		"trustd_landmark_refreshes_total",
+		"trustd_landmark_refresh_seconds",
+		"trustd_landmark_count",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	stats := decode[StatsResponse](t, get(t, h, "/v1/stats"))
+	if stats.Precompute == nil || stats.Precompute.Landmarks == 0 {
+		t.Errorf("stats landmark block = %+v", stats.Precompute)
+	}
+}

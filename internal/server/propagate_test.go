@@ -359,5 +359,18 @@ func TestPropagateKindAlgoMapping(t *testing.T) {
 		if algo.String() != name || !exact {
 			t.Errorf("kind %d maps to algo %q exact=%v, want %q exact=true", exKind, algo, exact, name)
 		}
+		// So do the landmark kinds (handled by fillScore directly, never
+		// by propagateAlgo's arithmetic — but the offset math in
+		// handlePropagate and fillScore relies on the same order).
+		lmKind := kindAppleseedLandmark + (kind - kindAppleseed)
+		if lmAlgo := weboftrust.PropagationAlgo(lmKind - kindAppleseedLandmark); lmAlgo.String() != name {
+			t.Errorf("landmark kind %d maps to algo %q, want %q", lmKind, lmAlgo, name)
+		}
+		if !isPropagateKind(kind) || !isPropagateKind(exKind) || !isPropagateKind(lmKind) {
+			t.Errorf("propagate-family kinds %d/%d/%d not recognised by isPropagateKind", kind, exKind, lmKind)
+		}
+	}
+	if isPropagateKind(kindTopK) || isPropagateKind(kindAnomalyTop) {
+		t.Error("isPropagateKind claims a non-propagate kind")
 	}
 }

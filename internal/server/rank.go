@@ -116,31 +116,35 @@ func taintedUsers(g *graph.Graph, dirty []bool) []bool {
 // have changed from the predecessor state into the fresh one. A top-k
 // entry survives when its source row is clean (non-dirty rows are shared
 // with the parent by reference, and new users only ever append
-// zero-valued cells a ranking truncates anyway); a propagate entry
-// survives when its source is untainted under taintedUsers. Entries are
+// zero-valued cells a ranking truncates anyway); a traversal-computed
+// propagate entry survives when its source is untainted under the
+// caller-supplied taint set (taintedUsers over the predecessor graph; nil
+// when that graph was never built, dropping them all). Entries are
 // re-inserted oldest-first so the new cache preserves the old recency
 // order, and the migrated slices are shared — both caches treat entries
 // as immutable.
-func (s *Server) migrateCache(st, prev *state, dirty []bool) {
+func (s *Server) migrateCache(st, prev *state, dirty, tainted []bool) {
 	entries := prev.results.snapshot()
 	if len(entries) == 0 {
 		return
-	}
-	var tainted []bool
-	if prevWeb, ok := prev.model.WebOfTrustBuilt(); ok {
-		tainted = taintedUsers(prevWeb.Graph(), dirty)
 	}
 	kept := 0
 	for _, e := range entries {
 		u := int(e.key.user)
 		var keep bool
-		switch e.key.kind {
-		case kindTopK:
+		switch {
+		case e.key.kind == kindTopK:
 			keep = u < len(dirty) && !dirty[u]
-		case kindAnomalyTop:
+		case e.key.kind == kindAnomalyTop:
 			// Anomaly scores move with any delta (new ratings shift category
 			// means community-wide); the leaderboard is recut from the eagerly
 			// refreshed vector on the next query instead of proven stable.
+			keep = false
+		case e.key.kind >= kindAppleseedLandmark:
+			// Landmark answers depend on the landmark SELECTION (which moves
+			// with the rank vector every swap), not just the source's
+			// neighborhood, so no taint argument proves them stable; the
+			// composition is cheap enough to recompute on the next query.
 			keep = false
 		default:
 			keep = tainted != nil && u < len(tainted) && !tainted[u]

@@ -57,6 +57,10 @@ type state struct {
 	// anomaly is the state's per-user suspicion scores, with the same
 	// lazy-cold / eager-incremental lifecycle as rank.
 	anomaly *anomalyState
+	// landmarks is the state's landmark sketches for the
+	// `?approx=landmark` propagation mode, with the same lazy-cold /
+	// eager-incremental lifecycle.
+	landmarks *landmarkState
 }
 
 // Options tunes a Server. The zero value uses the defaults.
@@ -77,6 +81,17 @@ type Options struct {
 	// (/v1/stats, /v1/graph/stats, /healthz, /readyz, /metrics) are never
 	// shed, so operators can see INTO an overloaded server.
 	MaxInFlight int
+	// PrecomputeBudget is the wall-clock the ingest goroutine may spend
+	// per incremental swap recomputing hot tainted sources' propagation
+	// vectors into the result cache pre-warmed (the propagation
+	// precompute engine; see precompute.go). 0 (the default) disables
+	// swap-time precompute.
+	PrecomputeBudget time.Duration
+	// Landmarks is the landmark-hub count for the `?approx=landmark`
+	// propagation mode: the top-Landmarks warm-rank nodes' full
+	// propagation vectors are sketched (lazily) and composed per query.
+	// 0 means DefaultLandmarks; negative disables the mode.
+	Landmarks int
 }
 
 // DefaultCacheResults is the result-cache bound when Options.CacheResults
@@ -115,6 +130,10 @@ type Server struct {
 	// inflight tracks admitted compute queries for the MaxInFlight bound
 	// (and the trustd_inflight gauge).
 	inflight atomic.Int64
+	// heat tracks per-key propagation query heat across swaps for the
+	// precompute engine; it outlives individual states deliberately (the
+	// working set is a property of the traffic, not of one model).
+	heat *heatTracker
 	// computeGate, when non-nil, runs on the leader goroutine right
 	// before a row computation. Test hook: the singleflight test parks
 	// the leader here until every concurrent request has registered.
@@ -168,6 +187,19 @@ type metrics struct {
 	// incremental swap-time refreshes.
 	anomalyComputes  atomic.Int64
 	anomalyRefreshes atomic.Int64
+	// Propagation precompute engine: swaps that ran a precompute pass,
+	// vectors pre-warmed into the cache, passes that ran out of budget
+	// with hot work remaining, and cache hits served off a pre-warmed
+	// entry (first hit per entry — traversals actually skipped).
+	precomputeRuns            atomic.Int64
+	precomputeVectors         atomic.Int64
+	precomputeBudgetExhausted atomic.Int64
+	prewarmHits               atomic.Int64
+	// Landmark sketches: cold builds, eager swap-time refreshes, and the
+	// cumulative wall-clock both spend.
+	landmarkBuilds       atomic.Int64
+	landmarkRefreshes    atomic.Int64
+	landmarkRefreshNanos atomic.Int64
 	// Robustness instrumentation: compute queries shed with 429 under the
 	// in-flight bound, and tail polls that failed transiently (log
 	// temporarily unreadable) and were retried with backoff instead of
@@ -206,7 +238,7 @@ func New(model *weboftrust.TrustModel, offset int64, opts Options) *Server {
 	if opts.CacheBytes == 0 {
 		opts.CacheBytes = DefaultCacheBytes
 	}
-	s := &Server{opts: opts, start: time.Now()}
+	s := &Server{opts: opts, start: time.Now(), heat: newHeatTracker()}
 	s.cur.Store(s.newState(model, offset, 1, nil))
 	return s
 }
@@ -223,7 +255,7 @@ func NewPending(opts Options) *Server {
 	if opts.CacheBytes == 0 {
 		opts.CacheBytes = DefaultCacheBytes
 	}
-	return &Server{opts: opts, start: time.Now()}
+	return &Server{opts: opts, start: time.Now(), heat: newHeatTracker()}
 }
 
 // SetReadyTarget sets the event-log offset the served state must reach
@@ -251,11 +283,13 @@ func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version ui
 	st.anomaly = s.lazyAnomaly(model)
 	if prev == nil || prev.model == nil ||
 		model.ParentID() == 0 || model.ParentID() != prev.model.ID() {
+		st.landmarks = s.lazyLandmarks(st)
 		s.metrics.graphDeltaRows.Store(-1)
 		return st
 	}
 	dirty := model.DirtyUsers()
 	if dirty == nil {
+		st.landmarks = s.lazyLandmarks(st)
 		s.metrics.graphDeltaRows.Store(-1)
 		return st
 	}
@@ -278,7 +312,23 @@ func (s *Server) newState(model *weboftrust.TrustModel, offset int64, version ui
 	// Same chain for anomaly scores: force the predecessor's, advance
 	// them over the delta (bit-identical to a cold pass).
 	st.anomaly = s.refreshAnomaly(model, prev, dirty)
-	s.migrateCache(st, prev, dirty)
+	// The taint set — every source whose propagation result may have
+	// changed — drives the cache carry-over, the landmark refresh AND the
+	// precompute pass below, so compute it once. landmarks is created
+	// after rank is finalised: its lazy selection reads st.rank at call
+	// time, which on this path is the already-warm vector.
+	st.landmarks = s.lazyLandmarks(st)
+	var tainted []bool
+	if prevWeb, ok := prev.model.WebOfTrustBuilt(); ok {
+		tainted = taintedUsers(prevWeb.Graph(), dirty)
+	}
+	s.refreshLandmarks(st, prev, tainted)
+	s.migrateCache(st, prev, dirty, tainted)
+	// Precompute last: it must see the carried-over entries so it spends
+	// its budget only on hot sources the taint drop actually evicted.
+	if s.opts.PrecomputeBudget > 0 {
+		s.precompute(st, s.opts.PrecomputeBudget)
+	}
 	return st
 }
 
@@ -296,6 +346,10 @@ func (s *Server) Swap(model *weboftrust.TrustModel, offset int64) {
 	if prev != nil {
 		version = prev.version + 1
 	}
+	// Fold the since-last-swap query counts into the heat EWMA before
+	// building the state, so the precompute pass ranks sources by the
+	// freshest traffic.
+	s.heat.fold()
 	s.cur.Store(s.newState(model, offset, version, prev))
 	s.metrics.swaps.Add(1)
 	s.metrics.lastSwapNanos.Store(time.Now().UnixNano())
@@ -349,6 +403,16 @@ func (s *Server) fillScore(st *state, kind resultKind, u ratings.UserID, dst []f
 		// One global vector (u is always 0); no self-exclusion — user 0's
 		// score is as rankable as anyone's.
 		fillAnomaly(st, dst)
+	case kindAppleseedLandmark, kindMoleTrustLandmark, kindTidalTrustLandmark:
+		// Landmark composition instead of a traversal: O(L·U) over the
+		// state's sketch (built lazily on the first landmark query of
+		// this algorithm, eagerly refreshed across incremental swaps).
+		algo := weboftrust.PropagationAlgo(kind - kindAppleseedLandmark)
+		sk := st.landmarks.algos[algo].get()
+		if err := st.model.ComposeLandmarks(sk, u, dst); err != nil {
+			panic(fmt.Sprintf("server: landmark compose %v for user %d: %v", algo, u, err))
+		}
+		s.metrics.propagateComputes.Add(1)
 	default:
 		// The source is range-checked by the handler and the algorithm
 		// fixed by the route, so the only error the propagation facade can
@@ -390,8 +454,11 @@ func (s *Server) ranked(st *state, kind resultKind, u ratings.UserID, k int) []c
 	key := resultKey{kind: kind, user: u, k: kc}
 	fkey := flightKey{kind: kind, user: u}
 	for {
-		if r, ok := st.results.get(key); ok {
+		if r, prewarmed, ok := st.results.get(key); ok {
 			s.metrics.cacheHits.Add(1)
+			if prewarmed {
+				s.metrics.prewarmHits.Add(1)
+			}
 			return trimRanked(r, k)
 		}
 		s.metrics.cacheMisses.Add(1)
@@ -744,10 +811,14 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 // from the source's viewpoint under the requested propagation algorithm,
 // computed over the served web of trust.
 type PropagateResponse struct {
-	User    int          `json:"user"`
-	Algo    string       `json:"algo"`
-	K       int          `json:"k"`
-	Version uint64       `json:"version"`
+	User    int    `json:"user"`
+	Algo    string `json:"algo"`
+	K       int    `json:"k"`
+	Version uint64 `json:"version"`
+	// Approx names the approximation mode that served the answer
+	// ("landmark"); absent for traversal-computed results, keeping the
+	// historical body unchanged.
+	Approx  string       `json:"approx,omitempty"`
 	Results []RankedUser `json:"results"`
 }
 
@@ -771,6 +842,22 @@ func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad \"exact\" parameter %q", raw)
 		return
 	}
+	approx := r.URL.Query().Get("approx")
+	switch approx {
+	case "":
+	case "landmark":
+		if exact {
+			s.fail(w, http.StatusBadRequest, "\"approx\" and \"exact\" are mutually exclusive")
+			return
+		}
+		if s.landmarkCount() == 0 {
+			s.fail(w, http.StatusBadRequest, "landmark approximation is disabled on this server")
+			return
+		}
+	default:
+		s.fail(w, http.StatusBadRequest, "bad \"approx\" parameter %q (landmark)", approx)
+		return
+	}
 	u, ok := s.sourceParam(w, r, st, "user")
 	if !ok {
 		return
@@ -781,10 +868,14 @@ func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	kind := kindAppleseed + resultKind(algo)
-	if exact {
+	switch {
+	case exact:
 		kind = kindAppleseedExact + resultKind(algo)
+	case approx == "landmark":
+		kind = kindAppleseedLandmark + resultKind(algo)
 	}
 	s.metrics.propagateRequests[algo].Add(1)
+	s.heat.record(heatKey{kind: kind, user: u, k: cacheK(k, st.model.Dataset().NumUsers())})
 	ranked := s.ranked(st, kind, u, k)
 	elapsed := time.Since(start).Nanoseconds()
 	s.metrics.propagateNanos.Add(elapsed)
@@ -795,7 +886,7 @@ func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
 		results[i] = RankedUser{User: int(rk.User), Name: d.UserName(rk.User), Score: rk.Score}
 	}
 	writeJSON(w, http.StatusOK, PropagateResponse{
-		User: int(u), Algo: algo.String(), K: k, Version: st.version, Results: results,
+		User: int(u), Algo: algo.String(), K: k, Version: st.version, Approx: approx, Results: results,
 	})
 }
 
@@ -876,6 +967,22 @@ type StatsResponse struct {
 	// when unsharded, so single-process deployments see the historical
 	// body unchanged.
 	Shard *ShardStats `json:"shard,omitempty"`
+	// Precompute reports the propagation precompute engine and the
+	// landmark sketches; absent only when both are disabled.
+	Precompute *PrecomputeStats `json:"precompute,omitempty"`
+}
+
+// PrecomputeStats is the propagation-precompute block of /v1/stats:
+// swap-time pre-warm activity, the hits it saved, and the landmark
+// configuration. PrewarmHits counts first hits on pre-warmed entries —
+// full traversals queries did not pay.
+type PrecomputeStats struct {
+	BudgetMillis    int64 `json:"budget_millis"`
+	Runs            int64 `json:"runs"`
+	Vectors         int64 `json:"vectors"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	PrewarmHits     int64 `json:"prewarm_hits"`
+	Landmarks       int   `json:"landmarks"`
 }
 
 // ShardStats is the partition block of /v1/stats: the spec this process
@@ -929,6 +1036,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TailTransientErrors: s.metrics.tailTransient.Load(),
 	}
 	resp.Shard = shardStats(st.model)
+	if s.opts.PrecomputeBudget > 0 || s.landmarkCount() > 0 {
+		landmarks := s.landmarkCount()
+		if ids, ok := st.landmarks.peekIDs(); ok {
+			landmarks = len(ids)
+		}
+		resp.Precompute = &PrecomputeStats{
+			BudgetMillis:    s.opts.PrecomputeBudget.Milliseconds(),
+			Runs:            s.metrics.precomputeRuns.Load(),
+			Vectors:         s.metrics.precomputeVectors.Load(),
+			BudgetExhausted: s.metrics.precomputeBudgetExhausted.Load(),
+			PrewarmHits:     s.metrics.prewarmHits.Load(),
+			Landmarks:       landmarks,
+		}
+	}
 	if ck := s.checkpointStatus(); ck != nil {
 		resp.Checkpoint = &CheckpointStats{
 			Path:       ck.Path,
@@ -1069,6 +1190,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "trustd_propagate_requests_total{algo=%q} %d\n", algo, s.metrics.propagateRequests[i].Load())
 	}
 	counter("trustd_propagate_computes_total", "Propagation rank vectors actually computed (cache misses minus coalesced flights).", s.metrics.propagateComputes.Load())
+	counter("trustd_propagate_precompute_runs_total", "Swap-time propagation precompute passes run.", s.metrics.precomputeRuns.Load())
+	counter("trustd_propagate_precompute_vectors_total", "Propagation vectors pre-warmed into the result cache at swap time.", s.metrics.precomputeVectors.Load())
+	counter("trustd_propagate_precompute_budget_exhausted_total", "Precompute passes that ran out of budget with hot work remaining.", s.metrics.precomputeBudgetExhausted.Load())
+	counter("trustd_result_cache_prewarm_hits_total", "First hits on pre-warmed cache entries (traversals queries skipped).", s.metrics.prewarmHits.Load())
+	counter("trustd_landmark_builds_total", "Landmark sketches built cold (first landmark query of a state).", s.metrics.landmarkBuilds.Load())
+	counter("trustd_landmark_refreshes_total", "Landmark sketches eagerly refreshed across incremental swaps.", s.metrics.landmarkRefreshes.Load())
+	fmt.Fprintf(w, "# HELP trustd_landmark_refresh_seconds Cumulative wall-clock spent building and refreshing landmark sketches.\n# TYPE trustd_landmark_refresh_seconds counter\ntrustd_landmark_refresh_seconds %g\n",
+		float64(s.metrics.landmarkRefreshNanos.Load())/1e9)
+	if st != nil && st.landmarks != nil {
+		// Peek only: the scrape must not force the landmark selection
+		// (which would force the rank solve).
+		landmarks := int64(st.landmarks.count)
+		if ids, ok := st.landmarks.peekIDs(); ok {
+			landmarks = int64(len(ids))
+		}
+		gauge("trustd_landmark_count", "Landmark hubs configured (selected count once derived).", landmarks)
+	}
 	fmt.Fprintf(w, "# HELP trustd_propagate_seconds_total Wall-clock spent serving propagation queries.\n# TYPE trustd_propagate_seconds_total counter\ntrustd_propagate_seconds_total %g\n",
 		float64(s.metrics.propagateNanos.Load())/1e9)
 	fmt.Fprintf(w, "# HELP trustd_propagate_last_seconds Latency of the most recent propagation query.\n# TYPE trustd_propagate_last_seconds gauge\ntrustd_propagate_last_seconds %g\n",

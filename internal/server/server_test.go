@@ -279,14 +279,14 @@ func TestResultCacheEvictionAndBytes(t *testing.T) {
 	if want := 2 * entryBytes(ranked(5)); c.approxBytes() != want {
 		t.Errorf("approxBytes = %d, want %d", c.approxBytes(), want)
 	}
-	if _, ok := c.get(resultKey{user: 1, k: 5}); !ok {
+	if _, _, ok := c.get(resultKey{user: 1, k: 5}); !ok {
 		t.Fatal("entry (1,5) missing")
 	}
 	c.put(resultKey{user: 3, k: 5}, ranked(3)) // evicts (2,5); (1,5) was just used
-	if _, ok := c.get(resultKey{user: 2, k: 5}); ok {
+	if _, _, ok := c.get(resultKey{user: 2, k: 5}); ok {
 		t.Error("LRU entry (2,5) not evicted")
 	}
-	if _, ok := c.get(resultKey{user: 1, k: 5}); !ok {
+	if _, _, ok := c.get(resultKey{user: 1, k: 5}); !ok {
 		t.Error("recently used entry (1,5) evicted")
 	}
 	if c.len() != 2 {
@@ -313,7 +313,7 @@ func TestResultCacheEvictionAndBytes(t *testing.T) {
 	budget.put(resultKey{user: 1, k: 5}, ranked(5))
 	budget.put(resultKey{user: 2, k: 5}, ranked(5))
 	budget.put(resultKey{user: 3, k: 5}, ranked(5)) // over budget: evicts (1,5)
-	if _, ok := budget.get(resultKey{user: 1, k: 5}); ok {
+	if _, _, ok := budget.get(resultKey{user: 1, k: 5}); ok {
 		t.Error("byte budget did not evict the LRU entry")
 	}
 	if budget.len() != 2 || budget.approxBytes() > 2*entryBytes(ranked(5)) {

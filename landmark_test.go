@@ -1,0 +1,212 @@
+package weboftrust
+
+import (
+	"testing"
+
+	"weboftrust/internal/synth"
+)
+
+// landmarkRelL1 composes the landmark approximation for every 7th user
+// and returns mean and max relative L1 distance from the exact
+// traversal, normalised by the exact vector's mass — the same envelope
+// measure the pruning and truncation contracts pin.
+func landmarkRelL1(t *testing.T, m *TrustModel, sk *LandmarkSketch, n int) (mean, max float64) {
+	t.Helper()
+	exact := make([]float64, n)
+	approx := make([]float64, n)
+	samples := 0
+	for u := 0; u < n; u += 7 {
+		if err := m.PropagateExactInto(sk.Algo, UserID(u), exact); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ComposeLandmarks(sk, UserID(u), approx); err != nil {
+			t.Fatal(err)
+		}
+		var l1, norm float64
+		for i := range exact {
+			d := exact[i] - approx[i]
+			if d < 0 {
+				d = -d
+			}
+			l1 += d
+			norm += exact[i]
+		}
+		if norm > 0 {
+			l1 /= norm
+		}
+		if l1 > max {
+			max = l1
+		}
+		mean += l1
+		samples++
+	}
+	return mean / float64(samples), max
+}
+
+// TestLandmarkComposeErrorEnvelope pins the accuracy contract of the
+// `?approx=landmark` mode on the Small community with 16 landmarks: the
+// composed vector's relative L1 distance from the exact traversal stays
+// inside a measured envelope for every algorithm. The approximation is
+// deliberately coarse — it trades accuracy for O(L·U) serving cost — so
+// the envelope is wide, but it is PINNED: a regression that makes the
+// composition drift (wrong frontier, broken gate, stale sketch) breaks
+// this test long before it is visible in a benchmark.
+func TestLandmarkComposeErrorEnvelope(t *testing.T) {
+	d, _, err := synth.Generate(synth.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, _, err := m.GlobalRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := SelectLandmarkIDs(rank, 16)
+	if len(ids) == 0 {
+		t.Fatal("no landmarks selected")
+	}
+	n := d.NumUsers()
+	// Measured on this community: appleseed mean≈0.42/max≈0.94,
+	// moletrust mean≈0.32/max≈2.5 (the gate can overshoot a source whose
+	// exact reach is tiny), tidaltrust mean≈0.18/max≈0.49. Pinned with
+	// ~1.4x headroom.
+	bounds := map[PropagationAlgo]struct{ mean, max float64 }{
+		PropagateAppleseed:  {0.60, 1.30},
+		PropagateMoleTrust:  {0.50, 3.50},
+		PropagateTidalTrust: {0.30, 0.70},
+	}
+	for _, algo := range []PropagationAlgo{PropagateAppleseed, PropagateMoleTrust, PropagateTidalTrust} {
+		sk, err := m.BuildLandmarkSketch(algo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, max := landmarkRelL1(t, m, sk, n)
+		t.Logf("%v: landmark relL1 mean=%.4f max=%.4f", algo, mean, max)
+		b := bounds[algo]
+		if mean > b.mean {
+			t.Errorf("%v: landmark mean relative L1 = %v, bound %v", algo, mean, b.mean)
+		}
+		if max > b.max {
+			t.Errorf("%v: landmark max relative L1 = %v, bound %v", algo, max, b.max)
+		}
+	}
+}
+
+// TestLandmarkSketchSelfVectors pins the sketch build contract: a
+// landmark's sketched vector is bitwise-identical to propagating from it
+// directly, and selection order follows the rank vector.
+func TestLandmarkSketchSelfVectors(t *testing.T) {
+	d, _, err := synth.Generate(synth.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, _, err := m.GlobalRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := SelectLandmarkIDs(rank, 8)
+	for i := 1; i < len(ids); i++ {
+		a, b := ids[i-1], ids[i]
+		if rank[a] < rank[b] || (rank[a] == rank[b] && a > b) {
+			t.Fatalf("selection %v not rank-descending at %d", ids, i)
+		}
+	}
+	sk, err := m.BuildLandmarkSketch(PropagateAppleseed, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, d.NumUsers())
+	for i, id := range sk.Landmarks() {
+		if err := m.PropagateInto(PropagateAppleseed, UserID(id), want); err != nil {
+			t.Fatal(err)
+		}
+		vec := sk.Vector(i)
+		for v := range want {
+			if vec[v] != want[v] {
+				t.Fatalf("landmark %d vec[%d] = %v, direct propagation %v", id, v, vec[v], want[v])
+			}
+		}
+	}
+}
+
+// TestRefreshLandmarkSketchCarry pins the refresh rules: untainted
+// still-selected landmarks carry their vector by reference, tainted ones
+// recompute, and a nil taint set (or an algorithm change) recomputes
+// everything.
+func TestRefreshLandmarkSketchCarry(t *testing.T) {
+	d, _, err := synth.Generate(synth.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, _, err := m.GlobalRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := SelectLandmarkIDs(rank, 6)
+	if len(ids) < 2 {
+		t.Fatal("need at least two landmarks")
+	}
+	prev, err := m.BuildLandmarkSketch(PropagateMoleTrust, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tainted := make([]bool, d.NumUsers())
+	tainted[ids[0]] = true
+	ref, err := m.RefreshLandmarkSketch(prev, PropagateMoleTrust, ids, tainted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		pv, rv := prev.Vector(i), ref.Vector(i)
+		shared := len(pv) > 0 && len(rv) > 0 && &pv[0] == &rv[0]
+		if i == 0 && shared {
+			t.Error("tainted landmark carried by reference instead of recomputing")
+		}
+		if i > 0 && !shared {
+			t.Errorf("untainted landmark %d recomputed instead of carrying", ids[i])
+		}
+		// Same model either way, so values agree exactly.
+		for v := range pv {
+			if pv[v] != rv[v] {
+				t.Fatalf("landmark %d vec[%d] changed across refresh: %v -> %v", ids[i], v, pv[v], rv[v])
+			}
+		}
+	}
+	// nil tainted recomputes everything.
+	full, err := m.RefreshLandmarkSketch(prev, PropagateMoleTrust, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		pv, fv := prev.Vector(i), full.Vector(i)
+		if len(pv) > 0 && len(fv) > 0 && &pv[0] == &fv[0] {
+			t.Errorf("nil taint set carried landmark %d by reference", ids[i])
+		}
+	}
+	// Algorithm mismatch never carries.
+	cross, err := m.RefreshLandmarkSketch(prev, PropagateTidalTrust, ids, make([]bool, d.NumUsers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		pv, cv := prev.Vector(i), cross.Vector(i)
+		if len(pv) > 0 && len(cv) > 0 && &pv[0] == &cv[0] {
+			t.Errorf("algo change carried landmark %d by reference", ids[i])
+		}
+	}
+	// Out-of-range landmark ids are rejected.
+	if _, err := m.BuildLandmarkSketch(PropagateMoleTrust, []int32{int32(d.NumUsers())}); err == nil {
+		t.Error("out-of-range landmark accepted")
+	}
+}

@@ -5,17 +5,17 @@
 # in prose.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCH_OUT     output path when no argument is given (default BENCH_pr9.json)
+#   BENCH_OUT     output path when no argument is given (default BENCH_pr10.json)
 #   BENCH_SUITE   suite label recorded in the JSON (default: output basename)
 #   BENCH_COUNT   repetitions per benchmark (default 5)
 #   BENCH_FILTER  benchmark regexp (default: the boot + read-path + pipeline perf surface)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_pr9.json}}"
+out="${1:-${BENCH_OUT:-BENCH_pr10.json}}"
 suite="${BENCH_SUITE:-$(basename "$out" .json)}"
 count="${BENCH_COUNT:-5}"
-filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart|RouterTopK|SwapDelta|PropagatePruned|RankWarm|AnomalySwap|ServerAnomaly}"
+filter="${BENCH_FILTER:-PipelineRun|UpdateTouchedFraction|UpdateCategoryScaling|ServerTopK|ServerPropagate|GraphBuild|IngestSwap|DerivedTrustRowSparse|TopKHeap|TopKQuickselect|ColdStart|WarmRestart|RouterTopK|SwapDelta|PropagatePruned|RankWarm|AnomalySwap|ServerAnomaly|PropagatePrecompute|LandmarkApprox}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

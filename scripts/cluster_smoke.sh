@@ -96,6 +96,7 @@ check_equivalence() {
             "/v1/trust?from=$u&to=$to" \
             "/v1/neighbors?user=$u" \
             "/v1/propagate?algo=appleseed&user=$u&k=5" \
+            "/v1/propagate?algo=moletrust&user=$u&k=5&approx=landmark" \
             "/v1/rank?user=$u"; do
             ref_body="$(curl -s "http://127.0.0.1:$ref_port$path")"
             routed_body="$(curl -s "http://127.0.0.1:$router_port$path")"

@@ -1,0 +1,113 @@
+package weboftrust
+
+import (
+	"math"
+	"testing"
+
+	"weboftrust/internal/synth"
+)
+
+// TestTruncatedWalkErrorBound pins the accuracy contract of truncated
+// walks: with a depth-3 horizon and a 1e-3 mass floor on the Small
+// community, every algorithm's per-source relative L1 error against the
+// exact traversal stays inside a measured envelope, while the `?exact=1`
+// path on the truncated model remains bitwise identical to an untruncated
+// model — truncation flags never leak into the exact bypass.
+func TestTruncatedWalkErrorBound(t *testing.T) {
+	d, _, err := synth.Generate(synth.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Derive(d, WithPropagateMaxDepth(3), WithPropagateMassEps(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumUsers()
+	for _, algo := range []PropagationAlgo{PropagateAppleseed, PropagateMoleTrust, PropagateTidalTrust} {
+		mean, max := sampleRelL1(t, m, algo, n)
+		t.Logf("%v: truncated relL1 mean=%.4f max=%.4f", algo, mean, max)
+		if max > 0.30 {
+			t.Errorf("%v: truncated max relative L1 = %v, bound 0.30", algo, max)
+		}
+		if mean > 0.08 {
+			t.Errorf("%v: truncated mean relative L1 = %v, bound 0.08", algo, mean)
+		}
+	}
+	// Exact bypass: bitwise-identical to the untruncated model.
+	got := make([]float64, n)
+	want := make([]float64, n)
+	for _, algo := range []PropagationAlgo{PropagateAppleseed, PropagateMoleTrust, PropagateTidalTrust} {
+		for u := 0; u < n; u += 13 {
+			if err := m.PropagateExactInto(algo, UserID(u), got); err != nil {
+				t.Fatal(err)
+			}
+			if err := plain.PropagateExactInto(algo, UserID(u), want); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v exact(%d)[%d] = %v under truncation, %v without — bypass not bitwise", algo, u, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestZeroTruncationIsBitwiseExact pins that explicitly configuring zero
+// truncation bounds takes the identical code path as no configuration:
+// the propagation vectors match bit for bit.
+func TestZeroTruncationIsBitwiseExact(t *testing.T) {
+	d, _, err := synth.Generate(synth.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Derive(d, WithPropagateMaxDepth(0), WithPropagateMassEps(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumUsers()
+	got := make([]float64, n)
+	want := make([]float64, n)
+	for _, algo := range []PropagationAlgo{PropagateAppleseed, PropagateMoleTrust, PropagateTidalTrust} {
+		for u := 0; u < n; u += 13 {
+			if err := zero.PropagateInto(algo, UserID(u), got); err != nil {
+				t.Fatal(err)
+			}
+			if err := plain.PropagateInto(algo, UserID(u), want); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v(%d)[%d] = %v with zero truncation, %v without", algo, u, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTruncationOptionValidation(t *testing.T) {
+	cfg := synth.Small()
+	cfg.NumUsers = 12
+	cfg.TotalObjects = 8
+	d, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Derive(d, WithPropagateMaxDepth(-1)); err == nil {
+		t.Error("negative max depth accepted")
+	}
+	if _, err := Derive(d, WithPropagateMassEps(math.NaN())); err == nil {
+		t.Error("NaN mass eps accepted")
+	}
+	if _, err := Derive(d, WithPropagateMassEps(-0.5)); err == nil {
+		t.Error("negative mass eps accepted")
+	}
+}
